@@ -1,0 +1,108 @@
+//! Criterion benches for the cryptographic/coding primitives: the inner
+//! product hash (the per-iteration hot path), the AGHP δ-biased generator,
+//! GF(2^64) multiplication, and the Reed–Solomon codec used by the
+//! randomness exchange.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gf2::Gf64;
+use rscode::ReedSolomon;
+use smallbias::{hash_bits, AghpGenerator, BitString, CrsSource, SeedLabel, SeedSource};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inner_product_hash");
+    let crs = CrsSource::new(7);
+    for bits in [1_000usize, 8_000, 64_000] {
+        let input: BitString = (0..bits).map(|i| i % 3 == 0).collect();
+        g.throughput(Throughput::Elements(bits as u64));
+        g.bench_with_input(BenchmarkId::new("tau8", bits), &input, |b, input| {
+            b.iter(|| {
+                hash_bits(
+                    input,
+                    8,
+                    &mut *crs.stream(SeedLabel {
+                        iteration: 0,
+                        channel: 0,
+                        slot: 1,
+                    }),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tau16", bits), &input, |b, input| {
+            b.iter(|| {
+                hash_bits(
+                    input,
+                    16,
+                    &mut *crs.stream(SeedLabel {
+                        iteration: 0,
+                        channel: 0,
+                        slot: 1,
+                    }),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aghp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aghp_delta_biased");
+    g.bench_function("sequential_word", |b| {
+        let mut gen = AghpGenerator::from_seed(0xfeed, 0xbeef);
+        let mut pos = 0u64;
+        b.iter(|| {
+            let w = gen.word_at(pos);
+            pos += 64;
+            w
+        })
+    });
+    g.bench_function("random_access_word", |b| {
+        let mut gen = AghpGenerator::from_seed(0xfeed, 0xbeef);
+        let mut pos = 1u64;
+        b.iter(|| {
+            pos = pos.wrapping_mul(6364136223846793005).wrapping_add(1) % (1 << 30);
+            gen.word_at(pos)
+        })
+    });
+    g.finish();
+}
+
+fn bench_gf64(c: &mut Criterion) {
+    c.bench_function("gf64_mul", |b| {
+        let mut x = Gf64::new(0x9e37_79b9_7f4a_7c15);
+        let y = Gf64::new(0xc2b2_ae3d_27d4_eb4f);
+        b.iter(|| {
+            x *= y;
+            x
+        })
+    });
+    c.bench_function("gf64_pow", |b| {
+        let x = Gf64::new(0x0123_4567_89ab_cdef);
+        b.iter(|| x.pow(0xdead_beef))
+    });
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed_solomon");
+    let rs = ReedSolomon::new(30, 10).unwrap();
+    let msg: Vec<u8> = (0..10).map(|i| i as u8 * 7 + 1).collect();
+    let clean = rs.encode(&msg).unwrap();
+    g.bench_function("encode_30_10", |b| b.iter(|| rs.encode(&msg).unwrap()));
+    g.bench_function("decode_clean", |b| b.iter(|| rs.decode(&clean, &[]).unwrap()));
+    let mut noisy = clean.clone();
+    for p in [0usize, 7, 13, 19, 25] {
+        noisy[p] ^= 0x5a;
+    }
+    g.bench_function("decode_5_errors", |b| b.iter(|| rs.decode(&noisy, &[]).unwrap()));
+    let mut erased = clean.clone();
+    let erasures: Vec<usize> = (0..18).map(|k| k + 3).collect();
+    for &p in &erasures {
+        erased[p] = 0;
+    }
+    g.bench_function("decode_18_erasures", |b| {
+        b.iter(|| rs.decode(&erased, &erasures).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_aghp, bench_gf64, bench_rs);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for whole-scheme execution: end-to-end simulations
+//! per table/figure workload (T1/F3 wall-clock column), plus the cost of
+//! single phases via small/large instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpic::baseline::{run_no_coding, run_repetition};
+use mpic::{RunOptions, SchemeConfig, Simulation};
+use netsim::attacks::{IidNoise, NoNoise};
+use protocol::workloads::Gossip;
+use protocol::{ChunkedProtocol, Workload};
+
+/// T1 wall-clock: one full noiseless simulation per scheme (the
+/// "efficient" column of Table 1 made concrete).
+fn bench_t1_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_end_to_end");
+    g.sample_size(10);
+    let w = Gossip::new(netgraph::topology::ring(5), 6, 3);
+    let graph = w.graph().clone();
+    for (name, cfg) in [
+        ("alg_a", SchemeConfig::algorithm_a(&graph, 7)),
+        ("alg_b", SchemeConfig::algorithm_b(&graph, 6)),
+        ("alg_c", SchemeConfig::algorithm_c(&graph, 7)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let sim = Simulation::new(&w, cfg.clone(), 1);
+                sim.run(Box::new(NoNoise), RunOptions::default())
+            })
+        });
+    }
+    let proto = ChunkedProtocol::new(&w, 5 * graph.edge_count());
+    g.bench_function("no_coding", |b| {
+        b.iter(|| run_no_coding(&w, &proto, Box::new(NoNoise), 0))
+    });
+    g.bench_function("repeat5", |b| {
+        b.iter(|| run_repetition(&w, &proto, Box::new(NoNoise), 0, 5))
+    });
+    g.finish();
+}
+
+/// F3 wall-clock scaling: simulation cost vs network size.
+fn bench_f3_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f3_scaling");
+    g.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let w = Gossip::new(netgraph::topology::ring(n), 6, 3);
+        let graph = w.graph().clone();
+        g.bench_with_input(BenchmarkId::new("ring", n), &w, |b, w| {
+            let cfg = SchemeConfig::algorithm_a(&graph, 7);
+            b.iter(|| {
+                let sim = Simulation::new(w, cfg.clone(), 1);
+                sim.run(Box::new(NoNoise), RunOptions::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Repair cost: noisy vs noiseless runs (the price of the rewind-if-error
+/// machinery when it actually fires).
+fn bench_noisy_repair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noisy_repair");
+    g.sample_size(10);
+    let w = Gossip::new(netgraph::topology::ring(5), 6, 3);
+    let graph = w.graph().clone();
+    let cfg = SchemeConfig::algorithm_a(&graph, 7);
+    g.bench_function("noiseless", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(&w, cfg.clone(), 1);
+            sim.run(Box::new(NoNoise), RunOptions::default())
+        })
+    });
+    g.bench_function("with_noise", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(&w, cfg.clone(), 1);
+            let atk = IidNoise::new(graph.directed_links().collect(), 0.0005, 9);
+            sim.run(Box::new(atk), RunOptions::default())
+        })
+    });
+    g.finish();
+}
+
+/// Compile-time cost: chunking + reference run (Simulation::new).
+fn bench_compile(c: &mut Criterion) {
+    let w = Gossip::new(netgraph::topology::clique(6), 8, 3);
+    let graph = w.graph().clone();
+    c.bench_function("compile_simulation", |b| {
+        let cfg = SchemeConfig::algorithm_a(&graph, 7);
+        b.iter(|| Simulation::new(&w, cfg.clone(), 1))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_t1_schemes,
+    bench_f3_scaling,
+    bench_noisy_repair,
+    bench_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,558 @@
+//! Regenerates every table/figure of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|all] [--quick]`
+//!
+//! Each experiment prints a table to stdout and appends JSON rows to
+//! `results/<id>.jsonl`.
+
+use bench::{run_many, AttackSpec, Scheme, TopoSpec, WorkloadSpec};
+use mpic::{RunOptions, SchemeConfig, Simulation};
+use netsim::PhaseKind;
+use serde_json::json;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    std::fs::create_dir_all("results").ok();
+    let t0 = std::time::Instant::now();
+    match which {
+        "t1" => t1(quick),
+        "f1" => f1(quick),
+        "f2" => f2(quick),
+        "f3" => f3(quick),
+        "f4" => f4(quick),
+        "f5" => f5(quick),
+        "f6" => f6(),
+        "f7" => f7(quick),
+        "f8" => f8(quick),
+        "f9" => f9(quick),
+        "all" => {
+            t1(quick);
+            f1(quick);
+            f2(quick);
+            f3(quick);
+            f4(quick);
+            f5(quick);
+            f6();
+            f7(quick);
+            f8(quick);
+            f9(quick);
+        }
+        other => {
+            eprintln!("unknown experiment {other}; use t1|f1..f9|all [--quick]");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[done in {:.1?}]", t0.elapsed());
+}
+
+fn emit(id: &str, row: serde_json::Value) {
+    let path = format!("results/{id}.jsonl");
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{row}");
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// T1 — Table 1 analog: rate and tolerated noise per scheme × topology.
+fn t1(quick: bool) {
+    header("T1", "Table 1 — scheme comparison: blow-up and resilience");
+    let trials = if quick { 6 } else { 40 };
+    let topologies = [
+        TopoSpec::Line(6),
+        TopoSpec::Star(6),
+        TopoSpec::Clique(5),
+        TopoSpec::Random(7, 11),
+    ];
+    let schemes = [
+        Scheme::A,
+        Scheme::B,
+        Scheme::C,
+        Scheme::NoCoding,
+        Scheme::Repetition(5),
+    ];
+    println!(
+        "{:<12} {:<10} {:>9} {:>8} {:>10} {:>9} {:>12}",
+        "scheme", "topology", "blowup", "ok@0", "ok@.01/m", "ok@burst", "achieved_f"
+    );
+    for scheme in schemes {
+        for topo in topologies {
+            let w = WorkloadSpec::Gossip { topo, rounds: 8 };
+            let m = topo.build(1).edge_count() as f64;
+            let (clean, _) = run_many(w, scheme, AttackSpec::None, trials.min(6), 100);
+            let frac = 0.01 / m;
+            let (noisy, _) = run_many(w, scheme, AttackSpec::Iid { fraction: frac }, trials, 200);
+            // A 12-round burst on one link inside the first simulated chunk:
+            // the schemes detect and replay it; the baselines silently absorb
+            // the damage.
+            let burst = AttackSpec::Burst {
+                link_index: 0,
+                at_iteration: 0,
+                len: 12,
+            };
+            let (bursty, _) = run_many(w, scheme, burst, trials.min(8), 250);
+            println!(
+                "{:<12} {:<10} {:>9.1} {:>8.2} {:>10.2} {:>9.2} {:>12.5}",
+                scheme.label(),
+                topo.label(),
+                clean.mean_blowup,
+                clean.success_rate,
+                noisy.success_rate,
+                bursty.success_rate,
+                noisy.mean_noise_fraction,
+            );
+            emit(
+                "t1",
+                json!({"scheme": scheme.label(), "topo": topo.label(),
+                       "blowup": clean.mean_blowup, "clean_ok": clean.success_rate,
+                       "noisy_ok": noisy.success_rate, "burst_ok": bursty.success_rate,
+                       "achieved_fraction": noisy.mean_noise_fraction}),
+            );
+        }
+    }
+}
+
+/// Sweep helper: success rate vs noise fraction for one scheme.
+fn sweep(
+    id: &str,
+    w: WorkloadSpec,
+    scheme: Scheme,
+    denom: f64,
+    multipliers: &[f64],
+    trials: usize,
+) {
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>12}",
+        "multiplier", "fraction", "ok", "blowup", "achieved_f"
+    );
+    for &c in multipliers {
+        let fraction = c / denom;
+        let attack = if c == 0.0 {
+            AttackSpec::None
+        } else {
+            AttackSpec::Iid { fraction }
+        };
+        let (s, _) = run_many(w, scheme, attack, trials, (c * 1000.0) as u64 + 17);
+        println!(
+            "{:<12.3} {:>12.6} {:>10.2} {:>10.1} {:>12.6}",
+            c, fraction, s.success_rate, s.mean_blowup, s.mean_noise_fraction
+        );
+        emit(
+            id,
+            json!({"scheme": scheme.label(), "multiplier": c, "fraction": fraction,
+                   "success": s.success_rate, "blowup": s.mean_blowup,
+                   "achieved_fraction": s.mean_noise_fraction}),
+        );
+    }
+}
+
+/// F1 — Theorem 1.1: Algorithm A success vs oblivious noise in units of 1/m.
+fn f1(quick: bool) {
+    header("F1", "Thm 1.1 — Algorithm A vs oblivious noise (units of 1/m)");
+    let topo = TopoSpec::Ring(6);
+    let m = topo.build(1).edge_count() as f64;
+    let w = WorkloadSpec::Gossip { topo, rounds: 8 };
+    let trials = if quick { 8 } else { 60 };
+    sweep(
+        "f1",
+        w,
+        Scheme::A,
+        m,
+        &[0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.1, 0.5],
+        trials,
+    );
+}
+
+/// F2 — Theorem 1.2: Algorithm B vs noise in units of 1/(m log m).
+fn f2(quick: bool) {
+    header("F2", "Thm 1.2 — Algorithm B vs noise (units of 1/(m log m))");
+    let topo = TopoSpec::Ring(6);
+    let g = topo.build(1);
+    let m = g.edge_count() as f64;
+    let denom = m * m.log2();
+    let w = WorkloadSpec::Gossip { topo, rounds: 8 };
+    let trials = if quick { 8 } else { 60 };
+    sweep("f2", w, Scheme::B, denom, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5], trials);
+}
+
+/// F3 — constant rate: blow-up vs network size.
+fn f3(quick: bool) {
+    header("F3", "Constant rate — communication blow-up vs network size");
+    let trials = if quick { 4 } else { 24 };
+    println!(
+        "{:<10} {:>4} {:>4} {:>10} {:>14}",
+        "topology", "n", "m", "blowup", "blowup@.01/m"
+    );
+    let sizes: &[usize] = if quick { &[4, 6, 8] } else { &[4, 6, 8, 10, 12, 16] };
+    for &n in sizes {
+        for topo in [TopoSpec::Line(n), TopoSpec::Ring(n), TopoSpec::Clique(n.min(8))] {
+            let g = topo.build(1);
+            let m = g.edge_count() as f64;
+            let w = WorkloadSpec::Gossip { topo, rounds: 8 };
+            let (clean, _) = run_many(w, Scheme::A, AttackSpec::None, trials.min(4), 300);
+            let (noisy, _) =
+                run_many(w, Scheme::A, AttackSpec::Iid { fraction: 0.01 / m }, trials, 400);
+            println!(
+                "{:<10} {:>4} {:>4} {:>10.1} {:>14.1}",
+                topo.label(),
+                g.node_count(),
+                g.edge_count(),
+                clean.mean_blowup,
+                noisy.mean_blowup
+            );
+            emit(
+                "f3",
+                json!({"topo": topo.label(), "n": g.node_count(), "m": g.edge_count(),
+                       "blowup_clean": clean.mean_blowup, "blowup_noisy": noisy.mean_blowup,
+                       "noisy_success": noisy.success_rate}),
+            );
+        }
+    }
+}
+
+/// F4 — §1.2 line example: one early error, with/without coordination.
+///
+/// Metrics (per variant, from the iteration trace):
+/// * `done@` — first iteration at which the whole network has correctly
+///   simulated all real chunks (`G* ≥ |Π|`), or "never";
+/// * `stalled_cc` — bits spent in iterations (up to completion) where `G*`
+///   made no progress: the "wasted communication" of §1.2. Without flag
+///   passing, stalled iterations still burn full chunks; without the
+///   rewind phase, the ⊥-induced length gaps never close and the run
+///   deadlocks (the paper's reason for having the phase at all).
+fn f4(quick: bool) {
+    header(
+        "F4",
+        "§1.2 ablation — one early error on the line: repair speed and stalled bits",
+    );
+    let sizes: &[usize] = if quick { &[4, 6, 8] } else { &[4, 6, 8, 10, 12, 16] };
+    println!(
+        "{:<4} {:<10} {:>6} {:>8} {:>12} {:>9}",
+        "n", "variant", "ok", "done@", "stalled_cc", "clean@"
+    );
+    for &n in sizes {
+        for (name, no_fp, no_rw) in [
+            ("full", false, false),
+            ("no_flag", true, false),
+            ("no_rewind", false, true),
+            ("neither", true, true),
+        ] {
+            let w = protocol::workloads::LinePipeline::new(n, 3, 99);
+            let mut cfg = SchemeConfig::algorithm_a(protocol::Workload::graph(&w), 5);
+            cfg.disable_flag_passing = no_fp;
+            cfg.disable_rewind = no_rw;
+            let sim = Simulation::new(&w, cfg, 1);
+            let real = sim.proto().real_chunks();
+            let opts = RunOptions {
+                record_trace: true,
+                ..Default::default()
+            };
+            let clean = sim.run(Box::new(netsim::attacks::NoNoise), opts);
+            let geo = sim.geometry();
+            let round = geo.phase_start(0, PhaseKind::Simulation) + 2;
+            let atk = netsim::attacks::SingleError::new(
+                netgraph::DirectedLink { from: 0, to: 1 },
+                round,
+            );
+            let noisy = sim.run(Box::new(atk), opts);
+            let (done, stalled) = trace_metrics(&noisy.instrumentation.samples, real);
+            let (clean_done, _) = trace_metrics(&clean.instrumentation.samples, real);
+            let done_s = done.map_or("never".into(), |d| d.to_string());
+            println!(
+                "{:<4} {:<10} {:>6} {:>8} {:>12} {:>9}",
+                n,
+                name,
+                noisy.success,
+                done_s,
+                stalled,
+                clean_done.map_or("never".into(), |d| d.to_string()),
+            );
+            emit(
+                "f4",
+                json!({"n": n, "variant": name, "success": noisy.success,
+                       "done_at": done, "stalled_cc": stalled,
+                       "clean_done_at": clean_done,
+                       "noisy_cc": noisy.stats.cc, "clean_cc": clean.stats.cc}),
+            );
+        }
+    }
+}
+
+/// (first iteration with G* ≥ real, bits spent in non-progressing
+/// iterations up to that point — or up to the end if never done).
+fn trace_metrics(samples: &[mpic::IterationSample], real: usize) -> (Option<u64>, u64) {
+    let mut done = None;
+    let mut stalled = 0u64;
+    let mut prev_g = 0usize;
+    let mut prev_cc = 0u64;
+    for s in samples {
+        if done.is_none() {
+            if s.g_star <= prev_g {
+                stalled += s.cc - prev_cc;
+            }
+            if s.g_star >= real {
+                done = Some(s.iteration);
+            }
+        }
+        prev_g = s.g_star;
+        prev_cc = s.cc;
+    }
+    (done, stalled)
+}
+
+/// F5 — §6.1: the seed-aware attack vs hash length.
+fn f5(quick: bool) {
+    header("F5", "§6.1 — seed-aware non-oblivious attack vs hash length τ");
+    let trials = if quick { 4 } else { 24 };
+    let sizes: &[usize] = if quick { &[5, 7] } else { &[5, 6, 7, 8, 9] };
+    println!(
+        "{:<10} {:>4} {:>14} {:>10} {:>12} {:>12}",
+        "topology", "m", "scheme", "ok", "collisions", "corruptions"
+    );
+    for &n in sizes {
+        let topo = TopoSpec::Clique(n);
+        let m = topo.build(1).edge_count();
+        let w = WorkloadSpec::Gossip { topo, rounds: 6 };
+        let tau_b = (3.0 * (m as f64).log2()).ceil() as u32;
+        for scheme in [
+            Scheme::AWithHash(4),
+            Scheme::AWithHash(8),
+            Scheme::AWithHash(tau_b),
+        ] {
+            let (s, rows) = run_many(
+                w,
+                scheme,
+                AttackSpec::SeedAware { per_iteration: 1 },
+                trials,
+                500,
+            );
+            let mean_corr: f64 =
+                rows.iter().map(|r| r.corruptions as f64).sum::<f64>() / rows.len() as f64;
+            println!(
+                "{:<10} {:>4} {:>14} {:>10.2} {:>12.1} {:>12.1}",
+                topo.label(),
+                m,
+                scheme.label(),
+                s.success_rate,
+                s.mean_collisions,
+                mean_corr
+            );
+            emit(
+                "f5",
+                json!({"topo": topo.label(), "m": m, "scheme": scheme.label(),
+                       "success": s.success_rate, "collisions": s.mean_collisions,
+                       "corruptions": mean_corr}),
+            );
+        }
+    }
+}
+
+/// F6 — potential dynamics around an error burst.
+fn f6() {
+    header("F6", "Potential dynamics — G*, B*, φ̂ around an error burst");
+    let w = protocol::workloads::Gossip::new(netgraph::topology::ring(5), 8, 3);
+    let cfg = SchemeConfig::algorithm_a(protocol::Workload::graph(&w), 5);
+    let sim = Simulation::new(&w, cfg, 4);
+    let geo = sim.geometry();
+    let start = geo.phase_start(3, PhaseKind::Simulation);
+    let atk =
+        netsim::attacks::BurstLink::new(netgraph::DirectedLink { from: 1, to: 2 }, start, 10);
+    let out = sim.run(
+        Box::new(atk),
+        RunOptions {
+            record_trace: true,
+            ..Default::default()
+        },
+    );
+    println!(
+        "{:<6} {:>6} {:>6} {:>6} {:>8} {:>12}",
+        "iter", "G*", "H*", "B*", "EHC", "phi_hat"
+    );
+    for s in &out.instrumentation.samples {
+        println!(
+            "{:<6} {:>6} {:>6} {:>6} {:>8} {:>12.0}",
+            s.iteration, s.g_star, s.h_star, s.b_star, s.ehc, s.potential_proxy
+        );
+        emit("f6", serde_json::to_value(s).unwrap());
+    }
+    println!(
+        "burst at iteration 3; success = {}, collisions = {}",
+        out.success, out.instrumentation.hash_collisions
+    );
+}
+
+/// F7 — §5: uniform CRS vs exchanged δ-biased randomness.
+fn f7(quick: bool) {
+    header("F7", "§5 — CRS vs exchanged seeds (PRG and AGHP δ-biased expansion)");
+    let trials = if quick { 4 } else { 24 };
+    let w = protocol::workloads::TokenRing::new(4, 4, 3);
+    let g = protocol::Workload::graph(&w).clone();
+    let m = g.edge_count() as f64;
+    let variants: Vec<(&str, SchemeConfig)> = vec![
+        ("crs", SchemeConfig::algorithm_a(&g, 77)),
+        ("exch_prg", {
+            let mut c = SchemeConfig::algorithm_b(&g, 6);
+            c.k_param = g.edge_count(); // isolate the randomness variable
+            c.hash_bits = 8;
+            c
+        }),
+        ("exch_aghp", {
+            let mut c = SchemeConfig::algorithm_b(&g, 6);
+            c.k_param = g.edge_count();
+            c.hash_bits = 8;
+            if let mpic::RandomnessMode::Exchanged { expansion, .. } = &mut c.randomness {
+                *expansion = mpic::SeedExpansion::Aghp;
+            }
+            c
+        }),
+    ];
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>12}",
+        "variant", "ok", "blowup", "collisions", "achieved_f"
+    );
+    for (name, cfg) in variants {
+        let mut ok = 0usize;
+        let mut blow = 0.0;
+        let mut coll = 0.0;
+        let mut frac = 0.0;
+        for t in 0..trials {
+            let sim = Simulation::new(&w, cfg.clone(), 1000 + t as u64);
+            let geo = sim.geometry();
+            let predicted = sim.predicted_cc();
+            let rounds = geo.setup + sim.iterations() as u64 * geo.iteration_rounds();
+            let attack = AttackSpec::Iid { fraction: 0.01 / m };
+            let adv = attack.build(&g, geo, predicted, rounds, 2000 + t as u64);
+            let out = sim.run(
+                adv,
+                RunOptions {
+                    noise_budget: (0.02 / m * predicted as f64) as u64,
+                    ..Default::default()
+                },
+            );
+            ok += usize::from(out.success);
+            blow += out.blowup;
+            coll += out.instrumentation.hash_collisions as f64;
+            frac += out.stats.noise_fraction();
+        }
+        let t = trials as f64;
+        println!(
+            "{:<10} {:>8.2} {:>10.1} {:>12.1} {:>12.6}",
+            name,
+            ok as f64 / t,
+            blow / t,
+            coll / t,
+            frac / t
+        );
+        emit(
+            "f7",
+            json!({"variant": name, "success": ok as f64 / t, "blowup": blow / t,
+                   "collisions": coll / t, "achieved_fraction": frac / t}),
+        );
+    }
+    // Exchange-targeted attack: show the cost of killing a seed exchange.
+    let mut cfg = SchemeConfig::algorithm_b(&g, 6);
+    cfg.k_param = g.edge_count();
+    cfg.hash_bits = 8;
+    let sim = Simulation::new(&w, cfg, 9);
+    let geo = sim.geometry();
+    let adv = AttackSpec::Phase {
+        phase: PhaseKind::Setup,
+        prob: 0.25,
+    }
+    .build(&g, geo, sim.predicted_cc(), 0, 5);
+    let out = sim.run(adv, RunOptions::default());
+    println!(
+        "setup-targeted attack: success={} corruptions={} fraction={:.4} (cost of killing the exchange)",
+        out.success,
+        out.stats.corruptions,
+        out.stats.noise_fraction()
+    );
+    emit(
+        "f7",
+        json!({"variant": "setup_attack", "success": out.success,
+               "corruptions": out.stats.corruptions,
+               "achieved_fraction": out.stats.noise_fraction()}),
+    );
+}
+
+/// F8 — Appendix B: Algorithm C vs noise in units of 1/(m log log m),
+/// including the seed-aware attack it is supposed to blunt.
+fn f8(quick: bool) {
+    header("F8", "Appendix B — Algorithm C (hidden CRS, non-oblivious noise)");
+    let topo = TopoSpec::Ring(6);
+    let g = topo.build(1);
+    let m = g.edge_count() as f64;
+    let denom = m * m.log2().log2().max(1.0);
+    let w = WorkloadSpec::Gossip { topo, rounds: 8 };
+    let trials = if quick { 8 } else { 48 };
+    sweep("f8", w, Scheme::C, denom, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2], trials);
+    // The seed-aware oracle is blind without the CRS:
+    let (s, _) = run_many(
+        w,
+        Scheme::C,
+        AttackSpec::SeedAware { per_iteration: 1 },
+        trials,
+        900,
+    );
+    println!(
+        "seed-aware vs hidden CRS: success={:.2} collisions={:.1} (oracle starved)",
+        s.success_rate, s.mean_collisions
+    );
+    emit(
+        "f8",
+        json!({"scheme": "alg_c", "attack": "seed_aware", "success": s.success_rate,
+               "collisions": s.mean_collisions}),
+    );
+}
+
+/// F9 — round blow-up vs protocol sparsity (the non-fully-utilized cost).
+fn f9(quick: bool) {
+    header("F9", "Round blow-up vs protocol sparsity");
+    let trials = if quick { 3 } else { 12 };
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "workload", "cc(Pi)", "rc(Pi)", "rounds(sim)", "round_blowup"
+    );
+    for (w, rc) in [
+        (WorkloadSpec::TokenRing { n: 6, laps: 5 }, 30u64),
+        (
+            WorkloadSpec::Gossip {
+                topo: TopoSpec::Ring(6),
+                rounds: 30,
+            },
+            30u64,
+        ),
+    ] {
+        let (s, rows) = run_many(w, Scheme::A, AttackSpec::None, trials, 700);
+        let payload = rows[0].payload_cc;
+        println!(
+            "{:<14} {:>10} {:>12} {:>12.0} {:>12.1}",
+            w.label(),
+            payload,
+            rc,
+            s.mean_rounds,
+            s.mean_rounds / rc as f64
+        );
+        emit(
+            "f9",
+            json!({"workload": w.label(), "payload_cc": payload, "rc_pi": rc,
+                   "rounds_sim": s.mean_rounds, "round_blowup": s.mean_rounds / rc as f64,
+                   "cc_blowup": s.mean_blowup}),
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Monte-Carlo trial runner.
+
+use crate::spec::{AttackSpec, Scheme, WorkloadSpec};
+use mpic::baseline::{run_no_coding, run_repetition};
+use mpic::{RunOptions, Simulation};
+use parking_lot::Mutex;
+use protocol::ChunkedProtocol;
+use serde::Serialize;
+
+/// One trial's result row.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct TrialResult {
+    /// Did the simulation reproduce the noiseless computation?
+    pub success: bool,
+    /// Total bits sent by honest parties.
+    pub cc: u64,
+    /// `CC(Π)` of the unpadded protocol.
+    pub payload_cc: u64,
+    /// Corruptions the adversary landed.
+    pub corruptions: u64,
+    /// Achieved noise fraction `corruptions / cc`.
+    pub noise_fraction: f64,
+    /// Communication blow-up `cc / payload_cc`.
+    pub blowup: f64,
+    /// Full-hash collisions observed (coding schemes only).
+    pub hash_collisions: u64,
+    /// Rounds consumed.
+    pub rounds: u64,
+}
+
+/// Aggregate over trials.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Summary {
+    /// Trials run.
+    pub trials: usize,
+    /// Fraction of successful trials.
+    pub success_rate: f64,
+    /// Mean communication blow-up.
+    pub mean_blowup: f64,
+    /// Mean achieved noise fraction.
+    pub mean_noise_fraction: f64,
+    /// Mean hash collisions per trial.
+    pub mean_collisions: f64,
+    /// Mean rounds.
+    pub mean_rounds: f64,
+}
+
+impl Summary {
+    /// Folds trial rows into a summary.
+    pub fn from_trials(rows: &[TrialResult]) -> Summary {
+        let n = rows.len().max(1) as f64;
+        Summary {
+            trials: rows.len(),
+            success_rate: rows.iter().filter(|r| r.success).count() as f64 / n,
+            mean_blowup: rows.iter().map(|r| r.blowup).sum::<f64>() / n,
+            mean_noise_fraction: rows.iter().map(|r| r.noise_fraction).sum::<f64>() / n,
+            mean_collisions: rows.iter().map(|r| r.hash_collisions as f64).sum::<f64>() / n,
+            mean_rounds: rows.iter().map(|r| r.rounds as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Runs one trial: build workload, compile scheme, resolve attack, run.
+///
+/// The noise budget is `fraction-agnostic`: the adversary is capped at
+/// `budget_fraction × predicted CC` corruptions when the attack spec
+/// carries a fraction, otherwise left uncapped (pattern attacks bound
+/// themselves).
+pub fn run_trial(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    trial_seed: u64,
+) -> TrialResult {
+    let w = workload.build(trial_seed.wrapping_mul(0x9e37_79b9) | 1);
+    match scheme {
+        Scheme::NoCoding | Scheme::Repetition(_) => {
+            let g = w.graph().clone();
+            let proto = ChunkedProtocol::new(&*w, 5 * g.edge_count());
+            // Baselines execute exactly the real chunks.
+            let rounds: u64 = (0..proto.real_chunks())
+                .map(|c| proto.layout(c).round_count() as u64)
+                .sum();
+            let rep = if let Scheme::Repetition(r) = scheme { r } else { 1 };
+            let cc_predict = (proto.real_chunks() * proto.chunk_bits()) as u64 * rep as u64;
+            let geometry = netsim::PhaseGeometry {
+                setup: 0,
+                meeting_points: 0,
+                flag_passing: 0,
+                simulation: rounds.max(1) * rep as u64,
+                rewind: 1,
+            };
+            let budget = attack_budget(&attack, cc_predict);
+            let adversary = attack.build(&g, geometry, cc_predict, rounds * rep as u64, trial_seed);
+            let out = match scheme {
+                Scheme::NoCoding => run_no_coding(&*w, &proto, adversary, budget),
+                Scheme::Repetition(r) => run_repetition(&*w, &proto, adversary, budget, r),
+                _ => unreachable!(),
+            };
+            TrialResult {
+                success: out.success,
+                cc: out.stats.cc,
+                payload_cc: out.payload_cc,
+                corruptions: out.stats.corruptions,
+                noise_fraction: out.stats.noise_fraction(),
+                blowup: out.blowup,
+                hash_collisions: 0,
+                rounds: out.stats.rounds,
+            }
+        }
+        _ => {
+            let g = w.graph().clone();
+            let hint = ChunkedProtocol::new(&*w, 5 * g.edge_count()).real_chunks();
+            let cfg = scheme.config(&g, hint, 0xc0de ^ trial_seed);
+            let sim = Simulation::new(&*w, cfg, trial_seed);
+            let geometry = sim.geometry();
+            let predicted_cc = sim.predicted_cc();
+            let predicted_rounds =
+                geometry.setup + sim.iterations() as u64 * geometry.iteration_rounds();
+            let budget = attack_budget(&attack, predicted_cc);
+            let adversary = attack.build(&g, geometry, predicted_cc, predicted_rounds, trial_seed);
+            let opts = RunOptions {
+                noise_budget: budget,
+                record_trace: false,
+                expose_view: true,
+            };
+            let out = sim.run(adversary, opts);
+            TrialResult {
+                success: out.success,
+                cc: out.stats.cc,
+                payload_cc: out.payload_cc,
+                corruptions: out.stats.corruptions,
+                noise_fraction: out.stats.noise_fraction(),
+                blowup: out.blowup,
+                hash_collisions: out.instrumentation.hash_collisions,
+                rounds: out.stats.rounds,
+            }
+        }
+    }
+}
+
+/// Budget rule: fraction-carrying attacks are capped at their fraction of
+/// the predicted communication (with 50% slack for prediction error);
+/// pattern attacks bound themselves.
+fn attack_budget(attack: &AttackSpec, predicted_cc: u64) -> u64 {
+    match attack {
+        AttackSpec::Iid { fraction } => ((fraction * 1.5) * predicted_cc as f64).ceil() as u64,
+        _ => u64::MAX,
+    }
+}
+
+/// Runs `trials` trials in parallel (crossbeam scoped threads) and
+/// aggregates.
+pub fn run_many(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    trials: usize,
+    base_seed: u64,
+) -> (Summary, Vec<TrialResult>) {
+    let results = Mutex::new(vec![None; trials]);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(trials.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let r = run_trial(workload, scheme, attack, base_seed + i as u64);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("trial thread panicked");
+    let rows: Vec<TrialResult> = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("missing trial"))
+        .collect();
+    (Summary::from_trials(&rows), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopoSpec;
+
+    #[test]
+    fn trial_noiseless_succeeds_all_schemes() {
+        let w = WorkloadSpec::Gossip {
+            topo: TopoSpec::Ring(4),
+            rounds: 5,
+        };
+        for scheme in [Scheme::A, Scheme::B, Scheme::C, Scheme::NoCoding, Scheme::Repetition(3)] {
+            let r = run_trial(w, scheme, AttackSpec::None, 7);
+            assert!(r.success, "{scheme:?} failed noiselessly");
+            assert_eq!(r.corruptions, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic_per_seed() {
+        let w = WorkloadSpec::TokenRing { n: 4, laps: 3 };
+        let a = run_trial(w, Scheme::A, AttackSpec::Iid { fraction: 0.002 }, 3);
+        let b = run_trial(w, Scheme::A, AttackSpec::Iid { fraction: 0.002 }, 3);
+        assert_eq!(a.cc, b.cc);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.corruptions, b.corruptions);
+    }
+
+    #[test]
+    fn run_many_aggregates() {
+        let w = WorkloadSpec::TokenRing { n: 4, laps: 2 };
+        let (s, rows) = run_many(w, Scheme::A, AttackSpec::None, 4, 10);
+        assert_eq!(s.trials, 4);
+        assert_eq!(rows.len(), 4);
+        assert!((s.success_rate - 1.0).abs() < 1e-12);
+    }
+}

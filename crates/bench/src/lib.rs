@@ -1,0 +1,15 @@
+//! Experiment harness: declarative trial specs, Monte-Carlo runs
+//! (crossbeam-parallel), and the generators behind every table/figure in
+//! EXPERIMENTS.md.
+//!
+//! Everything is driven by plain-data specs ([`WorkloadSpec`], [`Scheme`],
+//! [`AttackSpec`]) so that each worker thread can rebuild its own
+//! simulation deterministically from `(spec, trial_seed)`.
+
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod spec;
+
+pub use harness::{run_many, run_trial, Summary, TrialResult};
+pub use spec::{AttackSpec, Scheme, TopoSpec, WorkloadSpec};

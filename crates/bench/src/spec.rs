@@ -1,0 +1,373 @@
+//! Plain-data specifications for topologies, workloads, schemes and
+//! attacks — the vocabulary of the experiment definitions.
+
+use mpic::SchemeConfig;
+use netgraph::{topology, DirectedLink, Graph};
+use netsim::attacks::{
+    BurstLink, IidNoise, NoNoise, PhaseTargeted, SeedAwareCollision, SingleError,
+};
+use netsim::{Adversary, PhaseGeometry, PhaseKind};
+use protocol::workloads::{Gossip, LinePipeline, PointerChase, SumTree, TokenRing};
+use protocol::Workload;
+use serde::Serialize;
+
+/// Topology families used by the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum TopoSpec {
+    /// Path on `n` nodes.
+    Line(usize),
+    /// Cycle on `n` nodes.
+    Ring(usize),
+    /// Star with `n − 1` leaves.
+    Star(usize),
+    /// Complete graph.
+    Clique(usize),
+    /// `r × c` grid.
+    Grid(usize, usize),
+    /// Connected random graph G(n, M) (deterministic in the trial seed).
+    Random(usize, usize),
+}
+
+impl TopoSpec {
+    /// Builds the graph (`seed` only matters for [`TopoSpec::Random`]).
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            TopoSpec::Line(n) => topology::line(n),
+            TopoSpec::Ring(n) => topology::ring(n),
+            TopoSpec::Star(n) => topology::star(n),
+            TopoSpec::Clique(n) => topology::clique(n),
+            TopoSpec::Grid(r, c) => topology::grid(r, c),
+            TopoSpec::Random(n, m) => topology::random_connected(n, m, seed),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            TopoSpec::Line(n) => format!("line{n}"),
+            TopoSpec::Ring(n) => format!("ring{n}"),
+            TopoSpec::Star(n) => format!("star{n}"),
+            TopoSpec::Clique(n) => format!("clique{n}"),
+            TopoSpec::Grid(r, c) => format!("grid{r}x{c}"),
+            TopoSpec::Random(n, m) => format!("rand{n}-{m}"),
+        }
+    }
+}
+
+/// Workload families (the noiseless protocols Π).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub enum WorkloadSpec {
+    /// Token walking a ring.
+    TokenRing {
+        /// Ring size.
+        n: usize,
+        /// Full laps.
+        laps: usize,
+    },
+    /// The §1.2 line example.
+    LinePipeline {
+        /// Line length.
+        n: usize,
+        /// Epochs.
+        epochs: usize,
+    },
+    /// Tree aggregation over an arbitrary topology.
+    SumTree {
+        /// Topology.
+        topo: TopoSpec,
+        /// Bits per value.
+        width: u32,
+        /// Epochs.
+        epochs: usize,
+    },
+    /// Fully-utilized gossip.
+    Gossip {
+        /// Topology.
+        topo: TopoSpec,
+        /// Rounds.
+        rounds: usize,
+    },
+    /// Pointer chasing on a line.
+    PointerChase {
+        /// Line length.
+        n: usize,
+        /// Pointer width (bits).
+        width: u32,
+        /// Double-hops.
+        depth: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Instantiates the workload with seed-derived inputs.
+    pub fn build(&self, seed: u64) -> Box<dyn Workload> {
+        match *self {
+            WorkloadSpec::TokenRing { n, laps } => Box::new(TokenRing::new(n, laps, seed)),
+            WorkloadSpec::LinePipeline { n, epochs } => {
+                Box::new(LinePipeline::new(n, epochs, seed))
+            }
+            WorkloadSpec::SumTree {
+                topo,
+                width,
+                epochs,
+            } => Box::new(SumTree::new(topo.build(seed), width, epochs, seed)),
+            WorkloadSpec::Gossip { topo, rounds } => {
+                Box::new(Gossip::new(topo.build(seed), rounds, seed))
+            }
+            WorkloadSpec::PointerChase { n, width, depth } => {
+                Box::new(PointerChase::new(n, width, depth, seed))
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::TokenRing { .. } => "token_ring",
+            WorkloadSpec::LinePipeline { .. } => "line_pipeline",
+            WorkloadSpec::SumTree { .. } => "sum_tree",
+            WorkloadSpec::Gossip { .. } => "gossip",
+            WorkloadSpec::PointerChase { .. } => "pointer_chase",
+        }
+    }
+}
+
+/// Which coding scheme (or baseline) protects the run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub enum Scheme {
+    /// Algorithm A (CRS, oblivious noise, K = m).
+    A,
+    /// Algorithm B (exchanged randomness, non-oblivious, K = m log m).
+    B,
+    /// Algorithm C (hidden CRS, non-oblivious, K = m log log m).
+    C,
+    /// Algorithm A with an explicit hash length (for the F5 sweep).
+    AWithHash(u32),
+    /// Unprotected execution.
+    NoCoding,
+    /// Per-bit repetition with odd factor `r`.
+    Repetition(usize),
+}
+
+impl Scheme {
+    /// The scheme's [`SchemeConfig`] (panics for baselines).
+    pub fn config(&self, graph: &Graph, chunks_hint: usize, crs_master: u64) -> SchemeConfig {
+        match *self {
+            Scheme::A => SchemeConfig::algorithm_a(graph, crs_master),
+            Scheme::B => SchemeConfig::algorithm_b(graph, chunks_hint),
+            Scheme::C => SchemeConfig::algorithm_c(graph, crs_master),
+            Scheme::AWithHash(tau) => {
+                let mut cfg = SchemeConfig::algorithm_a(graph, crs_master);
+                cfg.hash_bits = tau;
+                cfg
+            }
+            Scheme::NoCoding | Scheme::Repetition(_) => {
+                panic!("baselines have no scheme config")
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            Scheme::A => "alg_a".into(),
+            Scheme::B => "alg_b".into(),
+            Scheme::C => "alg_c".into(),
+            Scheme::AWithHash(t) => format!("alg_a_tau{t}"),
+            Scheme::NoCoding => "no_coding".into(),
+            Scheme::Repetition(r) => format!("repeat{r}"),
+        }
+    }
+}
+
+/// Attack families, resolved into concrete adversaries once the phase
+/// geometry of the compiled simulation is known.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub enum AttackSpec {
+    /// No noise.
+    None,
+    /// Oblivious i.i.d. additive noise aiming for a total corruption count
+    /// of `fraction × predicted CC`.
+    Iid {
+        /// Target noise fraction (of the communication).
+        fraction: f64,
+    },
+    /// Oblivious burst on one directed link starting at the simulation
+    /// phase of `at_iteration`.
+    Burst {
+        /// Directed-link index (into the canonical sorted order).
+        link_index: usize,
+        /// Iteration whose simulation phase is hit.
+        at_iteration: u64,
+        /// Burst length in rounds.
+        len: u64,
+    },
+    /// One corruption early in the first simulation phase on directed
+    /// link 0 (the §1.2 single-error experiment).
+    SingleEarly,
+    /// Oblivious noise confined to one phase kind.
+    Phase {
+        /// Target phase.
+        phase: PhaseKind,
+        /// Per-slot corruption probability inside that phase.
+        prob: f64,
+    },
+    /// The §6.1 non-oblivious seed-aware collision hunter.
+    SeedAware {
+        /// Corruption budget per iteration.
+        per_iteration: u64,
+    },
+}
+
+impl AttackSpec {
+    /// Builds the adversary for a simulation with the given geometry.
+    ///
+    /// `predicted_cc`/`predicted_rounds` size the i.i.d. probability so
+    /// the expected corruption count hits the requested fraction of the
+    /// communication.
+    pub fn build(
+        &self,
+        graph: &Graph,
+        geometry: PhaseGeometry,
+        predicted_cc: u64,
+        predicted_rounds: u64,
+        seed: u64,
+    ) -> Box<dyn Adversary> {
+        let links: Vec<DirectedLink> = graph.directed_links().collect();
+        match *self {
+            AttackSpec::None => Box::new(NoNoise),
+            AttackSpec::Iid { fraction } => {
+                let slots = (predicted_rounds * links.len() as u64).max(1) as f64;
+                let prob = (fraction * predicted_cc as f64 / slots).min(1.0);
+                Box::new(IidNoise::new(links, prob, seed).skip_before(geometry.setup))
+            }
+            AttackSpec::Burst {
+                link_index,
+                at_iteration,
+                len,
+            } => {
+                let link = links[link_index % links.len()];
+                let start = geometry.phase_start(at_iteration, PhaseKind::Simulation) + 1;
+                Box::new(BurstLink::new(link, start, len))
+            }
+            AttackSpec::SingleEarly => {
+                let start = geometry.phase_start(0, PhaseKind::Simulation) + 2;
+                Box::new(SingleError::new(links[0], start))
+            }
+            AttackSpec::Phase { phase, prob } => {
+                Box::new(PhaseTargeted::new(geometry, phase, links, prob, seed))
+            }
+            AttackSpec::SeedAware { per_iteration } => Box::new(SeedAwareCollision::new(
+                geometry,
+                graph.edge_count(),
+                per_iteration,
+            )),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            AttackSpec::None => "none".into(),
+            AttackSpec::Iid { fraction } => format!("iid{fraction:.5}"),
+            AttackSpec::Burst { .. } => "burst".into(),
+            AttackSpec::SingleEarly => "single".into(),
+            AttackSpec::Phase { phase, .. } => format!("phase_{phase:?}"),
+            AttackSpec::SeedAware { .. } => "seed_aware".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_labels_and_builds() {
+        for t in [
+            TopoSpec::Line(5),
+            TopoSpec::Ring(5),
+            TopoSpec::Star(5),
+            TopoSpec::Clique(5),
+            TopoSpec::Grid(2, 3),
+            TopoSpec::Random(6, 9),
+        ] {
+            let g = t.build(3);
+            assert!(g.is_connected(), "{}", t.label());
+            assert!(!t.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn workload_specs_build() {
+        let specs = [
+            WorkloadSpec::TokenRing { n: 4, laps: 2 },
+            WorkloadSpec::LinePipeline { n: 4, epochs: 2 },
+            WorkloadSpec::SumTree {
+                topo: TopoSpec::Star(4),
+                width: 3,
+                epochs: 1,
+            },
+            WorkloadSpec::Gossip {
+                topo: TopoSpec::Ring(4),
+                rounds: 3,
+            },
+            WorkloadSpec::PointerChase {
+                n: 3,
+                width: 2,
+                depth: 2,
+            },
+        ];
+        for s in specs {
+            let w = s.build(7);
+            assert!(w.schedule().cc_bits() > 0, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn scheme_configs_validate() {
+        let g = TopoSpec::Clique(5).build(1);
+        for s in [Scheme::A, Scheme::B, Scheme::C, Scheme::AWithHash(12)] {
+            let cfg = s.config(&g, 10, 0);
+            cfg.validate(&g);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "baselines")]
+    fn baseline_has_no_config() {
+        let g = TopoSpec::Ring(4).build(1);
+        let _ = Scheme::NoCoding.config(&g, 1, 0);
+    }
+
+    #[test]
+    fn attack_specs_resolve() {
+        let g = TopoSpec::Ring(4).build(1);
+        let geo = PhaseGeometry {
+            setup: 0,
+            meeting_points: 4,
+            flag_passing: 5,
+            simulation: 10,
+            rewind: 4,
+        };
+        for a in [
+            AttackSpec::None,
+            AttackSpec::Iid { fraction: 0.01 },
+            AttackSpec::Burst {
+                link_index: 2,
+                at_iteration: 0,
+                len: 5,
+            },
+            AttackSpec::SingleEarly,
+            AttackSpec::Phase {
+                phase: PhaseKind::FlagPassing,
+                prob: 0.1,
+            },
+            AttackSpec::SeedAware { per_iteration: 1 },
+        ] {
+            let adv = a.build(&g, geo, 1000, 100, 5);
+            assert!(!adv.name().is_empty());
+            assert!(!a.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Baselines for Table 1: no coding, and per-bit repetition coding.
+//!
+//! * [`run_no_coding`] executes the chunked protocol directly over the
+//!   noisy network — any corruption silently poisons downstream state.
+//! * [`run_repetition`] sends every bit `r` times and majority-votes at
+//!   the receiver; a constant-rate defense that handles scattered
+//!   substitutions but has no mechanism against synchronization damage or
+//!   targeted bursts, and (unlike the paper's schemes) can never *detect*
+//!   that it failed.
+
+use netgraph::DirectedLink;
+use netsim::{Adversary, NetStats, Network, Wire};
+use protocol::reference::run_reference;
+use protocol::{ChunkedParty, ChunkedProtocol, Workload};
+
+/// Outcome of a baseline execution.
+#[derive(Clone, Debug)]
+pub struct BaselineOutcome {
+    /// All party outputs equal the noiseless reference outputs.
+    pub success: bool,
+    /// Engine accounting.
+    pub stats: NetStats,
+    /// `CC(Π)` of the unpadded protocol.
+    pub payload_cc: u64,
+    /// Communication blow-up relative to `CC(Π)`.
+    pub blowup: f64,
+}
+
+/// Runs Π′ with no protection at all.
+pub fn run_no_coding(
+    workload: &dyn Workload,
+    proto: &ChunkedProtocol,
+    adversary: Box<dyn Adversary>,
+    noise_budget: u64,
+) -> BaselineOutcome {
+    run_with_repetition(workload, proto, adversary, noise_budget, 1)
+}
+
+/// Runs Π′ with every transmission repeated `r` times (majority decode).
+///
+/// # Panics
+///
+/// Panics if `r` is even or zero — majority needs an odd repeat count.
+pub fn run_repetition(
+    workload: &dyn Workload,
+    proto: &ChunkedProtocol,
+    adversary: Box<dyn Adversary>,
+    noise_budget: u64,
+    r: usize,
+) -> BaselineOutcome {
+    assert!(r % 2 == 1, "repetition count must be odd");
+    run_with_repetition(workload, proto, adversary, noise_budget, r)
+}
+
+fn run_with_repetition(
+    workload: &dyn Workload,
+    proto: &ChunkedProtocol,
+    adversary: Box<dyn Adversary>,
+    noise_budget: u64,
+    r: usize,
+) -> BaselineOutcome {
+    let g = workload.graph().clone();
+    let n = g.node_count();
+    let reference = run_reference(workload, proto);
+    let mut net = Network::new(g, adversary, noise_budget);
+    let mut parties: Vec<ChunkedParty> = (0..n).map(|u| ChunkedParty::spawn(workload, u)).collect();
+
+    for c in 0..proto.real_chunks() {
+        let layout = proto.layout(c).clone();
+        let pslots: Vec<Vec<protocol::PartySlot>> =
+            (0..n).map(|u| proto.party_slots(c, u)).collect();
+        let mut cursors = vec![0usize; n];
+        for (ri, round) in layout.rounds.iter().enumerate() {
+            // Compute this round's bits.
+            let mut sends = Wire::new();
+            let mut slot_of: Vec<(DirectedLink, protocol::PartySlot)> = Vec::new();
+            for slot in &round.clone() {
+                let u = slot.link.from;
+                let ps = &pslots[u];
+                while !(ps[cursors[u]].round_in_chunk == ri
+                    && ps[cursors[u]].is_send
+                    && ps[cursors[u]].link == slot.link)
+                {
+                    cursors[u] += 1;
+                }
+                let pslot = ps[cursors[u]];
+                cursors[u] += 1;
+                let bit = parties[u].send(&pslot);
+                sends.insert(slot.link, bit);
+                slot_of.push((slot.link, pslot));
+            }
+            // Transmit r times, majority-vote the receptions.
+            let mut tally: Wire = Wire::new();
+            let mut counts: std::collections::BTreeMap<DirectedLink, (usize, usize)> =
+                Default::default();
+            for _ in 0..r {
+                let rx = net.step(&sends, None);
+                for (&link, _) in &sends {
+                    let e = counts.entry(link).or_insert((0, 0));
+                    match rx.get(&link) {
+                        Some(true) => e.0 += 1,
+                        Some(false) => e.1 += 1,
+                        None => {}
+                    }
+                }
+            }
+            for (link, (ones, zeros)) in counts {
+                // Majority among received symbols; silence-only = default 0.
+                tally.insert(link, ones > zeros);
+            }
+            // Deliver.
+            for (link, _) in &sends {
+                let v = link.to;
+                let ps = &pslots[v];
+                while !(ps[cursors[v]].round_in_chunk == ri
+                    && !ps[cursors[v]].is_send
+                    && ps[cursors[v]].link == *link)
+                {
+                    cursors[v] += 1;
+                }
+                let pslot = ps[cursors[v]];
+                cursors[v] += 1;
+                let bit = tally.get(link).copied();
+                parties[v].recv(&pslot, bit);
+            }
+            let _ = &slot_of;
+        }
+    }
+
+    let success = (0..n).all(|u| parties[u].output() == reference.outputs[u]);
+    let stats = net.stats();
+    let payload_cc = workload.schedule().cc_bits() as u64;
+    BaselineOutcome {
+        success,
+        stats,
+        payload_cc,
+        blowup: stats.cc as f64 / payload_cc.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::attacks::{IidNoise, NoNoise};
+    use protocol::workloads::Gossip;
+    use protocol::Workload;
+
+    fn setup() -> (Gossip, ChunkedProtocol) {
+        let w = Gossip::new(netgraph::topology::ring(4), 8, 3);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        (w, p)
+    }
+
+    #[test]
+    fn no_coding_succeeds_without_noise() {
+        let (w, p) = setup();
+        let out = run_no_coding(&w, &p, Box::new(NoNoise), 0);
+        assert!(out.success);
+        assert!(out.blowup >= 1.0, "padding costs something");
+    }
+
+    #[test]
+    fn no_coding_fails_under_noise() {
+        let (w, p) = setup();
+        let links: Vec<_> = w.graph().directed_links().collect();
+        let mut failures = 0;
+        for seed in 0..10 {
+            let atk = IidNoise::new(links.clone(), 0.08, seed);
+            let out = run_no_coding(&w, &p, Box::new(atk), u64::MAX);
+            failures += usize::from(!out.success);
+        }
+        assert!(failures >= 7, "only {failures}/10 failed");
+    }
+
+    #[test]
+    fn repetition_blowup_is_r() {
+        let (w, p) = setup();
+        let out = run_repetition(&w, &p, Box::new(NoNoise), 0, 5);
+        let base = run_no_coding(&w, &p, Box::new(NoNoise), 0);
+        assert!(out.success);
+        let ratio = out.stats.cc as f64 / base.stats.cc as f64;
+        assert!((ratio - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repetition_survives_light_random_noise() {
+        let (w, p) = setup();
+        let links: Vec<_> = w.graph().directed_links().collect();
+        let mut successes = 0;
+        for seed in 0..10 {
+            let atk = IidNoise::new(links.clone(), 0.01, seed);
+            let out = run_repetition(&w, &p, Box::new(atk), u64::MAX, 9);
+            successes += usize::from(out.success);
+        }
+        assert!(successes >= 7, "only {successes}/10 succeeded");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn repetition_rejects_even_r() {
+        let (w, p) = setup();
+        let _ = run_repetition(&w, &p, Box::new(NoNoise), 0, 2);
+    }
+}

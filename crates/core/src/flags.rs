@@ -1,0 +1,144 @@
+//! The flag-passing phase (paper §3.1(iii), Algorithm 3).
+//!
+//! A continue/stop bit is convergecast up the BFS spanning tree rooted at
+//! ρ = node 0 and broadcast back down, in `2·d(T) − 1` rounds. Round
+//! timing follows the paper's level arithmetic (`ℓ(ρ) = 1`):
+//!
+//! * up-sweep: node `u ≠ ρ` sends its aggregated flag to its parent at
+//!   round `d − ℓ(u)`; hence it hears from its children at round
+//!   `d − ℓ(u) − 1` and all children precede their parents;
+//! * down-sweep: node `u` forwards the root's flag to its children at
+//!   round `d + ℓ(u) − 1`.
+//!
+//! Wire encoding: `1` = continue, `0` = stop; a deleted flag reads as
+//! *stop* (the conservative choice — a corruption here can idle the
+//! network for one iteration, which Lemma 4.8's accounting already
+//! charges to the adversary).
+
+use netgraph::{NodeId, SpanningTree};
+
+/// Precomputed per-node round roles for one flag-passing phase.
+#[derive(Clone, Debug)]
+pub struct FlagPlan {
+    rounds: usize,
+    depth: usize,
+}
+
+impl FlagPlan {
+    /// Builds the plan for a tree of depth `d(T)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has depth < 2 (a single-node network).
+    pub fn new(tree: &SpanningTree) -> Self {
+        assert!(tree.depth() >= 2, "flag passing needs at least two levels");
+        FlagPlan {
+            rounds: 2 * tree.depth() - 1,
+            depth: tree.depth(),
+        }
+    }
+
+    /// Number of rounds the phase occupies.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The round at which `u` sends its aggregated flag to its parent
+    /// (`None` for the root).
+    pub fn up_send_round(&self, tree: &SpanningTree, u: NodeId) -> Option<usize> {
+        if u == tree.root() {
+            None
+        } else {
+            Some(self.depth - tree.level(u))
+        }
+    }
+
+    /// The round at which `u` hears from its children (`None` for leaves).
+    pub fn up_recv_round(&self, tree: &SpanningTree, u: NodeId) -> Option<usize> {
+        if tree.is_leaf(u) {
+            None
+        } else {
+            Some(self.depth - tree.level(u) - 1)
+        }
+    }
+
+    /// The round at which `u` forwards the final flag to its children
+    /// (`None` for leaves).
+    pub fn down_send_round(&self, tree: &SpanningTree, u: NodeId) -> Option<usize> {
+        if tree.is_leaf(u) {
+            None
+        } else {
+            Some(self.depth + tree.level(u) - 1)
+        }
+    }
+
+    /// The round at which `u` hears the final flag from its parent
+    /// (`None` for the root).
+    pub fn down_recv_round(&self, tree: &SpanningTree, u: NodeId) -> Option<usize> {
+        if u == tree.root() {
+            None
+        } else {
+            Some(self.depth + tree.level(u) - 2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{topology, SpanningTree};
+
+    #[test]
+    fn line_timing() {
+        let g = topology::line(4);
+        let t = SpanningTree::bfs(&g, 0);
+        let p = FlagPlan::new(&t);
+        assert_eq!(p.rounds(), 7);
+        // Deepest node (level 4) sends first.
+        assert_eq!(p.up_send_round(&t, 3), Some(0));
+        assert_eq!(p.up_recv_round(&t, 2), Some(0));
+        assert_eq!(p.up_send_round(&t, 2), Some(1));
+        assert_eq!(p.up_send_round(&t, 1), Some(2));
+        assert_eq!(p.up_send_round(&t, 0), None);
+        assert_eq!(p.up_recv_round(&t, 0), Some(2));
+        // Down sweep.
+        assert_eq!(p.down_send_round(&t, 0), Some(4));
+        assert_eq!(p.down_recv_round(&t, 1), Some(4));
+        assert_eq!(p.down_send_round(&t, 1), Some(5));
+        assert_eq!(p.down_send_round(&t, 3), None);
+        assert_eq!(p.down_recv_round(&t, 3), Some(6));
+    }
+
+    #[test]
+    fn child_sends_exactly_when_parent_listens() {
+        let g = topology::random_connected(15, 25, 5);
+        let t = SpanningTree::bfs(&g, 0);
+        let p = FlagPlan::new(&t);
+        for v in 0..15 {
+            if let Some(parent) = t.parent(v) {
+                assert_eq!(p.up_send_round(&t, v), p.up_recv_round(&t, parent));
+                assert_eq!(p.down_recv_round(&t, v), p.down_send_round(&t, parent));
+            }
+        }
+    }
+
+    #[test]
+    fn all_rounds_within_phase() {
+        let g = topology::binary_tree(15);
+        let t = SpanningTree::bfs(&g, 0);
+        let p = FlagPlan::new(&t);
+        for v in 0..15 {
+            for r in [
+                p.up_send_round(&t, v),
+                p.up_recv_round(&t, v),
+                p.down_send_round(&t, v),
+                p.down_recv_round(&t, v),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                assert!(r < p.rounds(), "node {v} uses round {r}");
+            }
+        }
+    }
+}

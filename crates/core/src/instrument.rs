@@ -1,0 +1,65 @@
+//! Instrumentation: the measurable pieces of the §4.1 potential argument.
+//!
+//! The analysis tracks, per iteration, the per-link agreement `G_{u,v}`
+//! (Eq. 1), the global floor `G* = min G_{u,v}` (Eq. 3), the ceiling
+//! `H* = max |T_{u,v}|` (Eq. 4), the lag `B* = H* − G*` (Eq. 5), and the
+//! error-and-hash-collision count `EHC`. The exact meeting-points term
+//! `ϕ_{u,v}` (Eq. 39) lives in the unavailable appendix, so the exported
+//! `potential_proxy` uses a documented stand-in with the same shape:
+//!
+//! ```text
+//! φ̂ = (K/m)·Σ G_e − 2K·Σ B_e − 3K·B* + 10K·EHC
+//! ```
+//!
+//! which preserves the qualitative behavior the experiments plot (F6):
+//! steady growth of K per clean iteration, dips at error bursts repaid by
+//! the EHC term.
+
+use serde::Serialize;
+
+/// One per-iteration measurement row.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IterationSample {
+    /// Iteration index.
+    pub iteration: u64,
+    /// `G*` — chunks the whole network agrees on.
+    pub g_star: usize,
+    /// `H*` — longest transcript anywhere.
+    pub h_star: usize,
+    /// `B* = H* − G*`.
+    pub b_star: usize,
+    /// `Σ_e G_e`.
+    pub sum_g: usize,
+    /// `Σ_e B_e`.
+    pub sum_b: usize,
+    /// Cumulative errors + hash collisions observed so far.
+    pub ehc: u64,
+    /// Cumulative communication (bits) so far.
+    pub cc: u64,
+    /// Corruptions applied so far.
+    pub corruptions: u64,
+    /// The φ̂ proxy described in the module docs.
+    pub potential_proxy: f64,
+}
+
+/// Collected trace plus headline counters.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Instrumentation {
+    /// Per-iteration samples (only when tracing was requested).
+    pub samples: Vec<IterationSample>,
+    /// Full-transcript hash collisions detected (hashes equal, transcripts
+    /// different) across all links and iterations.
+    pub hash_collisions: u64,
+    /// Meeting-point rollbacks that landed on non-matching prefixes
+    /// (mpc-level collisions).
+    pub bad_rollbacks: u64,
+}
+
+impl Instrumentation {
+    /// Computes the potential proxy for a sample.
+    pub fn proxy(k: usize, m: usize, sum_g: usize, sum_b: usize, b_star: usize, ehc: u64) -> f64 {
+        let k = k as f64;
+        (k / m as f64) * sum_g as f64 - 2.0 * k * sum_b as f64 - 3.0 * k * b_star as f64
+            + 10.0 * k * ehc as f64
+    }
+}

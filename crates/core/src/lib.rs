@@ -1,0 +1,56 @@
+//! # mpic — Efficient Multiparty Interactive Coding
+//!
+//! A from-scratch reproduction of *"Efficient Multiparty Interactive
+//! Coding for Insertions, Deletions and Substitutions"* (Gelles, Kalai,
+//! Ramnarayan; PODC 2019, arXiv:1901.09863).
+//!
+//! Given any noiseless protocol Π over an arbitrary synchronous network
+//! G = (V, E) with a fixed speaking order, the [`Simulation`] compiles it
+//! into a noise-resilient protocol that tolerates adversarial
+//! **insertions, deletions and substitutions** at a constant communication
+//! blow-up:
+//!
+//! * **Algorithm A** ([`SchemeConfig::algorithm_a`]) — shared randomness
+//!   (CRS), oblivious adversary, noise ε/m (Theorem 1.1);
+//! * **Algorithm B** ([`SchemeConfig::algorithm_b`]) — no shared
+//!   randomness, non-oblivious adversary, noise ε/(m log m)
+//!   (Theorem 1.2);
+//! * **Algorithm C** ([`SchemeConfig::algorithm_c`]) — CRS hidden from a
+//!   non-oblivious adversary, noise ε/(m log log m) (Appendix B).
+//!
+//! The per-iteration loop is the paper's: **meeting points** (hash-based
+//! consistency check per link) → **flag passing** (continue/stop over a
+//! BFS spanning tree) → **simulation** (one 5K-bit chunk of Π, or idle) →
+//! **rewind** (a wave of one-chunk rollback requests).
+//!
+//! ```
+//! use mpic::{RunOptions, SchemeConfig, Simulation};
+//! use netsim::attacks::NoNoise;
+//! use protocol::workloads::TokenRing;
+//!
+//! let workload = TokenRing::new(4, 3, 7);
+//! let cfg = SchemeConfig::algorithm_a(workload_graph(&workload), 42);
+//! # use protocol::Workload;
+//! # fn workload_graph(w: &TokenRing) -> &netgraph::Graph { w.graph() }
+//! let sim = Simulation::new(&workload, cfg, 1);
+//! let out = sim.run(Box::new(NoNoise), RunOptions::default());
+//! assert!(out.success);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod config;
+mod flags;
+mod instrument;
+mod meeting;
+mod runner;
+mod transcript;
+
+pub use config::{RandomnessMode, SchemeConfig, SeedExpansion};
+pub use flags::FlagPlan;
+pub use instrument::{Instrumentation, IterationSample};
+pub use meeting::{LinkStatus, MpDecision, MpMessage, MpState, RecvMpMessage};
+pub use runner::{RunOptions, SimOutcome, Simulation};
+pub use transcript::{sym_delta, symbol_bit_position, LinkTranscript};

@@ -1,0 +1,412 @@
+//! The meeting-points mechanism (paper §3.1(ii), Appendix A).
+//!
+//! Reconstructed from the paper's description and from Haeupler'14
+//! (Algorithm 3), since Appendix A's pseudocode is not in our copy of the
+//! text. Per link, per iteration, each party sends four τ-bit hashes:
+//! `h(k)`, `h(T)`, `h(T[..mpc1])`, `h(T[..mpc2])`, where `k` counts
+//! consecutive meeting-points iterations, `k̃ = 2^⌊log₂ k⌋`, and
+//! `mpc1 = k̃·⌊|T|/k̃⌋`, `mpc2 = mpc1 − k̃` are the two *meeting points* at
+//! scale `k̃`.
+//!
+//! Outcome rules (per received message):
+//! * corrupted or mismatching `h(k)` → reset `k, E` and stay in
+//!   meeting-points state (the reset resynchronizes the two counters — a
+//!   desync would otherwise deadlock, because an idle network freezes the
+//!   transcripts the full-hash comparison needs to recover);
+//! * matching `h(T)` → transcripts agree: status `Simulate`, reset;
+//! * otherwise gather mismatch evidence `E`; once `2E ≥ k`, roll the
+//!   transcript back to the largest own meeting point whose hash matches
+//!   either of the peer's meeting-point hashes.
+//!
+//! Properties the outer scheme relies on (verified by the tests below and
+//! the integration suite): agreement is confirmed in one iteration when
+//! transcripts match; a divergence of `B` chunks is repaired within `O(B)`
+//! noiseless iterations; each iteration truncates at most once; and a
+//! single corrupted exchange causes only bounded damage.
+
+use crate::transcript::LinkTranscript;
+use smallbias::{hash_prefix, BitString, SeedBits};
+
+/// Per-link simulate/repair status (the paper's `status_{u,v}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LinkStatus {
+    /// Transcripts believed consistent; simulation may proceed.
+    #[default]
+    Simulate,
+    /// Inconsistency suspected; the link is mid-meeting-points.
+    MeetingPoints,
+}
+
+/// The four hash values exchanged per iteration, plus the local meeting
+/// points they refer to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MpMessage {
+    /// τ-bit hash of the iteration counter `k`.
+    pub h_k: u64,
+    /// τ-bit hash of the full transcript.
+    pub h_full: u64,
+    /// τ-bit hash of `T[..mpc1]`.
+    pub h_mpc1: u64,
+    /// τ-bit hash of `T[..mpc2]`.
+    pub h_mpc2: u64,
+    /// Local `mpc1` (chunks), not transmitted.
+    pub mpc1: usize,
+    /// Local `mpc2` (chunks), not transmitted.
+    pub mpc2: usize,
+}
+
+impl MpMessage {
+    /// Packs the four hashes into `4τ` wire bits, low bit first.
+    pub fn to_bits(&self, tau: u32) -> Vec<bool> {
+        let mut out = Vec::with_capacity(4 * tau as usize);
+        for h in [self.h_k, self.h_full, self.h_mpc1, self.h_mpc2] {
+            for t in 0..tau {
+                out.push((h >> t) & 1 == 1);
+            }
+        }
+        out
+    }
+}
+
+/// A received message: each field is `None` if any of its bits was deleted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecvMpMessage {
+    /// Received `h(k)`, if intact.
+    pub h_k: Option<u64>,
+    /// Received `h(T)`, if intact.
+    pub h_full: Option<u64>,
+    /// Received `h(T[..mpc1])`, if intact.
+    pub h_mpc1: Option<u64>,
+    /// Received `h(T[..mpc2])`, if intact.
+    pub h_mpc2: Option<u64>,
+}
+
+impl RecvMpMessage {
+    /// Reassembles a message from `4τ` received wire bits (`None` =
+    /// deleted bit).
+    pub fn from_bits(bits: &[Option<bool>], tau: u32) -> Self {
+        let tau = tau as usize;
+        assert_eq!(bits.len(), 4 * tau, "wire length mismatch");
+        let field = |i: usize| -> Option<u64> {
+            let mut v = 0u64;
+            for t in 0..tau {
+                v |= u64::from(bits[i * tau + t]?) << t;
+            }
+            Some(v)
+        };
+        RecvMpMessage {
+            h_k: field(0),
+            h_full: field(1),
+            h_mpc1: field(2),
+            h_mpc2: field(3),
+        }
+    }
+}
+
+/// What the party should do after processing an exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MpDecision {
+    /// The new link status.
+    pub status: LinkStatus,
+    /// If `Some(g)`, the transcript was rolled back to `g` chunks.
+    pub truncated_to: Option<usize>,
+}
+
+/// Per-link meeting-points state (`k_{u,v}`, `E_{u,v}` of Algorithm 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpState {
+    /// Consecutive meeting-points iterations.
+    pub k: u64,
+    /// Mismatch evidence counter.
+    pub e: u64,
+    /// Current status of the link.
+    pub status: LinkStatus,
+}
+
+/// Largest power of two ≤ `k` (`k ≥ 1`).
+fn scale(k: u64) -> u64 {
+    1u64 << (63 - k.leading_zeros())
+}
+
+impl MpState {
+    /// Fresh state (status `Simulate`).
+    pub fn new() -> Self {
+        MpState::default()
+    }
+
+    /// Start-of-phase step: advance `k`, compute the meeting points and the
+    /// outgoing message. `seed_k` seeds the `h(k)` hash; `seed_t` seeds the
+    /// three transcript-prefix hashes (one shared stream per evaluation, so
+    /// cross-party prefix comparisons are meaningful).
+    pub fn prepare(
+        &mut self,
+        transcript: &LinkTranscript,
+        tau: u32,
+        seed_k: &mut dyn SeedBits,
+        seed_t: impl Fn() -> Box<dyn SeedBits>,
+    ) -> MpMessage {
+        self.k += 1;
+        let ell = transcript.chunks();
+        let kt = scale(self.k) as usize;
+        let mpc1 = kt * (ell / kt);
+        let mpc2 = mpc1.saturating_sub(kt);
+        let mut k_bits = BitString::new();
+        k_bits.push_bits(self.k, 64);
+        let h_k = hash_prefix(&k_bits, 64, tau, seed_k);
+        let bits = transcript.bits();
+        let h_full = hash_prefix(bits, bits.len(), tau, &mut *seed_t());
+        let h_mpc1 = hash_prefix(bits, transcript.prefix_bit_len(mpc1), tau, &mut *seed_t());
+        let h_mpc2 = hash_prefix(bits, transcript.prefix_bit_len(mpc2), tau, &mut *seed_t());
+        MpMessage {
+            h_k,
+            h_full,
+            h_mpc1,
+            h_mpc2,
+            mpc1,
+            mpc2,
+        }
+    }
+
+    /// End-of-phase step: compare with the peer's (possibly corrupted)
+    /// message, decide the new status, and apply any rollback to
+    /// `transcript`.
+    pub fn process(
+        &mut self,
+        ours: &MpMessage,
+        theirs: &RecvMpMessage,
+        transcript: &mut LinkTranscript,
+    ) -> MpDecision {
+        // Corrupted or mismatching k: resynchronize counters.
+        if theirs.h_k != Some(ours.h_k) {
+            self.k = 0;
+            self.e = 0;
+            self.status = LinkStatus::MeetingPoints;
+            return MpDecision {
+                status: self.status,
+                truncated_to: None,
+            };
+        }
+        // Full transcripts agree: back to simulation.
+        if theirs.h_full == Some(ours.h_full) {
+            self.k = 0;
+            self.e = 0;
+            self.status = LinkStatus::Simulate;
+            return MpDecision {
+                status: self.status,
+                truncated_to: None,
+            };
+        }
+        // Confirmed mismatch.
+        self.e += 1;
+        if 2 * self.e >= self.k {
+            let matches = |h: u64| theirs.h_mpc1 == Some(h) || theirs.h_mpc2 == Some(h);
+            let target = if matches(ours.h_mpc1) {
+                Some(ours.mpc1)
+            } else if matches(ours.h_mpc2) {
+                Some(ours.mpc2)
+            } else {
+                None
+            };
+            if let Some(g) = target {
+                transcript.truncate(g);
+                self.k = 0;
+                self.e = 0;
+                self.status = LinkStatus::Simulate;
+                return MpDecision {
+                    status: self.status,
+                    truncated_to: Some(g),
+                };
+            }
+        }
+        self.status = LinkStatus::MeetingPoints;
+        MpDecision {
+            status: self.status,
+            truncated_to: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocol::{ChunkRecord, Sym};
+    use smallbias::{CrsSource, SeedLabel, SeedSource};
+
+    fn rec(chunk: u64, val: Sym) -> ChunkRecord {
+        ChunkRecord {
+            chunk,
+            syms: vec![val, val],
+        }
+    }
+
+    /// Simulates a noiseless meeting-points conversation between two
+    /// parties until both return to `Simulate`; returns iterations taken.
+    fn converge(a: &mut LinkTranscript, b: &mut LinkTranscript, max_iters: usize) -> usize {
+        let src = CrsSource::new(0xbeef);
+        let mut sa = MpState::new();
+        let mut sb = MpState::new();
+        for it in 0..max_iters {
+            let lbl = |slot| SeedLabel {
+                iteration: it as u64,
+                channel: 0,
+                slot,
+            };
+            let ma = sa.prepare(a, 16, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
+            let mb = sb.prepare(b, 16, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
+            let ra = RecvMpMessage {
+                h_k: Some(mb.h_k),
+                h_full: Some(mb.h_full),
+                h_mpc1: Some(mb.h_mpc1),
+                h_mpc2: Some(mb.h_mpc2),
+            };
+            let rb = RecvMpMessage {
+                h_k: Some(ma.h_k),
+                h_full: Some(ma.h_full),
+                h_mpc1: Some(ma.h_mpc1),
+                h_mpc2: Some(ma.h_mpc2),
+            };
+            let da = sa.process(&ma, &ra, a);
+            let db = sb.process(&mb, &rb, b);
+            if da.status == LinkStatus::Simulate
+                && db.status == LinkStatus::Simulate
+                && a.same_as(b)
+            {
+                return it + 1;
+            }
+        }
+        panic!("did not converge in {max_iters} iterations");
+    }
+
+    fn transcript(vals: &[Sym]) -> LinkTranscript {
+        let mut t = LinkTranscript::new();
+        for (c, &v) in vals.iter().enumerate() {
+            t.push(rec(c as u64, v));
+        }
+        t
+    }
+
+    #[test]
+    fn equal_transcripts_confirm_in_one_iteration() {
+        let mut a = transcript(&[Sym::Zero; 10]);
+        let mut b = transcript(&[Sym::Zero; 10]);
+        assert_eq!(converge(&mut a, &mut b, 5), 1);
+        assert_eq!(a.chunks(), 10);
+    }
+
+    #[test]
+    fn single_chunk_divergence_repairs_quickly() {
+        let mut a = transcript(&[Sym::Zero; 10]);
+        let mut b = transcript(&[Sym::Zero; 9]);
+        b.push(rec(9, Sym::One)); // diverges at the last chunk
+        let iters = converge(&mut a, &mut b, 20);
+        assert!(iters <= 4, "took {iters}");
+        assert!(a.same_as(&b));
+        assert!(a.chunks() >= 8, "over-truncated to {}", a.chunks());
+    }
+
+    #[test]
+    fn deep_divergence_converges_linearly() {
+        for b_depth in [2usize, 4, 7, 12] {
+            let len = 20;
+            let mut a = transcript(&[Sym::Zero; 20]);
+            let mut vals = vec![Sym::Zero; len - b_depth];
+            vals.extend(std::iter::repeat(Sym::One).take(b_depth));
+            let mut b = transcript(&vals);
+            let iters = converge(&mut a, &mut b, 200);
+            assert!(
+                iters <= 6 * b_depth + 8,
+                "B={b_depth} took {iters} iterations"
+            );
+            assert!(a.same_as(&b));
+            // Not truncated unboundedly below the divergence point.
+            assert!(
+                a.chunks() + 4 * b_depth + 4 >= len - b_depth,
+                "B={b_depth}: kept only {} chunks",
+                a.chunks()
+            );
+        }
+    }
+
+    #[test]
+    fn length_gap_divergence_repairs() {
+        let mut a = transcript(&[Sym::Zero; 12]);
+        let mut b = transcript(&[Sym::Zero; 10]);
+        let iters = converge(&mut a, &mut b, 100);
+        assert!(a.same_as(&b));
+        assert!(iters <= 20, "took {iters}");
+        assert!(a.chunks() >= 6);
+    }
+
+    #[test]
+    fn corrupted_k_hash_resets_and_recovers() {
+        let src = CrsSource::new(7);
+        let mut a = transcript(&[Sym::Zero; 5]);
+        let mut sa = MpState::new();
+        let lbl = |slot| SeedLabel {
+            iteration: 0,
+            channel: 0,
+            slot,
+        };
+        let ma = sa.prepare(&a, 16, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
+        // Peer's k-hash arrives corrupted.
+        let r = RecvMpMessage {
+            h_k: Some(ma.h_k ^ 1),
+            h_full: Some(ma.h_full),
+            h_mpc1: Some(ma.h_mpc1),
+            h_mpc2: Some(ma.h_mpc2),
+        };
+        let d = sa.process(&ma, &r, &mut a);
+        assert_eq!(d.status, LinkStatus::MeetingPoints);
+        assert_eq!(d.truncated_to, None);
+        assert_eq!(sa.k, 0, "counter resets for resync");
+        assert_eq!(a.chunks(), 5, "no truncation on k mismatch");
+    }
+
+    #[test]
+    fn deleted_message_is_treated_as_mismatch() {
+        let src = CrsSource::new(9);
+        let mut a = transcript(&[Sym::Zero; 5]);
+        let mut sa = MpState::new();
+        let lbl = |slot| SeedLabel {
+            iteration: 0,
+            channel: 0,
+            slot,
+        };
+        let ma = sa.prepare(&a, 8, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
+        let d = sa.process(&ma, &RecvMpMessage::default(), &mut a);
+        assert_eq!(d.status, LinkStatus::MeetingPoints);
+        assert_eq!(a.chunks(), 5);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let msg = MpMessage {
+            h_k: 0xAB,
+            h_full: 0xCD,
+            h_mpc1: 0x12,
+            h_mpc2: 0x34,
+            mpc1: 8,
+            mpc2: 4,
+        };
+        let bits: Vec<Option<bool>> = msg.to_bits(8).into_iter().map(Some).collect();
+        let r = RecvMpMessage::from_bits(&bits, 8);
+        assert_eq!(r.h_k, Some(0xAB));
+        assert_eq!(r.h_full, Some(0xCD));
+        assert_eq!(r.h_mpc1, Some(0x12));
+        assert_eq!(r.h_mpc2, Some(0x34));
+        // A single deleted bit invalidates only its field.
+        let mut bits2 = bits.clone();
+        bits2[8] = None; // first bit of h_full
+        let r2 = RecvMpMessage::from_bits(&bits2, 8);
+        assert_eq!(r2.h_k, Some(0xAB));
+        assert_eq!(r2.h_full, None);
+        assert_eq!(r2.h_mpc1, Some(0x12));
+    }
+
+    #[test]
+    fn empty_transcripts_agree() {
+        let mut a = LinkTranscript::new();
+        let mut b = LinkTranscript::new();
+        assert_eq!(converge(&mut a, &mut b, 3), 1);
+    }
+}

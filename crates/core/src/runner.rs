@@ -1,0 +1,1120 @@
+//! The noise-resilient simulation (Algorithm 1 / A / B / C).
+//!
+//! [`Simulation`] compiles a noiseless [`Workload`] Π into the padded,
+//! chunked Π′ and runs the paper's iteration loop over a noisy
+//! [`Network`]: meeting points → flag passing → simulation → rewind, with
+//! an optional randomness-exchange prologue (Algorithm 5) when no CRS is
+//! assumed. The [`SimOutcome`] reports success against the noiseless
+//! reference run, communication blow-up, and instrumentation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use crate::config::{RandomnessMode, SchemeConfig, SeedExpansion};
+use crate::flags::FlagPlan;
+use crate::instrument::{Instrumentation, IterationSample};
+use crate::meeting::{LinkStatus, MpMessage, MpState, RecvMpMessage};
+use crate::transcript::{sym_delta, LinkTranscript};
+use netgraph::{DirectedLink, EdgeId, Graph, NodeId, SpanningTree};
+use netsim::{Adversary, AdaptiveView, Corruption, NetStats, Network, PhaseGeometry, Wire};
+use protocol::reference::{run_reference, ReferenceRun};
+use protocol::{ChunkRecord, ChunkedParty, ChunkedProtocol, PartySlot, SlotKind, Sym, Workload};
+use rscode::{BinaryCode, BinaryWord};
+use smallbias::{splitmix64, CrsSource, DeltaBiasedSource, SeedLabel, SeedSource, Xoshiro256};
+
+/// Result of one noisy simulation.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// `transcripts_ok && outputs_ok`.
+    pub success: bool,
+    /// Every link transcript at both endpoints matches the noiseless
+    /// reference on all real chunks.
+    pub transcripts_ok: bool,
+    /// Every party's replayed output equals its reference output.
+    pub outputs_ok: bool,
+    /// Engine accounting (CC, corruptions, rounds).
+    pub stats: NetStats,
+    /// `CC(Π)` — bits of the original unpadded protocol.
+    pub payload_cc: u64,
+    /// `|Π| × 5K` — bits of the padded chunked protocol.
+    pub padded_cc: u64,
+    /// Communication blow-up `CC(sim) / CC(Π)` (the inverse of the rate).
+    pub blowup: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final `G*` (endpoint agreement, in chunks).
+    pub g_star: usize,
+    /// Final `B*`.
+    pub b_star: usize,
+    /// Collected instrumentation.
+    pub instrumentation: Instrumentation,
+}
+
+/// Options for [`Simulation::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Hard cap on adversarial corruptions.
+    pub noise_budget: u64,
+    /// Record a per-iteration [`IterationSample`] trace.
+    pub record_trace: bool,
+    /// Pass the live view to the adversary (required by non-oblivious
+    /// attacks; harmless for oblivious ones, which ignore it).
+    pub expose_view: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            noise_budget: u64::MAX,
+            record_trace: false,
+            expose_view: true,
+        }
+    }
+}
+
+/// A configured, compiled simulation instance.
+pub struct Simulation<'w> {
+    workload: &'w dyn Workload,
+    cfg: SchemeConfig,
+    proto: ChunkedProtocol,
+    reference: ReferenceRun,
+    graph: Graph,
+    tree: SpanningTree,
+    plan: FlagPlan,
+    geometry: PhaseGeometry,
+    iterations: usize,
+    trial_seed: u64,
+    exchange_bits: usize,
+    max_link_syms: usize,
+}
+
+impl<'w> Simulation<'w> {
+    /// Compiles `workload` under `cfg`. `trial_seed` drives all private
+    /// party randomness (exchanged seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid for the workload's graph.
+    pub fn new(workload: &'w dyn Workload, cfg: SchemeConfig, trial_seed: u64) -> Self {
+        let graph = workload.graph().clone();
+        cfg.validate(&graph);
+        let proto = ChunkedProtocol::new(workload, cfg.chunk_bits());
+        let reference = run_reference(workload, &proto);
+        let tree = SpanningTree::bfs(&graph, 0);
+        let plan = FlagPlan::new(&tree);
+        let iterations = cfg.iterations(proto.real_chunks());
+        let exchange_bits = match &cfg.randomness {
+            RandomnessMode::Crs { .. } => 0,
+            RandomnessMode::Exchanged {
+                code_repetitions, ..
+            } => {
+                let code = BinaryCode::rate_one_third();
+                code.encoded_len(128) * code_repetitions.max(&1)
+            }
+        };
+        let geometry = PhaseGeometry {
+            setup: exchange_bits as u64,
+            meeting_points: 4 * cfg.hash_bits as u64,
+            flag_passing: plan.rounds() as u64,
+            simulation: 1 + proto.max_rounds_per_chunk() as u64,
+            rewind: cfg.rewind_rounds as u64,
+        };
+        let max_link_syms = max_link_syms(&proto, &graph);
+        Simulation {
+            workload,
+            cfg,
+            proto,
+            reference,
+            graph,
+            tree,
+            plan,
+            geometry,
+            iterations,
+            trial_seed,
+            exchange_bits,
+            max_link_syms,
+        }
+    }
+
+    /// The fixed phase layout (public; hand it to phase-targeted attacks).
+    pub fn geometry(&self) -> PhaseGeometry {
+        self.geometry
+    }
+
+    /// The chunked protocol Π′.
+    pub fn proto(&self) -> &ChunkedProtocol {
+        &self.proto
+    }
+
+    /// The noiseless reference run.
+    pub fn reference(&self) -> &ReferenceRun {
+        &self.reference
+    }
+
+    /// Iterations the simulation will execute.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// A rough prediction of total communication, for sizing noise budgets
+    /// before running: metadata plus one chunk per iteration plus the
+    /// exchange.
+    pub fn predicted_cc(&self) -> u64 {
+        let m = self.graph.edge_count() as u64;
+        let per_iter = 2 * m * 4 * self.cfg.hash_bits as u64  // meeting points
+            + 2 * (self.graph.node_count() as u64 - 1)        // flag passing
+            + self.cfg.chunk_bits() as u64; // simulated chunk
+        self.exchange_bits as u64 * m + self.iterations as u64 * per_iter
+    }
+
+    /// Runs the simulation against `adversary`.
+    pub fn run(&self, adversary: Box<dyn Adversary>, opts: RunOptions) -> SimOutcome {
+        let mut net = Network::new(self.graph.clone(), adversary, opts.noise_budget);
+        let mut parties = self.init_parties();
+        let sources = self.establish_randomness(&mut net, &mut parties);
+        let mut inst = Instrumentation::default();
+
+        for iter in 0..self.iterations {
+            self.meeting_points_phase(&mut net, &mut parties, &sources, iter as u64, &mut inst, opts);
+            self.flag_passing_phase(&mut net, &mut parties, opts);
+            self.simulation_phase(&mut net, &mut parties, &sources, iter as u64, opts);
+            self.rewind_phase(&mut net, &mut parties, opts);
+            if opts.record_trace {
+                self.sample(&parties, &net, iter as u64, &mut inst);
+            }
+        }
+        self.evaluate(parties, net, inst)
+    }
+
+    fn init_parties(&self) -> Vec<SimParty> {
+        (0..self.graph.node_count())
+            .map(|u| {
+                let neighbors: Vec<NodeId> = self.graph.neighbors(u).to_vec();
+                SimParty {
+                    node: u,
+                    neighbors: neighbors.clone(),
+                    snapshots: vec![ChunkedParty::spawn(self.workload, u)],
+                    t: neighbors
+                        .iter()
+                        .map(|&v| (v, LinkTranscript::new()))
+                        .collect(),
+                    mp: neighbors.iter().map(|&v| (v, MpState::new())).collect(),
+                    mp_out: BTreeMap::new(),
+                    mp_in: BTreeMap::new(),
+                    status: true,
+                    fp_agg: true,
+                    net_correct: true,
+                    sim_active: false,
+                    sim_chunk: 0,
+                    excluded: BTreeSet::new(),
+                    work: None,
+                    pslots: Vec::new(),
+                    pslot_cursor: 0,
+                    pos: BTreeMap::new(),
+                    inprog: BTreeMap::new(),
+                    already_rewound: BTreeMap::new(),
+                }
+            })
+            .collect()
+    }
+
+    /// Randomness provisioning: CRS, or the Algorithm 5 exchange.
+    fn establish_randomness(
+        &self,
+        net: &mut Network,
+        parties: &mut [SimParty],
+    ) -> SourceMap {
+        match &self.cfg.randomness {
+            RandomnessMode::Crs { master, .. } => {
+                let mut map: SourceMap = BTreeMap::new();
+                let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(*master));
+                for (e, u, v) in self.graph.edges().collect::<Vec<_>>() {
+                    let _ = e;
+                    map.insert((u, v), Rc::clone(&src));
+                    map.insert((v, u), Rc::clone(&src));
+                }
+                map
+            }
+            RandomnessMode::Exchanged {
+                expansion,
+                code_repetitions,
+            } => {
+                let reps = (*code_repetitions).max(1);
+                let code = BinaryCode::rate_one_third();
+                // Per edge: the lower endpoint samples and transmits a
+                // 128-bit seed, RS-coded and repeated.
+                let mut true_seeds: BTreeMap<EdgeId, (u64, u64)> = BTreeMap::new();
+                let mut wire_bits: BTreeMap<EdgeId, Vec<bool>> = BTreeMap::new();
+                for (e, _, _) in self.graph.edges() {
+                    let mut rng =
+                        Xoshiro256::seeded(self.trial_seed ^ splitmix64(&mut (e as u64 + 1)));
+                    let (x, y) = (rng.next_u64(), rng.next_u64());
+                    true_seeds.insert(e, (x, y));
+                    let mut seed_bits = Vec::with_capacity(128);
+                    for j in 0..64 {
+                        seed_bits.push((x >> j) & 1 == 1);
+                    }
+                    for j in 0..64 {
+                        seed_bits.push((y >> j) & 1 == 1);
+                    }
+                    let one = code.encode(&seed_bits).bits;
+                    let mut all = Vec::with_capacity(one.len() * reps);
+                    for _ in 0..reps {
+                        all.extend_from_slice(&one);
+                    }
+                    wire_bits.insert(e, all);
+                }
+                // Transmit, one bit per edge per round (sender = lower id).
+                let rounds = self.exchange_bits;
+                let mut received: BTreeMap<EdgeId, Vec<Option<bool>>> =
+                    self.graph.edges().map(|(e, _, _)| (e, vec![None; rounds])).collect();
+                for o in 0..rounds {
+                    let mut sends = Wire::new();
+                    for (e, u, v) in self.graph.edges() {
+                        sends.insert(DirectedLink { from: u, to: v }, wire_bits[&e][o]);
+                    }
+                    let rx = net.step(&sends, None);
+                    for (e, u, v) in self.graph.edges() {
+                        if let Some(&bit) = rx.get(&DirectedLink { from: u, to: v }) {
+                            received.get_mut(&e).unwrap()[o] = Some(bit);
+                        }
+                    }
+                }
+                // Decode at the receivers.
+                let mut map: SourceMap = BTreeMap::new();
+                for (e, u, v) in self.graph.edges() {
+                    let (x, y) = true_seeds[&e];
+                    map.insert((u, v), self.expand_seed(*expansion, x, y));
+                    let (dx, dy) = decode_seed(&code, &received[&e], reps);
+                    map.insert((v, u), self.expand_seed(*expansion, dx, dy));
+                }
+                let _ = parties;
+                map
+            }
+        }
+    }
+
+    fn expand_seed(&self, expansion: SeedExpansion, x: u64, y: u64) -> Rc<dyn SeedSource> {
+        match expansion {
+            SeedExpansion::Prg => {
+                let mut s = x;
+                Rc::new(CrsSource::new(splitmix64(&mut s) ^ y.rotate_left(17)))
+            }
+            SeedExpansion::Aghp => {
+                let m = self.graph.edge_count() as u64;
+                Rc::new(DeltaBiasedSource::new(
+                    x,
+                    y,
+                    m,
+                    2,
+                    self.region_words() as u64,
+                ))
+            }
+        }
+    }
+
+    /// Seed words reserved per (iteration, edge, slot) label in δ-biased
+    /// mode: enough for τ stretches of the longest possible transcript.
+    fn region_words(&self) -> usize {
+        let max_bits = (self.iterations + 2) * (32 + 2 * self.max_link_syms);
+        self.cfg.hash_bits as usize * (max_bits / 64 + 2)
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: meeting points
+    // ------------------------------------------------------------------
+    fn meeting_points_phase(
+        &self,
+        net: &mut Network,
+        parties: &mut [SimParty],
+        sources: &SourceMap,
+        iter: u64,
+        inst: &mut Instrumentation,
+        opts: RunOptions,
+    ) {
+        let tau = self.cfg.hash_bits;
+        // Prepare outgoing messages.
+        for u in 0..parties.len() {
+            let neighbors = parties[u].neighbors.clone();
+            for v in neighbors {
+                let e = self.graph.edge_between(u, v).unwrap() as u64;
+                let src = &sources[&(u, v)];
+                let lbl = |slot| SeedLabel {
+                    iteration: iter,
+                    channel: e,
+                    slot,
+                };
+                let p = &mut parties[u];
+                let state = p.mp.get_mut(&v).unwrap();
+                let transcript = &p.t[&v];
+                let msg = state.prepare(transcript, tau, &mut *src.stream(lbl(0)), || {
+                    src.stream(lbl(1))
+                });
+                p.mp_out.insert(v, msg);
+                p.mp_in.insert(v, vec![None; 4 * tau as usize]);
+            }
+        }
+        // 4τ wire rounds.
+        for o in 0..4 * tau as usize {
+            let mut sends = Wire::new();
+            for p in parties.iter() {
+                for (&v, msg) in &p.mp_out {
+                    let bits = msg.to_bits(tau);
+                    sends.insert(
+                        DirectedLink {
+                            from: p.node,
+                            to: v,
+                        },
+                        bits[o],
+                    );
+                }
+            }
+            let rx = self.step(net, parties, sources, &sends, iter, None, opts);
+            for u in 0..parties.len() {
+                let neighbors = parties[u].neighbors.clone();
+                for v in neighbors {
+                    if let Some(&bit) = rx.get(&DirectedLink { from: v, to: u }) {
+                        parties[u].mp_in.get_mut(&v).unwrap()[o] = Some(bit);
+                    }
+                }
+            }
+        }
+        // Process.
+        for u in 0..parties.len() {
+            let neighbors = parties[u].neighbors.clone();
+            for v in neighbors {
+                let p = &mut parties[u];
+                let ours = p.mp_out[&v];
+                let theirs = RecvMpMessage::from_bits(&p.mp_in[&v], tau);
+                let state = p.mp.get_mut(&v).unwrap();
+                let transcript = p.t.get_mut(&v).unwrap();
+                let decision = state.process(&ours, &theirs, transcript);
+                if let Some(g) = decision.truncated_to {
+                    p.prune_snapshots(g);
+                }
+            }
+        }
+        // Instrumentation: true full-hash collisions (global knowledge).
+        for (_, u, v) in self.graph.edges() {
+            let mu = parties[u].mp_out[&v];
+            let mv = parties[v].mp_out[&u];
+            if mu.h_full == mv.h_full && !parties[u].t[&v].same_as(&parties[v].t[&u]) {
+                inst.hash_collisions += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: flag passing
+    // ------------------------------------------------------------------
+    fn flag_passing_phase(&self, net: &mut Network, parties: &mut [SimParty], opts: RunOptions) {
+        // Compute own status (Algorithm 1 lines 6–13).
+        for p in parties.iter_mut() {
+            let min_chunk = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
+            let mp_busy = p
+                .mp
+                .values()
+                .any(|s| s.status == LinkStatus::MeetingPoints);
+            let uneven = p.t.values().any(|t| t.chunks() > min_chunk);
+            p.status = !mp_busy && !uneven;
+            p.fp_agg = p.status;
+            p.net_correct = p.status; // provisional; refined below
+        }
+        let tree = &self.tree;
+        for o in 0..self.plan.rounds() {
+            let mut sends = Wire::new();
+            for p in parties.iter() {
+                let u = p.node;
+                if self.plan.up_send_round(tree, u) == Some(o) {
+                    let parent = tree.parent(u).unwrap();
+                    sends.insert(DirectedLink { from: u, to: parent }, p.fp_agg);
+                }
+                if self.plan.down_send_round(tree, u) == Some(o) {
+                    let flag = if u == tree.root() { p.fp_agg } else { p.net_correct };
+                    for &c in tree.children(u) {
+                        sends.insert(DirectedLink { from: u, to: c }, flag);
+                    }
+                }
+            }
+            let rx = self.step(net, parties, &BTreeMap::new(), &sends, 0, None, opts);
+            for u in 0..parties.len() {
+                if self.plan.up_recv_round(tree, u) == Some(o) {
+                    let children: Vec<NodeId> = tree.children(u).to_vec();
+                    for c in children {
+                        // Deleted flag reads as stop (false).
+                        let bit = rx.get(&DirectedLink { from: c, to: u }).copied().unwrap_or(false);
+                        parties[u].fp_agg &= bit;
+                    }
+                }
+                if self.plan.down_recv_round(tree, u) == Some(o) {
+                    let parent = tree.parent(u).unwrap();
+                    let bit = rx
+                        .get(&DirectedLink { from: parent, to: u })
+                        .copied()
+                        .unwrap_or(false);
+                    parties[u].net_correct = bit && parties[u].status;
+                }
+            }
+        }
+        // The root's final flag is its own aggregate.
+        let root = tree.root();
+        parties[root].net_correct = parties[root].fp_agg && parties[root].status;
+        if self.cfg.disable_flag_passing {
+            // Ablation (F4): no global coordination — every party acts on
+            // its local status alone.
+            for p in parties.iter_mut() {
+                p.net_correct = p.status;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: simulation
+    // ------------------------------------------------------------------
+    fn simulation_phase(
+        &self,
+        net: &mut Network,
+        parties: &mut [SimParty],
+        sources: &SourceMap,
+        iter: u64,
+        opts: RunOptions,
+    ) {
+        // ⊥ round: non-participants announce themselves.
+        let mut sends = Wire::new();
+        for p in parties.iter() {
+            if !p.net_correct {
+                for &v in &p.neighbors {
+                    sends.insert(DirectedLink { from: p.node, to: v }, true);
+                }
+            }
+        }
+        let rx = self.step(net, parties, sources, &sends, iter, None, opts);
+        for u in 0..parties.len() {
+            let p = &mut parties[u];
+            p.sim_active = p.net_correct;
+            p.excluded.clear();
+            p.inprog.clear();
+            p.pos.clear();
+            p.work = None;
+            if !p.sim_active {
+                continue;
+            }
+            let neighbors = p.neighbors.clone();
+            for &v in &neighbors {
+                if rx.contains_key(&DirectedLink { from: v, to: u }) {
+                    p.excluded.insert(v);
+                }
+            }
+            // All transcripts have equal length here (status == 1).
+            let c = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
+            p.sim_chunk = c;
+            assert!(
+                p.snapshots.len() > c,
+                "snapshot chain broken: len {} need {}",
+                p.snapshots.len(),
+                c + 1
+            );
+            p.work = Some(p.snapshots[c].clone());
+            p.pslots = self.proto.party_slots(c, u);
+            p.pslot_cursor = 0;
+            // Per-link symbol positions in layout order.
+            let layout = self.proto.layout(c);
+            let mut counters: BTreeMap<NodeId, usize> = BTreeMap::new();
+            for (ri, round) in layout.rounds.iter().enumerate() {
+                for slot in round {
+                    let other = if slot.link.from == u {
+                        slot.link.to
+                    } else if slot.link.to == u {
+                        slot.link.from
+                    } else {
+                        continue;
+                    };
+                    let idx = counters.entry(other).or_insert(0);
+                    p.pos.entry(other).or_default().insert((ri, slot.link), *idx);
+                    *idx += 1;
+                }
+            }
+            for (&v, &count) in &counters {
+                if !p.excluded.contains(&v) {
+                    p.inprog.insert(v, vec![Sym::Star; count]);
+                }
+            }
+        }
+        // Chunk rounds.
+        let max_rounds = self.proto.max_rounds_per_chunk();
+        for jr in 0..max_rounds {
+            let mut sends = Wire::new();
+            let mut sent_slots: Vec<(NodeId, PartySlot, bool)> = Vec::new();
+            for p in parties.iter_mut() {
+                if !p.sim_active {
+                    continue;
+                }
+                while p.pslot_cursor < p.pslots.len() {
+                    let slot = p.pslots[p.pslot_cursor];
+                    if slot.round_in_chunk != jr || !slot.is_send {
+                        break;
+                    }
+                    p.pslot_cursor += 1;
+                    let bit = p.work.as_mut().unwrap().send(&slot);
+                    let v = slot.link.to;
+                    if !p.excluded.contains(&v) {
+                        sends.insert(slot.link, bit);
+                        sent_slots.push((p.node, slot, bit));
+                    }
+                }
+            }
+            // Record own sent bits (they are part of T_{u,v}).
+            for (u, slot, bit) in &sent_slots {
+                let p = &mut parties[*u];
+                let v = slot.link.to;
+                let idx = p.pos[&v][&(jr, slot.link)];
+                p.inprog.get_mut(&v).unwrap()[idx] = Sym::from_bit(*bit);
+            }
+            let rx = self.step(net, parties, sources, &sends, iter, Some(jr), opts);
+            for p in parties.iter_mut() {
+                if !p.sim_active {
+                    continue;
+                }
+                while p.pslot_cursor < p.pslots.len() {
+                    let slot = p.pslots[p.pslot_cursor];
+                    if slot.round_in_chunk != jr {
+                        break;
+                    }
+                    debug_assert!(!slot.is_send);
+                    p.pslot_cursor += 1;
+                    let v = slot.link.from;
+                    if p.excluded.contains(&v) {
+                        // Not simulating with v: feed the default, record
+                        // nothing.
+                        p.work.as_mut().unwrap().recv(&slot, None);
+                        continue;
+                    }
+                    let got = rx.get(&slot.link).copied();
+                    let idx = p.pos[&v][&(jr, slot.link)];
+                    p.inprog.get_mut(&v).unwrap()[idx] = match got {
+                        Some(b) => Sym::from_bit(b),
+                        None => Sym::Star,
+                    };
+                    p.work.as_mut().unwrap().recv(&slot, got);
+                }
+            }
+        }
+        // Commit.
+        for p in parties.iter_mut() {
+            if !p.sim_active {
+                continue;
+            }
+            let c = p.sim_chunk;
+            let inprog = std::mem::take(&mut p.inprog);
+            for (v, syms) in inprog {
+                p.t.get_mut(&v).unwrap().push(ChunkRecord {
+                    chunk: c as u64,
+                    syms,
+                });
+            }
+            let work = p.work.take().unwrap();
+            p.snapshots.truncate(c + 1);
+            p.snapshots.push(work);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: rewind
+    // ------------------------------------------------------------------
+    fn rewind_phase(&self, net: &mut Network, parties: &mut [SimParty], opts: RunOptions) {
+        for p in parties.iter_mut() {
+            p.already_rewound.clear();
+        }
+        for _ in 0..self.cfg.rewind_rounds {
+            let mut sends = Wire::new();
+            if self.cfg.disable_rewind {
+                // Ablation (F4): the phase's rounds elapse silently.
+                self.step(net, parties, &BTreeMap::new(), &sends, 0, None, opts);
+                continue;
+            }
+            for p in parties.iter_mut() {
+                let min_chunk = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
+                let neighbors = p.neighbors.clone();
+                for v in neighbors {
+                    let ok = p.mp[&v].status != LinkStatus::MeetingPoints
+                        && !p.already_rewound.get(&v).copied().unwrap_or(false)
+                        && p.t[&v].chunks() > min_chunk;
+                    if ok {
+                        sends.insert(DirectedLink { from: p.node, to: v }, true);
+                        let new_len = p.t[&v].chunks() - 1;
+                        p.t.get_mut(&v).unwrap().truncate(new_len);
+                        p.prune_snapshots(new_len);
+                        p.already_rewound.insert(v, true);
+                    }
+                }
+            }
+            let rx = self.step(net, parties, &BTreeMap::new(), &sends, 0, None, opts);
+            for u in 0..parties.len() {
+                let p = &mut parties[u];
+                let neighbors = p.neighbors.clone();
+                for v in neighbors {
+                    if rx.contains_key(&DirectedLink { from: v, to: u }) {
+                        let ok = p.mp[&v].status != LinkStatus::MeetingPoints
+                            && !p.already_rewound.get(&v).copied().unwrap_or(false)
+                            && p.t[&v].chunks() > 0;
+                        if ok {
+                            let new_len = p.t[&v].chunks() - 1;
+                            p.t.get_mut(&v).unwrap().truncate(new_len);
+                            p.prune_snapshots(new_len);
+                            p.already_rewound.insert(v, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One engine round, wiring up the adaptive view when exposed.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        net: &mut Network,
+        parties: &[SimParty],
+        sources: &SourceMap,
+        sends: &Wire,
+        iter: u64,
+        chunk_round: Option<usize>,
+        opts: RunOptions,
+    ) -> Wire {
+        if opts.expose_view {
+            let view = OracleView {
+                sim: self,
+                parties,
+                sources,
+                iteration: iter,
+                chunk_round,
+            };
+            net.step(sends, Some(&view))
+        } else {
+            net.step(sends, None)
+        }
+    }
+
+    fn sample(&self, parties: &[SimParty], net: &Network, iter: u64, inst: &mut Instrumentation) {
+        let mut g_star = usize::MAX;
+        let mut h_star = 0usize;
+        let mut sum_g = 0usize;
+        let mut sum_b = 0usize;
+        for (_, u, v) in self.graph.edges() {
+            let tu = &parties[u].t[&v];
+            let tv = &parties[v].t[&u];
+            let g = tu.common_prefix_chunks(tv);
+            let h = tu.chunks().max(tv.chunks());
+            g_star = g_star.min(g);
+            h_star = h_star.max(h);
+            sum_g += g;
+            sum_b += h - g;
+        }
+        if g_star == usize::MAX {
+            g_star = 0;
+        }
+        let stats = net.stats();
+        let ehc = stats.corruptions + inst.hash_collisions;
+        inst.samples.push(IterationSample {
+            iteration: iter,
+            g_star,
+            h_star,
+            b_star: h_star - g_star,
+            sum_g,
+            sum_b,
+            ehc,
+            cc: stats.cc,
+            corruptions: stats.corruptions,
+            potential_proxy: Instrumentation::proxy(
+                self.cfg.k_param,
+                self.graph.edge_count(),
+                sum_g,
+                sum_b,
+                h_star - g_star,
+                ehc,
+            ),
+        });
+    }
+
+    fn evaluate(
+        &self,
+        parties: Vec<SimParty>,
+        net: Network,
+        inst: Instrumentation,
+    ) -> SimOutcome {
+        let real = self.proto.real_chunks();
+        let mut transcripts_ok = true;
+        let mut g_star = usize::MAX;
+        let mut h_star = 0usize;
+        for (e, u, v) in self.graph.edges() {
+            let reference = &self.reference.edge_transcripts[e];
+            let tu = &parties[u].t[&v];
+            let tv = &parties[v].t[&u];
+            transcripts_ok &= tu.matches_reference(reference, real);
+            transcripts_ok &= tv.matches_reference(reference, real);
+            g_star = g_star.min(tu.common_prefix_chunks(tv));
+            h_star = h_star.max(tu.chunks().max(tv.chunks()));
+        }
+        if g_star == usize::MAX {
+            g_star = 0;
+        }
+        let mut outputs_ok = true;
+        for p in &parties {
+            if p.snapshots.len() > real {
+                outputs_ok &= p.snapshots[real].output() == self.reference.outputs[p.node];
+            } else {
+                outputs_ok = false;
+            }
+        }
+        let stats = net.stats();
+        let payload_cc = self.workload.schedule().cc_bits() as u64;
+        SimOutcome {
+            success: transcripts_ok && outputs_ok,
+            transcripts_ok,
+            outputs_ok,
+            stats,
+            payload_cc,
+            padded_cc: (real * self.proto.chunk_bits()) as u64,
+            blowup: stats.cc as f64 / payload_cc.max(1) as f64,
+            iterations: self.iterations,
+            g_star,
+            b_star: h_star - g_star,
+            instrumentation: inst,
+        }
+    }
+}
+
+type SourceMap = BTreeMap<(NodeId, NodeId), Rc<dyn SeedSource>>;
+
+/// Per-party live state of the simulation.
+struct SimParty {
+    node: NodeId,
+    neighbors: Vec<NodeId>,
+    /// `snapshots[i]` = Π′-state after simulating `i` chunks.
+    snapshots: Vec<ChunkedParty>,
+    t: BTreeMap<NodeId, LinkTranscript>,
+    mp: BTreeMap<NodeId, MpState>,
+    mp_out: BTreeMap<NodeId, MpMessage>,
+    mp_in: BTreeMap<NodeId, Vec<Option<bool>>>,
+    status: bool,
+    fp_agg: bool,
+    net_correct: bool,
+    sim_active: bool,
+    sim_chunk: usize,
+    excluded: BTreeSet<NodeId>,
+    work: Option<ChunkedParty>,
+    pslots: Vec<PartySlot>,
+    pslot_cursor: usize,
+    pos: BTreeMap<NodeId, BTreeMap<(usize, DirectedLink), usize>>,
+    inprog: BTreeMap<NodeId, Vec<Sym>>,
+    already_rewound: BTreeMap<NodeId, bool>,
+}
+
+impl SimParty {
+    /// Drops Π′-state snapshots invalidated by truncating any link to
+    /// `new_len` chunks.
+    fn prune_snapshots(&mut self, new_len: usize) {
+        if self.snapshots.len() > new_len + 1 {
+            self.snapshots.truncate(new_len + 1);
+        }
+    }
+}
+
+/// Decodes an exchanged seed from possibly corrupted repetitions.
+fn decode_seed(code: &BinaryCode, received: &[Option<bool>], reps: usize) -> (u64, u64) {
+    let block = received.len() / reps;
+    let mut votes: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    for r in 0..reps {
+        let slice = &received[r * block..(r + 1) * block];
+        let word = BinaryWord {
+            bits: slice.iter().map(|b| b.unwrap_or(false)).collect(),
+            erasures: slice
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_none())
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        if let Ok(bits) = code.decode(&word) {
+            if bits.len() >= 128 {
+                let mut x = 0u64;
+                let mut y = 0u64;
+                for j in 0..64 {
+                    x |= u64::from(bits[j]) << j;
+                    y |= u64::from(bits[64 + j]) << j;
+                }
+                *votes.entry((x, y)).or_insert(0) += 1;
+            }
+        }
+    }
+    if let Some((&seed, _)) = votes.iter().max_by_key(|(_, &c)| c) {
+        return seed;
+    }
+    // All repetitions destroyed: deterministic garbage fallback.
+    let mut acc = 0xdead_beef_0bad_cafe_u64;
+    for (i, b) in received.iter().enumerate() {
+        if b.unwrap_or(false) {
+            acc ^= splitmix64(&mut { (i as u64) ^ acc });
+            acc = acc.rotate_left(9);
+        }
+    }
+    let mut s = acc;
+    (splitmix64(&mut s), splitmix64(&mut s))
+}
+
+/// Bound on symbols any single chunk places on any single link.
+fn max_link_syms(proto: &ChunkedProtocol, graph: &Graph) -> usize {
+    let mut best = 0usize;
+    for c in 0..=proto.real_chunks() {
+        let mut counts: BTreeMap<EdgeId, usize> = BTreeMap::new();
+        for slot in proto.layout(c).rounds.iter().flatten() {
+            let e = graph.edge_between(slot.link.from, slot.link.to).unwrap();
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        best = best.max(counts.values().copied().max().unwrap_or(0));
+    }
+    best
+}
+
+/// The live view handed to non-oblivious adversaries: global state plus
+/// the §6.1 seed-aware collision oracle.
+struct OracleView<'a, 'w> {
+    sim: &'a Simulation<'w>,
+    parties: &'a [SimParty],
+    sources: &'a SourceMap,
+    iteration: u64,
+    chunk_round: Option<usize>,
+}
+
+impl AdaptiveView for OracleView<'_, '_> {
+    fn diverged(&self, edge: EdgeId) -> bool {
+        let (u, v) = self.sim.graph.endpoints(edge);
+        !self.parties[u].t[&v].same_as(&self.parties[v].t[&u])
+    }
+
+    fn transcript_chunks(&self, edge: EdgeId) -> usize {
+        let (u, v) = self.sim.graph.endpoints(edge);
+        self.parties[u].t[&v].chunks()
+    }
+
+    fn collision_corruption(&self, edge: EdgeId, sends: &Wire) -> Option<Corruption> {
+        // Seed visibility: Algorithm C's CRS is hidden from the adversary.
+        match &self.sim.cfg.randomness {
+            RandomnessMode::Crs {
+                adversary_knows_seeds: false,
+                ..
+            } => return None,
+            _ => {}
+        }
+        let jr = self.chunk_round?;
+        if self.iteration + 1 >= self.sim.iterations as u64 {
+            return None;
+        }
+        let (u, v) = self.sim.graph.endpoints(edge);
+        let (pu, pv) = (&self.parties[u], &self.parties[v]);
+        // Both endpoints must be cleanly simulating the same chunk with
+        // synchronized meeting-point counters for the prediction to hold.
+        if !pu.sim_active
+            || !pv.sim_active
+            || pu.excluded.contains(&v)
+            || pv.excluded.contains(&u)
+            || pu.sim_chunk != pv.sim_chunk
+            || pu.mp[&v].k != pv.mp[&u].k
+            || !pu.t[&v].same_as(&pv.t[&u])
+        {
+            return None;
+        }
+        let c = pu.sim_chunk;
+        let tau = self.sim.cfg.hash_bits;
+        // Candidate corruptions: this round's sends on this edge, padding
+        // slots only (their content never feeds Π, so the damage is
+        // exactly a 2-bit transcript delta).
+        let layout = self.sim.proto.layout(c);
+        for slot in &layout.rounds[jr] {
+            let on_edge = (slot.link.from == u && slot.link.to == v)
+                || (slot.link.from == v && slot.link.to == u);
+            if !on_edge || slot.kind == SlotKind::Payload {
+                continue;
+            }
+            let Some(&honest) = sends.get(&slot.link) else {
+                continue;
+            };
+            let receiver = &self.parties[slot.link.to];
+            let sender_node = slot.link.from;
+            let idx = receiver.pos[&sender_node][&(jr, slot.link)];
+            let t_recv = &receiver.t[&sender_node];
+            let bit_pos = t_recv.bits().len() + 32 + 2 * idx;
+            let final_len =
+                t_recv.bits().len() + 32 + 2 * receiver.pos[&sender_node].len();
+            let honest_sym = Sym::from_bit(honest);
+            for output in [Some(!honest), None] {
+                let observed = match output {
+                    Some(b) => Sym::from_bit(b),
+                    None => Sym::Star,
+                };
+                let delta = sym_delta(honest_sym, observed);
+                if self.delta_collides(edge, delta, bit_pos, final_len, tau) {
+                    return Some(Corruption {
+                        link: slot.link,
+                        output,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+impl OracleView<'_, '_> {
+    /// Does a transcript difference of `delta` (2 bits at `bit_pos`) hash
+    /// to zero under the *next* meeting-points full-transcript seed?
+    fn delta_collides(
+        &self,
+        edge: EdgeId,
+        delta: u64,
+        bit_pos: usize,
+        input_bits: usize,
+        tau: u32,
+    ) -> bool {
+        if delta == 0 {
+            return false;
+        }
+        let (u, v) = self.sim.graph.endpoints(edge);
+        let src = &self.sources[&(u.min(v), u.max(v))];
+        let label = SeedLabel {
+            iteration: self.iteration + 1,
+            channel: edge as u64,
+            slot: 1,
+        };
+        let w = input_bits.div_ceil(64);
+        let mut stream = src.stream(label);
+        // Stretch t occupies words [t·w, (t+1)·w); we need the bits at
+        // bit_pos and bit_pos + 1 of each stretch.
+        let mut word_idx = 0usize;
+        for t in 0..tau as usize {
+            let need = t * w + bit_pos / 64;
+            while word_idx < need {
+                stream.next_word();
+                word_idx += 1;
+            }
+            let mut w0 = stream.next_word();
+            word_idx += 1;
+            let off = bit_pos % 64;
+            let mut pair = (w0 >> off) & 1;
+            if off == 63 {
+                w0 = stream.next_word();
+                word_idx += 1;
+                pair |= (w0 & 1) << 1;
+            } else {
+                pair |= ((w0 >> (off + 1)) & 1) << 1;
+            }
+            let out_bit = (delta & pair).count_ones() & 1;
+            if out_bit != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::attacks::{BurstLink, IidNoise, NoNoise, SingleError};
+    use protocol::workloads::{Gossip, LinePipeline, TokenRing};
+
+    #[test]
+    fn noiseless_simulation_succeeds() {
+        let w = TokenRing::new(4, 3, 7);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 42);
+        let sim = Simulation::new(&w, cfg, 1);
+        let out = sim.run(Box::new(NoNoise), RunOptions::default());
+        assert!(out.transcripts_ok, "transcripts diverged: {out:?}");
+        assert!(out.outputs_ok, "outputs wrong");
+        assert!(out.success);
+        assert_eq!(out.stats.corruptions, 0);
+    }
+
+    #[test]
+    fn noiseless_simulation_gossip_line() {
+        let w = Gossip::new(netgraph::topology::line(4), 6, 3);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 9);
+        let sim = Simulation::new(&w, cfg, 2);
+        let out = sim.run(Box::new(NoNoise), RunOptions::default());
+        assert!(out.success, "{out:?}");
+    }
+
+    #[test]
+    fn single_error_is_repaired() {
+        let w = LinePipeline::new(4, 3, 5);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 11);
+        let sim = Simulation::new(&w, cfg, 3);
+        // One corruption early in the first simulation phase payload.
+        let geo = sim.geometry();
+        let round = geo.phase_start(0, netsim::PhaseKind::Simulation) + 3;
+        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        let out = sim.run(Box::new(atk), RunOptions::default());
+        assert!(out.success, "single error not recovered: {out:?}");
+        assert_eq!(out.stats.corruptions, 1);
+    }
+
+    #[test]
+    fn burst_is_repaired() {
+        let w = Gossip::new(netgraph::topology::ring(4), 6, 1);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 5);
+        let sim = Simulation::new(&w, cfg, 4);
+        let geo = sim.geometry();
+        let start = geo.phase_start(1, netsim::PhaseKind::Simulation);
+        let atk = BurstLink::new(DirectedLink { from: 1, to: 2 }, start, 8);
+        let out = sim.run(Box::new(atk), RunOptions::default());
+        assert!(out.success, "burst not recovered: {out:?}");
+        assert!(out.stats.corruptions >= 4);
+    }
+
+    #[test]
+    fn light_random_noise_is_repaired() {
+        let w = Gossip::new(netgraph::topology::ring(5), 8, 2);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 6);
+        let sim = Simulation::new(&w, cfg, 5);
+        let links: Vec<_> = w.graph().directed_links().collect();
+        let mut ok = 0;
+        for seed in 0..5 {
+            let atk = IidNoise::new(links.clone(), 0.001, seed);
+            let out = sim.run(Box::new(atk), RunOptions::default());
+            ok += usize::from(out.success);
+        }
+        assert!(ok >= 4, "only {ok}/5 succeeded under light noise");
+    }
+
+    #[test]
+    fn exchanged_randomness_noiseless() {
+        let w = TokenRing::new(4, 3, 8);
+        let cfg = SchemeConfig::algorithm_b(w.graph(), 4);
+        let sim = Simulation::new(&w, cfg, 6);
+        let out = sim.run(Box::new(NoNoise), RunOptions::default());
+        assert!(out.success, "{out:?}");
+    }
+
+    #[test]
+    fn trace_is_monotone_when_noiseless() {
+        let w = TokenRing::new(4, 2, 9);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 3);
+        let sim = Simulation::new(&w, cfg, 7);
+        let out = sim.run(
+            Box::new(NoNoise),
+            RunOptions {
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        assert!(out.success);
+        let samples = &out.instrumentation.samples;
+        assert_eq!(samples.len(), sim.iterations());
+        for w2 in samples.windows(2) {
+            assert!(w2[1].g_star >= w2[0].g_star, "G* regressed");
+            assert_eq!(w2[1].b_star, 0, "B* nonzero without noise");
+        }
+        // One chunk per iteration.
+        assert_eq!(samples[0].g_star, 1);
+    }
+}

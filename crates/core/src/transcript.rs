@@ -1,0 +1,223 @@
+//! Pairwise link transcripts `T_{u,v}` with incremental serialization.
+//!
+//! A transcript is the sequence of [`ChunkRecord`]s a party has recorded on
+//! one link (§3.2): per chunk, the observed symbols in slot order plus the
+//! chunk number. The serialization hashed by the meeting-points mechanism
+//! is `[chunk id: 32 bits][symbols: 2 bits each]` per chunk — the embedded
+//! chunk ids are what make prefix hashes length-binding (footnote 11).
+
+use protocol::{ChunkRecord, Sym};
+use smallbias::BitString;
+
+/// One party's transcript of one link.
+///
+/// # Examples
+///
+/// ```
+/// use mpic::LinkTranscript;
+/// use protocol::{ChunkRecord, Sym};
+/// let mut t = LinkTranscript::new();
+/// t.push(ChunkRecord { chunk: 0, syms: vec![Sym::Zero, Sym::One] });
+/// t.push(ChunkRecord { chunk: 1, syms: vec![Sym::Star] });
+/// assert_eq!(t.chunks(), 2);
+/// t.truncate(1);
+/// assert_eq!(t.chunks(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LinkTranscript {
+    records: Vec<ChunkRecord>,
+    bits: BitString,
+    /// Serialized bit length after each chunk (prefix boundaries).
+    boundaries: Vec<usize>,
+}
+
+impl LinkTranscript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        LinkTranscript::default()
+    }
+
+    /// Number of chunks `|T|`.
+    pub fn chunks(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The recorded chunks.
+    pub fn records(&self) -> &[ChunkRecord] {
+        &self.records
+    }
+
+    /// The full serialization (for hashing).
+    pub fn bits(&self) -> &BitString {
+        &self.bits
+    }
+
+    /// Serialized bit length of the first `chunks` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks > self.chunks()`.
+    pub fn prefix_bit_len(&self, chunks: usize) -> usize {
+        if chunks == 0 {
+            0
+        } else {
+            self.boundaries[chunks - 1]
+        }
+    }
+
+    /// Appends a chunk record.
+    pub fn push(&mut self, rec: ChunkRecord) {
+        self.bits.push_bits(rec.chunk, 32);
+        for &s in &rec.syms {
+            self.bits.push_bits(s.code(), 2);
+        }
+        self.boundaries.push(self.bits.len());
+        self.records.push(rec);
+    }
+
+    /// Keeps only the first `chunks` chunks.
+    pub fn truncate(&mut self, chunks: usize) {
+        if chunks >= self.records.len() {
+            return;
+        }
+        self.records.truncate(chunks);
+        self.boundaries.truncate(chunks);
+        self.bits.truncate(self.prefix_bit_len(chunks));
+    }
+
+    /// Length (in chunks) of the longest common prefix with `other` — the
+    /// quantity `G_{u,v}` of the analysis (Eq. 1).
+    pub fn common_prefix_chunks(&self, other: &LinkTranscript) -> usize {
+        let mut g = 0;
+        for (a, b) in self.records.iter().zip(&other.records) {
+            if a == b {
+                g += 1;
+            } else {
+                break;
+            }
+        }
+        g
+    }
+
+    /// True if both transcripts are bit-identical.
+    pub fn same_as(&self, other: &LinkTranscript) -> bool {
+        self.records.len() == other.records.len()
+            && self.common_prefix_chunks(other) == self.records.len()
+    }
+
+    /// Checks agreement with a reference edge transcript on its first
+    /// `chunks` chunks.
+    pub fn matches_reference(&self, reference: &[ChunkRecord], chunks: usize) -> bool {
+        if self.records.len() < chunks || reference.len() < chunks {
+            return false;
+        }
+        self.records[..chunks] == reference[..chunks]
+    }
+}
+
+/// Serialized position of a symbol inside a transcript's bit string:
+/// `prefix(chunks before) + 32 (chunk id) + 2·sym_index`. Used by the
+/// seed-aware collision oracle to locate the bits a corruption would flip.
+pub fn symbol_bit_position(transcript: &LinkTranscript, sym_index: usize) -> usize {
+    transcript.bits.len() + 32 + 2 * sym_index
+}
+
+/// Encodes the 2-bit XOR difference between observing `a` and observing
+/// `b` at the same slot.
+pub fn sym_delta(a: Sym, b: Sym) -> u64 {
+    a.code() ^ b.code()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smallbias::{hash_bits, CrsSource, SeedLabel, SeedSource};
+
+    fn rec(chunk: u64, syms: &[Sym]) -> ChunkRecord {
+        ChunkRecord {
+            chunk,
+            syms: syms.to_vec(),
+        }
+    }
+
+    #[test]
+    fn serialization_lengths() {
+        let mut t = LinkTranscript::new();
+        t.push(rec(0, &[Sym::Zero, Sym::One, Sym::Star]));
+        assert_eq!(t.bits().len(), 32 + 6);
+        t.push(rec(1, &[Sym::One]));
+        assert_eq!(t.bits().len(), 38 + 34);
+        assert_eq!(t.prefix_bit_len(1), 38);
+        assert_eq!(t.prefix_bit_len(2), 72);
+        assert_eq!(t.prefix_bit_len(0), 0);
+    }
+
+    #[test]
+    fn truncate_restores_exact_prefix_bits() {
+        let mut a = LinkTranscript::new();
+        a.push(rec(0, &[Sym::One, Sym::Star]));
+        let snapshot = a.bits().clone();
+        a.push(rec(1, &[Sym::Zero]));
+        a.truncate(1);
+        assert_eq!(a.bits(), &snapshot);
+        assert_eq!(a.chunks(), 1);
+        // Truncating beyond length is a no-op.
+        a.truncate(5);
+        assert_eq!(a.chunks(), 1);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let mut a = LinkTranscript::new();
+        let mut b = LinkTranscript::new();
+        for c in 0..4 {
+            a.push(rec(c, &[Sym::Zero]));
+            b.push(rec(c, &[if c == 2 { Sym::One } else { Sym::Zero }]));
+        }
+        assert_eq!(a.common_prefix_chunks(&b), 2);
+        assert!(!a.same_as(&b));
+        assert!(a.same_as(&a.clone()));
+    }
+
+    #[test]
+    fn chunk_ids_bind_length() {
+        // Transcripts differing only in *amount* of trailing content hash
+        // differently because chunk ids are embedded: compare hash of
+        // prefix lengths directly.
+        let mut a = LinkTranscript::new();
+        a.push(rec(0, &[Sym::Zero, Sym::Zero]));
+        let mut b = a.clone();
+        b.push(rec(1, &[Sym::Zero, Sym::Zero]));
+        let src = CrsSource::new(3);
+        let label = SeedLabel {
+            iteration: 0,
+            channel: 0,
+            slot: 1,
+        };
+        let ha = hash_bits(a.bits(), 16, &mut *src.stream(label));
+        let hb = hash_bits(b.bits(), 16, &mut *src.stream(label));
+        assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn matches_reference_prefix() {
+        let reference = vec![rec(0, &[Sym::One]), rec(1, &[Sym::Zero])];
+        let mut t = LinkTranscript::new();
+        t.push(rec(0, &[Sym::One]));
+        assert!(t.matches_reference(&reference, 1));
+        assert!(!t.matches_reference(&reference, 2));
+        t.push(rec(1, &[Sym::Star]));
+        assert!(!t.matches_reference(&reference, 2));
+    }
+
+    #[test]
+    fn symbol_positions() {
+        let mut t = LinkTranscript::new();
+        t.push(rec(0, &[Sym::Zero, Sym::Zero]));
+        // Next chunk's symbol 3 sits after 36 existing bits + 32-bit id.
+        assert_eq!(symbol_bit_position(&t, 3), 36 + 32 + 6);
+        assert_eq!(sym_delta(Sym::Zero, Sym::One), 0b01);
+        assert_eq!(sym_delta(Sym::Zero, Sym::Star), 0b10);
+        assert_eq!(sym_delta(Sym::One, Sym::Star), 0b11);
+    }
+}

@@ -1,0 +1,283 @@
+//! GF(2^8) with the AES-adjacent reduction polynomial `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11d), the conventional choice for Reed–Solomon over bytes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub};
+use std::sync::OnceLock;
+
+/// Reduction polynomial for GF(2^8): x^8 + x^4 + x^3 + x^2 + 1.
+const POLY: u16 = 0x11d;
+/// Multiplicative generator of GF(2^8)* for this polynomial.
+const GENERATOR: u8 = 0x02;
+
+struct Tables {
+    /// `exp[i] = g^i` for i in 0..510 (doubled to skip a mod in mul).
+    exp: [u8; 510],
+    /// `log[x] = i` such that `g^i = x`; `log[0]` is unused.
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 510];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..510 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2^8).
+///
+/// Addition is XOR; multiplication uses log/exp tables with the 0x11d
+/// reduction polynomial. All operations are total except [`Gf256::inv`] and
+/// division, which panic on zero (documented below).
+///
+/// # Examples
+///
+/// ```
+/// use gf2::Gf256;
+/// let a = Gf256::new(0x57);
+/// let b = Gf256::new(0x83);
+/// assert_eq!((a * b) / b, a);
+/// assert_eq!(a + a, Gf256::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+
+    /// Wraps a byte as a field element.
+    pub fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// Returns the multiplicative generator `g = 0x02`.
+    pub fn generator() -> Self {
+        Gf256(GENERATOR)
+    }
+
+    /// Returns `g^i` where `g` is the generator.
+    pub fn alpha(i: usize) -> Self {
+        Gf256(tables().exp[i % 255])
+    }
+
+    /// True if this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero in GF(2^8)");
+        let t = tables();
+        Gf256(t.exp[255 - t.log[self.0 as usize] as usize])
+    }
+
+    /// Raises `self` to the `e`-th power (with `0^0 = 1`).
+    pub fn pow(self, e: usize) -> Self {
+        if self.0 == 0 {
+            return if e == 0 { Gf256::ONE } else { Gf256::ZERO };
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as usize;
+        Gf256(t.exp[(l * e) % 255])
+    }
+
+    /// Discrete log base `g`; `None` for zero.
+    pub fn log(self) -> Option<u16> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables().log[self.0 as usize])
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Add for Gf256 {
+    type Output = Gf256;
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)]
+impl AddAssign for Gf256 {
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Sub for Gf256 {
+    type Output = Gf256;
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction is addition.
+        self + rhs
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf256(t.exp[l])
+    }
+}
+
+impl MulAssign for Gf256 {
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Gf256) -> Gf256 {
+        self * rhs.inv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf256(a) + Gf256(a), Gf256::ZERO);
+            assert_eq!(Gf256(a) + Gf256::ZERO, Gf256(a));
+        }
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf256(a) * Gf256::ONE, Gf256(a));
+        }
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf256(a) * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn inverses_exhaustive() {
+        for a in 1..=255u8 {
+            assert_eq!(Gf256(a) * Gf256(a).inv(), Gf256::ONE, "a={a}");
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = std::collections::HashSet::new();
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(seen.insert(x.0), "generator order < 255");
+            x *= Gf256::generator();
+        }
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Gf256(0x53);
+        let mut acc = Gf256::ONE;
+        for e in 0..520 {
+            assert_eq!(a.pow(e), acc, "e={e}");
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn pow_of_zero() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    fn alpha_cycles() {
+        assert_eq!(Gf256::alpha(0), Gf256::ONE);
+        assert_eq!(Gf256::alpha(255), Gf256::ONE);
+        assert_eq!(Gf256::alpha(1), Gf256::generator());
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutative(a: u8, b: u8) {
+            prop_assert_eq!(Gf256(a) * Gf256(b), Gf256(b) * Gf256(a));
+        }
+
+        #[test]
+        fn mul_associative(a: u8, b: u8, c: u8) {
+            prop_assert_eq!((Gf256(a) * Gf256(b)) * Gf256(c), Gf256(a) * (Gf256(b) * Gf256(c)));
+        }
+
+        #[test]
+        fn distributive(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(Gf256(a) * (Gf256(b) + Gf256(c)),
+                            Gf256(a) * Gf256(b) + Gf256(a) * Gf256(c));
+        }
+
+        #[test]
+        fn division_roundtrip(a: u8, b in 1u8..) {
+            prop_assert_eq!((Gf256(a) * Gf256(b)) / Gf256(b), Gf256(a));
+        }
+
+        #[test]
+        fn log_exp_roundtrip(a in 1u8..) {
+            let l = Gf256(a).log().unwrap() as usize;
+            prop_assert_eq!(Gf256::alpha(l), Gf256(a));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! GF(2^64) via software carry-less multiplication, reduced by
+//! `x^64 + x^4 + x^3 + x + 1` (the lexicographically-least irreducible
+//! pentanomial of degree 64, low part `0x1b`).
+//!
+//! This field backs the AGHP small-bias generator in the `smallbias` crate,
+//! which needs fast `pow` (random access into the ε-biased string) and fast
+//! sequential multiplication (streaming access).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// Low 64 bits of the reduction polynomial (the `x^64` term is implicit).
+#[cfg(test)]
+const POLY_LOW: u64 = 0x1b;
+
+/// An element of GF(2^64).
+///
+/// # Examples
+///
+/// ```
+/// use gf2::Gf64;
+/// let a = Gf64::new(0x0123_4567_89ab_cdef);
+/// assert_eq!(a * Gf64::ONE, a);
+/// assert_eq!(a * a.inv(), Gf64::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf64(pub u64);
+
+/// Carry-less multiply of two 64-bit words into a 128-bit product.
+///
+/// Pure-software shift/xor ladder, processing 4 bits of `b` at a time via a
+/// small table of multiples of `a` — ~16 iterations instead of 64.
+fn clmul(a: u64, b: u64) -> (u64, u64) {
+    // Table of a * {0..15} as 65..68-bit values (hi bits spill into `hi`).
+    let mut tab_lo = [0u64; 16];
+    let mut tab_hi = [0u64; 16];
+    for i in 1..16usize {
+        // i = j ^ (1 << k) for the lowest set bit k of i.
+        let k = i.trailing_zeros();
+        let j = i ^ (1 << k);
+        let (slo, shi) = shl128(a, 0, k);
+        tab_lo[i] = tab_lo[j] ^ slo;
+        tab_hi[i] = tab_hi[j] ^ shi;
+    }
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    // Process b in nibbles from the top.
+    for nib in (0..16).rev() {
+        // Shift accumulator left by 4.
+        let (nlo, nhi) = shl128(lo, hi, 4);
+        lo = nlo;
+        hi = nhi;
+        let idx = ((b >> (nib * 4)) & 0xf) as usize;
+        lo ^= tab_lo[idx];
+        hi ^= tab_hi[idx];
+    }
+    (lo, hi)
+}
+
+/// Shifts a 128-bit value (lo, hi) left by `s` bits (0 <= s < 64).
+fn shl128(lo: u64, hi: u64, s: u32) -> (u64, u64) {
+    if s == 0 {
+        (lo, hi)
+    } else {
+        (lo << s, (hi << s) | (lo >> (64 - s)))
+    }
+}
+
+/// Reduces a 128-bit carry-less product modulo `x^64 + x^4 + x^3 + x + 1`.
+fn reduce(lo: u64, hi: u64) -> u64 {
+    // x^64 ≡ x^4 + x^3 + x + 1 (mod p), so fold `hi` down twice: folding the
+    // top 64 bits produces a value of degree < 68, whose own top 4 bits are
+    // folded again.
+    // hi * (x^4 + x^3 + x + 1):
+    let f1 = hi ^ (hi << 1) ^ (hi << 3) ^ (hi << 4);
+    // Bits shifted out of the top by the <<1/<<3/<<4 terms:
+    let c1 = (hi >> 63) ^ (hi >> 61) ^ (hi >> 60);
+    let f2 = c1 ^ (c1 << 1) ^ (c1 << 3) ^ (c1 << 4);
+    lo ^ f1 ^ f2
+}
+
+impl Gf64 {
+    /// The additive identity.
+    pub const ZERO: Gf64 = Gf64(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf64 = Gf64(1);
+
+    /// Wraps a word as a field element.
+    pub fn new(v: u64) -> Self {
+        Gf64(v)
+    }
+
+    /// True if this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raises `self` to the `e`-th power by square-and-multiply
+    /// (with `0^0 = 1`).
+    pub fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Gf64::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat: `a^(2^64 - 2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn inv(self) -> Self {
+        assert!(!self.is_zero(), "inverse of zero in GF(2^64)");
+        // 2^64 - 2 = 0xFFFF_FFFF_FFFF_FFFE
+        self.pow(u64::MAX - 1)
+    }
+
+    /// GF(2)-trace-like inner product of the bit representations of two
+    /// elements: parity of `popcount(a & b)`. Used by the AGHP generator,
+    /// which outputs `⟨x^i, y⟩` bits.
+    pub fn dot_bit(self, other: Gf64) -> bool {
+        (self.0 & other.0).count_ones() & 1 == 1
+    }
+}
+
+impl fmt::Debug for Gf64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf64({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<u64> for Gf64 {
+    fn from(v: u64) -> Self {
+        Gf64(v)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Add for Gf64 {
+    type Output = Gf64;
+    fn add(self, rhs: Gf64) -> Gf64 {
+        Gf64(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)]
+impl AddAssign for Gf64 {
+    fn add_assign(&mut self, rhs: Gf64) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Mul for Gf64 {
+    type Output = Gf64;
+    fn mul(self, rhs: Gf64) -> Gf64 {
+        let (lo, hi) = clmul(self.0, rhs.0);
+        Gf64(reduce(lo, hi))
+    }
+}
+
+impl MulAssign for Gf64 {
+    fn mul_assign(&mut self, rhs: Gf64) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clmul_small_cases() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2)[x].
+        assert_eq!(clmul(0b11, 0b11), (0b101, 0));
+        // x^63 * x = x^64.
+        assert_eq!(clmul(1 << 63, 0b10), (0, 1));
+        assert_eq!(clmul(0, 0xdead_beef), (0, 0));
+    }
+
+    /// Bit-at-a-time reference carry-less multiply.
+    fn clmul_ref(a: u64, b: u64) -> (u64, u64) {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for i in 0..64 {
+            if (b >> i) & 1 == 1 {
+                let (slo, shi) = shl128(a, 0, i);
+                lo ^= slo;
+                hi ^= shi;
+            }
+        }
+        (lo, hi)
+    }
+
+    #[test]
+    fn x64_reduces_to_poly_low() {
+        // x^32 * x^32 = x^64 ≡ POLY_LOW.
+        let x32 = Gf64(1 << 32);
+        assert_eq!(x32 * x32, Gf64(POLY_LOW));
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let a = Gf64(0x0123_4567_89ab_cdef);
+        assert_eq!(a * Gf64::ONE, a);
+        assert_eq!(Gf64::ONE * a, a);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Gf64(0x9e37_79b9_7f4a_7c15);
+        let mut acc = Gf64::ONE;
+        for e in 0..200u64 {
+            assert_eq!(a.pow(e), acc, "e={e}");
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn fermat_order() {
+        // a^(2^64 - 1) = 1 for a != 0.
+        let a = Gf64(0xdead_beef_cafe_f00d);
+        assert_eq!(a.pow(u64::MAX), Gf64::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn clmul_matches_reference(a: u64, b: u64) {
+            prop_assert_eq!(clmul(a, b), clmul_ref(a, b));
+        }
+
+        #[test]
+        fn mul_commutative(a: u64, b: u64) {
+            prop_assert_eq!(Gf64(a) * Gf64(b), Gf64(b) * Gf64(a));
+        }
+
+        #[test]
+        fn mul_associative(a: u64, b: u64, c: u64) {
+            prop_assert_eq!((Gf64(a) * Gf64(b)) * Gf64(c), Gf64(a) * (Gf64(b) * Gf64(c)));
+        }
+
+        #[test]
+        fn distributive(a: u64, b: u64, c: u64) {
+            prop_assert_eq!(Gf64(a) * (Gf64(b) + Gf64(c)),
+                            Gf64(a) * Gf64(b) + Gf64(a) * Gf64(c));
+        }
+
+        #[test]
+        fn inverse_roundtrip(a in 1u64..) {
+            prop_assert_eq!(Gf64(a) * Gf64(a).inv(), Gf64::ONE);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Binary-field arithmetic used by the MPIC reproduction.
+//!
+//! Two fields are provided:
+//!
+//! * [`Gf256`] — the byte field GF(2^8) with log/exp tables, used by the
+//!   Reed–Solomon codec in the `rscode` crate.
+//! * [`Gf64`] — GF(2^64) with software carry-less multiplication, used by
+//!   the AGHP small-bias generator in the `smallbias` crate.
+//!
+//! Plus dense polynomials over GF(2^8) ([`poly::Poly256`]) for the
+//! Reed–Solomon generator/locator/evaluator machinery.
+//!
+//! Everything is implemented from scratch (no external crates); arithmetic
+//! is deliberately branch-free in the hot paths and fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gf256;
+mod gf64;
+pub mod poly;
+
+pub use gf256::Gf256;
+pub use gf64::Gf64;

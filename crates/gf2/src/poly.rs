@@ -1,0 +1,277 @@
+//! Dense polynomials over GF(2^8), in support of the Reed–Solomon codec.
+//!
+//! Coefficients are stored low-degree first (`coeffs[i]` multiplies `x^i`).
+//! The zero polynomial is the empty coefficient vector.
+
+use crate::Gf256;
+
+/// A dense polynomial over [`Gf256`], low-degree-first coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use gf2::{Gf256, poly::Poly256};
+/// // p(x) = 1 + x
+/// let p = Poly256::from_coeffs(vec![Gf256::ONE, Gf256::ONE]);
+/// // p * p = 1 + x^2 over GF(2^8)
+/// let sq = p.mul(&p);
+/// assert_eq!(sq.coeffs(), &[Gf256::ONE, Gf256::ZERO, Gf256::ONE]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Poly256 {
+    coeffs: Vec<Gf256>,
+}
+
+impl Poly256 {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly256 { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly256 {
+            coeffs: vec![Gf256::ONE],
+        }
+    }
+
+    /// Builds a polynomial from low-degree-first coefficients, trimming
+    /// trailing zeros.
+    pub fn from_coeffs(coeffs: Vec<Gf256>) -> Self {
+        let mut p = Poly256 { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The monomial `c · x^d`.
+    pub fn monomial(c: Gf256, d: usize) -> Self {
+        if c.is_zero() {
+            return Poly256::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; d + 1];
+        coeffs[d] = c;
+        Poly256 { coeffs }
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Low-degree-first coefficients (no trailing zeros).
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient of `x^i` (zero beyond the stored degree).
+    pub fn coeff(&self, i: usize) -> Gf256 {
+        self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO)
+    }
+
+    /// Polynomial addition (= subtraction in characteristic 2).
+    pub fn add(&self, other: &Poly256) -> Poly256 {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.coeff(i) + other.coeff(i));
+        }
+        Poly256::from_coeffs(out)
+    }
+
+    /// Schoolbook polynomial multiplication.
+    pub fn mul(&self, other: &Poly256) -> Poly256 {
+        if self.is_zero() || other.is_zero() {
+            return Poly256::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly256::from_coeffs(out)
+    }
+
+    /// Multiplies every coefficient by `c`.
+    pub fn scale(&self, c: Gf256) -> Poly256 {
+        Poly256::from_coeffs(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// Multiplies by `x^d`.
+    pub fn shift(&self, d: usize) -> Poly256 {
+        if self.is_zero() {
+            return Poly256::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; d];
+        coeffs.extend_from_slice(&self.coeffs);
+        Poly256 { coeffs }
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Formal derivative. In characteristic 2 the even-degree terms vanish.
+    pub fn derivative(&self) -> Poly256 {
+        let mut out = Vec::new();
+        for (i, &c) in self.coeffs.iter().enumerate().skip(1) {
+            // d/dx c x^i = (i mod 2) c x^(i-1) over GF(2^8).
+            out.push(if i % 2 == 1 { c } else { Gf256::ZERO });
+        }
+        Poly256::from_coeffs(out)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q * divisor + r` and `deg r < deg divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Poly256) -> (Poly256, Poly256) {
+        assert!(!divisor.is_zero(), "division by zero polynomial");
+        let dd = divisor.degree().unwrap();
+        let lead_inv = divisor.coeffs[dd].inv();
+        let mut rem = self.coeffs.clone();
+        if rem.len() <= dd {
+            return (Poly256::zero(), self.clone());
+        }
+        let qlen = rem.len() - dd;
+        let mut quot = vec![Gf256::ZERO; qlen];
+        for qi in (0..qlen).rev() {
+            let c = rem[qi + dd] * lead_inv;
+            if c.is_zero() {
+                continue;
+            }
+            quot[qi] = c;
+            for (k, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[qi + k] += c * dc;
+            }
+        }
+        (Poly256::from_coeffs(quot), Poly256::from_coeffs(rem))
+    }
+
+    /// Truncates to terms of degree `< n` (i.e. reduces mod `x^n`).
+    pub fn truncated(&self, n: usize) -> Poly256 {
+        Poly256::from_coeffs(self.coeffs.iter().copied().take(n).collect())
+    }
+
+    /// Product `∏ (1 + roots[i]·x)`, the standard erasure-locator shape.
+    pub fn from_locator_roots(roots: &[Gf256]) -> Poly256 {
+        let mut acc = Poly256::one();
+        for &r in roots {
+            acc = acc.mul(&Poly256::from_coeffs(vec![Gf256::ONE, r]));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn poly(v: &[u8]) -> Poly256 {
+        Poly256::from_coeffs(v.iter().map(|&b| Gf256(b)).collect())
+    }
+
+    #[test]
+    fn add_self_is_zero() {
+        let p = poly(&[1, 2, 3]);
+        assert!(p.add(&p).is_zero());
+    }
+
+    #[test]
+    fn mul_by_one_and_zero() {
+        let p = poly(&[5, 0, 7]);
+        assert_eq!(p.mul(&Poly256::one()), p);
+        assert!(p.mul(&Poly256::zero()).is_zero());
+    }
+
+    #[test]
+    fn degree_and_trim() {
+        assert_eq!(poly(&[0, 0, 0]).degree(), None);
+        assert_eq!(poly(&[1, 0, 2, 0]).degree(), Some(2));
+    }
+
+    #[test]
+    fn eval_known() {
+        // p(x) = 3 + 2x over GF(2^8): p(1) = 3 ^ 2 = 1.
+        let p = poly(&[3, 2]);
+        assert_eq!(p.eval(Gf256::ONE), Gf256(1));
+        assert_eq!(p.eval(Gf256::ZERO), Gf256(3));
+    }
+
+    #[test]
+    fn derivative_drops_even_terms() {
+        // p = a + bx + cx^2 + dx^3 -> p' = b + dx^2.
+        let p = poly(&[9, 7, 5, 3]);
+        assert_eq!(p.derivative(), poly(&[7, 0, 3]));
+    }
+
+    #[test]
+    fn shift_is_mul_by_x_power() {
+        let p = poly(&[1, 2]);
+        let x2 = Poly256::monomial(Gf256::ONE, 2);
+        assert_eq!(p.shift(2), p.mul(&x2));
+    }
+
+    #[test]
+    fn locator_roots_eval_to_at_inverse_points() {
+        // ∏(1 + r x) vanishes at x = r^{-1}.
+        let roots = [Gf256(3), Gf256(9), Gf256(200)];
+        let loc = Poly256::from_locator_roots(&roots);
+        for r in roots {
+            assert_eq!(loc.eval(r.inv()), Gf256::ZERO);
+        }
+        assert_eq!(loc.eval(Gf256::ZERO), Gf256::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn div_rem_reconstructs(a in proptest::collection::vec(any::<u8>(), 0..24),
+                                b in proptest::collection::vec(any::<u8>(), 1..12)) {
+            let pa = poly(&a);
+            let pb = poly(&b);
+            prop_assume!(!pb.is_zero());
+            let (q, r) = pa.div_rem(&pb);
+            prop_assert_eq!(q.mul(&pb).add(&r), pa);
+            if let Some(rd) = r.degree() {
+                prop_assert!(rd < pb.degree().unwrap());
+            }
+        }
+
+        #[test]
+        fn mul_commutative(a in proptest::collection::vec(any::<u8>(), 0..16),
+                           b in proptest::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert_eq!(poly(&a).mul(&poly(&b)), poly(&b).mul(&poly(&a)));
+        }
+
+        #[test]
+        fn eval_is_ring_hom(a in proptest::collection::vec(any::<u8>(), 0..16),
+                            b in proptest::collection::vec(any::<u8>(), 0..16),
+                            x: u8) {
+            let (pa, pb, x) = (poly(&a), poly(&b), Gf256(x));
+            prop_assert_eq!(pa.mul(&pb).eval(x), pa.eval(x) * pb.eval(x));
+            prop_assert_eq!(pa.add(&pb).eval(x), pa.eval(x) + pb.eval(x));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Adversarial integration tests: targeted attacks against every phase of
+//! the scheme, plus the §6.1 separation between hash lengths.
+
+use mpic::{RunOptions, SchemeConfig, Simulation};
+use netgraph::DirectedLink;
+use netsim::attacks::{BurstLink, PhaseTargeted, SeedAwareCollision, SingleError};
+use netsim::PhaseKind;
+use protocol::workloads::{Gossip, LinePipeline};
+use protocol::Workload;
+
+fn gossip_ring(n: usize) -> Gossip {
+    Gossip::new(netgraph::topology::ring(n), 6, 17)
+}
+
+#[test]
+fn single_error_every_phase_is_survivable() {
+    let w = gossip_ring(4);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 23);
+    let sim = Simulation::new(&w, cfg, 1);
+    let geo = sim.geometry();
+    for phase in [
+        PhaseKind::MeetingPoints,
+        PhaseKind::FlagPassing,
+        PhaseKind::Simulation,
+        PhaseKind::Rewind,
+    ] {
+        let round = geo.phase_start(1, phase);
+        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        let out = sim.run(Box::new(atk), RunOptions::default());
+        assert!(out.success, "single {phase:?} error not repaired");
+    }
+}
+
+#[test]
+fn flag_passing_attack_only_idles_the_network() {
+    // Corrupting flags can waste iterations but must not corrupt results.
+    let w = gossip_ring(5);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 29);
+    let sim = Simulation::new(&w, cfg, 2);
+    let atk = PhaseTargeted::new(
+        sim.geometry(),
+        PhaseKind::FlagPassing,
+        w.graph().directed_links().collect(),
+        0.02,
+        7,
+    );
+    let out = sim.run(Box::new(atk), RunOptions::default());
+    assert!(out.success, "flag corruption broke correctness: {out:?}");
+}
+
+#[test]
+fn rewind_forgery_is_survivable() {
+    // Injected rewind requests roll back healthy links; the simulation
+    // must re-simulate and still finish.
+    let w = gossip_ring(5);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 31);
+    let sim = Simulation::new(&w, cfg, 3);
+    let atk = PhaseTargeted::new(
+        sim.geometry(),
+        PhaseKind::Rewind,
+        w.graph().directed_links().collect(),
+        0.01,
+        9,
+    );
+    let out = sim.run(Box::new(atk), RunOptions::default());
+    assert!(out.success, "forged rewinds broke the run: {out:?}");
+}
+
+#[test]
+fn meeting_points_attack_is_survivable() {
+    let w = gossip_ring(5);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 37);
+    let sim = Simulation::new(&w, cfg, 4);
+    let atk = PhaseTargeted::new(
+        sim.geometry(),
+        PhaseKind::MeetingPoints,
+        w.graph().directed_links().collect(),
+        0.005,
+        11,
+    );
+    let out = sim.run(Box::new(atk), RunOptions::default());
+    assert!(out.success, "MP corruption broke the run: {out:?}");
+}
+
+#[test]
+fn long_burst_mid_protocol_is_repaired() {
+    let w = gossip_ring(5);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 41);
+    let sim = Simulation::new(&w, cfg, 5);
+    let start = sim.geometry().phase_start(2, PhaseKind::Simulation);
+    let atk = BurstLink::new(DirectedLink { from: 2, to: 3 }, start, 20);
+    let out = sim.run(Box::new(atk), RunOptions::default());
+    assert!(out.success, "20-round burst not repaired: {out:?}");
+    assert!(out.stats.corruptions >= 10);
+}
+
+/// The §6.1 separation, as a regression test: with τ = 4 the seed-aware
+/// hunter defeats the scheme on a clique; with τ = 3 log₂ m it does not.
+#[test]
+fn seed_aware_separation() {
+    let w = Gossip::new(netgraph::topology::clique(6), 6, 51);
+    let g = w.graph().clone();
+    let m = g.edge_count();
+
+    let mut weak = SchemeConfig::algorithm_a(&g, 61);
+    weak.hash_bits = 4;
+    let sim = Simulation::new(&w, weak, 6);
+    let atk = SeedAwareCollision::new(sim.geometry(), m, 1);
+    let out_weak = sim.run(Box::new(atk), RunOptions::default());
+
+    let mut strong = SchemeConfig::algorithm_a(&g, 61);
+    strong.hash_bits = (3.0 * (m as f64).log2()).ceil() as u32;
+    let sim = Simulation::new(&w, strong, 6);
+    let atk = SeedAwareCollision::new(sim.geometry(), m, 1);
+    let out_strong = sim.run(Box::new(atk), RunOptions::default());
+
+    assert!(!out_weak.success, "τ=4 should fall to the seed-aware attack");
+    assert!(
+        out_weak.instrumentation.hash_collisions > 3,
+        "the attack should force collisions, got {}",
+        out_weak.instrumentation.hash_collisions
+    );
+    assert!(out_strong.success, "τ=Θ(log m) should resist");
+    assert!(out_strong.instrumentation.hash_collisions <= 1);
+}
+
+/// Algorithm C blunts the same attack by hiding the CRS: the oracle is
+/// disabled and the hunter finds nothing.
+#[test]
+fn hidden_crs_starves_the_oracle() {
+    let w = Gossip::new(netgraph::topology::clique(5), 6, 53);
+    let g = w.graph().clone();
+    let cfg = SchemeConfig::algorithm_c(&g, 67);
+    let sim = Simulation::new(&w, cfg, 7);
+    let atk = SeedAwareCollision::new(sim.geometry(), g.edge_count(), 1);
+    let out = sim.run(Box::new(atk), RunOptions::default());
+    assert!(out.success);
+    assert_eq!(out.stats.corruptions, 0, "oracle should never fire");
+}
+
+/// Oblivious adversaries must behave identically whether or not the live
+/// view is exposed (they are forbidden from reading it).
+#[test]
+fn oblivious_attacks_ignore_the_view() {
+    let w = gossip_ring(4);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 71);
+    let run = |expose_view| {
+        let sim = Simulation::new(&w, cfg.clone(), 8);
+        let atk = netsim::attacks::IidNoise::new(w.graph().directed_links().collect(), 0.002, 3);
+        sim.run(
+            Box::new(atk),
+            RunOptions {
+                expose_view,
+                ..Default::default()
+            },
+        )
+    };
+    let a = run(true);
+    let b = run(false);
+    assert_eq!(a.success, b.success);
+    assert_eq!(a.stats.cc, b.stats.cc);
+    assert_eq!(a.stats.corruptions, b.stats.corruptions);
+}
+
+/// Budget enforcement: the engine refuses corruptions beyond the cap, and
+/// the adversary cannot exceed its ε-fraction this way.
+#[test]
+fn noise_budget_is_a_hard_cap() {
+    let w = gossip_ring(4);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 73);
+    let sim = Simulation::new(&w, cfg, 9);
+    let atk = BurstLink::new(DirectedLink { from: 0, to: 1 }, 0, u64::MAX);
+    let out = sim.run(
+        Box::new(atk),
+        RunOptions {
+            noise_budget: 5,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out.stats.corruptions, 5);
+    assert!(out.stats.dropped_corruptions > 0);
+    assert!(out.success, "5 corruptions must be repairable");
+}
+
+/// A corruption on the very last chunk (the classic end-game attack that
+/// dummy-chunk padding defends against) is still corrected.
+#[test]
+fn late_error_is_repaired() {
+    let w = LinePipeline::new(4, 2, 19);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 79);
+    let sim = Simulation::new(&w, cfg, 10);
+    let real = sim.proto().real_chunks() as u64;
+    // Hit the simulation phase of the iteration simulating the last chunk.
+    let start = sim.geometry().phase_start(real - 1, PhaseKind::Simulation);
+    let atk = SingleError::new(DirectedLink { from: 2, to: 3 }, start + 2);
+    let out = sim.run(Box::new(atk), RunOptions::default());
+    assert!(out.success, "late error not repaired: {out:?}");
+}

@@ -1,0 +1,128 @@
+//! Tests aimed squarely at the replay/snapshot machinery: the part of the
+//! implementation with no direct analogue in the paper's pseudocode (the
+//! paper says "simulate chunk |T|+1 based on the partial transcripts"; we
+//! realize that with chunk-boundary state snapshots + deterministic
+//! replay). Forged rewinds force heavy snapshot churn; the final result
+//! must still be bit-exact.
+
+use mpic::{RunOptions, SchemeConfig, Simulation};
+use netgraph::DirectedLink;
+use netsim::attacks::{NoNoise, PhaseTargeted, SingleError};
+use netsim::PhaseKind;
+use protocol::workloads::{PointerChase, SumTree, Synthetic};
+use protocol::Workload;
+
+/// Pointer chasing has maximal cross-chunk state dependence: every chunk's
+/// content is a function of all earlier chunks. Heavy rewind churn must
+/// still reproduce it exactly.
+#[test]
+fn replay_exactness_under_rewind_churn() {
+    let w = PointerChase::new(4, 3, 3, 41);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 43);
+    let sim = Simulation::new(&w, cfg, 11);
+    let atk = PhaseTargeted::new(
+        sim.geometry(),
+        PhaseKind::Rewind,
+        w.graph().directed_links().collect(),
+        0.008,
+        3,
+    );
+    let out = sim.run(Box::new(atk), RunOptions::default());
+    assert!(out.success, "forged-rewind churn broke replay: {out:?}");
+}
+
+/// Stateful aggregation (SumTree) across repeated rollback/replay cycles.
+#[test]
+fn replay_exactness_for_stateful_aggregation() {
+    let w = SumTree::new(netgraph::topology::grid(2, 3), 4, 3, 47);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 53);
+    let sim = Simulation::new(&w, cfg, 13);
+    // Periodic single errors across the run.
+    for burst_iter in [0u64, 2, 5] {
+        let round = sim.geometry().phase_start(burst_iter, PhaseKind::Simulation) + 3;
+        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        let out = sim.run(Box::new(atk), RunOptions::default());
+        assert!(out.success, "error at iteration {burst_iter} not replayed correctly");
+    }
+}
+
+/// The same compiled simulation object can be run many times (run takes
+/// &self); runs must be independent.
+#[test]
+fn simulation_is_reusable() {
+    let w = Synthetic::new(netgraph::topology::ring(4), 12, 59);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 61);
+    let sim = Simulation::new(&w, cfg, 17);
+    let a = sim.run(Box::new(NoNoise), RunOptions::default());
+    let b = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(a.success && b.success);
+    assert_eq!(a.stats.cc, b.stats.cc);
+}
+
+/// The ⊥ round is attackable in both directions: forging a ⊥ (insertion)
+/// and deleting one. Both are single corruptions and must be repaired.
+#[test]
+fn bot_round_forgery_and_deletion_are_repaired() {
+    let w = SumTree::new(netgraph::topology::line(4), 3, 2, 67);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 71);
+    let sim = Simulation::new(&w, cfg, 19);
+    // The ⊥ round is the first round of each simulation phase. Insert a
+    // symbol there (forging non-participation of a participating party).
+    for iter in [0u64, 1, 3] {
+        let round = sim.geometry().phase_start(iter, PhaseKind::Simulation);
+        let atk = SingleError::new(DirectedLink { from: 1, to: 2 }, round);
+        let out = sim.run(Box::new(atk), RunOptions::default());
+        assert!(out.success, "⊥-round corruption at iteration {iter} not repaired");
+    }
+}
+
+/// Ablation switches actually change behavior (guards the F4 experiment).
+#[test]
+fn ablation_flags_have_effect() {
+    let w = protocol::workloads::LinePipeline::new(6, 3, 73);
+    let mk = |no_fp: bool, no_rw: bool| {
+        let mut cfg = SchemeConfig::algorithm_a(w.graph(), 79);
+        cfg.disable_flag_passing = no_fp;
+        cfg.disable_rewind = no_rw;
+        let sim = Simulation::new(&w, cfg, 23);
+        let round = sim.geometry().phase_start(0, PhaseKind::Simulation) + 2;
+        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        sim.run(
+            Box::new(atk),
+            RunOptions {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+    };
+    let full = mk(false, false);
+    let no_rw = mk(false, true);
+    assert!(full.success, "full scheme repairs the single error");
+    assert!(!no_rw.success, "without the rewind phase the length gap deadlocks");
+    // Noiselessly, the ablations are inert: nothing to coordinate.
+    let mut cfg = SchemeConfig::algorithm_a(w.graph(), 79);
+    cfg.disable_flag_passing = true;
+    cfg.disable_rewind = true;
+    let sim = Simulation::new(&w, cfg, 23);
+    let clean = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(clean.success);
+}
+
+/// G* at completion covers all real chunks plus any simulated dummies; the
+/// dummy padding never contaminates outputs.
+#[test]
+fn dummy_chunks_do_not_affect_outputs() {
+    let w = SumTree::new(netgraph::topology::star(4), 3, 1, 83);
+    let mut cfg = SchemeConfig::algorithm_a(w.graph(), 89);
+    // Exaggerate the padding: far more iterations than real chunks.
+    cfg.iteration_factor = 8.0;
+    cfg.extra_iterations = 20;
+    let sim = Simulation::new(&w, cfg, 29);
+    let out = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(out.success);
+    assert!(
+        out.g_star > sim.proto().real_chunks() + 10,
+        "dummy chunks should have been simulated too (G* = {})",
+        out.g_star
+    );
+}

@@ -1,0 +1,326 @@
+//! Immutable simple graphs with stable node and edge identifiers.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Identifier of a node (party). Nodes are numbered `0..n`.
+pub type NodeId = usize;
+
+/// Identifier of an undirected edge (link). Edges are numbered `0..m` in
+/// insertion order.
+pub type EdgeId = usize;
+
+/// One direction of an undirected link: the ordered pair `(from, to)`.
+///
+/// The synchronous channel model allows one symbol per round per direction
+/// (§2.1), so most per-round bookkeeping is keyed by `DirectedLink`.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::DirectedLink;
+/// let d = DirectedLink { from: 0, to: 1 };
+/// assert_eq!(d.reversed(), DirectedLink { from: 1, to: 0 });
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DirectedLink {
+    /// Sending endpoint.
+    pub from: NodeId,
+    /// Receiving endpoint.
+    pub to: NodeId,
+}
+
+impl DirectedLink {
+    /// The opposite direction of the same link.
+    pub fn reversed(self) -> DirectedLink {
+        DirectedLink {
+            from: self.to,
+            to: self.from,
+        }
+    }
+}
+
+impl fmt::Display for DirectedLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// An immutable connected simple graph.
+///
+/// Construction validates simplicity (no self-loops, no duplicate edges);
+/// most consumers also require connectivity, checked by
+/// [`Graph::is_connected`] and asserted by the topology builders.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    /// `adj[v]` = sorted neighbor list of `v`.
+    adj: Vec<Vec<NodeId>>,
+    /// `edge_of[v]` = (neighbor, edge id) pairs parallel to `adj[v]`.
+    edge_ids: Vec<Vec<EdgeId>>,
+}
+
+/// Error returned by [`Graph::from_edges`] for non-simple inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge `(v, v)` was supplied.
+    SelfLoop(NodeId),
+    /// The same undirected edge appeared twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// An endpoint was `>= n`.
+    NodeOutOfRange(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an undirected edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the input contains a self-loop, a duplicate
+    /// edge (in either orientation), or an endpoint `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Graph, GraphError> {
+        let mut seen = BTreeSet::new();
+        let mut norm = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange(u));
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange(v));
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(GraphError::DuplicateEdge(u, v));
+            }
+            norm.push(key);
+        }
+        let mut adj = vec![Vec::new(); n];
+        let mut edge_ids = vec![Vec::new(); n];
+        for (id, &(u, v)) in norm.iter().enumerate() {
+            adj[u].push(v);
+            adj[v].push(u);
+            edge_ids[u].push(id);
+            edge_ids[v].push(id);
+        }
+        // Sort neighbor lists (keeping edge ids parallel) for determinism.
+        for v in 0..n {
+            let mut pairs: Vec<(NodeId, EdgeId)> =
+                adj[v].iter().copied().zip(edge_ids[v].iter().copied()).collect();
+            pairs.sort_unstable();
+            adj[v] = pairs.iter().map(|p| p.0).collect();
+            edge_ids[v] = pairs.iter().map(|p| p.1).collect();
+        }
+        Ok(Graph {
+            n,
+            edges: norm,
+            adj,
+            edge_ids,
+        })
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected links `m`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The endpoints `(u, v)` (with `u < v`) of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// Sorted neighbor list of `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Edge id of the link `{u, v}`, if present.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let i = self.adj[u].binary_search(&v).ok()?;
+        Some(self.edge_ids[u][i])
+    }
+
+    /// Iterates over all undirected edges as `(edge id, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges.iter().enumerate().map(|(i, &(u, v))| (i, u, v))
+    }
+
+    /// Iterates over all `2m` directed links in a fixed deterministic order
+    /// (edge id major, low-endpoint-first direction first).
+    pub fn directed_links(&self) -> impl Iterator<Item = DirectedLink> + '_ {
+        self.edges.iter().flat_map(|&(u, v)| {
+            [
+                DirectedLink { from: u, to: v },
+                DirectedLink { from: v, to: u },
+            ]
+        })
+    }
+
+    /// Dense index of a directed link in `0..2m`: `2 * edge_id + dir` where
+    /// `dir = 0` iff `from < to`. Useful for flat per-link arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not an edge of the graph.
+    pub fn directed_index(&self, link: DirectedLink) -> usize {
+        let e = self
+            .edge_between(link.from, link.to)
+            .expect("directed_index of non-edge");
+        2 * e + usize::from(link.from > link.to)
+    }
+
+    /// Inverse of [`Graph::directed_index`].
+    pub fn directed_from_index(&self, idx: usize) -> DirectedLink {
+        let (u, v) = self.edges[idx / 2];
+        if idx % 2 == 0 {
+            DirectedLink { from: u, to: v }
+        } else {
+            DirectedLink { from: v, to: u }
+        }
+    }
+
+    /// BFS distances from `src` (`usize::MAX` for unreachable nodes).
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut q = VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src);
+        while let Some(v) = q.pop_front() {
+            for &w in &self.adj[v] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True if every node is reachable from node 0 (or the graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Graph diameter (max over nodes of max BFS distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or empty.
+    pub fn diameter(&self) -> usize {
+        assert!(self.n > 0 && self.is_connected());
+        (0..self.n)
+            .map(|v| *self.bfs_distances(v).iter().max().unwrap())
+            .max()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_in_either_orientation() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge(1, 0))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange(5))
+        ));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_degrees() {
+        let g = Graph::from_edges(4, &[(2, 0), (0, 3), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edge_between_and_directed_index_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        for link in g.directed_links().collect::<Vec<_>>() {
+            let idx = g.directed_index(link);
+            assert_eq!(g.directed_from_index(idx), link);
+        }
+        assert_eq!(g.edge_between(0, 2), None);
+        assert_eq!(g.edge_between(1, 0), Some(0));
+    }
+
+    #[test]
+    fn bfs_and_diameter_on_path() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.diameter(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+    }
+}

@@ -1,0 +1,21 @@
+//! Network topology substrate for the MPIC reproduction.
+//!
+//! The paper operates over an arbitrary connected simple graph G = (V, E)
+//! where nodes are parties and edges are bidirectional communication links
+//! (§2.1). This crate provides:
+//!
+//! * [`Graph`] — an immutable simple graph with stable node/edge ids,
+//! * standard topology builders ([`topology`]) matching the paper's
+//!   discussion (line, star, clique, ring, grid, random, binary tree),
+//! * [`SpanningTree`] — the BFS spanning tree with levels used by the
+//!   flag-passing phase (Algorithm 3 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod spanning;
+pub mod topology;
+
+pub use graph::{DirectedLink, EdgeId, Graph, GraphError, NodeId};
+pub use spanning::SpanningTree;

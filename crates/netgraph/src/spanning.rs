@@ -1,0 +1,164 @@
+//! BFS spanning trees with levels, as used by the flag-passing phase.
+//!
+//! The paper's Algorithm 3 fixes a root ρ known to all parties, takes the
+//! BFS tree T from ρ, and defines the *level* `ℓ(ρ) = 1`,
+//! `ℓ(v) = ℓ(parent(v)) + 1`. We mirror that convention exactly so the
+//! round arithmetic of the flag-passing phase matches the paper.
+
+use crate::graph::{Graph, NodeId};
+
+/// A rooted BFS spanning tree of a connected [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::{Graph, SpanningTree};
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+/// let t = SpanningTree::bfs(&g, 0);
+/// assert_eq!(t.root(), 0);
+/// assert_eq!(t.level(0), 1);
+/// assert_eq!(t.level(2), 3);
+/// assert_eq!(t.depth(), 3);
+/// assert_eq!(t.children(1), &[2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpanningTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    /// 1-based level: root has level 1 (paper's convention).
+    level: Vec<usize>,
+    depth: usize,
+}
+
+impl SpanningTree {
+    /// Builds the BFS spanning tree of `g` rooted at `root`.
+    ///
+    /// Ties are broken by ascending node id (the neighbor lists are sorted),
+    /// so the tree is deterministic — a requirement, since every party must
+    /// locally derive the *same* tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or `root` is out of range.
+    pub fn bfs(g: &Graph, root: NodeId) -> SpanningTree {
+        let n = g.node_count();
+        assert!(root < n, "root out of range");
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut level = vec![0usize; n];
+        let mut order = std::collections::VecDeque::new();
+        level[root] = 1;
+        order.push_back(root);
+        let mut visited = vec![false; n];
+        visited[root] = true;
+        while let Some(v) = order.pop_front() {
+            for &w in g.neighbors(v) {
+                if !visited[w] {
+                    visited[w] = true;
+                    parent[w] = Some(v);
+                    children[v].push(w);
+                    level[w] = level[v] + 1;
+                    order.push_back(w);
+                }
+            }
+        }
+        assert!(visited.iter().all(|&b| b), "graph is disconnected");
+        let depth = level.iter().copied().max().unwrap_or(1);
+        SpanningTree {
+            root,
+            parent,
+            children,
+            level,
+            depth,
+        }
+    }
+
+    /// The root ρ.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `v` in the tree (`None` for the root).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v]
+    }
+
+    /// Children of `v`, in ascending id order.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v]
+    }
+
+    /// Level of `v`; the root has level 1 (paper convention).
+    pub fn level(&self, v: NodeId) -> usize {
+        self.level[v]
+    }
+
+    /// Depth `d(T)` = maximum level.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// True if `v` is a leaf.
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn line_tree_levels() {
+        let g = topology::line(5);
+        let t = SpanningTree::bfs(&g, 0);
+        for v in 0..5 {
+            assert_eq!(t.level(v), v + 1);
+        }
+        assert_eq!(t.depth(), 5);
+        assert!(t.is_leaf(4));
+        assert!(!t.is_leaf(0));
+    }
+
+    #[test]
+    fn star_tree_depth_two() {
+        let g = topology::star(6);
+        let t = SpanningTree::bfs(&g, 0);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.children(0).len(), 5);
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let g = topology::random_connected(12, 20, 7);
+        let t = SpanningTree::bfs(&g, 3);
+        for v in 0..12 {
+            if let Some(p) = t.parent(v) {
+                assert!(t.children(p).contains(&v));
+                assert_eq!(t.level(v), t.level(p) + 1);
+                assert!(g.edge_between(v, p).is_some(), "tree edge must be graph edge");
+            } else {
+                assert_eq!(v, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = topology::clique(8);
+        let a = SpanningTree::bfs(&g, 0);
+        let b = SpanningTree::bfs(&g, 0);
+        for v in 0..8 {
+            assert_eq!(a.parent(v), b.parent(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn panics_on_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let _ = SpanningTree::bfs(&g, 0);
+    }
+}

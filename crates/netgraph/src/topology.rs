@@ -1,0 +1,231 @@
+//! Standard topology builders.
+//!
+//! Every builder returns a *connected simple* graph; the families here are
+//! the ones the paper and its related work discuss: the line (the running
+//! counterexample of §1.2), the star \[JKL15\], the clique \[ABE+16\],
+//! cycles and constant-degree graphs \[GK17\], grids, trees, and random
+//! graphs for "arbitrary topology".
+
+use crate::graph::{Graph, NodeId};
+
+/// Path graph `0 - 1 - … - (n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn line(n: usize) -> Graph {
+    assert!(n >= 2, "line needs at least 2 nodes");
+    let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges).expect("line is simple")
+}
+
+/// Cycle graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges).expect("ring is simple")
+}
+
+/// Star with center 0 and `n - 1` leaves.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges).expect("star is simple")
+}
+
+/// Complete graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn clique(n: usize) -> Graph {
+    assert!(n >= 2, "clique needs at least 2 nodes");
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("clique is simple")
+}
+
+/// `rows × cols` grid.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or the grid has fewer than 2 nodes.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid is simple")
+}
+
+/// Complete binary tree with `n` nodes (heap numbering).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn binary_tree(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push(((v - 1) / 2, v));
+    }
+    Graph::from_edges(n, &edges).expect("binary tree is simple")
+}
+
+/// Minimal xorshift64* PRNG, local to this crate so topology generation has
+/// no external dependencies and is stable across toolchains.
+#[derive(Clone, Debug)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Connected random graph G(n, M): a uniform random spanning tree skeleton
+/// (random-parent construction) plus random extra edges until `m` edges
+/// total. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `m < n - 1` or `m > n(n-1)/2` or `n < 2`.
+pub fn random_connected(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!(m >= n - 1, "need at least n-1 edges for connectivity");
+    assert!(m <= n * (n - 1) / 2, "too many edges for a simple graph");
+    let mut rng = XorShift::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    let mut present = std::collections::BTreeSet::new();
+    // Random spanning tree: attach node v to a uniformly random prior node.
+    for v in 1..n {
+        let u = rng.below(v);
+        edges.push((u, v));
+        present.insert((u, v));
+    }
+    while edges.len() < m {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            edges.push(key);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("random graph is simple by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_counts() {
+        let g = line(7);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_counts() {
+        let g = ring(7);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(9);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn clique_counts() {
+        let g = clique(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), 2 + 3);
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = binary_tree(15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_connected_properties() {
+        for seed in 0..10 {
+            let g = random_connected(20, 35, seed);
+            assert_eq!(g.node_count(), 20);
+            assert_eq!(g.edge_count(), 35);
+            assert!(g.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_connected_deterministic() {
+        let a = random_connected(15, 25, 42);
+        let b = random_connected(15, 25, 42);
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_tree_edge_case() {
+        let g = random_connected(10, 9, 3);
+        assert_eq!(g.edge_count(), 9);
+        assert!(g.is_connected());
+    }
+}

@@ -1,0 +1,405 @@
+//! The attack library used by the experiments.
+//!
+//! All "oblivious" attacks draw from private randomness with a consumption
+//! pattern that is a function of `(round, link)` only — they are exactly
+//! the additive adversaries of §2.1, just generated lazily instead of as a
+//! pre-materialized noise tensor. The seed-aware attack is the §6.1
+//! non-oblivious adversary.
+
+use crate::engine::{Adversary, AdaptiveView, Corruption, Wire};
+use crate::phase::{PhaseGeometry, PhaseKind};
+use netgraph::DirectedLink;
+use smallbias::Xoshiro256;
+
+/// Ternary additive noise (§2.1): symbols are {0, 1, *}≅{0, 1, 2} and the
+/// adversary adds `e ∈ {1, 2}` mod 3 to the channel.
+fn additive(honest: Option<bool>, e: u8) -> Option<bool> {
+    let x = match honest {
+        Some(false) => 0u8,
+        Some(true) => 1,
+        None => 2,
+    };
+    match (x + e) % 3 {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+/// The silent adversary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoNoise;
+
+impl Adversary for NoNoise {
+    fn corrupt(&mut self, _: u64, _: &Wire, _: u64, _: Option<&dyn AdaptiveView>) -> Vec<Corruption> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Oblivious i.i.d. additive noise: every `(round, directed link)` slot is
+/// corrupted independently with probability `prob`, with a uniformly random
+/// additive offset in {1, 2}. RNG consumption is fixed per slot, so the
+/// induced pattern is independent of the execution.
+pub struct IidNoise {
+    links: Vec<DirectedLink>,
+    prob: f64,
+    rng: Xoshiro256,
+    /// Rounds to leave untouched at the start (e.g. to spare the setup).
+    skip_before: u64,
+}
+
+impl IidNoise {
+    /// Noise over `links` with per-slot probability `prob`, seeded RNG.
+    pub fn new(links: Vec<DirectedLink>, prob: f64, seed: u64) -> Self {
+        IidNoise {
+            links,
+            prob,
+            rng: Xoshiro256::seeded(seed ^ 0x6e6f_6973_65aa_bb01),
+            skip_before: 0,
+        }
+    }
+
+    /// Leaves rounds `< round` noiseless (still consumes RNG, preserving
+    /// obliviousness of the remaining pattern).
+    pub fn skip_before(mut self, round: u64) -> Self {
+        self.skip_before = round;
+        self
+    }
+}
+
+impl Adversary for IidNoise {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &Wire,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let mut out = Vec::new();
+        for &link in &self.links {
+            let hit = self.rng.unit_f64() < self.prob;
+            let e = 1 + (self.rng.next_u64() % 2) as u8;
+            if hit && round >= self.skip_before {
+                out.push(Corruption {
+                    link,
+                    output: additive(sends.get(&link).copied(), e),
+                });
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "iid"
+    }
+}
+
+/// Oblivious burst: additive-1 noise on one directed link for a round
+/// window (flips bits, turns silence into inserted zeros... mod-3: silence
+/// becomes `0`).
+#[derive(Clone, Copy, Debug)]
+pub struct BurstLink {
+    link: DirectedLink,
+    start: u64,
+    len: u64,
+}
+
+impl BurstLink {
+    /// Burst on `link` during rounds `[start, start + len)`.
+    pub fn new(link: DirectedLink, start: u64, len: u64) -> Self {
+        BurstLink { link, start, len }
+    }
+}
+
+impl Adversary for BurstLink {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &Wire,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        if round < self.start || round >= self.start + self.len {
+            return Vec::new();
+        }
+        vec![Corruption {
+            link: self.link,
+            output: additive(sends.get(&self.link).copied(), 1),
+        }]
+    }
+
+    fn name(&self) -> &'static str {
+        "burst"
+    }
+}
+
+/// A single additive corruption at one `(round, link)` — the minimal attack
+/// of the paper's §1.2 line example (F4).
+#[derive(Clone, Copy, Debug)]
+pub struct SingleError {
+    link: DirectedLink,
+    round: u64,
+    fired: bool,
+}
+
+impl SingleError {
+    /// One corruption on `link` at `round`.
+    pub fn new(link: DirectedLink, round: u64) -> Self {
+        SingleError {
+            link,
+            round,
+            fired: false,
+        }
+    }
+}
+
+impl Adversary for SingleError {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &Wire,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        if self.fired || round != self.round {
+            return Vec::new();
+        }
+        self.fired = true;
+        vec![Corruption {
+            link: self.link,
+            output: additive(sends.get(&self.link).copied(), 1),
+        }]
+    }
+
+    fn name(&self) -> &'static str {
+        "single"
+    }
+}
+
+/// Oblivious phase-targeted noise: i.i.d. additive noise restricted to one
+/// phase kind (the phase layout is public, so this is still oblivious).
+/// Used to attack flag passing, the rewind wave, the meeting points, or the
+/// randomness exchange specifically.
+pub struct PhaseTargeted {
+    geometry: PhaseGeometry,
+    phase: PhaseKind,
+    links: Vec<DirectedLink>,
+    prob: f64,
+    rng: Xoshiro256,
+}
+
+impl PhaseTargeted {
+    /// Noise with per-slot probability `prob` confined to `phase`.
+    pub fn new(
+        geometry: PhaseGeometry,
+        phase: PhaseKind,
+        links: Vec<DirectedLink>,
+        prob: f64,
+        seed: u64,
+    ) -> Self {
+        PhaseTargeted {
+            geometry,
+            phase,
+            links,
+            prob,
+            rng: Xoshiro256::seeded(seed ^ 0x7068_6173_65cc_dd02),
+        }
+    }
+}
+
+impl Adversary for PhaseTargeted {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &Wire,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let mut out = Vec::new();
+        for &link in &self.links {
+            let hit = self.rng.unit_f64() < self.prob;
+            let e = 1 + (self.rng.next_u64() % 2) as u8;
+            if hit && self.geometry.locate(round).phase == self.phase {
+                out.push(Corruption {
+                    link,
+                    output: additive(sends.get(&link).copied(), e),
+                });
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "phase_targeted"
+    }
+}
+
+/// The §6.1 **non-oblivious, seed-aware** adversary: during every
+/// simulation phase it hunts (via the runner's oracle) for a corruption
+/// whose damage will be masked by a hash collision at the next
+/// meeting-points check — guaranteed-undetected errors. It spends at most
+/// `per_iteration` corruptions per iteration.
+///
+/// Against a constant hash length (Algorithm A) the hunt succeeds roughly
+/// every iteration once `m` candidate positions × 2^{-τ} ≳ 1 and the
+/// simulation never converges; against τ = Θ(log m) (Algorithm B) the
+/// success probability per candidate is `m^{-Θ(1)}` and the hunt starves.
+pub struct SeedAwareCollision {
+    geometry: PhaseGeometry,
+    edges: usize,
+    per_iteration: u64,
+    spent_this_iteration: u64,
+    current_iteration: u64,
+}
+
+impl SeedAwareCollision {
+    /// Hunts over all `edges` edges, at most `per_iteration` hits per
+    /// iteration.
+    pub fn new(geometry: PhaseGeometry, edges: usize, per_iteration: u64) -> Self {
+        SeedAwareCollision {
+            geometry,
+            edges,
+            per_iteration,
+            spent_this_iteration: 0,
+            current_iteration: u64::MAX,
+        }
+    }
+}
+
+impl Adversary for SeedAwareCollision {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &Wire,
+        budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let Some(view) = view else {
+            return Vec::new();
+        };
+        let pos = self.geometry.locate(round);
+        if pos.phase != PhaseKind::Simulation || budget == 0 {
+            return Vec::new();
+        }
+        if pos.iteration != self.current_iteration {
+            self.current_iteration = pos.iteration;
+            self.spent_this_iteration = 0;
+        }
+        if self.spent_this_iteration >= self.per_iteration {
+            return Vec::new();
+        }
+        for edge in 0..self.edges {
+            // Only attack links that are currently in agreement — the point
+            // is to *create* a fresh undetected divergence.
+            if view.diverged(edge) {
+                continue;
+            }
+            if let Some(c) = view.collision_corruption(edge, sends) {
+                self.spent_this_iteration += 1;
+                return vec![c];
+            }
+        }
+        Vec::new()
+    }
+
+    fn is_oblivious(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "seed_aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dl(from: usize, to: usize) -> DirectedLink {
+        DirectedLink { from, to }
+    }
+
+    #[test]
+    fn additive_table() {
+        assert_eq!(additive(Some(false), 1), Some(true)); // 0+1 = 1
+        assert_eq!(additive(Some(true), 1), None); // 1+1 = 2 = *
+        assert_eq!(additive(None, 1), Some(false)); // 2+1 = 0
+        assert_eq!(additive(Some(false), 2), None); // deletion
+        assert_eq!(additive(Some(true), 2), Some(false)); // substitution
+        assert_eq!(additive(None, 2), Some(true)); // insertion
+    }
+
+    #[test]
+    fn iid_noise_is_reproducible() {
+        let links = vec![dl(0, 1), dl(1, 0)];
+        let mut a = IidNoise::new(links.clone(), 0.5, 1);
+        let mut b = IidNoise::new(links, 0.5, 1);
+        let sends = Wire::new();
+        for round in 0..50 {
+            assert_eq!(
+                a.corrupt(round, &sends, u64::MAX, None),
+                b.corrupt(round, &sends, u64::MAX, None)
+            );
+        }
+    }
+
+    #[test]
+    fn iid_noise_rate_close_to_prob() {
+        let links = vec![dl(0, 1)];
+        let mut a = IidNoise::new(links, 0.1, 42);
+        let sends = Wire::new();
+        let mut hits = 0;
+        for round in 0..10_000 {
+            hits += a.corrupt(round, &sends, u64::MAX, None).len();
+        }
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn single_error_fires_once() {
+        let mut a = SingleError::new(dl(0, 1), 5);
+        let sends = Wire::new();
+        let mut total = 0;
+        for round in 0..10 {
+            total += a.corrupt(round, &sends, u64::MAX, None).len();
+        }
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn phase_targeted_respects_phase() {
+        let g = PhaseGeometry {
+            setup: 0,
+            meeting_points: 5,
+            flag_passing: 5,
+            simulation: 5,
+            rewind: 5,
+        };
+        let mut a = PhaseTargeted::new(g, PhaseKind::FlagPassing, vec![dl(0, 1)], 1.0, 3);
+        let sends = Wire::new();
+        for round in 0..40 {
+            let cs = a.corrupt(round, &sends, u64::MAX, None);
+            let in_fp = g.locate(round).phase == PhaseKind::FlagPassing;
+            assert_eq!(!cs.is_empty(), in_fp, "round {round}");
+        }
+    }
+
+    #[test]
+    fn seed_aware_idle_without_view() {
+        let g = PhaseGeometry {
+            setup: 0,
+            meeting_points: 1,
+            flag_passing: 1,
+            simulation: 5,
+            rewind: 1,
+        };
+        let mut a = SeedAwareCollision::new(g, 3, 1);
+        assert!(a.corrupt(3, &Wire::new(), u64::MAX, None).is_empty());
+        assert!(!a.is_oblivious());
+    }
+}

@@ -1,0 +1,272 @@
+//! The round-driven network engine.
+
+use netgraph::{DirectedLink, EdgeId, Graph};
+use std::collections::BTreeMap;
+
+/// The honest sends of one round: directed link → bit. Links absent from
+/// the map are silent.
+pub type Wire = BTreeMap<DirectedLink, bool>;
+
+/// One channel corruption: the link and what the receiver should observe
+/// instead (`Some(bit)` substitutes/inserts, `None` deletes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Corruption {
+    /// The directed link whose output is overridden.
+    pub link: DirectedLink,
+    /// The channel output after noise: a bit, or silence.
+    pub output: Option<bool>,
+}
+
+/// Live-execution view offered to non-oblivious adversaries.
+///
+/// The paper's non-oblivious adversary (§6) sees the parties' inputs and
+/// the entire transcript so far — in particular the hash seeds that crossed
+/// the network — and picks corruptions adaptively. We expose that power as
+/// a trait implemented by the coding-scheme runner.
+pub trait AdaptiveView {
+    /// True if the two endpoints of `edge` currently hold differing
+    /// pairwise transcripts.
+    fn diverged(&self, edge: EdgeId) -> bool;
+
+    /// Transcript length (in chunks) at the lower endpoint of `edge`.
+    fn transcript_chunks(&self, edge: EdgeId) -> usize;
+
+    /// Seed-aware oracle (§6.1 attack): find a corruption of one of this
+    /// round's sends on `edge` that will make the *next* meeting-points
+    /// full-transcript hash comparison collide, so the error goes
+    /// undetected. Returns `None` when no such corruption exists this
+    /// round.
+    fn collision_corruption(&self, edge: EdgeId, sends: &Wire) -> Option<Corruption>;
+}
+
+/// An adversary controlling the noise.
+pub trait Adversary {
+    /// Corruptions for the current round. `view` is `None` when the runner
+    /// withholds the live state (oblivious-only experiments) and `Some`
+    /// otherwise; oblivious adversaries must ignore it.
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &Wire,
+        remaining_budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption>;
+
+    /// Whether this adversary's pattern is independent of the execution
+    /// (additive / fixing oblivious adversaries of §2.1).
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
+    /// Display name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Communication and noise accounting of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Rounds elapsed.
+    pub rounds: u64,
+    /// Honest transmissions (the instance's `CC`).
+    pub cc: u64,
+    /// Corruptions actually applied.
+    pub corruptions: u64,
+    /// Corruptions the adversary attempted beyond its budget (dropped).
+    pub dropped_corruptions: u64,
+}
+
+impl NetStats {
+    /// Achieved noise fraction `corruptions / CC` (0 if nothing was sent).
+    pub fn noise_fraction(&self) -> f64 {
+        if self.cc == 0 {
+            0.0
+        } else {
+            self.corruptions as f64 / self.cc as f64
+        }
+    }
+}
+
+/// The synchronous noisy network.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::{topology, DirectedLink};
+/// use netsim::{attacks::NoNoise, Network};
+/// let g = topology::line(3);
+/// let mut net = Network::new(g, Box::new(NoNoise), u64::MAX);
+/// let mut sends = std::collections::BTreeMap::new();
+/// sends.insert(DirectedLink { from: 0, to: 1 }, true);
+/// let rx = net.step(&sends, None);
+/// assert_eq!(rx.get(&DirectedLink { from: 0, to: 1 }), Some(&true));
+/// assert_eq!(net.stats().cc, 1);
+/// ```
+pub struct Network {
+    graph: Graph,
+    adversary: Box<dyn Adversary>,
+    budget: u64,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Creates a network over `graph` with the given adversary and a hard
+    /// cap of `budget` corruptions.
+    pub fn new(graph: Graph, adversary: Box<dyn Adversary>, budget: u64) -> Self {
+        Network {
+            graph,
+            adversary,
+            budget,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Corruption budget still available.
+    pub fn remaining_budget(&self) -> u64 {
+        self.budget - self.stats.corruptions
+    }
+
+    /// Executes one synchronous round: applies the adversary to the honest
+    /// sends and returns what is observed at each receiving endpoint
+    /// (absent entry = silence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a send uses a link that is not an edge of the graph.
+    pub fn step(&mut self, sends: &Wire, view: Option<&dyn AdaptiveView>) -> Wire {
+        for link in sends.keys() {
+            assert!(
+                self.graph.edge_between(link.from, link.to).is_some(),
+                "send on non-edge {link}"
+            );
+        }
+        self.stats.rounds += 1;
+        self.stats.cc += sends.len() as u64;
+        let remaining = self.budget - self.stats.corruptions;
+        let corruptions = self
+            .adversary
+            .corrupt(self.stats.rounds - 1, sends, remaining, view);
+        let mut delivered: Wire = sends.clone();
+        for c in corruptions {
+            if self.graph.edge_between(c.link.from, c.link.to).is_none() {
+                continue; // corrupting a non-edge is meaningless
+            }
+            let honest = sends.get(&c.link).copied();
+            if honest == c.output {
+                continue; // no change, not a corruption
+            }
+            if self.stats.corruptions >= self.budget {
+                self.stats.dropped_corruptions += 1;
+                continue;
+            }
+            self.stats.corruptions += 1;
+            match c.output {
+                Some(bit) => {
+                    delivered.insert(c.link, bit);
+                }
+                None => {
+                    delivered.remove(&c.link);
+                }
+            }
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{BurstLink, NoNoise};
+    use netgraph::topology;
+
+    fn dl(from: usize, to: usize) -> DirectedLink {
+        DirectedLink { from, to }
+    }
+
+    #[test]
+    fn no_noise_passes_everything() {
+        let g = topology::ring(4);
+        let mut net = Network::new(g, Box::new(NoNoise), 0);
+        let mut sends = Wire::new();
+        sends.insert(dl(0, 1), true);
+        sends.insert(dl(2, 1), false);
+        let rx = net.step(&sends, None);
+        assert_eq!(rx, sends);
+        assert_eq!(net.stats().cc, 2);
+        assert_eq!(net.stats().corruptions, 0);
+    }
+
+    #[test]
+    fn burst_flips_and_counts() {
+        let g = topology::line(3);
+        let atk = BurstLink::new(dl(0, 1), 0, 10);
+        let mut net = Network::new(g, Box::new(atk), 100);
+        let mut sends = Wire::new();
+        sends.insert(dl(0, 1), false);
+        let rx = net.step(&sends, None);
+        assert_eq!(rx.get(&dl(0, 1)), Some(&true)); // 0 + 1 = 1: substitution
+        assert_eq!(net.stats().corruptions, 1);
+        // A `true` bit under additive-1 becomes silence (deletion).
+        let mut sends = Wire::new();
+        sends.insert(dl(0, 1), true);
+        let rx = net.step(&sends, None);
+        assert_eq!(rx.get(&dl(0, 1)), None);
+        assert_eq!(net.stats().corruptions, 2);
+    }
+
+    #[test]
+    fn burst_inserts_on_silence() {
+        let g = topology::line(3);
+        let atk = BurstLink::new(dl(0, 1), 0, 10);
+        let mut net = Network::new(g, Box::new(atk), 100);
+        let rx = net.step(&Wire::new(), None);
+        // Insertion: receiver observes a bit that was never sent.
+        assert!(rx.contains_key(&dl(0, 1)));
+        assert_eq!(net.stats().cc, 0);
+        assert_eq!(net.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let g = topology::line(3);
+        let atk = BurstLink::new(dl(0, 1), 0, 10);
+        let mut net = Network::new(g, Box::new(atk), 2);
+        for _ in 0..5 {
+            let mut sends = Wire::new();
+            sends.insert(dl(0, 1), true);
+            net.step(&sends, None);
+        }
+        assert_eq!(net.stats().corruptions, 2);
+        assert_eq!(net.stats().dropped_corruptions, 3);
+    }
+
+    #[test]
+    fn noise_fraction() {
+        let s = NetStats {
+            rounds: 10,
+            cc: 100,
+            corruptions: 5,
+            dropped_corruptions: 0,
+        };
+        assert!((s.noise_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn rejects_send_on_non_edge() {
+        let g = topology::line(3);
+        let mut net = Network::new(g, Box::new(NoNoise), 0);
+        let mut sends = Wire::new();
+        sends.insert(dl(0, 2), true);
+        net.step(&sends, None);
+    }
+}

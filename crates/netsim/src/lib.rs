@@ -1,0 +1,31 @@
+//! Synchronous noisy-network engine and adversaries.
+//!
+//! Model (paper §2.1): rounds are synchronous; each link carries at most
+//! one symbol per round per direction; the channel alphabet is
+//! `Σ ∪ {*}` = {0, 1, silence}. The adversary may **substitute** a bit,
+//! **delete** a transmission (bit → silence), or **insert** one (silence →
+//! bit); each such change counts as one corruption, and the noise budget is
+//! a fraction of the *actual* communication of the instance.
+//!
+//! The [`Network`] engine is driven round-by-round by the coding-scheme
+//! runner: the runner supplies the honest sends, the engine consults the
+//! [`Adversary`], enforces the corruption budget, counts communication, and
+//! returns what each receiver observes.
+//!
+//! Adversaries come in two flavors mirroring the paper:
+//! * **oblivious** ([`Adversary::is_oblivious`] = true) — their decisions
+//!   depend only on `(round, link)` and private randomness fixed up front
+//!   (the additive adversary of §2.1);
+//! * **non-oblivious** — they may inspect an [`AdaptiveView`] of the live
+//!   execution, including a seed-aware hash-collision oracle (the §6.1
+//!   attack surface).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+mod engine;
+mod phase;
+
+pub use engine::{Adversary, AdaptiveView, Corruption, NetStats, Network, Wire};
+pub use phase::{PhaseGeometry, PhaseKind, PhasePos};

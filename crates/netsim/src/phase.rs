@@ -1,0 +1,170 @@
+//! The public round geometry of the coding scheme.
+//!
+//! Every phase of the simulation occupies an a-priori fixed number of
+//! rounds (paper §3.1: "each phase consists of a fixed number of rounds …
+//! there is never an ambiguity as to which phase is being executed").
+//! Since the geometry is fixed and input-independent, it is *public*: even
+//! an oblivious adversary may aim its noise pattern at a phase of its
+//! choice. [`PhaseGeometry`] is how the runner publishes that layout to
+//! adversaries.
+
+/// Which phase a round belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum PhaseKind {
+    /// Randomness exchange (Algorithm 5), before iteration 0; absent under
+    /// a CRS.
+    Setup,
+    /// Meeting-points consistency check.
+    MeetingPoints,
+    /// Flag passing over the spanning tree.
+    FlagPassing,
+    /// Chunk simulation (including the leading ⊥ round).
+    Simulation,
+    /// Rewind wave.
+    Rewind,
+}
+
+/// Where a round falls: which iteration, phase, and offset within it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhasePos {
+    /// Iteration index (0-based; 0 also covers the setup prologue).
+    pub iteration: u64,
+    /// Phase of the iteration.
+    pub phase: PhaseKind,
+    /// Round offset within the phase.
+    pub offset: u64,
+}
+
+/// Fixed round counts of the scheme's phases.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{PhaseGeometry, PhaseKind};
+/// let g = PhaseGeometry { setup: 10, meeting_points: 4, flag_passing: 6, simulation: 21, rewind: 5 };
+/// assert_eq!(g.iteration_rounds(), 36);
+/// let p = g.locate(10 + 36 + 4);
+/// assert_eq!(p.iteration, 1);
+/// assert_eq!(p.phase, PhaseKind::FlagPassing);
+/// assert_eq!(p.offset, 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseGeometry {
+    /// Rounds of the randomness-exchange prologue (0 under a CRS).
+    pub setup: u64,
+    /// Rounds per meeting-points phase.
+    pub meeting_points: u64,
+    /// Rounds per flag-passing phase.
+    pub flag_passing: u64,
+    /// Rounds per simulation phase (⊥ round + chunk rounds).
+    pub simulation: u64,
+    /// Rounds per rewind phase.
+    pub rewind: u64,
+}
+
+impl PhaseGeometry {
+    /// Rounds in one full iteration.
+    pub fn iteration_rounds(&self) -> u64 {
+        self.meeting_points + self.flag_passing + self.simulation + self.rewind
+    }
+
+    /// Locates an absolute round number.
+    pub fn locate(&self, round: u64) -> PhasePos {
+        if round < self.setup {
+            return PhasePos {
+                iteration: 0,
+                phase: PhaseKind::Setup,
+                offset: round,
+            };
+        }
+        let r = round - self.setup;
+        let per = self.iteration_rounds();
+        let iteration = r / per;
+        let mut off = r % per;
+        for (phase, len) in [
+            (PhaseKind::MeetingPoints, self.meeting_points),
+            (PhaseKind::FlagPassing, self.flag_passing),
+            (PhaseKind::Simulation, self.simulation),
+            (PhaseKind::Rewind, self.rewind),
+        ] {
+            if off < len {
+                return PhasePos {
+                    iteration,
+                    phase,
+                    offset: off,
+                };
+            }
+            off -= len;
+        }
+        unreachable!("offset within iteration exhausted all phases")
+    }
+
+    /// The absolute round at which `iteration`'s `phase` begins.
+    pub fn phase_start(&self, iteration: u64, phase: PhaseKind) -> u64 {
+        let base = self.setup + iteration * self.iteration_rounds();
+        let off = match phase {
+            PhaseKind::Setup => return 0,
+            PhaseKind::MeetingPoints => 0,
+            PhaseKind::FlagPassing => self.meeting_points,
+            PhaseKind::Simulation => self.meeting_points + self.flag_passing,
+            PhaseKind::Rewind => self.meeting_points + self.flag_passing + self.simulation,
+        };
+        base + off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: PhaseGeometry = PhaseGeometry {
+        setup: 7,
+        meeting_points: 3,
+        flag_passing: 4,
+        simulation: 11,
+        rewind: 5,
+    };
+
+    #[test]
+    fn setup_then_phases_in_order() {
+        assert_eq!(G.locate(0).phase, PhaseKind::Setup);
+        assert_eq!(G.locate(6).phase, PhaseKind::Setup);
+        let p = G.locate(7);
+        assert_eq!((p.iteration, p.phase, p.offset), (0, PhaseKind::MeetingPoints, 0));
+        let p = G.locate(7 + 3);
+        assert_eq!(p.phase, PhaseKind::FlagPassing);
+        let p = G.locate(7 + 3 + 4);
+        assert_eq!(p.phase, PhaseKind::Simulation);
+        let p = G.locate(7 + 3 + 4 + 11);
+        assert_eq!(p.phase, PhaseKind::Rewind);
+        let p = G.locate(7 + 23);
+        assert_eq!((p.iteration, p.phase), (1, PhaseKind::MeetingPoints));
+    }
+
+    #[test]
+    fn every_round_locates_consistently() {
+        for round in 0..200 {
+            let p = G.locate(round);
+            if p.phase != PhaseKind::Setup {
+                let start = G.phase_start(p.iteration, p.phase);
+                assert_eq!(start + p.offset, round, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase_start_matches_locate() {
+        for it in 0..3 {
+            for phase in [
+                PhaseKind::MeetingPoints,
+                PhaseKind::FlagPassing,
+                PhaseKind::Simulation,
+                PhaseKind::Rewind,
+            ] {
+                let s = G.phase_start(it, phase);
+                let p = G.locate(s);
+                assert_eq!((p.iteration, p.phase, p.offset), (it, phase, 0));
+            }
+        }
+    }
+}

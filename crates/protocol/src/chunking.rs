@@ -1,0 +1,456 @@
+//! §3.2 preprocessing: partitioning Π into chunks of exactly `5K` bits.
+//!
+//! Given a workload Π, we build the padded protocol Π′:
+//!
+//! * every chunk opens with a **heartbeat** round in which every directed
+//!   link carries one bit (the paper assumes w.l.o.g. every party speaks to
+//!   every neighbor at least once per chunk);
+//! * original rounds of Π are packed greedily while the chunk has room;
+//! * **filler** slots top the chunk up to exactly `chunk_bits` (the paper's
+//!   "virtual round" making each chunk exactly 5K bits);
+//! * past the end of Π, **dummy chunks** (heartbeat + filler only) continue
+//!   indefinitely — the standard padding against all-noise-at-the-end.
+//!
+//! Heartbeat and filler bits are constant zero. They are recorded in the
+//! pairwise transcripts, so corrupting them is detectable, but they are
+//! never fed to the inner [`PartyLogic`].
+
+use crate::{PartyLogic, Workload};
+use netgraph::{DirectedLink, Graph, NodeId};
+
+/// What a slot carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Per-chunk keep-alive bit (constant 0).
+    Heartbeat,
+    /// A bit of the original protocol Π.
+    Payload,
+    /// Padding bit making the chunk exactly `chunk_bits` (constant 0).
+    Filler,
+}
+
+/// One transmission slot inside a chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// The directed link that speaks.
+    pub link: DirectedLink,
+    /// Payload vs. padding.
+    pub kind: SlotKind,
+    /// For [`SlotKind::Payload`]: the original schedule round; otherwise 0.
+    pub payload_round: usize,
+}
+
+/// The slots of one chunk, grouped into rounds.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkLayout {
+    /// Rounds of the chunk; each round's slots are sorted by link.
+    pub rounds: Vec<Vec<Slot>>,
+    bits: usize,
+}
+
+impl ChunkLayout {
+    /// Total bits in the chunk (equals `chunk_bits` by construction).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of rounds the chunk occupies.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// A slot from one party's perspective, in that party's processing order
+/// (per round: all sends, then all receives, each sorted by link).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartySlot {
+    /// Round within the chunk.
+    pub round_in_chunk: usize,
+    /// The directed link.
+    pub link: DirectedLink,
+    /// Payload vs. padding.
+    pub kind: SlotKind,
+    /// Original schedule round for payload slots.
+    pub payload_round: usize,
+    /// True if this party is the sender on `link`.
+    pub is_send: bool,
+}
+
+/// Π′: the chunked, padded form of a workload's schedule.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::topology;
+/// use protocol::{workloads::TokenRing, ChunkedProtocol, Workload};
+/// let w = TokenRing::new(4, 3, 1);
+/// let m = w.graph().edge_count();
+/// let p = ChunkedProtocol::new(&w, 5 * m);
+/// assert!(p.real_chunks() >= 1);
+/// assert_eq!(p.layout(0).bits(), 5 * m);
+/// assert_eq!(p.layout(p.real_chunks() + 7).bits(), 5 * m); // dummy chunk
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChunkedProtocol {
+    chunk_bits: usize,
+    real: Vec<ChunkLayout>,
+    dummy: ChunkLayout,
+    max_rounds: usize,
+    n: usize,
+    m: usize,
+}
+
+impl ChunkedProtocol {
+    /// Chunks `w`'s schedule into chunks of exactly `chunk_bits` bits
+    /// (the paper's `5K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bits < 4m` — a chunk must fit the heartbeat (2m
+    /// bits) plus the largest possible round (≤ 2m bits) or packing could
+    /// stall.
+    pub fn new(w: &dyn Workload, chunk_bits: usize) -> Self {
+        let g = w.graph();
+        let m = g.edge_count();
+        assert!(
+            chunk_bits >= 4 * m,
+            "chunk_bits {chunk_bits} must be at least 4m = {}",
+            4 * m
+        );
+        let heartbeat: Vec<Slot> = directed_sorted(g)
+            .into_iter()
+            .map(|link| Slot {
+                link,
+                kind: SlotKind::Heartbeat,
+                payload_round: 0,
+            })
+            .collect();
+
+        let sched = w.schedule();
+        let mut real = Vec::new();
+        let mut r = 0usize;
+        while r < sched.round_count() {
+            let mut layout = ChunkLayout {
+                rounds: vec![heartbeat.clone()],
+                bits: heartbeat.len(),
+            };
+            // Greedy packing of original rounds.
+            while r < sched.round_count() {
+                let links = sched.links_at(r);
+                if layout.bits + links.len() > chunk_bits {
+                    break;
+                }
+                layout.rounds.push(
+                    links
+                        .iter()
+                        .map(|&link| Slot {
+                            link,
+                            kind: SlotKind::Payload,
+                            payload_round: r,
+                        })
+                        .collect(),
+                );
+                layout.bits += links.len();
+                r += 1;
+            }
+            fill_chunk(&mut layout, g, chunk_bits);
+            real.push(layout);
+        }
+        // Degenerate protocols (empty schedule) still get zero real chunks;
+        // dummy chunks carry the simulation.
+        let mut dummy = ChunkLayout {
+            rounds: vec![heartbeat],
+            bits: 2 * m,
+        };
+        fill_chunk(&mut dummy, g, chunk_bits);
+        let max_rounds = real
+            .iter()
+            .map(ChunkLayout::round_count)
+            .chain(std::iter::once(dummy.round_count()))
+            .max()
+            .unwrap();
+        ChunkedProtocol {
+            chunk_bits,
+            real,
+            dummy,
+            max_rounds,
+            n: g.node_count(),
+            m,
+        }
+    }
+
+    /// Chunk size in bits (the paper's `5K`).
+    pub fn chunk_bits(&self) -> usize {
+        self.chunk_bits
+    }
+
+    /// Number of chunks carrying original protocol bits (`|Π|`).
+    pub fn real_chunks(&self) -> usize {
+        self.real.len()
+    }
+
+    /// Layout of chunk `c`; indices past [`Self::real_chunks`] yield the
+    /// dummy chunk.
+    pub fn layout(&self, c: usize) -> &ChunkLayout {
+        self.real.get(c).unwrap_or(&self.dummy)
+    }
+
+    /// Upper bound on rounds per chunk; the simulation phase reserves this
+    /// many rounds (plus the ⊥ round).
+    pub fn max_rounds_per_chunk(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// Number of parties.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of links.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Party `u`'s slots in chunk `c`, in processing order (per round:
+    /// sends sorted by link, then receives sorted by link).
+    pub fn party_slots(&self, c: usize, u: NodeId) -> Vec<PartySlot> {
+        let layout = self.layout(c);
+        let mut out = Vec::new();
+        for (ri, round) in layout.rounds.iter().enumerate() {
+            for slot in round.iter().filter(|s| s.link.from == u) {
+                out.push(PartySlot {
+                    round_in_chunk: ri,
+                    link: slot.link,
+                    kind: slot.kind,
+                    payload_round: slot.payload_round,
+                    is_send: true,
+                });
+            }
+            for slot in round.iter().filter(|s| s.link.to == u) {
+                out.push(PartySlot {
+                    round_in_chunk: ri,
+                    link: slot.link,
+                    kind: slot.kind,
+                    payload_round: slot.payload_round,
+                    is_send: false,
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of slots chunk `c` places on the undirected link `{u, v}`
+    /// (as seen by either endpoint).
+    pub fn link_slot_count(&self, c: usize, u: NodeId, v: NodeId) -> usize {
+        self.layout(c)
+            .rounds
+            .iter()
+            .flatten()
+            .filter(|s| {
+                (s.link.from == u && s.link.to == v) || (s.link.from == v && s.link.to == u)
+            })
+            .count()
+    }
+}
+
+/// All 2m directed links in canonical sorted order.
+fn directed_sorted(g: &Graph) -> Vec<DirectedLink> {
+    let mut links: Vec<DirectedLink> = g.directed_links().collect();
+    links.sort_unstable();
+    links
+}
+
+/// Appends filler rounds until the chunk holds exactly `chunk_bits` bits.
+fn fill_chunk(layout: &mut ChunkLayout, g: &Graph, chunk_bits: usize) {
+    let links = directed_sorted(g);
+    let mut remaining = chunk_bits - layout.bits;
+    while remaining > 0 {
+        let take = remaining.min(links.len());
+        layout.rounds.push(
+            links[..take]
+                .iter()
+                .map(|&link| Slot {
+                    link,
+                    kind: SlotKind::Filler,
+                    payload_round: 0,
+                })
+                .collect(),
+        );
+        layout.bits += take;
+        remaining -= take;
+    }
+}
+
+/// A party of the chunked protocol Π′: wraps the inner [`PartyLogic`] and
+/// routes payload slots to it while answering padding slots itself.
+pub struct ChunkedParty {
+    node: NodeId,
+    inner: Box<dyn PartyLogic>,
+}
+
+impl Clone for ChunkedParty {
+    fn clone(&self) -> Self {
+        ChunkedParty {
+            node: self.node,
+            inner: self.inner.clone_box(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ChunkedParty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChunkedParty(node={})", self.node)
+    }
+}
+
+impl ChunkedParty {
+    /// Spawns party `node` of workload `w` (fresh Π-state).
+    pub fn spawn(w: &dyn Workload, node: NodeId) -> Self {
+        ChunkedParty {
+            node,
+            inner: w.spawn(node),
+        }
+    }
+
+    /// This party's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Computes the bit to send for one of this party's send slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not a send slot of this party.
+    pub fn send(&mut self, slot: &PartySlot) -> bool {
+        assert!(slot.is_send && slot.link.from == self.node);
+        match slot.kind {
+            SlotKind::Payload => self.inner.send_bit(slot.payload_round, slot.link),
+            SlotKind::Heartbeat | SlotKind::Filler => false,
+        }
+    }
+
+    /// Delivers a received symbol for one of this party's receive slots.
+    /// A deleted symbol (`None`) is fed to the inner logic as the default
+    /// bit `0` — the surrounding coding scheme guarantees such chunks are
+    /// detected and rolled back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not a receive slot of this party.
+    pub fn recv(&mut self, slot: &PartySlot, sym: Option<bool>) {
+        assert!(!slot.is_send && slot.link.to == self.node);
+        if slot.kind == SlotKind::Payload {
+            self.inner.recv_bit(slot.payload_round, slot.link, sym.unwrap_or(false));
+        }
+    }
+
+    /// The inner party's output.
+    pub fn output(&self) -> Vec<u8> {
+        self.inner.output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{Gossip, TokenRing};
+    use crate::Workload;
+
+    #[test]
+    fn every_chunk_is_exact() {
+        let w = TokenRing::new(5, 10, 3);
+        let m = w.graph().edge_count();
+        let p = ChunkedProtocol::new(&w, 5 * m);
+        for c in 0..p.real_chunks() + 3 {
+            assert_eq!(p.layout(c).bits(), 5 * m, "chunk {c}");
+            let counted: usize = p.layout(c).rounds.iter().map(Vec::len).sum();
+            assert_eq!(counted, 5 * m);
+        }
+    }
+
+    #[test]
+    fn heartbeat_covers_all_links_first() {
+        let w = TokenRing::new(4, 2, 0);
+        let g = w.graph();
+        let p = ChunkedProtocol::new(&w, 5 * g.edge_count());
+        let hb = &p.layout(0).rounds[0];
+        assert_eq!(hb.len(), 2 * g.edge_count());
+        assert!(hb.iter().all(|s| s.kind == SlotKind::Heartbeat));
+    }
+
+    #[test]
+    fn all_payload_bits_covered_exactly_once() {
+        let w = Gossip::new(netgraph::topology::ring(5), 13, 7);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        let mut seen = std::collections::BTreeSet::new();
+        for c in 0..p.real_chunks() {
+            for s in p.layout(c).rounds.iter().flatten() {
+                if s.kind == SlotKind::Payload {
+                    assert!(seen.insert((s.payload_round, s.link)), "duplicate {s:?}");
+                }
+            }
+        }
+        let expected: std::collections::BTreeSet<_> = w.schedule().slots().collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn payload_rounds_preserve_schedule_order() {
+        let w = TokenRing::new(6, 4, 9);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        let mut last = 0usize;
+        for c in 0..p.real_chunks() {
+            for s in p.layout(c).rounds.iter().flatten() {
+                if s.kind == SlotKind::Payload {
+                    assert!(s.payload_round >= last);
+                    last = s.payload_round;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn party_slots_partition_layout() {
+        let w = Gossip::new(netgraph::topology::star(5), 6, 1);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        for c in 0..p.real_chunks() + 1 {
+            let total: usize = (0..5).map(|u| p.party_slots(c, u).len()).sum();
+            // Every slot appears exactly twice: once as send, once as recv.
+            assert_eq!(total, 2 * p.layout(c).bits());
+        }
+    }
+
+    #[test]
+    fn party_slot_order_sends_before_recvs_per_round() {
+        let w = Gossip::new(netgraph::topology::clique(4), 3, 2);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        for u in 0..4 {
+            let slots = p.party_slots(0, u);
+            for win in slots.windows(2) {
+                let (a, b) = (&win[0], &win[1]);
+                assert!(a.round_in_chunk <= b.round_in_chunk);
+                if a.round_in_chunk == b.round_in_chunk && !a.is_send {
+                    assert!(!b.is_send, "recv before send within round for {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_slot_counts_symmetric() {
+        let w = Gossip::new(netgraph::topology::grid(2, 3), 4, 5);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        for (_, u, v) in w.graph().edges().collect::<Vec<_>>() {
+            assert_eq!(p.link_slot_count(0, u, v), p.link_slot_count(0, v, u));
+            assert!(p.link_slot_count(0, u, v) >= 2, "heartbeat both ways");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4m")]
+    fn rejects_tiny_chunks() {
+        let w = TokenRing::new(4, 2, 0);
+        let _ = ChunkedProtocol::new(&w, w.graph().edge_count());
+    }
+}

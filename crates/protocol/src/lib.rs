@@ -1,0 +1,85 @@
+//! Noiseless multiparty protocols Π and their chunked form.
+//!
+//! The paper simulates an *underlying* protocol Π over G = (V, E) whose
+//! **speaking order is fixed** — which directed link carries a bit in which
+//! round is known to everyone and independent of inputs; only message
+//! *contents* depend on inputs (§2.1). This crate provides:
+//!
+//! * [`Schedule`] — the fixed speaking order,
+//! * [`PartyLogic`] — the input-dependent message contents,
+//! * [`Workload`] — a packaged (graph, schedule, logic) protocol; the
+//!   [`workloads`] module ships the six families used by the experiments,
+//! * [`ChunkedProtocol`] — the §3.2 preprocessing: Π is padded (heartbeat +
+//!   filler) and partitioned into chunks of *exactly* `5K` bits, followed
+//!   by unlimited dummy chunks,
+//! * the [`mod@reference`] module — a noiseless executor producing the ground-truth
+//!   transcripts and outputs that noisy simulations are judged against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunking;
+mod logic;
+pub mod reference;
+mod schedule;
+pub mod workloads;
+
+pub use chunking::{ChunkLayout, ChunkedParty, ChunkedProtocol, PartySlot, Slot, SlotKind};
+pub use logic::{PartyLogic, Workload};
+pub use schedule::Schedule;
+
+/// A symbol as observed on a link: a bit, or `*` ("no message", §2.1).
+///
+/// `Star` is what a receiver records when a scheduled transmission was
+/// deleted by the adversary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// A received/sent `0` bit.
+    Zero,
+    /// A received/sent `1` bit.
+    One,
+    /// No symbol (deletion observed at a scheduled slot).
+    Star,
+}
+
+impl Sym {
+    /// Builds a symbol from a bit.
+    pub fn from_bit(b: bool) -> Sym {
+        if b {
+            Sym::One
+        } else {
+            Sym::Zero
+        }
+    }
+
+    /// The bit value, if any.
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            Sym::Zero => Some(false),
+            Sym::One => Some(true),
+            Sym::Star => None,
+        }
+    }
+
+    /// 2-bit encoding used when transcripts are serialized for hashing.
+    pub fn code(self) -> u64 {
+        match self {
+            Sym::Zero => 0,
+            Sym::One => 1,
+            Sym::Star => 2,
+        }
+    }
+}
+
+/// One chunk of a pairwise transcript: the chunk index plus the symbols
+/// observed on one link, in slot order (paper §3.2: the transcript of chunk
+/// `i` consists of the simulated communication *and* the chunk number —
+/// footnote 11 explains the chunk number defeats the inner-product hash's
+/// insensitivity to trailing zeros).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// Chunk index (0-based).
+    pub chunk: u64,
+    /// Observed symbols for this link's slots in this chunk, in slot order.
+    pub syms: Vec<Sym>,
+}

@@ -1,0 +1,61 @@
+//! Party logic: the input-dependent half of a noiseless protocol.
+
+use crate::Schedule;
+use netgraph::{DirectedLink, Graph, NodeId};
+
+/// The message-content logic of one party in a noiseless protocol Π.
+///
+/// The *schedule* decides when a party speaks; `PartyLogic` decides what it
+/// says. Implementations must be deterministic functions of the
+/// constructor-supplied input and the bits fed through [`recv_bit`] — the
+/// interactive-coding simulation replays chunks from recorded transcripts
+/// and relies on getting bit-identical behavior.
+///
+/// Within a round, a party's `send_bit` calls happen first (in sorted link
+/// order), then its `recv_bit` calls (in sorted link order); a bit sent in
+/// round `r` can therefore depend only on bits received in rounds `< r`.
+///
+/// [`recv_bit`]: PartyLogic::recv_bit
+pub trait PartyLogic {
+    /// The bit this party sends on `link` (where `link.from` is this party)
+    /// in schedule round `round`.
+    fn send_bit(&mut self, round: usize, link: DirectedLink) -> bool;
+
+    /// Delivers the bit received on `link` (where `link.to` is this party)
+    /// in schedule round `round`.
+    ///
+    /// Under simulation the delivered bit may be a *default* substituted
+    /// for a deleted symbol; the surrounding coding scheme ensures such
+    /// chunks are eventually rolled back, so logic may treat every call as
+    /// genuine.
+    fn recv_bit(&mut self, round: usize, link: DirectedLink, bit: bool);
+
+    /// The party's final output (meaningful once the whole schedule ran).
+    fn output(&self) -> Vec<u8>;
+
+    /// Clones the current state. Snapshots of party state at chunk
+    /// boundaries power the rewind machinery.
+    fn clone_box(&self) -> Box<dyn PartyLogic>;
+}
+
+impl Clone for Box<dyn PartyLogic> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A packaged noiseless protocol: topology + speaking order + per-party
+/// logic factory. All experiment workloads implement this.
+pub trait Workload {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// The network G = (V, E).
+    fn graph(&self) -> &Graph;
+
+    /// The fixed speaking order of Π.
+    fn schedule(&self) -> &Schedule;
+
+    /// Instantiates the logic of party `node` (capturing its input).
+    fn spawn(&self, node: NodeId) -> Box<dyn PartyLogic>;
+}

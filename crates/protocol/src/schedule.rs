@@ -1,0 +1,117 @@
+//! Fixed speaking orders.
+
+use netgraph::DirectedLink;
+
+/// The fixed, input-independent speaking order of a noiseless protocol:
+/// for each round, the sorted list of directed links that carry one bit.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::DirectedLink;
+/// use protocol::Schedule;
+/// let mut s = Schedule::new();
+/// s.push_round(vec![DirectedLink { from: 0, to: 1 }]);
+/// s.push_round(vec![
+///     DirectedLink { from: 1, to: 0 },
+///     DirectedLink { from: 1, to: 2 },
+/// ]);
+/// assert_eq!(s.round_count(), 2);
+/// assert_eq!(s.cc_bits(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    rounds: Vec<Vec<DirectedLink>>,
+    cc: usize,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Appends a round; the link list is sorted and deduplicated so the
+    /// order is canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round is empty — the model allows silent parties but a
+    /// fully silent round carries no information and only inflates round
+    /// complexity; callers should simply not emit it.
+    pub fn push_round(&mut self, mut links: Vec<DirectedLink>) {
+        assert!(!links.is_empty(), "schedule rounds must carry at least one bit");
+        links.sort_unstable();
+        links.dedup();
+        self.cc += links.len();
+        self.rounds.push(links);
+    }
+
+    /// Number of rounds `RC(Π)`.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total bits `CC(Π)`.
+    pub fn cc_bits(&self) -> usize {
+        self.cc
+    }
+
+    /// The sorted directed links speaking in round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn links_at(&self, r: usize) -> &[DirectedLink] {
+        &self.rounds[r]
+    }
+
+    /// Iterates over `(round, link)` pairs in global slot order.
+    pub fn slots(&self) -> impl Iterator<Item = (usize, DirectedLink)> + '_ {
+        self.rounds
+            .iter()
+            .enumerate()
+            .flat_map(|(r, links)| links.iter().map(move |&l| (r, l)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dl(from: usize, to: usize) -> DirectedLink {
+        DirectedLink { from, to }
+    }
+
+    #[test]
+    fn counts_and_order() {
+        let mut s = Schedule::new();
+        s.push_round(vec![dl(2, 1), dl(0, 1)]);
+        s.push_round(vec![dl(1, 0)]);
+        assert_eq!(s.round_count(), 2);
+        assert_eq!(s.cc_bits(), 3);
+        assert_eq!(s.links_at(0), &[dl(0, 1), dl(2, 1)]);
+    }
+
+    #[test]
+    fn dedups_within_round() {
+        let mut s = Schedule::new();
+        s.push_round(vec![dl(0, 1), dl(0, 1)]);
+        assert_eq!(s.cc_bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn rejects_empty_round() {
+        Schedule::new().push_round(vec![]);
+    }
+
+    #[test]
+    fn slots_iterate_in_order() {
+        let mut s = Schedule::new();
+        s.push_round(vec![dl(0, 1)]);
+        s.push_round(vec![dl(1, 2), dl(2, 1)]);
+        let slots: Vec<_> = s.slots().collect();
+        assert_eq!(slots, vec![(0, dl(0, 1)), (1, dl(1, 2)), (1, dl(2, 1))]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fully-utilized gossip: every directed link speaks every round.
+
+use super::mix64;
+use crate::{PartyLogic, Schedule, Workload};
+use netgraph::{DirectedLink, Graph, NodeId};
+
+/// Dense state-mixing gossip: in every round, every party sends one bit on
+/// every incident link (a deterministic function of its accumulator) and
+/// mixes every received bit back in. This is the fully-utilized regime of
+/// \[RS94\]/\[HS16\] embedded in our more general model, and the stress test
+/// for transcript bookkeeping — any single corruption diffuses into every
+/// party's state within diameter rounds.
+///
+/// Output: the party's 8-byte accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::topology;
+/// use protocol::{workloads::Gossip, Workload};
+/// let w = Gossip::new(topology::clique(4), 5, 1);
+/// // 2m bits per round.
+/// assert_eq!(w.schedule().cc_bits(), 5 * 2 * 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gossip {
+    graph: Graph,
+    schedule: Schedule,
+    inputs: Vec<u64>,
+}
+
+impl Gossip {
+    /// Gossip over `graph` for `rounds` rounds with seed-derived inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(graph: Graph, rounds: usize, seed: u64) -> Self {
+        assert!(rounds >= 1);
+        let mut schedule = Schedule::new();
+        let all: Vec<DirectedLink> = graph.directed_links().collect();
+        for _ in 0..rounds {
+            schedule.push_round(all.clone());
+        }
+        let mut s = seed;
+        let inputs = (0..graph.node_count()).map(|_| mix64(&mut s)).collect();
+        Gossip {
+            graph,
+            schedule,
+            inputs,
+        }
+    }
+
+    /// Seed-derived 64-bit inputs.
+    pub fn inputs(&self) -> &[u64] {
+        &self.inputs
+    }
+}
+
+#[derive(Clone)]
+struct GossipParty {
+    acc: u64,
+}
+
+impl PartyLogic for GossipParty {
+    fn send_bit(&mut self, round: usize, link: DirectedLink) -> bool {
+        // Deterministic function of state, round, and destination.
+        let mut k = self
+            .acc
+            .wrapping_add((round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((link.to as u64) << 17)
+            .wrapping_add((link.from as u64) << 3);
+        mix64(&mut k) & 1 == 1
+    }
+
+    fn recv_bit(&mut self, round: usize, link: DirectedLink, bit: bool) {
+        let mut k = self
+            .acc
+            .wrapping_add(u64::from(bit))
+            .wrapping_add((round as u64) << 9)
+            .wrapping_add((link.from as u64) << 21);
+        self.acc = mix64(&mut k);
+    }
+
+    fn output(&self) -> Vec<u8> {
+        self.acc.to_le_bytes().to_vec()
+    }
+
+    fn clone_box(&self) -> Box<dyn PartyLogic> {
+        Box::new(self.clone())
+    }
+}
+
+impl Workload for Gossip {
+    fn name(&self) -> &'static str {
+        "gossip"
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    fn spawn(&self, node: NodeId) -> Box<dyn PartyLogic> {
+        Box::new(GossipParty {
+            acc: self.inputs[node],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::ChunkedProtocol;
+    use netgraph::topology;
+
+    #[test]
+    fn outputs_depend_on_every_input() {
+        // Flipping any party's input changes every output (after enough
+        // rounds to diffuse) — the sensitivity that makes gossip a good
+        // correctness probe for the simulation.
+        let g = topology::ring(5);
+        let base = Gossip::new(g.clone(), 10, 7);
+        let p = ChunkedProtocol::new(&base, 5 * g.edge_count());
+        let base_out = run_reference(&base, &p).outputs;
+        let other = Gossip::new(g, 10, 8);
+        let other_out = run_reference(&other, &p).outputs;
+        for v in 0..5 {
+            assert_ne!(base_out[v], other_out[v], "party {v} insensitive");
+        }
+    }
+
+    #[test]
+    fn fully_utilized_schedule() {
+        let w = Gossip::new(topology::grid(2, 2), 3, 0);
+        let m = w.graph().edge_count();
+        for r in 0..3 {
+            assert_eq!(w.schedule().links_at(r).len(), 2 * m);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The paper's §1.2 motivating example on the line topology.
+
+use super::mix64;
+use crate::{PartyLogic, Schedule, Workload};
+use netgraph::{topology, DirectedLink, Graph, NodeId};
+
+/// The line-network workload from the paper's introduction: in each epoch,
+/// a running parity flows `0 → 1 → … → n−1`, and then the two tail parties
+/// `n−2` and `n−1` exchange `n` back-and-forth messages.
+///
+/// This is exactly the protocol used to argue that, without flag passing
+/// and the rewind phase, a single early error wastes Θ(n²) communication:
+/// an error on link (0,1) in epoch `e` invalidates all the tail chatter of
+/// epochs `e, e+1, …` until the rewind wave reaches the tail.
+///
+/// # Examples
+///
+/// ```
+/// use protocol::{workloads::LinePipeline, Workload};
+/// let w = LinePipeline::new(5, 2, 3);
+/// // per epoch: n−1 pipeline bits + n chat bits
+/// assert_eq!(w.schedule().cc_bits(), 2 * (4 + 5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinePipeline {
+    graph: Graph,
+    schedule: Schedule,
+    inputs: Vec<bool>,
+    n: usize,
+    epochs: usize,
+}
+
+impl LinePipeline {
+    /// Line of `n` parties, `epochs` epochs, inputs derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `epochs == 0`.
+    pub fn new(n: usize, epochs: usize, seed: u64) -> Self {
+        assert!(n >= 3 && epochs >= 1);
+        let graph = topology::line(n);
+        let mut schedule = Schedule::new();
+        for _ in 0..epochs {
+            for i in 0..n - 1 {
+                schedule.push_round(vec![DirectedLink { from: i, to: i + 1 }]);
+            }
+            for t in 0..n {
+                let (from, to) = if t % 2 == 0 {
+                    (n - 1, n - 2)
+                } else {
+                    (n - 2, n - 1)
+                };
+                schedule.push_round(vec![DirectedLink { from, to }]);
+            }
+        }
+        let mut s = seed;
+        let inputs = (0..n).map(|_| mix64(&mut s) & 1 == 1).collect();
+        LinePipeline {
+            graph,
+            schedule,
+            inputs,
+            n,
+            epochs,
+        }
+    }
+
+    /// The seed-derived input bits.
+    pub fn inputs(&self) -> &[bool] {
+        &self.inputs
+    }
+
+    /// Closed-form output of party `v` (two bytes: last pipeline parity,
+    /// chat accumulator).
+    pub fn expected_output(&self, v: NodeId) -> Vec<u8> {
+        let n = self.n;
+        let mut parity_hist = 0u8; // party v's latest forwarded/received parity
+        let mut chat_acc = 0u8;
+        for _ in 0..self.epochs {
+            // Pipeline: prefix parity arriving at each party.
+            // party i receives parity of inputs[0..=i-1] XORed progressively:
+            // arriving value at i is b_0 ^ b_1 … ^ b_{i-1}.
+            let mut x = false;
+            let mut arrived = vec![false; n];
+            for i in 0..n - 1 {
+                x ^= self.inputs[i];
+                arrived[i + 1] = x;
+            }
+            if v > 0 {
+                parity_hist = u8::from(arrived[v]);
+            }
+            // Chat between n−2 and n−1: c_0 = arrived[n−1] ^ input[n−1];
+            // each turn the speaker XORs its input into the last bit.
+            let mut c = arrived[n - 1];
+            for t in 0..n {
+                let speaker = if t % 2 == 0 { n - 1 } else { n - 2 };
+                c ^= self.inputs[speaker];
+                if v == n - 1 || v == n - 2 {
+                    chat_acc = chat_acc.wrapping_mul(2).wrapping_add(u8::from(c));
+                }
+            }
+        }
+        vec![parity_hist, chat_acc]
+    }
+}
+
+struct PipeParty {
+    node: NodeId,
+    n: usize,
+    input: bool,
+    /// Last parity value received from the left (or own input for node 0).
+    parity: bool,
+    parity_hist: u8,
+    /// Chat register (tail parties only).
+    chat: bool,
+    chat_acc: u8,
+}
+
+impl PipeParty {
+    /// True if `round` is a pipeline hop (first n−1 rounds of each epoch);
+    /// the remaining n rounds of the epoch are tail chat.
+    fn is_pipeline_round(&self, round: usize) -> bool {
+        round % (2 * self.n - 1) < self.n - 1
+    }
+}
+
+impl PartyLogic for PipeParty {
+    fn send_bit(&mut self, round: usize, _link: DirectedLink) -> bool {
+        if self.is_pipeline_round(round) {
+            // Pipeline hop: forward running parity (node 0 seeds it).
+            if self.node == 0 {
+                self.input
+            } else {
+                self.parity ^ self.input
+            }
+        } else {
+            // Chat turn: XOR own input into the chat register.
+            self.chat ^= self.input;
+            self.chat_acc = self.chat_acc.wrapping_mul(2).wrapping_add(u8::from(self.chat));
+            self.chat
+        }
+    }
+
+    fn recv_bit(&mut self, round: usize, _link: DirectedLink, bit: bool) {
+        if self.is_pipeline_round(round) {
+            // Pipeline arrival from the left.
+            self.parity = bit;
+            self.parity_hist = u8::from(bit);
+            if self.node == self.n - 1 {
+                // Seed the chat register for this epoch.
+                self.chat = bit;
+            }
+        } else {
+            // Chat arrival.
+            self.chat = bit;
+            self.chat_acc = self.chat_acc.wrapping_mul(2).wrapping_add(u8::from(bit));
+        }
+    }
+
+    fn output(&self) -> Vec<u8> {
+        vec![self.parity_hist, self.chat_acc]
+    }
+
+    fn clone_box(&self) -> Box<dyn PartyLogic> {
+        Box::new(PipeParty { ..*self })
+    }
+}
+
+impl Workload for LinePipeline {
+    fn name(&self) -> &'static str {
+        "line_pipeline"
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    fn spawn(&self, node: NodeId) -> Box<dyn PartyLogic> {
+        Box::new(PipeParty {
+            node,
+            n: self.n,
+            input: self.inputs[node],
+            parity: false,
+            parity_hist: 0,
+            chat: false,
+            chat_acc: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::ChunkedProtocol;
+
+    #[test]
+    fn reference_matches_closed_form() {
+        for seed in [1u64, 5, 42] {
+            let w = LinePipeline::new(5, 3, seed);
+            let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+            let run = run_reference(&w, &p);
+            for v in 0..5 {
+                assert_eq!(run.outputs[v], w.expected_output(v), "seed {seed} party {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tail_chatter_dominates() {
+        // The paper's point: each epoch spends more bits on the last link
+        // than on any other.
+        let w = LinePipeline::new(8, 1, 0);
+        let tail = DirectedLink { from: 7, to: 6 };
+        let tail_bits = w
+            .schedule()
+            .slots()
+            .filter(|&(_, l)| l == tail || l == tail.reversed())
+            .count();
+        assert!(tail_bits > 8 / 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! The noiseless-protocol workloads driven by the experiments.
+//!
+//! All workloads have input-independent speaking orders (§2.1) and
+//! deterministic, seed-derived inputs:
+//!
+//! * [`TokenRing`] — one bit per round walks a ring; extremely sparse
+//!   communication (exercises the non-fully-utilized model, F9).
+//! * [`LinePipeline`] — the paper's §1.2 motivating example: a value flows
+//!   down a line, then the two tail parties chat for n rounds (F4).
+//! * [`SumTree`] — convergecast + broadcast aggregation over the BFS tree.
+//! * [`Gossip`] — fully utilized stress test: every link speaks both ways
+//!   every round.
+//! * [`PointerChase`] — long sequential dependency chains between the two
+//!   ends of a line (classic interactive-coding workload).
+//! * [`Synthetic`] — random fixed speaking orders, for property tests.
+
+mod gossip;
+mod line_pipeline;
+mod pointer_chase;
+mod sum_tree;
+mod synthetic;
+mod token_ring;
+
+pub use gossip::Gossip;
+pub use line_pipeline::LinePipeline;
+pub use pointer_chase::PointerChase;
+pub use sum_tree::SumTree;
+pub use synthetic::Synthetic;
+pub use token_ring::TokenRing;
+
+/// splitmix64 mixer: deterministic input derivation from workload seeds.
+pub(crate) fn mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::{ChunkedProtocol, Workload};
+    use netgraph::topology;
+
+    /// Checks the workload invariants every consumer relies on:
+    /// schedule non-empty, all links in the graph, deterministic spawns.
+    fn check_workload(w: &dyn Workload) {
+        let g = w.graph();
+        assert!(w.schedule().cc_bits() > 0, "{}: empty schedule", w.name());
+        for (r, link) in w.schedule().slots() {
+            assert!(
+                g.edge_between(link.from, link.to).is_some(),
+                "{}: round {r} uses non-edge {link}",
+                w.name()
+            );
+        }
+        // Spawning twice and running the reference twice gives identical
+        // outputs (determinism).
+        let p = ChunkedProtocol::new(w, 5 * g.edge_count());
+        let a = run_reference(w, &p);
+        let b = run_reference(w, &p);
+        assert_eq!(a.outputs, b.outputs, "{}: nondeterministic", w.name());
+        assert_eq!(a.edge_transcripts, b.edge_transcripts);
+    }
+
+    #[test]
+    fn all_workloads_well_formed() {
+        check_workload(&TokenRing::new(5, 4, 11));
+        check_workload(&LinePipeline::new(6, 3, 12));
+        check_workload(&SumTree::new(topology::grid(2, 3), 4, 2, 13));
+        check_workload(&Gossip::new(topology::clique(4), 9, 14));
+        check_workload(&PointerChase::new(4, 3, 3, 15));
+        check_workload(&Synthetic::new(topology::ring(4), 12, 16));
+    }
+}

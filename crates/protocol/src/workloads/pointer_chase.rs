@@ -1,0 +1,225 @@
+//! Pointer chasing between the two ends of a line.
+
+use super::mix64;
+use crate::{PartyLogic, Schedule, Workload};
+use netgraph::{topology, DirectedLink, Graph, NodeId};
+
+/// Pointer chasing, the classic hard workload for interactive coding:
+/// party 0 holds table `A`, party `n−1` holds table `B`, both over
+/// `2^width` entries of `width` bits. A pointer shuttles down the line,
+/// gets mapped through `B`, shuttles back, gets mapped through `A`, for
+/// `depth` double-hops. Intermediate parties forward bits. Every message
+/// depends on the entire history, so any uncorrected corruption destroys
+/// the final pointer.
+///
+/// Output: the current pointer value at the two table holders (forwarders
+/// output their last forwarded word).
+///
+/// # Examples
+///
+/// ```
+/// use protocol::{workloads::PointerChase, Workload};
+/// let w = PointerChase::new(4, 3, 2, 1);
+/// // depth * 2 legs * (n-1) hops * width bits
+/// assert_eq!(w.schedule().cc_bits(), 2 * 2 * 3 * 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PointerChase {
+    graph: Graph,
+    schedule: Schedule,
+    table_a: Vec<u64>,
+    table_b: Vec<u64>,
+    n: usize,
+    width: u32,
+    depth: usize,
+}
+
+impl PointerChase {
+    /// Line of `n` parties, `width`-bit pointers, `depth` double-hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `width` is 0 or > 10, or `depth == 0`.
+    pub fn new(n: usize, width: u32, depth: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        assert!((1..=10).contains(&width));
+        assert!(depth >= 1);
+        let graph = topology::line(n);
+        let mut schedule = Schedule::new();
+        for _ in 0..depth {
+            // Forward leg 0 → n−1, bit-serial per hop.
+            for hop in 0..n - 1 {
+                for _ in 0..width {
+                    schedule.push_round(vec![DirectedLink {
+                        from: hop,
+                        to: hop + 1,
+                    }]);
+                }
+            }
+            // Backward leg n−1 → 0.
+            for hop in (0..n - 1).rev() {
+                for _ in 0..width {
+                    schedule.push_round(vec![DirectedLink {
+                        from: hop + 1,
+                        to: hop,
+                    }]);
+                }
+            }
+        }
+        let size = 1usize << width;
+        let mask = (1u64 << width) - 1;
+        let mut s = seed;
+        let table_a = (0..size).map(|_| mix64(&mut s) & mask).collect();
+        let table_b = (0..size).map(|_| mix64(&mut s) & mask).collect();
+        PointerChase {
+            graph,
+            schedule,
+            table_a,
+            table_b,
+            n,
+            width,
+            depth,
+        }
+    }
+
+    /// Ground-truth final pointer, chased directly through the tables.
+    pub fn expected_pointer(&self) -> u64 {
+        let mut p = self.table_a[0];
+        for _ in 0..self.depth {
+            p = self.table_b[p as usize];
+            p = self.table_a[p as usize];
+        }
+        p
+    }
+}
+
+#[derive(Clone)]
+struct ChaseParty {
+    node: NodeId,
+    n: usize,
+    width: u32,
+    /// Table A at node 0, table B at node n−1, empty elsewhere.
+    table: Vec<u64>,
+    /// Word being assembled from incoming bits.
+    rx: u64,
+    rx_bits: u32,
+    /// Word currently being transmitted.
+    tx: u64,
+    tx_bits: u32,
+}
+
+impl ChaseParty {
+    fn load_tx(&mut self, value: u64) {
+        self.tx = value;
+        self.tx_bits = 0;
+    }
+}
+
+impl PartyLogic for ChaseParty {
+    fn send_bit(&mut self, _round: usize, _link: DirectedLink) -> bool {
+        let bit = (self.tx >> self.tx_bits) & 1 == 1;
+        self.tx_bits += 1;
+        if self.tx_bits == self.width {
+            self.tx_bits = 0;
+        }
+        bit
+    }
+
+    fn recv_bit(&mut self, _round: usize, _link: DirectedLink, bit: bool) {
+        if bit {
+            self.rx |= 1 << self.rx_bits;
+        }
+        self.rx_bits += 1;
+        if self.rx_bits == self.width {
+            let word = self.rx;
+            self.rx = 0;
+            self.rx_bits = 0;
+            let endpoint = self.node == 0 || self.node == self.n - 1;
+            let next = if endpoint {
+                // Map the pointer through the local table.
+                self.table[word as usize]
+            } else {
+                // Forwarders relay verbatim.
+                word
+            };
+            self.load_tx(next);
+        }
+    }
+
+    fn output(&self) -> Vec<u8> {
+        self.tx.to_le_bytes().to_vec()
+    }
+
+    fn clone_box(&self) -> Box<dyn PartyLogic> {
+        Box::new(self.clone())
+    }
+}
+
+impl Workload for PointerChase {
+    fn name(&self) -> &'static str {
+        "pointer_chase"
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    fn spawn(&self, node: NodeId) -> Box<dyn PartyLogic> {
+        let table = if node == 0 {
+            self.table_a.clone()
+        } else if node == self.n - 1 {
+            self.table_b.clone()
+        } else {
+            Vec::new()
+        };
+        let mut party = ChaseParty {
+            node,
+            n: self.n,
+            width: self.width,
+            table,
+            rx: 0,
+            rx_bits: 0,
+            tx: 0,
+            tx_bits: 0,
+        };
+        if node == 0 {
+            // Party 0 opens with A[0].
+            let first = party.table[0];
+            party.load_tx(first);
+        }
+        party.tx = if node == 0 { party.tx } else { 0 };
+        Box::new(party)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::ChunkedProtocol;
+
+    #[test]
+    fn reference_matches_direct_chase() {
+        for (n, width, depth, seed) in [(2, 3, 2, 1u64), (4, 3, 3, 2), (5, 4, 2, 3)] {
+            let w = PointerChase::new(n, width, depth, seed);
+            let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+            let run = run_reference(&w, &p);
+            let expected = w.expected_pointer();
+            let got = u64::from_le_bytes(run.outputs[0][..8].try_into().unwrap());
+            assert_eq!(got, expected, "n={n} width={width} depth={depth}");
+        }
+    }
+
+    #[test]
+    fn two_party_special_case() {
+        let w = PointerChase::new(2, 2, 4, 9);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        let run = run_reference(&w, &p);
+        let got = u64::from_le_bytes(run.outputs[0][..8].try_into().unwrap());
+        assert_eq!(got, w.expected_pointer());
+    }
+}

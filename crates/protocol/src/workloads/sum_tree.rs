@@ -1,0 +1,295 @@
+//! Convergecast + broadcast aggregation over a BFS spanning tree.
+
+use super::mix64;
+use crate::{PartyLogic, Schedule, Workload};
+use netgraph::{DirectedLink, Graph, NodeId, SpanningTree};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Epochs of tree aggregation over an arbitrary connected graph: every
+/// epoch, each party contributes a `width`-bit value (`input + epoch`,
+/// truncated); partial sums (mod 2^width) convergecast up the BFS tree
+/// rooted at node 0, then the total broadcasts back down. Level-synchronous
+/// and bit-serial, so the speaking order is fixed and input-independent.
+///
+/// Output of every party: the XOR of all epoch totals, as two bytes.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::topology;
+/// use protocol::{workloads::SumTree, Workload};
+/// let w = SumTree::new(topology::star(5), 4, 2, 9);
+/// assert!(w.schedule().cc_bits() > 0);
+/// ```
+#[derive(Clone)]
+pub struct SumTree {
+    graph: Graph,
+    tree: SpanningTree,
+    schedule: Schedule,
+    inputs: Vec<u64>,
+    width: u32,
+    epochs: usize,
+    /// For each schedule round: which bit of the value is on the wire.
+    round_bit: Arc<Vec<u32>>,
+}
+
+impl std::fmt::Debug for SumTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SumTree")
+            .field("n", &self.graph.node_count())
+            .field("width", &self.width)
+            .field("epochs", &self.epochs)
+            .finish()
+    }
+}
+
+impl SumTree {
+    /// Builds the workload over `graph` with `width`-bit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is disconnected, `width` is 0 or > 16,
+    /// `epochs == 0`, or the graph has a single node.
+    pub fn new(graph: Graph, width: u32, epochs: usize, seed: u64) -> Self {
+        assert!((1..=16).contains(&width));
+        assert!(epochs >= 1);
+        assert!(graph.node_count() >= 2);
+        let tree = SpanningTree::bfs(&graph, 0);
+        let n = graph.node_count();
+        let depth = tree.depth();
+        let mut schedule = Schedule::new();
+        let mut round_bit = Vec::new();
+        for _ in 0..epochs {
+            // Up-sweep: deepest level first.
+            for level in (2..=depth).rev() {
+                let links: Vec<DirectedLink> = (0..n)
+                    .filter(|&v| tree.level(v) == level)
+                    .map(|v| DirectedLink {
+                        from: v,
+                        to: tree.parent(v).expect("non-root has parent"),
+                    })
+                    .collect();
+                if links.is_empty() {
+                    continue;
+                }
+                for bit in 0..width {
+                    schedule.push_round(links.clone());
+                    round_bit.push(bit);
+                }
+            }
+            // Down-sweep: each level broadcasts the total to its children.
+            for level in 1..depth {
+                let links: Vec<DirectedLink> = (0..n)
+                    .filter(|&v| tree.level(v) == level)
+                    .flat_map(|v| {
+                        tree.children(v)
+                            .iter()
+                            .map(move |&c| DirectedLink { from: v, to: c })
+                    })
+                    .collect();
+                if links.is_empty() {
+                    continue;
+                }
+                for bit in 0..width {
+                    schedule.push_round(links.clone());
+                    round_bit.push(bit);
+                }
+            }
+        }
+        let mut s = seed;
+        let mask = (1u64 << width) - 1;
+        let inputs = (0..n).map(|_| mix64(&mut s) & mask).collect();
+        SumTree {
+            graph,
+            tree,
+            schedule,
+            inputs,
+            width,
+            epochs,
+            round_bit: Arc::new(round_bit),
+        }
+    }
+
+    /// Seed-derived per-party inputs.
+    pub fn inputs(&self) -> &[u64] {
+        &self.inputs
+    }
+
+    /// Closed-form expected output: per epoch, the total is
+    /// `Σ ((input_v + epoch) mod 2^width) mod 2^width`; every party outputs
+    /// the XOR of all epoch totals, little-endian in two bytes.
+    pub fn expected_output(&self) -> Vec<u8> {
+        let mask = (1u64 << self.width) - 1;
+        let mut acc = 0u64;
+        for e in 0..self.epochs as u64 {
+            let total: u64 = self
+                .inputs
+                .iter()
+                .fold(0u64, |t, &x| (t + ((x + e) & mask)) & mask);
+            acc ^= total;
+        }
+        vec![(acc & 0xff) as u8, (acc >> 8) as u8]
+    }
+}
+
+#[derive(Clone)]
+struct SumParty {
+    width: u32,
+    input: u64,
+    epoch: u64,
+    /// Own epoch value plus child sums received so far this epoch.
+    partial: u64,
+    /// In-flight value bits per sending neighbor.
+    rx: BTreeMap<NodeId, u64>,
+    children_reported: usize,
+    /// The epoch total (valid once learned/computed).
+    total: u64,
+    acc: u64,
+    is_root: bool,
+    children: Vec<NodeId>,
+    mask: u64,
+    round_bit: Arc<Vec<u32>>,
+}
+
+impl SumParty {
+    fn epoch_value(&self) -> u64 {
+        (self.input + self.epoch) & self.mask
+    }
+
+    fn advance_epoch(&mut self) {
+        self.acc ^= self.total;
+        self.epoch += 1;
+        self.partial = self.epoch_value();
+        self.children_reported = 0;
+    }
+}
+
+impl PartyLogic for SumParty {
+    fn send_bit(&mut self, round: usize, link: DirectedLink) -> bool {
+        let bit = self.round_bit[round];
+        let value = if self.children.contains(&link.to) {
+            // Down-sweep: broadcast the total.
+            self.total
+        } else {
+            // Up-sweep: send the partial sum to the parent.
+            self.partial
+        };
+        (value >> bit) & 1 == 1
+    }
+
+    fn recv_bit(&mut self, round: usize, link: DirectedLink, bit: bool) {
+        let idx = self.round_bit[round];
+        let entry = self.rx.entry(link.from).or_insert(0);
+        if idx == 0 {
+            *entry = 0;
+        }
+        if bit {
+            *entry |= 1 << idx;
+        }
+        if idx + 1 == self.width {
+            let value = self.rx.remove(&link.from).unwrap_or(0);
+            if self.children.contains(&link.from) {
+                // A child's partial sum completed.
+                self.partial = (self.partial + value) & self.mask;
+                self.children_reported += 1;
+                if self.is_root && self.children_reported == self.children.len() {
+                    // Root learns the total; its down-sends use it, then the
+                    // next epoch begins for the root immediately.
+                    self.total = self.partial;
+                    self.advance_epoch();
+                }
+            } else {
+                // The total arriving from the parent.
+                self.total = value;
+                self.advance_epoch();
+            }
+        }
+    }
+
+    fn output(&self) -> Vec<u8> {
+        vec![(self.acc & 0xff) as u8, (self.acc >> 8) as u8]
+    }
+
+    fn clone_box(&self) -> Box<dyn PartyLogic> {
+        Box::new(self.clone())
+    }
+}
+
+impl Workload for SumTree {
+    fn name(&self) -> &'static str {
+        "sum_tree"
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    fn spawn(&self, node: NodeId) -> Box<dyn PartyLogic> {
+        let mask = (1u64 << self.width) - 1;
+        Box::new(SumParty {
+            width: self.width,
+            input: self.inputs[node],
+            epoch: 0,
+            partial: self.inputs[node] & mask,
+            rx: BTreeMap::new(),
+            children_reported: 0,
+            total: 0,
+            acc: 0,
+            is_root: node == 0,
+            children: self.tree.children(node).to_vec(),
+            mask,
+            round_bit: Arc::clone(&self.round_bit),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::ChunkedProtocol;
+    use netgraph::topology;
+
+    #[test]
+    fn reference_matches_closed_form_on_star() {
+        let w = SumTree::new(topology::star(5), 4, 3, 7);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        let run = run_reference(&w, &p);
+        let expected = w.expected_output();
+        for v in 0..5 {
+            assert_eq!(run.outputs[v], expected, "party {v}");
+        }
+    }
+
+    #[test]
+    fn reference_matches_closed_form_on_many_topologies() {
+        for (g, label) in [
+            (topology::line(6), "line"),
+            (topology::grid(2, 3), "grid"),
+            (topology::binary_tree(7), "btree"),
+            (topology::clique(5), "clique"),
+            (topology::random_connected(9, 14, 4), "random"),
+        ] {
+            let w = SumTree::new(g, 3, 2, 21);
+            let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+            let run = run_reference(&w, &p);
+            let expected = w.expected_output();
+            for (v, out) in run.outputs.iter().enumerate() {
+                assert_eq!(out, &expected, "{label} party {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_epoch_width_one() {
+        let w = SumTree::new(topology::line(3), 1, 1, 5);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        let run = run_reference(&w, &p);
+        assert_eq!(run.outputs[0], w.expected_output());
+    }
+}

@@ -1,0 +1,167 @@
+//! A token walking around a ring, one bit per round.
+
+use super::mix64;
+use crate::{PartyLogic, Schedule, Workload};
+use netgraph::{topology, DirectedLink, Graph, NodeId};
+
+/// A token (one bit) circulates a ring for `laps` laps; each party XORs its
+/// input bit into the token as it passes. Exactly one bit is sent per
+/// round, making this the sparsest possible workload — the case where the
+/// non-fully-utilized model of the paper matters most.
+///
+/// Output of each party: the token value it last observed and how many
+/// times it held the token.
+///
+/// # Examples
+///
+/// ```
+/// use protocol::{workloads::TokenRing, Workload};
+/// let w = TokenRing::new(5, 2, 7);
+/// assert_eq!(w.schedule().cc_bits(), 5 * 2);
+/// assert_eq!(w.graph().node_count(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TokenRing {
+    graph: Graph,
+    schedule: Schedule,
+    inputs: Vec<bool>,
+    n: usize,
+}
+
+impl TokenRing {
+    /// Ring of `n` parties, `laps` full laps, inputs derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `laps == 0`.
+    pub fn new(n: usize, laps: usize, seed: u64) -> Self {
+        assert!(n >= 3 && laps >= 1);
+        let graph = topology::ring(n);
+        let mut schedule = Schedule::new();
+        for hop in 0..laps * n {
+            let from = hop % n;
+            let to = (hop + 1) % n;
+            schedule.push_round(vec![DirectedLink { from, to }]);
+        }
+        let mut s = seed;
+        let inputs = (0..n).map(|_| mix64(&mut s) & 1 == 1).collect();
+        TokenRing {
+            graph,
+            schedule,
+            inputs,
+            n,
+        }
+    }
+
+    /// The seed-derived input bits.
+    pub fn inputs(&self) -> &[bool] {
+        &self.inputs
+    }
+
+    /// Ground-truth output for party `v`, computed in closed form (used to
+    /// cross-validate the reference executor).
+    pub fn expected_output(&self, v: NodeId) -> Vec<u8> {
+        let laps = self.schedule.round_count() / self.n;
+        // Token after hop t (t = 0 is party 0's first send).
+        let mut token = false;
+        let mut last_seen = false;
+        let mut holds = 0u32;
+        for hop in 0..laps * self.n {
+            let sender = hop % self.n;
+            token ^= self.inputs[sender];
+            let receiver = (hop + 1) % self.n;
+            if receiver == v {
+                last_seen = token;
+                holds += 1;
+            }
+        }
+        vec![u8::from(last_seen), holds as u8]
+    }
+}
+
+struct TokenParty {
+    input: bool,
+    token: bool,
+    last_seen: bool,
+    holds: u32,
+}
+
+impl PartyLogic for TokenParty {
+    fn send_bit(&mut self, _round: usize, _link: DirectedLink) -> bool {
+        self.token ^ self.input
+    }
+
+    fn recv_bit(&mut self, _round: usize, _link: DirectedLink, bit: bool) {
+        self.token = bit;
+        self.last_seen = bit;
+        self.holds += 1;
+    }
+
+    fn output(&self) -> Vec<u8> {
+        vec![u8::from(self.last_seen), self.holds as u8]
+    }
+
+    fn clone_box(&self) -> Box<dyn PartyLogic> {
+        Box::new(TokenParty {
+            input: self.input,
+            token: self.token,
+            last_seen: self.last_seen,
+            holds: self.holds,
+        })
+    }
+}
+
+impl Workload for TokenRing {
+    fn name(&self) -> &'static str {
+        "token_ring"
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    fn spawn(&self, node: NodeId) -> Box<dyn PartyLogic> {
+        Box::new(TokenParty {
+            input: self.inputs[node],
+            token: false,
+            last_seen: false,
+            holds: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::ChunkedProtocol;
+
+    #[test]
+    fn reference_matches_closed_form() {
+        let w = TokenRing::new(6, 3, 99);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        let run = run_reference(&w, &p);
+        for v in 0..6 {
+            assert_eq!(run.outputs[v], w.expected_output(v), "party {v}");
+        }
+    }
+
+    #[test]
+    fn schedule_is_one_bit_per_round() {
+        let w = TokenRing::new(4, 2, 0);
+        for r in 0..w.schedule().round_count() {
+            assert_eq!(w.schedule().links_at(r).len(), 1);
+        }
+    }
+
+    #[test]
+    fn inputs_depend_on_seed() {
+        let a = TokenRing::new(8, 1, 1);
+        let b = TokenRing::new(8, 1, 2);
+        assert_ne!(a.inputs(), b.inputs());
+    }
+}

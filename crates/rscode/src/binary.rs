@@ -1,0 +1,228 @@
+//! Bit-level wrapper around the Reed–Solomon codec.
+//!
+//! The randomness exchange sends a *bit* per round per link, so the seed —
+//! a bit string — must be carried by a binary code (Theorem 2.1). We realize
+//! it by packing bits into GF(2^8) symbols and striping long messages across
+//! independent RS blocks. A bit flip corrupts at most one symbol; a deleted
+//! bit (a known position) makes its covering symbol an erasure. The code has
+//! constant rate `k/n` and corrects a constant fraction of bit corruptions
+//! per block, which is exactly what Algorithm 5 requires.
+
+use crate::rs::{DecodeError, ReedSolomon};
+
+/// A constant-rate binary code built from striped RS(n, k) blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rscode::BinaryCode;
+/// let code = BinaryCode::rate_one_third();
+/// let bits: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+/// let mut word = code.encode(&bits);
+/// word.bits[4] ^= true;                 // substitution
+/// word.erasures.push(10);               // deletion → erasure
+/// let back = code.decode(&word).unwrap();
+/// assert_eq!(&back[..200], &bits[..]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BinaryCode {
+    rs: ReedSolomon,
+}
+
+/// A transmitted binary codeword: the bit payload plus the positions the
+/// receiver knows were deleted (erasures).
+#[derive(Clone, Debug, Default)]
+pub struct BinaryWord {
+    /// Codeword bits (message blocks followed by parity, per stripe).
+    pub bits: Vec<bool>,
+    /// Bit positions known to be corrupted (e.g. deletions).
+    pub erasures: Vec<usize>,
+}
+
+impl BinaryCode {
+    /// Builds a binary code from RS(n, k) blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid for [`ReedSolomon::new`].
+    pub fn new(n: usize, k: usize) -> Self {
+        BinaryCode {
+            rs: ReedSolomon::new(n, k).expect("valid RS parameters"),
+        }
+    }
+
+    /// The rate-1/3 instantiation used by the randomness exchange
+    /// (the paper suggests ρ = 1/3 after Theorem 2.1): RS(30, 10).
+    pub fn rate_one_third() -> Self {
+        BinaryCode::new(30, 10)
+    }
+
+    /// Message bits carried per RS block.
+    pub fn block_message_bits(&self) -> usize {
+        self.rs.message_len() * 8
+    }
+
+    /// Codeword bits produced per RS block.
+    pub fn block_code_bits(&self) -> usize {
+        self.rs.block_len() * 8
+    }
+
+    /// Number of codeword bits produced for a `message_bits`-bit message.
+    pub fn encoded_len(&self, message_bits: usize) -> usize {
+        let blocks = message_bits.div_ceil(self.block_message_bits()).max(1);
+        blocks * self.block_code_bits()
+    }
+
+    /// Encodes a bit string (zero-padded up to a whole number of blocks).
+    pub fn encode(&self, bits: &[bool]) -> BinaryWord {
+        let k_bits = self.block_message_bits();
+        let blocks = bits.len().div_ceil(k_bits).max(1);
+        let mut out = Vec::with_capacity(blocks * self.block_code_bits());
+        for b in 0..blocks {
+            let mut msg = vec![0u8; self.rs.message_len()];
+            for i in 0..k_bits {
+                let idx = b * k_bits + i;
+                if idx < bits.len() && bits[idx] {
+                    msg[i / 8] |= 1 << (i % 8);
+                }
+            }
+            let cw = self.rs.encode(&msg).expect("length is k by construction");
+            for byte in cw {
+                for bit in 0..8 {
+                    out.push(byte >> bit & 1 == 1);
+                }
+            }
+        }
+        BinaryWord {
+            bits: out,
+            erasures: Vec::new(),
+        }
+    }
+
+    /// Decodes a received word; returns the (padded) message bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] when a block's corruption exceeds the RS
+    /// radius or the word length is not a whole number of blocks.
+    pub fn decode(&self, word: &BinaryWord) -> Result<Vec<bool>, DecodeError> {
+        let cb = self.block_code_bits();
+        if word.bits.is_empty() || word.bits.len() % cb != 0 {
+            return Err(DecodeError::BadInput(format!(
+                "codeword bit length {} not a multiple of {}",
+                word.bits.len(),
+                cb
+            )));
+        }
+        let blocks = word.bits.len() / cb;
+        let mut out = Vec::with_capacity(blocks * self.block_message_bits());
+        for b in 0..blocks {
+            let mut symbols = vec![0u8; self.rs.block_len()];
+            for i in 0..cb {
+                if word.bits[b * cb + i] {
+                    symbols[i / 8] |= 1 << (i % 8);
+                }
+            }
+            let mut erasures: Vec<usize> = word
+                .erasures
+                .iter()
+                .filter(|&&p| p >= b * cb && p < (b + 1) * cb)
+                .map(|&p| (p - b * cb) / 8)
+                .collect();
+            erasures.sort_unstable();
+            erasures.dedup();
+            let msg = self.rs.decode(&symbols, &erasures)?;
+            for byte in msg {
+                for bit in 0..8 {
+                    out.push(byte >> bit & 1 == 1);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_multiple_blocks() {
+        let code = BinaryCode::rate_one_third();
+        let bits: Vec<bool> = (0..500).map(|i| (i * i) % 7 < 3).collect();
+        let word = code.encode(&bits);
+        assert_eq!(word.bits.len(), code.encoded_len(500));
+        let back = code.decode(&word).unwrap();
+        assert_eq!(&back[..500], &bits[..]);
+    }
+
+    #[test]
+    fn empty_message_encodes_one_block() {
+        let code = BinaryCode::rate_one_third();
+        let word = code.encode(&[]);
+        assert_eq!(word.bits.len(), code.block_code_bits());
+        let back = code.decode(&word).unwrap();
+        assert!(back.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn corrects_scattered_bit_flips() {
+        let code = BinaryCode::new(30, 10); // 10 symbol corrections per block
+        let bits: Vec<bool> = (0..80).map(|i| i % 2 == 0).collect();
+        let mut word = code.encode(&bits);
+        // 9 flips in distinct symbols of the single block.
+        for s in 0..9 {
+            word.bits[s * 8 + 3] ^= true;
+        }
+        let back = code.decode(&word).unwrap();
+        assert_eq!(&back[..80], &bits[..]);
+    }
+
+    #[test]
+    fn deletions_as_erasures_double_budget() {
+        let code = BinaryCode::new(30, 10); // 20 erasures per block
+        let bits: Vec<bool> = (0..80).map(|i| i % 5 == 0).collect();
+        let mut word = code.encode(&bits);
+        for s in 0..19 {
+            let p = s * 8 + 1;
+            word.bits[p] ^= true;
+            word.erasures.push(p);
+        }
+        let back = code.decode(&word).unwrap();
+        assert_eq!(&back[..80], &bits[..]);
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let code = BinaryCode::rate_one_third();
+        let word = BinaryWord {
+            bits: vec![false; 17],
+            erasures: vec![],
+        };
+        assert!(code.decode(&word).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_roundtrip_with_noise(
+            bits in proptest::collection::vec(any::<bool>(), 1..300),
+            flips in proptest::collection::btree_set(0usize..240, 0..8),
+        ) {
+            let code = BinaryCode::rate_one_third();
+            let mut word = code.encode(&bits);
+            // Flip bits but keep per-block symbol-error count within radius:
+            // 8 flips touch at most 8 symbols; radius is 10 per block, and
+            // flips may spread across blocks, only reducing per-block load.
+            for f in flips {
+                let p = f % word.bits.len();
+                word.bits[p] ^= true;
+                word.erasures.push(p); // tell decoder: treat as erasure
+            }
+            let back = code.decode(&word).unwrap();
+            prop_assert_eq!(&back[..bits.len()], &bits[..]);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Reed–Solomon error-and-erasure coding over GF(2^8).
+//!
+//! The paper's randomness-exchange step (Algorithm 5) protects each hash
+//! seed with "a standard binary error-correction code with constant rate
+//! and constant distance" (Theorem 2.1), and observes (§3.1, footnote 9)
+//! that during this fully-utilized exchange *deletions are erasures*:
+//! the receiver expects a symbol every round, so a missing symbol is a
+//! located corruption. We therefore implement a systematic Reed–Solomon
+//! codec with joint error/erasure decoding (Berlekamp–Massey + Chien +
+//! Forney), plus a bit-level wrapper [`BinaryCode`] that maps a bit stream
+//! onto RS symbols.
+//!
+//! An RS(n, k) code corrects any pattern of `e` symbol errors and `s`
+//! symbol erasures with `2e + s ≤ n − k`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod rs;
+
+pub use binary::{BinaryCode, BinaryWord};
+pub use rs::{DecodeError, ReedSolomon};

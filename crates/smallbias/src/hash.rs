@@ -1,0 +1,326 @@
+//! The inner-product hash function of Definition 2.2, plus the packed
+//! [`BitString`] buffer it operates on.
+//!
+//! `h(x, s)` is the concatenation of τ inner products between the input
+//! bits `x` and τ disjoint stretches of the seed `s` (one stretch of
+//! `|x|` bits per output bit). Seeds are consumed lazily from a
+//! [`crate::SeedBits`] stream, so neither party ever materializes the
+//! Θ(τ·|x|)-bit seed.
+//!
+//! Two properties the coding scheme relies on (Lemma 2.3):
+//! * for a uniform seed and any fixed `x ≠ y`, `Pr[h(x) = h(y)] = 2^{-τ}`;
+//! * the hash is GF(2)-linear in its input for a fixed seed.
+//!
+//! Note the paper's footnote 11: `h(x)` and `h(x ∘ 0)` agree on the first
+//! output bit, so inputs must embed their own length/position information —
+//! our transcripts embed chunk indices for exactly this reason.
+
+use crate::seed::SeedBits;
+
+/// A growable, packed bit string (little-endian within each 64-bit word).
+///
+/// Bits beyond `len` are guaranteed zero, so word-level operations need no
+/// masking.
+///
+/// # Examples
+///
+/// ```
+/// use smallbias::BitString;
+/// let mut b = BitString::new();
+/// b.push_bit(true);
+/// b.push_bits(0b101, 3);
+/// assert_eq!(b.len(), 4);
+/// assert_eq!(b.bit(0), true);
+/// assert_eq!(b.bit(2), false);
+/// assert_eq!(b.bit(3), true);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitString {
+    /// An empty bit string.
+    pub fn new() -> Self {
+        BitString::default()
+    }
+
+    /// An empty bit string with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitString {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let w = self.len / 64;
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `count` bits of `value`, lowest bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn push_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64);
+        for j in 0..count {
+            self.push_bit((value >> j) & 1 == 1);
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_from(&mut self, other: &BitString) {
+        for i in 0..other.len {
+            self.push_bit(other.bit(i));
+        }
+    }
+
+    /// The `i`-th bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// The packed words (unused high bits are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Shortens the string to `len` bits (no-op if already shorter).
+    /// Bits beyond the new length are zeroed so word-level invariants hold.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.words.truncate(len.div_ceil(64));
+        if len % 64 != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << (len % 64)) - 1;
+        }
+        self.len = len;
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut b = BitString::new();
+        for bit in iter {
+            b.push_bit(bit);
+        }
+        b
+    }
+}
+
+/// Inner-product hash of `input` with `tau` output bits, consuming
+/// `tau · ⌈|input|/64⌉` words from the seed stream.
+///
+/// Returns the output packed into the low `tau` bits of a `u64`.
+/// Hashing the empty string returns 0 (and consumes no seed), matching the
+/// convention that `h(ε) = 0^τ`.
+///
+/// # Panics
+///
+/// Panics if `tau > 64` or `tau == 0`.
+pub fn hash_bits(input: &BitString, tau: u32, seed: &mut dyn SeedBits) -> u64 {
+    hash_prefix(input, input.len(), tau, seed)
+}
+
+/// Inner-product hash of the first `prefix_len` bits of `input`.
+///
+/// Equivalent to hashing the truncated string, without materializing it;
+/// this is what the meeting-points mechanism uses for its `T[..mpc]`
+/// prefix hashes.
+///
+/// # Panics
+///
+/// Panics if `tau` is not in `1..=64` or `prefix_len > input.len()`.
+pub fn hash_prefix(input: &BitString, prefix_len: usize, tau: u32, seed: &mut dyn SeedBits) -> u64 {
+    assert!(tau >= 1 && tau <= 64, "tau must be in 1..=64");
+    assert!(prefix_len <= input.len(), "prefix longer than input");
+    if prefix_len == 0 {
+        return 0;
+    }
+    let full_words = prefix_len / 64;
+    let tail_bits = prefix_len % 64;
+    let tail_mask = if tail_bits == 0 {
+        0
+    } else {
+        (1u64 << tail_bits) - 1
+    };
+    let words = input.words();
+    let mut out = 0u64;
+    for t in 0..tau {
+        let mut acc = 0u32;
+        for &w in &words[..full_words] {
+            acc ^= (w & seed.next_word()).count_ones() & 1;
+        }
+        if tail_bits != 0 {
+            acc ^= (words[full_words] & tail_mask & seed.next_word()).count_ones() & 1;
+        }
+        out |= u64::from(acc & 1) << t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::{CrsSource, SeedLabel, SeedSource};
+
+    fn label(slot: u32) -> SeedLabel {
+        SeedLabel {
+            iteration: 3,
+            channel: 1,
+            slot,
+        }
+    }
+
+    fn bits(v: &[bool]) -> BitString {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn bitstring_roundtrip() {
+        let mut b = BitString::new();
+        let pattern: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        for &bit in &pattern {
+            b.push_bit(bit);
+        }
+        assert_eq!(b.len(), 130);
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(b.bit(i), bit, "bit {i}");
+        }
+        // High bits of the last word must be zero.
+        assert_eq!(b.words()[2] >> 2, 0);
+    }
+
+    #[test]
+    fn push_bits_order() {
+        let mut b = BitString::new();
+        b.push_bits(0b1101, 4);
+        assert_eq!(
+            (b.bit(0), b.bit(1), b.bit(2), b.bit(3)),
+            (true, false, true, true)
+        );
+    }
+
+    #[test]
+    fn hash_deterministic_for_same_seed() {
+        let src = CrsSource::new(99);
+        let x = bits(&[true, false, true, true, false]);
+        let a = hash_bits(&x, 16, &mut *src.stream(label(0)));
+        let b = hash_bits(&x, 16, &mut *src.stream(label(0)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_differs_across_slots() {
+        let src = CrsSource::new(99);
+        let x = bits(&[true, false, true]);
+        let a = hash_bits(&x, 32, &mut *src.stream(label(0)));
+        let b = hash_bits(&x, 32, &mut *src.stream(label(1)));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_is_linear_in_input() {
+        // h(x ⊕ y) = h(x) ⊕ h(y) for equal-length inputs and equal seed.
+        let src = CrsSource::new(5);
+        let x = bits(&[true, false, true, true, false, false, true]);
+        let y = bits(&[false, false, true, false, true, false, true]);
+        let xy: BitString = (0..7).map(|i| x.bit(i) ^ y.bit(i)).collect();
+        let hx = hash_bits(&x, 24, &mut *src.stream(label(2)));
+        let hy = hash_bits(&y, 24, &mut *src.stream(label(2)));
+        let hxy = hash_bits(&xy, 24, &mut *src.stream(label(2)));
+        assert_eq!(hx ^ hy, hxy);
+    }
+
+    #[test]
+    fn empty_hashes_to_zero() {
+        let src = CrsSource::new(1);
+        assert_eq!(hash_bits(&BitString::new(), 8, &mut *src.stream(label(0))), 0);
+    }
+
+    #[test]
+    fn collision_rate_matches_two_to_minus_tau() {
+        // Distinct inputs, fresh uniform seed per trial: collision
+        // probability should be ≈ 2^-4 for tau = 4.
+        let x = bits(&[true, false, true, false, true, true]);
+        let y = bits(&[true, true, false, false, true, true]);
+        let mut collisions = 0;
+        let trials = 4_000;
+        for t in 0..trials {
+            let src = CrsSource::new(t);
+            let hx = hash_bits(&x, 4, &mut *src.stream(label(0)));
+            let hy = hash_bits(&y, 4, &mut *src.stream(label(0)));
+            collisions += usize::from(hx == hy);
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(
+            (rate - 1.0 / 16.0).abs() < 0.02,
+            "collision rate {rate} far from 1/16"
+        );
+    }
+
+    #[test]
+    fn prefix_hash_equals_truncated_hash() {
+        let src = CrsSource::new(31);
+        let full: BitString = (0..200).map(|i| i % 5 < 2).collect();
+        for plen in [0usize, 1, 63, 64, 65, 128, 199, 200] {
+            let mut truncated = full.clone();
+            truncated.truncate(plen);
+            let a = hash_prefix(&full, plen, 12, &mut *src.stream(label(0)));
+            let b = hash_bits(&truncated, 12, &mut *src.stream(label(0)));
+            assert_eq!(a, b, "prefix {plen}");
+        }
+    }
+
+    #[test]
+    fn truncate_zeroes_high_bits() {
+        let mut b: BitString = (0..100).map(|_| true).collect();
+        b.truncate(65);
+        assert_eq!(b.len(), 65);
+        assert_eq!(b.words().len(), 2);
+        assert_eq!(b.words()[1], 1);
+        b.truncate(64);
+        assert_eq!(b.words().len(), 1);
+        b.truncate(200); // no-op
+        assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn output_confined_to_tau_bits() {
+        let src = CrsSource::new(7);
+        let x = bits(&[true; 100]);
+        for tau in [1u32, 3, 7, 33, 64] {
+            let h = hash_bits(&x, tau, &mut *src.stream(label(tau)));
+            if tau < 64 {
+                assert_eq!(h >> tau, 0, "tau={tau}");
+            }
+        }
+    }
+}
