@@ -87,12 +87,16 @@ fn bench_rs(c: &mut Criterion) {
     let msg: Vec<u8> = (0..10).map(|i| i as u8 * 7 + 1).collect();
     let clean = rs.encode(&msg).unwrap();
     g.bench_function("encode_30_10", |b| b.iter(|| rs.encode(&msg).unwrap()));
-    g.bench_function("decode_clean", |b| b.iter(|| rs.decode(&clean, &[]).unwrap()));
+    g.bench_function("decode_clean", |b| {
+        b.iter(|| rs.decode(&clean, &[]).unwrap())
+    });
     let mut noisy = clean.clone();
     for p in [0usize, 7, 13, 19, 25] {
         noisy[p] ^= 0x5a;
     }
-    g.bench_function("decode_5_errors", |b| b.iter(|| rs.decode(&noisy, &[]).unwrap()));
+    g.bench_function("decode_5_errors", |b| {
+        b.iter(|| rs.decode(&noisy, &[]).unwrap())
+    });
     let mut erased = clean.clone();
     let erasures: Vec<usize> = (0..18).map(|k| k + 3).collect();
     for &p in &erasures {

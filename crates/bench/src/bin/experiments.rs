@@ -163,7 +163,10 @@ fn sweep(
 
 /// F1 — Theorem 1.1: Algorithm A success vs oblivious noise in units of 1/m.
 fn f1(quick: bool) {
-    header("F1", "Thm 1.1 — Algorithm A vs oblivious noise (units of 1/m)");
+    header(
+        "F1",
+        "Thm 1.1 — Algorithm A vs oblivious noise (units of 1/m)",
+    );
     let topo = TopoSpec::Ring(6);
     let m = topo.build(1).edge_count() as f64;
     let w = WorkloadSpec::Gossip { topo, rounds: 8 };
@@ -180,33 +183,59 @@ fn f1(quick: bool) {
 
 /// F2 — Theorem 1.2: Algorithm B vs noise in units of 1/(m log m).
 fn f2(quick: bool) {
-    header("F2", "Thm 1.2 — Algorithm B vs noise (units of 1/(m log m))");
+    header(
+        "F2",
+        "Thm 1.2 — Algorithm B vs noise (units of 1/(m log m))",
+    );
     let topo = TopoSpec::Ring(6);
     let g = topo.build(1);
     let m = g.edge_count() as f64;
     let denom = m * m.log2();
     let w = WorkloadSpec::Gossip { topo, rounds: 8 };
     let trials = if quick { 8 } else { 60 };
-    sweep("f2", w, Scheme::B, denom, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5], trials);
+    sweep(
+        "f2",
+        w,
+        Scheme::B,
+        denom,
+        &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5],
+        trials,
+    );
 }
 
 /// F3 — constant rate: blow-up vs network size.
 fn f3(quick: bool) {
-    header("F3", "Constant rate — communication blow-up vs network size");
+    header(
+        "F3",
+        "Constant rate — communication blow-up vs network size",
+    );
     let trials = if quick { 4 } else { 24 };
     println!(
         "{:<10} {:>4} {:>4} {:>10} {:>14}",
         "topology", "n", "m", "blowup", "blowup@.01/m"
     );
-    let sizes: &[usize] = if quick { &[4, 6, 8] } else { &[4, 6, 8, 10, 12, 16] };
+    let sizes: &[usize] = if quick {
+        &[4, 6, 8]
+    } else {
+        &[4, 6, 8, 10, 12, 16]
+    };
     for &n in sizes {
-        for topo in [TopoSpec::Line(n), TopoSpec::Ring(n), TopoSpec::Clique(n.min(8))] {
+        for topo in [
+            TopoSpec::Line(n),
+            TopoSpec::Ring(n),
+            TopoSpec::Clique(n.min(8)),
+        ] {
             let g = topo.build(1);
             let m = g.edge_count() as f64;
             let w = WorkloadSpec::Gossip { topo, rounds: 8 };
             let (clean, _) = run_many(w, Scheme::A, AttackSpec::None, trials.min(4), 300);
-            let (noisy, _) =
-                run_many(w, Scheme::A, AttackSpec::Iid { fraction: 0.01 / m }, trials, 400);
+            let (noisy, _) = run_many(
+                w,
+                Scheme::A,
+                AttackSpec::Iid { fraction: 0.01 / m },
+                trials,
+                400,
+            );
             println!(
                 "{:<10} {:>4} {:>4} {:>10.1} {:>14.1}",
                 topo.label(),
@@ -240,7 +269,11 @@ fn f4(quick: bool) {
         "F4",
         "§1.2 ablation — one early error on the line: repair speed and stalled bits",
     );
-    let sizes: &[usize] = if quick { &[4, 6, 8] } else { &[4, 6, 8, 10, 12, 16] };
+    let sizes: &[usize] = if quick {
+        &[4, 6, 8]
+    } else {
+        &[4, 6, 8, 10, 12, 16]
+    };
     println!(
         "{:<4} {:<10} {:>6} {:>8} {:>12} {:>9}",
         "n", "variant", "ok", "done@", "stalled_cc", "clean@"
@@ -265,10 +298,8 @@ fn f4(quick: bool) {
             let clean = sim.run(Box::new(netsim::attacks::NoNoise), opts);
             let geo = sim.geometry();
             let round = geo.phase_start(0, PhaseKind::Simulation) + 2;
-            let atk = netsim::attacks::SingleError::new(
-                netgraph::DirectedLink { from: 0, to: 1 },
-                round,
-            );
+            let atk =
+                netsim::attacks::SingleError::new(netgraph::DirectedLink { from: 0, to: 1 }, round);
             let noisy = sim.run(Box::new(atk), opts);
             let (done, stalled) = trace_metrics(&noisy.instrumentation.samples, real);
             let (clean_done, _) = trace_metrics(&clean.instrumentation.samples, real);
@@ -317,7 +348,10 @@ fn trace_metrics(samples: &[mpic::IterationSample], real: usize) -> (Option<u64>
 
 /// F5 — §6.1: the seed-aware attack vs hash length.
 fn f5(quick: bool) {
-    header("F5", "§6.1 — seed-aware non-oblivious attack vs hash length τ");
+    header(
+        "F5",
+        "§6.1 — seed-aware non-oblivious attack vs hash length τ",
+    );
     let trials = if quick { 4 } else { 24 };
     let sizes: &[usize] = if quick { &[5, 7] } else { &[5, 6, 7, 8, 9] };
     println!(
@@ -370,8 +404,7 @@ fn f6() {
     let sim = Simulation::new(&w, cfg, 4);
     let geo = sim.geometry();
     let start = geo.phase_start(3, PhaseKind::Simulation);
-    let atk =
-        netsim::attacks::BurstLink::new(netgraph::DirectedLink { from: 1, to: 2 }, start, 10);
+    let atk = netsim::attacks::BurstLink::new(netgraph::DirectedLink { from: 1, to: 2 }, start, 10);
     let out = sim.run(
         Box::new(atk),
         RunOptions {
@@ -398,7 +431,10 @@ fn f6() {
 
 /// F7 — §5: uniform CRS vs exchanged δ-biased randomness.
 fn f7(quick: bool) {
-    header("F7", "§5 — CRS vs exchanged seeds (PRG and AGHP δ-biased expansion)");
+    header(
+        "F7",
+        "§5 — CRS vs exchanged seeds (PRG and AGHP δ-biased expansion)",
+    );
     let trials = if quick { 4 } else { 24 };
     let w = protocol::workloads::TokenRing::new(4, 4, 3);
     let g = protocol::Workload::graph(&w).clone();
@@ -493,14 +529,24 @@ fn f7(quick: bool) {
 /// F8 — Appendix B: Algorithm C vs noise in units of 1/(m log log m),
 /// including the seed-aware attack it is supposed to blunt.
 fn f8(quick: bool) {
-    header("F8", "Appendix B — Algorithm C (hidden CRS, non-oblivious noise)");
+    header(
+        "F8",
+        "Appendix B — Algorithm C (hidden CRS, non-oblivious noise)",
+    );
     let topo = TopoSpec::Ring(6);
     let g = topo.build(1);
     let m = g.edge_count() as f64;
     let denom = m * m.log2().log2().max(1.0);
     let w = WorkloadSpec::Gossip { topo, rounds: 8 };
     let trials = if quick { 8 } else { 48 };
-    sweep("f8", w, Scheme::C, denom, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2], trials);
+    sweep(
+        "f8",
+        w,
+        Scheme::C,
+        denom,
+        &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2],
+        trials,
+    );
     // The seed-aware oracle is blind without the CRS:
     let (s, _) = run_many(
         w,

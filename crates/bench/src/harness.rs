@@ -81,7 +81,11 @@ pub fn run_trial(
             let rounds: u64 = (0..proto.real_chunks())
                 .map(|c| proto.layout(c).round_count() as u64)
                 .sum();
-            let rep = if let Scheme::Repetition(r) = scheme { r } else { 1 };
+            let rep = if let Scheme::Repetition(r) = scheme {
+                r
+            } else {
+                1
+            };
             let cc_predict = (proto.real_chunks() * proto.chunk_bits()) as u64 * rep as u64;
             let geometry = netsim::PhaseGeometry {
                 setup: 0,
@@ -196,7 +200,13 @@ mod tests {
             topo: TopoSpec::Ring(4),
             rounds: 5,
         };
-        for scheme in [Scheme::A, Scheme::B, Scheme::C, Scheme::NoCoding, Scheme::Repetition(3)] {
+        for scheme in [
+            Scheme::A,
+            Scheme::B,
+            Scheme::C,
+            Scheme::NoCoding,
+            Scheme::Repetition(3),
+        ] {
             let r = run_trial(w, scheme, AttackSpec::None, 7);
             assert!(r.success, "{scheme:?} failed noiselessly");
             assert_eq!(r.corruptions, 0);

@@ -95,7 +95,7 @@ fn run_with_repetition(
                 Default::default();
             for _ in 0..r {
                 let rx = net.step(&sends, None);
-                for (&link, _) in &sends {
+                for &link in sends.keys() {
                     let e = counts.entry(link).or_insert((0, 0));
                     match rx.get(&link) {
                         Some(true) => e.0 += 1,
@@ -109,7 +109,7 @@ fn run_with_repetition(
                 tally.insert(link, ones > zeros);
             }
             // Deliver.
-            for (link, _) in &sends {
+            for link in sends.keys() {
                 let v = link.to;
                 let ps = &pslots[v];
                 while !(ps[cursors[v]].round_in_chunk == ri

@@ -159,8 +159,7 @@ impl SchemeConfig {
 
     /// Number of iterations for a protocol with `real_chunks` chunks.
     pub fn iterations(&self, real_chunks: usize) -> usize {
-        (self.iteration_factor * real_chunks.max(1) as f64).ceil() as usize
-            + self.extra_iterations
+        (self.iteration_factor * real_chunks.max(1) as f64).ceil() as usize + self.extra_iterations
     }
 }
 

@@ -7,6 +7,12 @@
 //! assumed. The [`SimOutcome`] reports success against the noiseless
 //! reference run, communication blow-up, and instrumentation.
 
+// Throughout this module `u` is simultaneously a node id (sent on the
+// wire, compared against link endpoints) and the index into the
+// per-party state vectors; iterator-based rewrites of those loops obscure
+// that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -16,7 +22,7 @@ use crate::instrument::{Instrumentation, IterationSample};
 use crate::meeting::{LinkStatus, MpMessage, MpState, RecvMpMessage};
 use crate::transcript::{sym_delta, LinkTranscript};
 use netgraph::{DirectedLink, EdgeId, Graph, NodeId, SpanningTree};
-use netsim::{Adversary, AdaptiveView, Corruption, NetStats, Network, PhaseGeometry, Wire};
+use netsim::{AdaptiveView, Adversary, Corruption, NetStats, Network, PhaseGeometry, Wire};
 use protocol::reference::{run_reference, ReferenceRun};
 use protocol::{ChunkRecord, ChunkedParty, ChunkedProtocol, PartySlot, SlotKind, Sym, Workload};
 use rscode::{BinaryCode, BinaryWord};
@@ -175,7 +181,14 @@ impl<'w> Simulation<'w> {
         let mut inst = Instrumentation::default();
 
         for iter in 0..self.iterations {
-            self.meeting_points_phase(&mut net, &mut parties, &sources, iter as u64, &mut inst, opts);
+            self.meeting_points_phase(
+                &mut net,
+                &mut parties,
+                &sources,
+                iter as u64,
+                &mut inst,
+                opts,
+            );
             self.flag_passing_phase(&mut net, &mut parties, opts);
             self.simulation_phase(&mut net, &mut parties, &sources, iter as u64, opts);
             self.rewind_phase(&mut net, &mut parties, opts);
@@ -219,11 +232,7 @@ impl<'w> Simulation<'w> {
     }
 
     /// Randomness provisioning: CRS, or the Algorithm 5 exchange.
-    fn establish_randomness(
-        &self,
-        net: &mut Network,
-        parties: &mut [SimParty],
-    ) -> SourceMap {
+    fn establish_randomness(&self, net: &mut Network, parties: &mut [SimParty]) -> SourceMap {
         match &self.cfg.randomness {
             RandomnessMode::Crs { master, .. } => {
                 let mut map: SourceMap = BTreeMap::new();
@@ -266,8 +275,11 @@ impl<'w> Simulation<'w> {
                 }
                 // Transmit, one bit per edge per round (sender = lower id).
                 let rounds = self.exchange_bits;
-                let mut received: BTreeMap<EdgeId, Vec<Option<bool>>> =
-                    self.graph.edges().map(|(e, _, _)| (e, vec![None; rounds])).collect();
+                let mut received: BTreeMap<EdgeId, Vec<Option<bool>>> = self
+                    .graph
+                    .edges()
+                    .map(|(e, _, _)| (e, vec![None; rounds]))
+                    .collect();
                 for o in 0..rounds {
                     let mut sends = Wire::new();
                     for (e, u, v) in self.graph.edges() {
@@ -411,10 +423,7 @@ impl<'w> Simulation<'w> {
         // Compute own status (Algorithm 1 lines 6–13).
         for p in parties.iter_mut() {
             let min_chunk = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
-            let mp_busy = p
-                .mp
-                .values()
-                .any(|s| s.status == LinkStatus::MeetingPoints);
+            let mp_busy = p.mp.values().any(|s| s.status == LinkStatus::MeetingPoints);
             let uneven = p.t.values().any(|t| t.chunks() > min_chunk);
             p.status = !mp_busy && !uneven;
             p.fp_agg = p.status;
@@ -427,10 +436,20 @@ impl<'w> Simulation<'w> {
                 let u = p.node;
                 if self.plan.up_send_round(tree, u) == Some(o) {
                     let parent = tree.parent(u).unwrap();
-                    sends.insert(DirectedLink { from: u, to: parent }, p.fp_agg);
+                    sends.insert(
+                        DirectedLink {
+                            from: u,
+                            to: parent,
+                        },
+                        p.fp_agg,
+                    );
                 }
                 if self.plan.down_send_round(tree, u) == Some(o) {
-                    let flag = if u == tree.root() { p.fp_agg } else { p.net_correct };
+                    let flag = if u == tree.root() {
+                        p.fp_agg
+                    } else {
+                        p.net_correct
+                    };
                     for &c in tree.children(u) {
                         sends.insert(DirectedLink { from: u, to: c }, flag);
                     }
@@ -442,14 +461,20 @@ impl<'w> Simulation<'w> {
                     let children: Vec<NodeId> = tree.children(u).to_vec();
                     for c in children {
                         // Deleted flag reads as stop (false).
-                        let bit = rx.get(&DirectedLink { from: c, to: u }).copied().unwrap_or(false);
+                        let bit = rx
+                            .get(&DirectedLink { from: c, to: u })
+                            .copied()
+                            .unwrap_or(false);
                         parties[u].fp_agg &= bit;
                     }
                 }
                 if self.plan.down_recv_round(tree, u) == Some(o) {
                     let parent = tree.parent(u).unwrap();
                     let bit = rx
-                        .get(&DirectedLink { from: parent, to: u })
+                        .get(&DirectedLink {
+                            from: parent,
+                            to: u,
+                        })
                         .copied()
                         .unwrap_or(false);
                     parties[u].net_correct = bit && parties[u].status;
@@ -484,7 +509,13 @@ impl<'w> Simulation<'w> {
         for p in parties.iter() {
             if !p.net_correct {
                 for &v in &p.neighbors {
-                    sends.insert(DirectedLink { from: p.node, to: v }, true);
+                    sends.insert(
+                        DirectedLink {
+                            from: p.node,
+                            to: v,
+                        },
+                        true,
+                    );
                 }
             }
         }
@@ -530,7 +561,10 @@ impl<'w> Simulation<'w> {
                         continue;
                     };
                     let idx = counters.entry(other).or_insert(0);
-                    p.pos.entry(other).or_default().insert((ri, slot.link), *idx);
+                    p.pos
+                        .entry(other)
+                        .or_default()
+                        .insert((ri, slot.link), *idx);
                     *idx += 1;
                 }
             }
@@ -640,7 +674,13 @@ impl<'w> Simulation<'w> {
                         && !p.already_rewound.get(&v).copied().unwrap_or(false)
                         && p.t[&v].chunks() > min_chunk;
                     if ok {
-                        sends.insert(DirectedLink { from: p.node, to: v }, true);
+                        sends.insert(
+                            DirectedLink {
+                                from: p.node,
+                                to: v,
+                            },
+                            true,
+                        );
                         let new_len = p.t[&v].chunks() - 1;
                         p.t.get_mut(&v).unwrap().truncate(new_len);
                         p.prune_snapshots(new_len);
@@ -736,12 +776,7 @@ impl<'w> Simulation<'w> {
         });
     }
 
-    fn evaluate(
-        &self,
-        parties: Vec<SimParty>,
-        net: Network,
-        inst: Instrumentation,
-    ) -> SimOutcome {
+    fn evaluate(&self, parties: Vec<SimParty>, net: Network, inst: Instrumentation) -> SimOutcome {
         let real = self.proto.real_chunks();
         let mut transcripts_ok = true;
         let mut g_star = usize::MAX;
@@ -899,12 +934,12 @@ impl AdaptiveView for OracleView<'_, '_> {
 
     fn collision_corruption(&self, edge: EdgeId, sends: &Wire) -> Option<Corruption> {
         // Seed visibility: Algorithm C's CRS is hidden from the adversary.
-        match &self.sim.cfg.randomness {
-            RandomnessMode::Crs {
-                adversary_knows_seeds: false,
-                ..
-            } => return None,
-            _ => {}
+        if let RandomnessMode::Crs {
+            adversary_knows_seeds: false,
+            ..
+        } = &self.sim.cfg.randomness
+        {
+            return None;
         }
         let jr = self.chunk_round?;
         if self.iteration + 1 >= self.sim.iterations as u64 {
@@ -944,8 +979,7 @@ impl AdaptiveView for OracleView<'_, '_> {
             let idx = receiver.pos[&sender_node][&(jr, slot.link)];
             let t_recv = &receiver.t[&sender_node];
             let bit_pos = t_recv.bits().len() + 32 + 2 * idx;
-            let final_len =
-                t_recv.bits().len() + 32 + 2 * receiver.pos[&sender_node].len();
+            let final_len = t_recv.bits().len() + 32 + 2 * receiver.pos[&sender_node].len();
             let honest_sym = Sym::from_bit(honest);
             for output in [Some(!honest), None] {
                 let observed = match output {

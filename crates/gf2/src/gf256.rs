@@ -23,8 +23,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 510];
         let mut log = [0u16; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -278,6 +278,25 @@ mod tests {
         fn log_exp_roundtrip(a in 1u8..) {
             let l = Gf256(a).log().unwrap() as usize;
             prop_assert_eq!(Gf256::alpha(l), Gf256(a));
+        }
+
+        #[test]
+        fn inv_is_involution(a in 1u8..) {
+            prop_assert_eq!(Gf256(a).inv().inv(), Gf256(a));
+            prop_assert_eq!(Gf256(a) * Gf256(a).inv(), Gf256::ONE);
+        }
+
+        #[test]
+        fn frobenius_squaring_is_additive(a: u8, b: u8) {
+            // Characteristic 2: x ↦ x² is a field homomorphism.
+            let (a, b) = (Gf256(a), Gf256(b));
+            prop_assert_eq!((a + b) * (a + b), a * a + b * b);
+        }
+
+        #[test]
+        fn pow_splits_over_exponent_sum(a: u8, i in 0usize..300, j in 0usize..300) {
+            let a = Gf256(a);
+            prop_assert_eq!(a.pow(i + j), a.pow(i) * a.pow(j));
         }
     }
 }

@@ -261,5 +261,24 @@ mod tests {
         fn inverse_roundtrip(a in 1u64..) {
             prop_assert_eq!(Gf64(a) * Gf64(a).inv(), Gf64::ONE);
         }
+
+        #[test]
+        fn inv_is_involution(a in 1u64..) {
+            prop_assert_eq!(Gf64(a).inv().inv(), Gf64(a));
+        }
+
+        #[test]
+        fn frobenius_squaring_is_additive(a: u64, b: u64) {
+            // Characteristic 2: x ↦ x² is a field homomorphism.
+            let (a, b) = (Gf64(a), Gf64(b));
+            prop_assert_eq!((a + b) * (a + b), a * a + b * b);
+        }
+
+        #[test]
+        fn dot_bit_is_symmetric_and_bilinear(a: u64, b: u64, c: u64) {
+            let (a, b, c) = (Gf64(a), Gf64(b), Gf64(c));
+            prop_assert_eq!(a.dot_bit(b), b.dot_bit(a));
+            prop_assert_eq!((a + b).dot_bit(c), a.dot_bit(c) ^ b.dot_bit(c));
+        }
     }
 }

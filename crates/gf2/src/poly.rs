@@ -273,5 +273,34 @@ mod tests {
             prop_assert_eq!(pa.mul(&pb).eval(x), pa.eval(x) * pb.eval(x));
             prop_assert_eq!(pa.add(&pb).eval(x), pa.eval(x) + pb.eval(x));
         }
+
+        #[test]
+        fn div_rem_eval_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..24),
+                                  b in proptest::collection::vec(any::<u8>(), 1..12),
+                                  x: u8) {
+            // q·b + r reconstructs a not just structurally but under
+            // evaluation at an arbitrary point.
+            let (pa, pb, x) = (poly(&a), poly(&b), Gf256(x));
+            prop_assume!(!pb.is_zero());
+            let (q, r) = pa.div_rem(&pb);
+            prop_assert_eq!(q.eval(x) * pb.eval(x) + r.eval(x), pa.eval(x));
+        }
+
+        #[test]
+        fn scale_matches_constant_mul(a in proptest::collection::vec(any::<u8>(), 0..16),
+                                      c: u8) {
+            let pa = poly(&a);
+            prop_assert_eq!(pa.scale(Gf256(c)), pa.mul(&Poly256::monomial(Gf256(c), 0)));
+        }
+
+        #[test]
+        fn derivative_product_rule(a in proptest::collection::vec(any::<u8>(), 0..12),
+                                   b in proptest::collection::vec(any::<u8>(), 0..12)) {
+            // (fg)' = f'g + fg' holds in GF(2^8)[x].
+            let (f, g) = (poly(&a), poly(&b));
+            let lhs = f.mul(&g).derivative();
+            let rhs = f.derivative().mul(&g).add(&f.mul(&g.derivative()));
+            prop_assert_eq!(lhs, rhs);
+        }
     }
 }

@@ -1,0 +1,5 @@
+//! Test-only crate: the real content lives in `tests/` (the five
+//! cross-crate suites plus the examples smoke suite). The library target
+//! exists so `cargo` has a package to hang the suites off.
+
+#![forbid(unsafe_code)]

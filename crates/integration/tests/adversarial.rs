@@ -114,7 +114,10 @@ fn seed_aware_separation() {
     let atk = SeedAwareCollision::new(sim.geometry(), m, 1);
     let out_strong = sim.run(Box::new(atk), RunOptions::default());
 
-    assert!(!out_weak.success, "τ=4 should fall to the seed-aware attack");
+    assert!(
+        !out_weak.success,
+        "τ=4 should fall to the seed-aware attack"
+    );
     assert!(
         out_weak.instrumentation.hash_collisions > 3,
         "the attack should force collisions, got {}",

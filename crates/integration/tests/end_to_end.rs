@@ -41,7 +41,10 @@ fn noiseless_line_pipeline() {
 
 #[test]
 fn noiseless_sum_tree_grid() {
-    assert_noiseless_success(&SumTree::new(netgraph::topology::grid(2, 3), 3, 2, 3), "sum_tree");
+    assert_noiseless_success(
+        &SumTree::new(netgraph::topology::grid(2, 3), 3, 2, 3),
+        "sum_tree",
+    );
 }
 
 #[test]
@@ -64,7 +67,10 @@ fn noiseless_gossip_random_graph() {
 
 #[test]
 fn noiseless_star_and_binary_tree() {
-    assert_noiseless_success(&SumTree::new(netgraph::topology::star(6), 4, 2, 8), "sum_star");
+    assert_noiseless_success(
+        &SumTree::new(netgraph::topology::star(6), 4, 2, 8),
+        "sum_star",
+    );
     assert_noiseless_success(
         &SumTree::new(netgraph::topology::binary_tree(7), 2, 2, 9),
         "sum_btree",
@@ -91,7 +97,10 @@ fn light_noise_matrix() {
             let out = sim.run(Box::new(atk), RunOptions::default());
             ok += usize::from(out.success);
         }
-        assert!(ok >= trials as usize - 1, "{name}: only {ok}/{trials} repaired");
+        assert!(
+            ok >= trials as usize - 1,
+            "{name}: only {ok}/{trials} repaired"
+        );
     }
 }
 

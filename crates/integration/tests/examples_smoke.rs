@@ -1,0 +1,42 @@
+//! Smoke coverage for the four `examples/`: each example exposes its body
+//! as `pub fn run()`, which we compile into this suite via `#[path]` and
+//! execute directly. Examples therefore cannot silently rot — an API
+//! drift breaks compilation here, a runtime regression fails the test —
+//! without shelling out to `cargo run --example` from inside the test
+//! run.
+
+#[path = "../../../examples/quickstart.rs"]
+#[allow(dead_code)]
+mod quickstart;
+
+#[path = "../../../examples/adversary_duel.rs"]
+#[allow(dead_code)]
+mod adversary_duel;
+
+#[path = "../../../examples/crs_free.rs"]
+#[allow(dead_code)]
+mod crs_free;
+
+#[path = "../../../examples/line_pipeline_noise.rs"]
+#[allow(dead_code)]
+mod line_pipeline_noise;
+
+#[test]
+fn quickstart_example_runs() {
+    quickstart::run();
+}
+
+#[test]
+fn adversary_duel_example_runs() {
+    adversary_duel::run();
+}
+
+#[test]
+fn crs_free_example_runs() {
+    crs_free::run();
+}
+
+#[test]
+fn line_pipeline_noise_example_runs() {
+    line_pipeline_noise::run();
+}

@@ -14,7 +14,10 @@ fn check_invariants(out: &mpic::SimOutcome, budget: u64) {
     assert!(out.stats.cc > 0, "metadata alone is nonzero");
     assert!(out.blowup.is_finite() && out.blowup > 0.0);
     // Agreement floor/ceiling ordering.
-    assert!(out.g_star <= out.g_star + out.b_star, "B* is nonnegative by construction");
+    assert!(
+        out.g_star <= out.g_star + out.b_star,
+        "B* is nonnegative by construction"
+    );
     // Success definition is internally consistent.
     assert_eq!(out.success, out.transcripts_ok && out.outputs_ok);
     // Trace invariants.
@@ -103,11 +106,7 @@ fn overwhelming_noise_fails_honestly() {
         let out = sim.run(Box::new(atk), RunOptions::default());
         if out.success {
             // success is a *verified* claim: cross-check one more time.
-            assert_eq!(
-                reference_outputs.len(),
-                w.graph().node_count(),
-                "sanity"
-            );
+            assert_eq!(reference_outputs.len(), w.graph().node_count(), "sanity");
         } else {
             false_claims += 0; // failure is the expected, honest outcome
         }

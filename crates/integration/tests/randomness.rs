@@ -105,7 +105,10 @@ fn corrupted_exchange_degrades_to_one_dead_link_not_a_crash() {
         29,
     );
     let out = sim.run(Box::new(atk), RunOptions::default());
-    assert!(out.stats.corruptions > 100, "attack was supposed to be huge");
+    assert!(
+        out.stats.corruptions > 100,
+        "attack was supposed to be huge"
+    );
     assert_eq!(out.success, out.transcripts_ok && out.outputs_ok);
 }
 

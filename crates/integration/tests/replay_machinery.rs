@@ -39,10 +39,16 @@ fn replay_exactness_for_stateful_aggregation() {
     let sim = Simulation::new(&w, cfg, 13);
     // Periodic single errors across the run.
     for burst_iter in [0u64, 2, 5] {
-        let round = sim.geometry().phase_start(burst_iter, PhaseKind::Simulation) + 3;
+        let round = sim
+            .geometry()
+            .phase_start(burst_iter, PhaseKind::Simulation)
+            + 3;
         let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
         let out = sim.run(Box::new(atk), RunOptions::default());
-        assert!(out.success, "error at iteration {burst_iter} not replayed correctly");
+        assert!(
+            out.success,
+            "error at iteration {burst_iter} not replayed correctly"
+        );
     }
 }
 
@@ -72,7 +78,10 @@ fn bot_round_forgery_and_deletion_are_repaired() {
         let round = sim.geometry().phase_start(iter, PhaseKind::Simulation);
         let atk = SingleError::new(DirectedLink { from: 1, to: 2 }, round);
         let out = sim.run(Box::new(atk), RunOptions::default());
-        assert!(out.success, "⊥-round corruption at iteration {iter} not repaired");
+        assert!(
+            out.success,
+            "⊥-round corruption at iteration {iter} not repaired"
+        );
     }
 }
 
@@ -98,7 +107,10 @@ fn ablation_flags_have_effect() {
     let full = mk(false, false);
     let no_rw = mk(false, true);
     assert!(full.success, "full scheme repairs the single error");
-    assert!(!no_rw.success, "without the rewind phase the length gap deadlocks");
+    assert!(
+        !no_rw.success,
+        "without the rewind phase the length gap deadlocks"
+    );
     // Noiselessly, the ablations are inert: nothing to coordinate.
     let mut cfg = SchemeConfig::algorithm_a(w.graph(), 79);
     cfg.disable_flag_passing = true;

@@ -131,8 +131,11 @@ impl Graph {
         }
         // Sort neighbor lists (keeping edge ids parallel) for determinism.
         for v in 0..n {
-            let mut pairs: Vec<(NodeId, EdgeId)> =
-                adj[v].iter().copied().zip(edge_ids[v].iter().copied()).collect();
+            let mut pairs: Vec<(NodeId, EdgeId)> = adj[v]
+                .iter()
+                .copied()
+                .zip(edge_ids[v].iter().copied())
+                .collect();
             pairs.sort_unstable();
             adj[v] = pairs.iter().map(|p| p.0).collect();
             edge_ids[v] = pairs.iter().map(|p| p.1).collect();

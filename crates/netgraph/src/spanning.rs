@@ -138,7 +138,10 @@ mod tests {
             if let Some(p) = t.parent(v) {
                 assert!(t.children(p).contains(&v));
                 assert_eq!(t.level(v), t.level(p) + 1);
-                assert!(g.edge_between(v, p).is_some(), "tree edge must be graph edge");
+                assert!(
+                    g.edge_between(v, p).is_some(),
+                    "tree edge must be graph edge"
+                );
             } else {
                 assert_eq!(v, 3);
             }

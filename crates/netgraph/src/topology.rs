@@ -216,10 +216,7 @@ mod tests {
     fn random_connected_deterministic() {
         let a = random_connected(15, 25, 42);
         let b = random_connected(15, 25, 42);
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
     }
 
     #[test]

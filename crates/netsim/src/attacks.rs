@@ -6,7 +6,7 @@
 //! pre-materialized noise tensor. The seed-aware attack is the §6.1
 //! non-oblivious adversary.
 
-use crate::engine::{Adversary, AdaptiveView, Corruption, Wire};
+use crate::engine::{AdaptiveView, Adversary, Corruption, Wire};
 use crate::phase::{PhaseGeometry, PhaseKind};
 use netgraph::DirectedLink;
 use smallbias::Xoshiro256;
@@ -31,7 +31,13 @@ fn additive(honest: Option<bool>, e: u8) -> Option<bool> {
 pub struct NoNoise;
 
 impl Adversary for NoNoise {
-    fn corrupt(&mut self, _: u64, _: &Wire, _: u64, _: Option<&dyn AdaptiveView>) -> Vec<Corruption> {
+    fn corrupt(
+        &mut self,
+        _: u64,
+        _: &Wire,
+        _: u64,
+        _: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
         Vec::new()
     }
 

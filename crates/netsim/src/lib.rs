@@ -27,5 +27,5 @@ pub mod attacks;
 mod engine;
 mod phase;
 
-pub use engine::{Adversary, AdaptiveView, Corruption, NetStats, Network, Wire};
+pub use engine::{AdaptiveView, Adversary, Corruption, NetStats, Network, Wire};
 pub use phase::{PhaseGeometry, PhaseKind, PhasePos};

@@ -130,7 +130,10 @@ mod tests {
         assert_eq!(G.locate(0).phase, PhaseKind::Setup);
         assert_eq!(G.locate(6).phase, PhaseKind::Setup);
         let p = G.locate(7);
-        assert_eq!((p.iteration, p.phase, p.offset), (0, PhaseKind::MeetingPoints, 0));
+        assert_eq!(
+            (p.iteration, p.phase, p.offset),
+            (0, PhaseKind::MeetingPoints, 0)
+        );
         let p = G.locate(7 + 3);
         assert_eq!(p.phase, PhaseKind::FlagPassing);
         let p = G.locate(7 + 3 + 4);

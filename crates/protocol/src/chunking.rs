@@ -341,7 +341,8 @@ impl ChunkedParty {
     pub fn recv(&mut self, slot: &PartySlot, sym: Option<bool>) {
         assert!(!slot.is_send && slot.link.to == self.node);
         if slot.kind == SlotKind::Payload {
-            self.inner.recv_bit(slot.payload_round, slot.link, sym.unwrap_or(false));
+            self.inner
+                .recv_bit(slot.payload_round, slot.link, sym.unwrap_or(false));
         }
     }
 

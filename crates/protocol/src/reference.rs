@@ -109,7 +109,11 @@ mod tests {
             let (u, v) = w.graph().endpoints(e);
             for (c, rec) in per_chunk.iter().enumerate() {
                 assert_eq!(rec.chunk, c as u64);
-                assert_eq!(rec.syms.len(), link_record_len(&p, c, u, v), "edge {e} chunk {c}");
+                assert_eq!(
+                    rec.syms.len(),
+                    link_record_len(&p, c, u, v),
+                    "edge {e} chunk {c}"
+                );
             }
         }
     }

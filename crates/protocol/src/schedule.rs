@@ -40,7 +40,10 @@ impl Schedule {
     /// fully silent round carries no information and only inflates round
     /// complexity; callers should simply not emit it.
     pub fn push_round(&mut self, mut links: Vec<DirectedLink>) {
-        assert!(!links.is_empty(), "schedule rounds must carry at least one bit");
+        assert!(
+            !links.is_empty(),
+            "schedule rounds must carry at least one bit"
+        );
         links.sort_unstable();
         links.dedup();
         self.cc += links.len();

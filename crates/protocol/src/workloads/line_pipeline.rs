@@ -135,7 +135,10 @@ impl PartyLogic for PipeParty {
         } else {
             // Chat turn: XOR own input into the chat register.
             self.chat ^= self.input;
-            self.chat_acc = self.chat_acc.wrapping_mul(2).wrapping_add(u8::from(self.chat));
+            self.chat_acc = self
+                .chat_acc
+                .wrapping_mul(2)
+                .wrapping_add(u8::from(self.chat));
             self.chat
         }
     }
@@ -204,7 +207,11 @@ mod tests {
             let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
             let run = run_reference(&w, &p);
             for v in 0..5 {
-                assert_eq!(run.outputs[v], w.expected_output(v), "seed {seed} party {v}");
+                assert_eq!(
+                    run.outputs[v],
+                    w.expected_output(v),
+                    "seed {seed} party {v}"
+                );
             }
         }
     }

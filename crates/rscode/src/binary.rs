@@ -224,5 +224,17 @@ mod tests {
             let back = code.decode(&word).unwrap();
             prop_assert_eq!(&back[..bits.len()], &bits[..]);
         }
+
+        #[test]
+        fn clean_roundtrip_any_length(
+            bits in proptest::collection::vec(any::<bool>(), 0..600),
+        ) {
+            // Block padding must be transparent at every message length,
+            // including the empty message and exact block boundaries.
+            let code = BinaryCode::rate_one_third();
+            let back = code.decode(&code.encode(&bits)).unwrap();
+            prop_assert_eq!(&back[..bits.len()], &bits[..]);
+            prop_assert!(back[bits.len()..].iter().all(|&b| !b));
+        }
     }
 }

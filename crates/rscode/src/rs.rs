@@ -149,7 +149,9 @@ impl ReedSolomon {
         erasures.sort_unstable();
         erasures.dedup();
         if erasures.iter().any(|&p| p >= self.n) {
-            return Err(DecodeError::BadInput("erasure position out of range".into()));
+            return Err(DecodeError::BadInput(
+                "erasure position out of range".into(),
+            ));
         }
         let nk = self.n - self.k;
         if erasures.len() > nk {
@@ -364,7 +366,10 @@ mod tests {
         assert!(ReedSolomon::new(300, 10).is_err());
         let c = rs(10, 5);
         assert!(matches!(c.encode(&[0; 4]), Err(DecodeError::BadInput(_))));
-        assert!(matches!(c.decode(&[0; 9], &[]), Err(DecodeError::BadInput(_))));
+        assert!(matches!(
+            c.decode(&[0; 9], &[]),
+            Err(DecodeError::BadInput(_))
+        ));
         assert!(matches!(
             c.decode(&[0; 10], &[10]),
             Err(DecodeError::BadInput(_))
@@ -404,6 +409,55 @@ mod tests {
             }
             let erasures: Vec<usize> = era_pos.iter().copied().collect();
             prop_assert_eq!(c.decode(&bad, &erasures).unwrap(), msg);
+        }
+
+        #[test]
+        fn erasures_only_up_to_full_distance(
+            msg in proptest::collection::vec(any::<u8>(), 9),
+            era_pos in proptest::collection::btree_set(0usize..24, 0..=15),
+            vals in proptest::collection::vec(any::<u8>(), 9),
+        ) {
+            // With no errors, the whole n−k budget is available to
+            // erasures (the "deletions are erasures" observation that
+            // makes the fully-utilized exchange robust).
+            let c = rs(24, 9); // n-k = 15
+            let cw = c.encode(&msg).unwrap();
+            let mut bad = cw.clone();
+            for (i, &p) in era_pos.iter().enumerate() {
+                bad[p] = vals[i % vals.len()];
+            }
+            let erasures: Vec<usize> = era_pos.iter().copied().collect();
+            prop_assert_eq!(c.decode(&bad, &erasures).unwrap(), msg);
+        }
+
+        #[test]
+        fn beyond_budget_is_never_silently_wrong(
+            msg in proptest::collection::vec(any::<u8>(), 5),
+            err_pos in proptest::collection::btree_set(0usize..15, 5..=9),
+            vals in proptest::collection::vec(1u8.., 9),
+        ) {
+            // 5..9 errors on an RS(15,5) code (radius 5) may exceed the
+            // budget. The decoder must then either report failure or
+            // return a message whose codeword is within the decoding
+            // radius of the received word — i.e. a legitimate nearest
+            // codeword — never an inconsistent "success".
+            let c = rs(15, 5);
+            let cw = c.encode(&msg).unwrap();
+            let mut bad = cw.clone();
+            for (i, &p) in err_pos.iter().enumerate() {
+                bad[p] ^= vals[i % vals.len()];
+            }
+            match c.decode(&bad, &[]) {
+                Err(_) => {}
+                Ok(m2) => {
+                    let cw2 = c.encode(&m2).unwrap();
+                    let dist = cw2.iter().zip(&bad).filter(|(a, b)| a != b).count();
+                    prop_assert!(
+                        dist <= 5,
+                        "decoder claimed success at distance {} > radius", dist
+                    );
+                }
+            }
         }
     }
 }

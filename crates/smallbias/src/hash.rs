@@ -159,7 +159,7 @@ pub fn hash_bits(input: &BitString, tau: u32, seed: &mut dyn SeedBits) -> u64 {
 ///
 /// Panics if `tau` is not in `1..=64` or `prefix_len > input.len()`.
 pub fn hash_prefix(input: &BitString, prefix_len: usize, tau: u32, seed: &mut dyn SeedBits) -> u64 {
-    assert!(tau >= 1 && tau <= 64, "tau must be in 1..=64");
+    assert!((1..=64).contains(&tau), "tau must be in 1..=64");
     assert!(prefix_len <= input.len(), "prefix longer than input");
     if prefix_len == 0 {
         return 0;
@@ -262,7 +262,10 @@ mod tests {
     #[test]
     fn empty_hashes_to_zero() {
         let src = CrsSource::new(1);
-        assert_eq!(hash_bits(&BitString::new(), 8, &mut *src.stream(label(0))), 0);
+        assert_eq!(
+            hash_bits(&BitString::new(), 8, &mut *src.stream(label(0))),
+            0
+        );
     }
 
     #[test]

@@ -28,6 +28,11 @@ fn duel(n: usize, tau: u32) -> (bool, u64, u64) {
 }
 
 fn main() {
+    run();
+}
+
+/// The example body; also exercised by the `examples_smoke` suite.
+pub fn run() {
     println!("seed-aware collision hunter vs hash length τ (clique networks)\n");
     println!(
         "{:>3} {:>4} {:>6} {:>9} {:>12} {:>12}",

@@ -16,6 +16,11 @@ use protocol::workloads::PointerChase;
 use protocol::Workload;
 
 fn main() {
+    run();
+}
+
+/// The example body; also exercised by the `examples_smoke` suite.
+pub fn run() {
     let workload = PointerChase::new(5, 3, 3, 77);
     let graph = workload.graph().clone();
 

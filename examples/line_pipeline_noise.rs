@@ -39,7 +39,10 @@ fn run_variant(disable_flag_passing: bool, disable_rewind: bool) {
     );
     println!("{:<6} {:>4} {:>4} {:>10}", "iter", "G*", "B*", "cc");
     for s in out.instrumentation.samples.iter().take(12) {
-        println!("{:<6} {:>4} {:>4} {:>10}", s.iteration, s.g_star, s.b_star, s.cc);
+        println!(
+            "{:<6} {:>4} {:>4} {:>10}",
+            s.iteration, s.g_star, s.b_star, s.cc
+        );
     }
     println!(
         "success = {} | total cc = {} bits",
@@ -48,6 +51,11 @@ fn run_variant(disable_flag_passing: bool, disable_rewind: bool) {
 }
 
 fn main() {
+    run();
+}
+
+/// The example body; also exercised by the `examples_smoke` suite.
+pub fn run() {
     println!("one corruption on link (0,1) in the first simulated chunk of an");
     println!("8-party line; watch how fast the network recovers:");
     run_variant(false, false); // the full scheme

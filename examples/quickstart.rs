@@ -11,6 +11,11 @@ use protocol::workloads::SumTree;
 use protocol::Workload;
 
 fn main() {
+    run();
+}
+
+/// The example body; also exercised by the `examples_smoke` suite.
+pub fn run() {
     // A 3×3 grid of parties computing epochs of a global sum.
     let workload = SumTree::new(netgraph::topology::grid(3, 3), 4, 2, 2024);
     let graph = workload.graph().clone();

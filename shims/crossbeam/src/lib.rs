@@ -1,0 +1,70 @@
+//! Offline shim for `crossbeam::scope`, implemented over
+//! `std::thread::scope`.
+//!
+//! Matches crossbeam's call shape — `scope(|s| { s.spawn(|_| ...); })`
+//! returning `Err` if any scoped thread panicked — with one restriction:
+//! the argument handed to a spawned closure is an inert [`NestedScope`]
+//! token, so *nested* spawning from inside a worker is not supported (the
+//! workspace never does this; closures take `|_|`).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::ScopedJoinHandle;
+
+/// Placeholder for crossbeam's nested-scope argument. Carries no
+/// capabilities; exists only so `s.spawn(|_| ...)` type-checks.
+pub struct NestedScope(());
+
+/// A scope handle that can spawn threads joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is an inert token
+    /// (see [`NestedScope`]); pass `|_|`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&NestedScope(())))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+/// returns. Returns `Err` with the panic payload if `f` or any spawned
+/// thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(move || {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawns_join_before_return() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline shim for the slice of `parking_lot` this workspace uses: a
+//! [`Mutex`] whose `lock()` returns the guard directly (no poisoning).
+//! Backed by `std::sync::Mutex`; a poisoned lock is recovered rather than
+//! propagated, matching parking_lot's no-poisoning semantics.
+
+#![forbid(unsafe_code)]
+
+use std::sync::PoisonError;
+
+/// Mutual exclusion with parking_lot's panic-free `lock()` signature.
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(3);
+        *m.lock() += 4;
+        assert_eq!(m.into_inner(), 7);
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline shim for the slice of `proptest` this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//! * value generation is a deterministic splitmix64 stream seeded from the
+//!   test's module path and name, so every run explores the same cases and
+//!   failures reproduce exactly;
+//! * there is no shrinking — a failing case reports its index and message;
+//! * the default case count is 64 (configure per-block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` as usual).
+//!
+//! Supported surface: the `proptest!` macro (strategy `name in expr` and
+//! type `name: Ty` parameters, mixed freely, with an optional
+//! `proptest_config` inner attribute), `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assert_ne!`, `prop_assume!`, `any::<T>()`, integer and float
+//! range strategies, and `collection::{vec, btree_set}`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!` test block needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Outcome type threaded through a generated test body: `Ok` to continue,
+/// `Err(Reject)` to skip the case, `Err(Fail)` to fail the test.
+pub type TestCaseResult = Result<(), test_runner::TestCaseError>;
+
+/// Defines property tests. See the crate docs for the supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!({$crate::test_runner::Config::default()} $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one expansion per test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ({$cfg:expr}) => {};
+    ({$cfg:expr}
+     $(#[$meta:meta])*
+     fn $name:ident ($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __ran: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __ran < __cfg.cases && __attempts < __cfg.cases * 16 {
+                __attempts += 1;
+                let __outcome: $crate::TestCaseResult =
+                    $crate::__proptest_case!(__rng, [] ($($args)*) $body);
+                match __outcome {
+                    Ok(()) => __ran += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} of `{}` failed: {}",
+                            __ran, stringify!($name), msg
+                        );
+                    }
+                }
+            }
+            // Mirror real proptest's "too many global rejects" abort: a
+            // prop_assume! that filters out (almost) every attempt must
+            // not report green with no property actually checked.
+            assert!(
+                __ran >= __cfg.cases,
+                "proptest `{}`: too many prop_assume! rejections ({} of {} cases ran in {} attempts)",
+                stringify!($name),
+                __ran,
+                __cfg.cases,
+                __attempts
+            );
+        }
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: folds the parameter list into
+/// `(pattern, strategy)` pairs, then emits the case body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, [$(($pat:ident, $strat:expr))*] () $body:block) => {{
+        $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);)*
+        #[allow(unreachable_code)]
+        let __case_outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+        __case_outcome
+    }};
+    ($rng:ident, [$($acc:tt)*] ($name:ident in $strat:expr) $body:block) => {
+        $crate::__proptest_case!($rng, [$($acc)* ($name, $strat)] () $body)
+    };
+    ($rng:ident, [$($acc:tt)*] ($name:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!($rng, [$($acc)* ($name, $strat)] ($($rest)*) $body)
+    };
+    ($rng:ident, [$($acc:tt)*] ($name:ident : $ty:ty) $body:block) => {
+        $crate::__proptest_case!($rng, [$($acc)* ($name, $crate::arbitrary::any::<$ty>())] () $body)
+    };
+    ($rng:ident, [$($acc:tt)*] ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(
+            $rng, [$($acc)* ($name, $crate::arbitrary::any::<$ty>())] ($($rest)*) $body
+        )
+    };
+}
+
+/// Fails the current case (with an optional formatted message) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`, both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips (rejects) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

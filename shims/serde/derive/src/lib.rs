@@ -1,0 +1,224 @@
+//! `#[derive(Serialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly what the workspace
+//! derives on: non-generic structs with named fields and non-generic
+//! enums with unit, tuple, and struct variants, using serde's default
+//! externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (deriving on `{name}`)");
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        t => panic!("expected `{{ ... }}` body for `{name}`, found {t:?}"),
+    };
+
+    let out = match kind.as_str() {
+        "struct" => derive_struct(&name, body),
+        "enum" => derive_enum(&name, body),
+        k => panic!("cannot derive Serialize for `{k} {name}`"),
+    };
+    out.parse()
+        .expect("serde shim derive generated invalid Rust")
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility prefix, returning the new cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+/// Type tokens are skipped with `<`/`>` depth tracking so generic
+/// arguments containing commas do not split a field.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, found {t}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("expected `:` after field `{name}`, found {t}"),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated entries of a tuple-variant body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut saw_token_since_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                saw_token_since_comma = false;
+            }
+            _ => {
+                if !saw_token_since_comma {
+                    arity += 1;
+                    saw_token_since_comma = true;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn object_of(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn derive_struct(name: &str, body: TokenStream) -> String {
+    let pairs: Vec<(String, String)> = named_fields(body)
+        .into_iter()
+        .map(|f| (f.clone(), format!("::serde::Serialize::to_json(&self.{f})")))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_json(&self) -> ::serde::Value {{\n\
+         \t\t{}\n\
+         \t}}\n\
+         }}",
+        object_of(&pairs)
+    )
+}
+
+fn derive_enum(name: &str, body: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name in `{name}`, found {t}"),
+        };
+        i += 1;
+        let arm = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                let binders: Vec<String> = (0..arity).map(|k| format!("__f{k}")).collect();
+                let payload = if arity == 1 {
+                    "::serde::Serialize::to_json(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_json({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{variant}({}) => {},",
+                    binders.join(", "),
+                    object_of(&[(variant.clone(), payload)])
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream());
+                i += 1;
+                let pairs: Vec<(String, String)> = fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("::serde::Serialize::to_json({f})")))
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {} }} => {},",
+                    fields.join(", "),
+                    object_of(&[(variant.clone(), object_of(&pairs))])
+                )
+            }
+            _ => format!(
+                "{name}::{variant} => ::serde::Value::String(::std::string::String::from(\"{variant}\")),"
+            ),
+        };
+        arms.push(arm);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_json(&self) -> ::serde::Value {{\n\
+         \t\tmatch self {{\n\
+         \t\t\t{}\n\
+         \t\t}}\n\
+         \t}}\n\
+         }}",
+        arms.join("\n\t\t\t")
+    )
+}

@@ -1,0 +1,241 @@
+//! Offline shim for the tiny slice of `serde` this workspace uses.
+//!
+//! The build is hermetic (no registry access), so instead of the real
+//! `serde` data model this crate exposes a single-method [`Serialize`]
+//! trait that renders straight into an owned JSON [`Value`]. The
+//! `#[derive(Serialize)]` macro (re-exported from the sibling
+//! `serde_derive` shim) generates field-by-field impls with the same
+//! externally-tagged enum representation real serde defaults to, so the
+//! JSON emitted by `bench`/`experiments` keeps its shape if the shim is
+//! ever swapped for the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::Serialize;
+
+/// An owned JSON document.
+///
+/// Object keys keep insertion order (serde_json's `preserve_order`
+/// behavior) so emitted rows are stable and diffable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered key/value list.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, keeping the integer/float distinction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+/// Types that can render themselves as JSON.
+///
+/// This is the shim's stand-in for `serde::Serialize`; derive it with
+/// `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value { Value::Number(Number::U64(*self as u64)) }
+        }
+    )*};
+}
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value { Value::Number(Number::I64(*self as i64)) }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(n) => write!(f, "{n}"),
+            Number::I64(n) => write!(f, "{n}"),
+            // JSON has no NaN/Infinity; follow serde_json's lossy `null`.
+            Number::F64(x) if !x.is_finite() => write!(f, "null"),
+            Number::F64(x) => {
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_escapes_and_orders() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::U64(3))),
+            ("b".into(), Value::String("x\"y\n".into())),
+            (
+                "c".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":3,"b":"x\"y\n","c":[null,true]}"#);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(Value::Number(Number::F64(2.0)).to_string(), "2.0");
+        assert_eq!(Value::Number(Number::F64(0.25)).to_string(), "0.25");
+        assert_eq!(Value::Number(Number::F64(f64::NAN)).to_string(), "null");
+    }
+
+    #[test]
+    fn option_and_vec_serialize() {
+        assert_eq!(Some(4u64).to_json(), Value::Number(Number::U64(4)));
+        assert_eq!(Option::<u64>::None.to_json(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_json(),
+            Value::Array(vec![
+                Value::Number(Number::U64(1)),
+                Value::Number(Number::U64(2))
+            ])
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline shim for the slice of `serde_json` this workspace uses:
+//! [`Value`] (owned by the `serde` shim), [`to_value`]/[`to_string`], and
+//! a [`json!`] macro covering object/array/scalar literals.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+/// Serialization error. The shim's rendering is infallible, so this type
+/// is never constructed; it exists so call sites can keep the
+/// `Result`-based serde_json signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders any [`serde::Serialize`] type as a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Renders any [`serde::Serialize`] type as a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Supports the forms the workspace uses: `null`, `[elem, ...]`, and
+/// `{"key": expr, ...}` where each value is any `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val).unwrap()) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_objects() {
+        let v = json!({"a": 1u32, "b": "s", "c": Option::<u64>::None, "d": 1.5f64});
+        assert_eq!(v.to_string(), r#"{"a":1,"b":"s","c":null,"d":1.5}"#);
+    }
+
+    #[test]
+    fn json_macro_arrays_and_scalars() {
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(json!([1u8, 2u8]).to_string(), "[1,2]");
+        assert_eq!(json!(true).to_string(), "true");
+    }
+}
