@@ -1,0 +1,65 @@
+//! Engine-dominated benches: the per-round cost of the network step on
+//! topologies of increasing size, with every directed link speaking
+//! (fully-utilized rounds, the gossip worst case) — silent and under
+//! i.i.d. noise. These isolate the wire representation from the
+//! hashing/coding work of the full schemes.
+//!
+//! Uses the `RoundFrame` hot path (`step_into` with caller-owned
+//! buffers), the way the coding-scheme runner drives the engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netgraph::{topology, Graph};
+use netsim::attacks::{IidNoise, NoNoise};
+use netsim::{Network, RoundFrame};
+
+fn topologies() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("ring16", topology::ring(16)),
+        ("ring64", topology::ring(64)),
+        ("line128", topology::line(128)),
+        ("clique16", topology::clique(16)),
+    ]
+}
+
+fn full_sends(graph: &Graph) -> RoundFrame {
+    let mut sends = RoundFrame::for_graph(graph);
+    for id in 0..graph.link_count() {
+        sends.set(id, id % 2 == 0);
+    }
+    sends
+}
+
+/// One silent round with full sends: pure engine + representation cost.
+fn bench_step_silent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_round");
+    for (label, graph) in topologies() {
+        let sends = full_sends(&graph);
+        let mut rx = RoundFrame::for_graph(&graph);
+        let mut net = Network::new(graph.clone(), Box::new(NoNoise), 0);
+        g.throughput(Throughput::Elements(2 * graph.edge_count() as u64));
+        g.bench_with_input(BenchmarkId::new("silent", label), &sends, |b, sends| {
+            b.iter(|| net.step_into(sends, None, &mut rx))
+        });
+    }
+    g.finish();
+}
+
+/// One noisy round with full sends: adds the adversary consultation and
+/// corruption application path.
+fn bench_step_noisy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_round");
+    for (label, graph) in topologies() {
+        let sends = full_sends(&graph);
+        let mut rx = RoundFrame::for_graph(&graph);
+        let atk = IidNoise::new(&graph, 0.01, 7);
+        let mut net = Network::new(graph.clone(), Box::new(atk), u64::MAX);
+        g.throughput(Throughput::Elements(2 * graph.edge_count() as u64));
+        g.bench_with_input(BenchmarkId::new("iid_noise", label), &sends, |b, sends| {
+            b.iter(|| net.step_into(sends, None, &mut rx))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step_silent, bench_step_noisy);
+criterion_main!(benches);

@@ -73,7 +73,7 @@ fn bench_noisy_repair(c: &mut Criterion) {
     g.bench_function("with_noise", |b| {
         b.iter(|| {
             let sim = Simulation::new(&w, cfg.clone(), 1);
-            let atk = IidNoise::new(graph.directed_links().collect(), 0.0005, 9);
+            let atk = IidNoise::new(&graph, 0.0005, 9);
             sim.run(Box::new(atk), RunOptions::default())
         })
     });

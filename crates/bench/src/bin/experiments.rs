@@ -298,8 +298,11 @@ fn f4(quick: bool) {
             let clean = sim.run(Box::new(netsim::attacks::NoNoise), opts);
             let geo = sim.geometry();
             let round = geo.phase_start(0, PhaseKind::Simulation) + 2;
-            let atk =
-                netsim::attacks::SingleError::new(netgraph::DirectedLink { from: 0, to: 1 }, round);
+            let atk = netsim::attacks::SingleError::new(
+                protocol::Workload::graph(&w),
+                netgraph::DirectedLink { from: 0, to: 1 },
+                round,
+            );
             let noisy = sim.run(Box::new(atk), opts);
             let (done, stalled) = trace_metrics(&noisy.instrumentation.samples, real);
             let (clean_done, _) = trace_metrics(&clean.instrumentation.samples, real);
@@ -404,7 +407,12 @@ fn f6() {
     let sim = Simulation::new(&w, cfg, 4);
     let geo = sim.geometry();
     let start = geo.phase_start(3, PhaseKind::Simulation);
-    let atk = netsim::attacks::BurstLink::new(netgraph::DirectedLink { from: 1, to: 2 }, start, 10);
+    let atk = netsim::attacks::BurstLink::new(
+        protocol::Workload::graph(&w),
+        netgraph::DirectedLink { from: 1, to: 2 },
+        start,
+        10,
+    );
     let out = sim.run(
         Box::new(atk),
         RunOptions {

@@ -233,13 +233,13 @@ impl AttackSpec {
         predicted_rounds: u64,
         seed: u64,
     ) -> Box<dyn Adversary> {
-        let links: Vec<DirectedLink> = graph.directed_links().collect();
+        let links: &[DirectedLink] = graph.links();
         match *self {
             AttackSpec::None => Box::new(NoNoise),
             AttackSpec::Iid { fraction } => {
                 let slots = (predicted_rounds * links.len() as u64).max(1) as f64;
                 let prob = (fraction * predicted_cc as f64 / slots).min(1.0);
-                Box::new(IidNoise::new(links, prob, seed).skip_before(geometry.setup))
+                Box::new(IidNoise::new(graph, prob, seed).skip_before(geometry.setup))
             }
             AttackSpec::Burst {
                 link_index,
@@ -248,14 +248,14 @@ impl AttackSpec {
             } => {
                 let link = links[link_index % links.len()];
                 let start = geometry.phase_start(at_iteration, PhaseKind::Simulation) + 1;
-                Box::new(BurstLink::new(link, start, len))
+                Box::new(BurstLink::new(graph, link, start, len))
             }
             AttackSpec::SingleEarly => {
                 let start = geometry.phase_start(0, PhaseKind::Simulation) + 2;
-                Box::new(SingleError::new(links[0], start))
+                Box::new(SingleError::new(graph, links[0], start))
             }
             AttackSpec::Phase { phase, prob } => {
-                Box::new(PhaseTargeted::new(geometry, phase, links, prob, seed))
+                Box::new(PhaseTargeted::new(graph, geometry, phase, prob, seed))
             }
             AttackSpec::SeedAware { per_iteration } => Box::new(SeedAwareCollision::new(
                 geometry,

@@ -8,8 +8,8 @@
 //!   targeted bursts, and (unlike the paper's schemes) can never *detect*
 //!   that it failed.
 
-use netgraph::DirectedLink;
-use netsim::{Adversary, NetStats, Network, Wire};
+use netgraph::LinkId;
+use netsim::{Adversary, NetStats, Network, RoundFrame};
 use protocol::reference::run_reference;
 use protocol::{ChunkedParty, ChunkedProtocol, Workload};
 
@@ -62,8 +62,11 @@ fn run_with_repetition(
     let g = workload.graph().clone();
     let n = g.node_count();
     let reference = run_reference(workload, proto);
-    let mut net = Network::new(g, adversary, noise_budget);
+    let mut net = Network::new(g.clone(), adversary, noise_budget);
     let mut parties: Vec<ChunkedParty> = (0..n).map(|u| ChunkedParty::spawn(workload, u)).collect();
+    // Scratch wire buffers, reused by every (repetition of every) round.
+    let mut tx = RoundFrame::for_graph(&g);
+    let mut rx = RoundFrame::for_graph(&g);
 
     for c in 0..proto.real_chunks() {
         let layout = proto.layout(c).clone();
@@ -72,9 +75,9 @@ fn run_with_repetition(
         let mut cursors = vec![0usize; n];
         for (ri, round) in layout.rounds.iter().enumerate() {
             // Compute this round's bits.
-            let mut sends = Wire::new();
-            let mut slot_of: Vec<(DirectedLink, protocol::PartySlot)> = Vec::new();
-            for slot in &round.clone() {
+            tx.clear_all();
+            let mut votes: Vec<(LinkId, usize, usize)> = Vec::with_capacity(round.len());
+            for slot in round {
                 let u = slot.link.from;
                 let ps = &pslots[u];
                 while !(ps[cursors[u]].round_in_chunk == ri
@@ -86,44 +89,37 @@ fn run_with_repetition(
                 let pslot = ps[cursors[u]];
                 cursors[u] += 1;
                 let bit = parties[u].send(&pslot);
-                sends.insert(slot.link, bit);
-                slot_of.push((slot.link, pslot));
+                let lid = g.link_id(slot.link).expect("layout slot on non-edge");
+                tx.set(lid, bit);
+                votes.push((lid, 0, 0));
             }
             // Transmit r times, majority-vote the receptions.
-            let mut tally: Wire = Wire::new();
-            let mut counts: std::collections::BTreeMap<DirectedLink, (usize, usize)> =
-                Default::default();
             for _ in 0..r {
-                let rx = net.step(&sends, None);
-                for &link in sends.keys() {
-                    let e = counts.entry(link).or_insert((0, 0));
-                    match rx.get(&link) {
-                        Some(true) => e.0 += 1,
-                        Some(false) => e.1 += 1,
+                net.step_into(&tx, None, &mut rx);
+                for v in votes.iter_mut() {
+                    match rx.get(v.0) {
+                        Some(true) => v.1 += 1,
+                        Some(false) => v.2 += 1,
                         None => {}
                     }
                 }
             }
-            for (link, (ones, zeros)) in counts {
-                // Majority among received symbols; silence-only = default 0.
-                tally.insert(link, ones > zeros);
-            }
-            // Deliver.
-            for link in sends.keys() {
-                let v = link.to;
+            // Deliver, in round-slot order (sorted by link — the order
+            // each receiver's pslot cursor expects).
+            for (slot, &(_, ones, zeros)) in round.iter().zip(&votes) {
+                let v = slot.link.to;
                 let ps = &pslots[v];
                 while !(ps[cursors[v]].round_in_chunk == ri
                     && !ps[cursors[v]].is_send
-                    && ps[cursors[v]].link == *link)
+                    && ps[cursors[v]].link == slot.link)
                 {
                     cursors[v] += 1;
                 }
                 let pslot = ps[cursors[v]];
                 cursors[v] += 1;
-                let bit = tally.get(link).copied();
-                parties[v].recv(&pslot, bit);
+                // Majority among received symbols; silence-only = default 0.
+                parties[v].recv(&pslot, Some(ones > zeros));
             }
-            let _ = &slot_of;
         }
     }
 
@@ -162,10 +158,9 @@ mod tests {
     #[test]
     fn no_coding_fails_under_noise() {
         let (w, p) = setup();
-        let links: Vec<_> = w.graph().directed_links().collect();
         let mut failures = 0;
         for seed in 0..10 {
-            let atk = IidNoise::new(links.clone(), 0.08, seed);
+            let atk = IidNoise::new(w.graph(), 0.08, seed);
             let out = run_no_coding(&w, &p, Box::new(atk), u64::MAX);
             failures += usize::from(!out.success);
         }
@@ -185,10 +180,9 @@ mod tests {
     #[test]
     fn repetition_survives_light_random_noise() {
         let (w, p) = setup();
-        let links: Vec<_> = w.graph().directed_links().collect();
         let mut successes = 0;
         for seed in 0..10 {
-            let atk = IidNoise::new(links.clone(), 0.01, seed);
+            let atk = IidNoise::new(w.graph(), 0.01, seed);
             let out = run_repetition(&w, &p, Box::new(atk), u64::MAX, 9);
             successes += usize::from(out.success);
         }

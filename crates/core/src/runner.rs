@@ -21,8 +21,8 @@ use crate::flags::FlagPlan;
 use crate::instrument::{Instrumentation, IterationSample};
 use crate::meeting::{LinkStatus, MpMessage, MpState, RecvMpMessage};
 use crate::transcript::{sym_delta, LinkTranscript};
-use netgraph::{DirectedLink, EdgeId, Graph, NodeId, SpanningTree};
-use netsim::{AdaptiveView, Adversary, Corruption, NetStats, Network, PhaseGeometry, Wire};
+use netgraph::{DirectedLink, EdgeId, Graph, LinkId, NodeId, SpanningTree};
+use netsim::{AdaptiveView, Adversary, Corruption, NetStats, Network, PhaseGeometry, RoundFrame};
 use protocol::reference::{run_reference, ReferenceRun};
 use protocol::{ChunkRecord, ChunkedParty, ChunkedProtocol, PartySlot, SlotKind, Sym, Workload};
 use rscode::{BinaryCode, BinaryWord};
@@ -177,7 +177,13 @@ impl<'w> Simulation<'w> {
     pub fn run(&self, adversary: Box<dyn Adversary>, opts: RunOptions) -> SimOutcome {
         let mut net = Network::new(self.graph.clone(), adversary, opts.noise_budget);
         let mut parties = self.init_parties();
-        let sources = self.establish_randomness(&mut net, &mut parties);
+        // The two scratch wire buffers of the whole run: every round of
+        // every phase reuses them instead of allocating a map.
+        let mut fr = Frames {
+            tx: RoundFrame::for_graph(&self.graph),
+            rx: RoundFrame::for_graph(&self.graph),
+        };
+        let sources = self.establish_randomness(&mut net, &mut fr);
         let mut inst = Instrumentation::default();
 
         for iter in 0..self.iterations {
@@ -187,16 +193,29 @@ impl<'w> Simulation<'w> {
                 &sources,
                 iter as u64,
                 &mut inst,
+                &mut fr,
                 opts,
             );
-            self.flag_passing_phase(&mut net, &mut parties, opts);
-            self.simulation_phase(&mut net, &mut parties, &sources, iter as u64, opts);
-            self.rewind_phase(&mut net, &mut parties, opts);
+            self.flag_passing_phase(&mut net, &mut parties, &mut fr, opts);
+            self.simulation_phase(&mut net, &mut parties, &sources, iter as u64, &mut fr, opts);
+            self.rewind_phase(&mut net, &mut parties, &mut fr, opts);
             if opts.record_trace {
                 self.sample(&parties, &net, iter as u64, &mut inst);
             }
         }
         self.evaluate(parties, net, inst)
+    }
+
+    /// Dense index of the directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(from, to)` is not an edge of the topology.
+    #[inline]
+    fn lid(&self, from: NodeId, to: NodeId) -> LinkId {
+        self.graph
+            .link_id(DirectedLink { from, to })
+            .expect("send on non-edge")
     }
 
     fn init_parties(&self) -> Vec<SimParty> {
@@ -223,7 +242,8 @@ impl<'w> Simulation<'w> {
                     work: None,
                     pslots: Vec::new(),
                     pslot_cursor: 0,
-                    pos: BTreeMap::new(),
+                    pos: vec![Vec::new(); self.graph.link_count()],
+                    pair_syms: BTreeMap::new(),
                     inprog: BTreeMap::new(),
                     already_rewound: BTreeMap::new(),
                 }
@@ -232,7 +252,7 @@ impl<'w> Simulation<'w> {
     }
 
     /// Randomness provisioning: CRS, or the Algorithm 5 exchange.
-    fn establish_randomness(&self, net: &mut Network, parties: &mut [SimParty]) -> SourceMap {
+    fn establish_randomness(&self, net: &mut Network, fr: &mut Frames) -> SourceMap {
         match &self.cfg.randomness {
             RandomnessMode::Crs { master, .. } => {
                 let mut map: SourceMap = BTreeMap::new();
@@ -275,19 +295,21 @@ impl<'w> Simulation<'w> {
                 }
                 // Transmit, one bit per edge per round (sender = lower id).
                 let rounds = self.exchange_bits;
+                let elids: Vec<LinkId> =
+                    self.graph.edges().map(|(_, u, v)| self.lid(u, v)).collect();
                 let mut received: BTreeMap<EdgeId, Vec<Option<bool>>> = self
                     .graph
                     .edges()
                     .map(|(e, _, _)| (e, vec![None; rounds]))
                     .collect();
                 for o in 0..rounds {
-                    let mut sends = Wire::new();
-                    for (e, u, v) in self.graph.edges() {
-                        sends.insert(DirectedLink { from: u, to: v }, wire_bits[&e][o]);
+                    fr.tx.clear_all();
+                    for (e, _, _) in self.graph.edges() {
+                        fr.tx.set(elids[e], wire_bits[&e][o]);
                     }
-                    let rx = net.step(&sends, None);
-                    for (e, u, v) in self.graph.edges() {
-                        if let Some(&bit) = rx.get(&DirectedLink { from: u, to: v }) {
+                    net.step_into(&fr.tx, None, &mut fr.rx);
+                    for (e, _, _) in self.graph.edges() {
+                        if let Some(bit) = fr.rx.get(elids[e]) {
                             received.get_mut(&e).unwrap()[o] = Some(bit);
                         }
                     }
@@ -300,7 +322,6 @@ impl<'w> Simulation<'w> {
                     let (dx, dy) = decode_seed(&code, &received[&e], reps);
                     map.insert((v, u), self.expand_seed(*expansion, dx, dy));
                 }
-                let _ = parties;
                 map
             }
         }
@@ -335,6 +356,7 @@ impl<'w> Simulation<'w> {
     // ------------------------------------------------------------------
     // Phase 1: meeting points
     // ------------------------------------------------------------------
+    #[allow(clippy::too_many_arguments)]
     fn meeting_points_phase(
         &self,
         net: &mut Network,
@@ -342,6 +364,7 @@ impl<'w> Simulation<'w> {
         sources: &SourceMap,
         iter: u64,
         inst: &mut Instrumentation,
+        fr: &mut Frames,
         opts: RunOptions,
     ) {
         let tau = self.cfg.hash_bits;
@@ -368,24 +391,18 @@ impl<'w> Simulation<'w> {
         }
         // 4τ wire rounds.
         for o in 0..4 * tau as usize {
-            let mut sends = Wire::new();
+            fr.tx.clear_all();
             for p in parties.iter() {
                 for (&v, msg) in &p.mp_out {
                     let bits = msg.to_bits(tau);
-                    sends.insert(
-                        DirectedLink {
-                            from: p.node,
-                            to: v,
-                        },
-                        bits[o],
-                    );
+                    fr.tx.set(self.lid(p.node, v), bits[o]);
                 }
             }
-            let rx = self.step(net, parties, sources, &sends, iter, None, opts);
+            self.step(net, parties, sources, fr, iter, None, opts);
             for u in 0..parties.len() {
                 let neighbors = parties[u].neighbors.clone();
                 for v in neighbors {
-                    if let Some(&bit) = rx.get(&DirectedLink { from: v, to: u }) {
+                    if let Some(bit) = fr.rx.get(self.lid(v, u)) {
                         parties[u].mp_in.get_mut(&v).unwrap()[o] = Some(bit);
                     }
                 }
@@ -419,7 +436,13 @@ impl<'w> Simulation<'w> {
     // ------------------------------------------------------------------
     // Phase 2: flag passing
     // ------------------------------------------------------------------
-    fn flag_passing_phase(&self, net: &mut Network, parties: &mut [SimParty], opts: RunOptions) {
+    fn flag_passing_phase(
+        &self,
+        net: &mut Network,
+        parties: &mut [SimParty],
+        fr: &mut Frames,
+        opts: RunOptions,
+    ) {
         // Compute own status (Algorithm 1 lines 6–13).
         for p in parties.iter_mut() {
             let min_chunk = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
@@ -431,18 +454,12 @@ impl<'w> Simulation<'w> {
         }
         let tree = &self.tree;
         for o in 0..self.plan.rounds() {
-            let mut sends = Wire::new();
+            fr.tx.clear_all();
             for p in parties.iter() {
                 let u = p.node;
                 if self.plan.up_send_round(tree, u) == Some(o) {
                     let parent = tree.parent(u).unwrap();
-                    sends.insert(
-                        DirectedLink {
-                            from: u,
-                            to: parent,
-                        },
-                        p.fp_agg,
-                    );
+                    fr.tx.set(self.lid(u, parent), p.fp_agg);
                 }
                 if self.plan.down_send_round(tree, u) == Some(o) {
                     let flag = if u == tree.root() {
@@ -451,32 +468,23 @@ impl<'w> Simulation<'w> {
                         p.net_correct
                     };
                     for &c in tree.children(u) {
-                        sends.insert(DirectedLink { from: u, to: c }, flag);
+                        fr.tx.set(self.lid(u, c), flag);
                     }
                 }
             }
-            let rx = self.step(net, parties, &BTreeMap::new(), &sends, 0, None, opts);
+            self.step(net, parties, &BTreeMap::new(), fr, 0, None, opts);
             for u in 0..parties.len() {
                 if self.plan.up_recv_round(tree, u) == Some(o) {
                     let children: Vec<NodeId> = tree.children(u).to_vec();
                     for c in children {
                         // Deleted flag reads as stop (false).
-                        let bit = rx
-                            .get(&DirectedLink { from: c, to: u })
-                            .copied()
-                            .unwrap_or(false);
+                        let bit = fr.rx.get(self.lid(c, u)).unwrap_or(false);
                         parties[u].fp_agg &= bit;
                     }
                 }
                 if self.plan.down_recv_round(tree, u) == Some(o) {
                     let parent = tree.parent(u).unwrap();
-                    let bit = rx
-                        .get(&DirectedLink {
-                            from: parent,
-                            to: u,
-                        })
-                        .copied()
-                        .unwrap_or(false);
+                    let bit = fr.rx.get(self.lid(parent, u)).unwrap_or(false);
                     parties[u].net_correct = bit && parties[u].status;
                 }
             }
@@ -502,37 +510,35 @@ impl<'w> Simulation<'w> {
         parties: &mut [SimParty],
         sources: &SourceMap,
         iter: u64,
+        fr: &mut Frames,
         opts: RunOptions,
     ) {
         // ⊥ round: non-participants announce themselves.
-        let mut sends = Wire::new();
+        fr.tx.clear_all();
         for p in parties.iter() {
             if !p.net_correct {
                 for &v in &p.neighbors {
-                    sends.insert(
-                        DirectedLink {
-                            from: p.node,
-                            to: v,
-                        },
-                        true,
-                    );
+                    fr.tx.set(self.lid(p.node, v), true);
                 }
             }
         }
-        let rx = self.step(net, parties, sources, &sends, iter, None, opts);
+        self.step(net, parties, sources, fr, iter, None, opts);
         for u in 0..parties.len() {
             let p = &mut parties[u];
             p.sim_active = p.net_correct;
             p.excluded.clear();
             p.inprog.clear();
-            p.pos.clear();
+            for slots in &mut p.pos {
+                slots.clear();
+            }
+            p.pair_syms.clear();
             p.work = None;
             if !p.sim_active {
                 continue;
             }
             let neighbors = p.neighbors.clone();
             for &v in &neighbors {
-                if rx.contains_key(&DirectedLink { from: v, to: u }) {
+                if fr.rx.get(self.lid(v, u)).is_some() {
                     p.excluded.insert(v);
                 }
             }
@@ -548,7 +554,7 @@ impl<'w> Simulation<'w> {
             p.work = Some(p.snapshots[c].clone());
             p.pslots = self.proto.party_slots(c, u);
             p.pslot_cursor = 0;
-            // Per-link symbol positions in layout order.
+            // Per-link symbol positions in layout order, flat by LinkId.
             let layout = self.proto.layout(c);
             let mut counters: BTreeMap<NodeId, usize> = BTreeMap::new();
             for (ri, round) in layout.rounds.iter().enumerate() {
@@ -561,10 +567,11 @@ impl<'w> Simulation<'w> {
                         continue;
                     };
                     let idx = counters.entry(other).or_insert(0);
-                    p.pos
-                        .entry(other)
-                        .or_default()
-                        .insert((ri, slot.link), *idx);
+                    let lid = self
+                        .graph
+                        .link_id(slot.link)
+                        .expect("layout slot on non-edge");
+                    p.pos[lid].push((ri as u32, *idx as u32));
                     *idx += 1;
                 }
             }
@@ -573,12 +580,13 @@ impl<'w> Simulation<'w> {
                     p.inprog.insert(v, vec![Sym::Star; count]);
                 }
             }
+            p.pair_syms = counters;
         }
         // Chunk rounds.
         let max_rounds = self.proto.max_rounds_per_chunk();
         for jr in 0..max_rounds {
-            let mut sends = Wire::new();
-            let mut sent_slots: Vec<(NodeId, PartySlot, bool)> = Vec::new();
+            fr.tx.clear_all();
+            let mut sent_slots: Vec<(NodeId, PartySlot, LinkId, bool)> = Vec::new();
             for p in parties.iter_mut() {
                 if !p.sim_active {
                     continue;
@@ -592,19 +600,20 @@ impl<'w> Simulation<'w> {
                     let bit = p.work.as_mut().unwrap().send(&slot);
                     let v = slot.link.to;
                     if !p.excluded.contains(&v) {
-                        sends.insert(slot.link, bit);
-                        sent_slots.push((p.node, slot, bit));
+                        let lid = self.lid(slot.link.from, v);
+                        fr.tx.set(lid, bit);
+                        sent_slots.push((p.node, slot, lid, bit));
                     }
                 }
             }
             // Record own sent bits (they are part of T_{u,v}).
-            for (u, slot, bit) in &sent_slots {
+            for (u, slot, lid, bit) in &sent_slots {
                 let p = &mut parties[*u];
                 let v = slot.link.to;
-                let idx = p.pos[&v][&(jr, slot.link)];
+                let idx = p.pos_idx(*lid, jr);
                 p.inprog.get_mut(&v).unwrap()[idx] = Sym::from_bit(*bit);
             }
-            let rx = self.step(net, parties, sources, &sends, iter, Some(jr), opts);
+            self.step(net, parties, sources, fr, iter, Some(jr), opts);
             for p in parties.iter_mut() {
                 if !p.sim_active {
                     continue;
@@ -623,8 +632,9 @@ impl<'w> Simulation<'w> {
                         p.work.as_mut().unwrap().recv(&slot, None);
                         continue;
                     }
-                    let got = rx.get(&slot.link).copied();
-                    let idx = p.pos[&v][&(jr, slot.link)];
+                    let lid = self.lid(slot.link.from, slot.link.to);
+                    let got = fr.rx.get(lid);
+                    let idx = p.pos_idx(lid, jr);
                     p.inprog.get_mut(&v).unwrap()[idx] = match got {
                         Some(b) => Sym::from_bit(b),
                         None => Sym::Star,
@@ -655,32 +665,33 @@ impl<'w> Simulation<'w> {
     // ------------------------------------------------------------------
     // Phase 4: rewind
     // ------------------------------------------------------------------
-    fn rewind_phase(&self, net: &mut Network, parties: &mut [SimParty], opts: RunOptions) {
+    fn rewind_phase(
+        &self,
+        net: &mut Network,
+        parties: &mut [SimParty],
+        fr: &mut Frames,
+        opts: RunOptions,
+    ) {
         for p in parties.iter_mut() {
             p.already_rewound.clear();
         }
         for _ in 0..self.cfg.rewind_rounds {
-            let mut sends = Wire::new();
+            fr.tx.clear_all();
             if self.cfg.disable_rewind {
                 // Ablation (F4): the phase's rounds elapse silently.
-                self.step(net, parties, &BTreeMap::new(), &sends, 0, None, opts);
+                self.step(net, parties, &BTreeMap::new(), fr, 0, None, opts);
                 continue;
             }
             for p in parties.iter_mut() {
                 let min_chunk = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
+                let node = p.node;
                 let neighbors = p.neighbors.clone();
                 for v in neighbors {
                     let ok = p.mp[&v].status != LinkStatus::MeetingPoints
                         && !p.already_rewound.get(&v).copied().unwrap_or(false)
                         && p.t[&v].chunks() > min_chunk;
                     if ok {
-                        sends.insert(
-                            DirectedLink {
-                                from: p.node,
-                                to: v,
-                            },
-                            true,
-                        );
+                        fr.tx.set(self.lid(node, v), true);
                         let new_len = p.t[&v].chunks() - 1;
                         p.t.get_mut(&v).unwrap().truncate(new_len);
                         p.prune_snapshots(new_len);
@@ -688,12 +699,12 @@ impl<'w> Simulation<'w> {
                     }
                 }
             }
-            let rx = self.step(net, parties, &BTreeMap::new(), &sends, 0, None, opts);
+            self.step(net, parties, &BTreeMap::new(), fr, 0, None, opts);
             for u in 0..parties.len() {
                 let p = &mut parties[u];
                 let neighbors = p.neighbors.clone();
                 for v in neighbors {
-                    if rx.contains_key(&DirectedLink { from: v, to: u }) {
+                    if fr.rx.get(self.lid(v, u)).is_some() {
                         let ok = p.mp[&v].status != LinkStatus::MeetingPoints
                             && !p.already_rewound.get(&v).copied().unwrap_or(false)
                             && p.t[&v].chunks() > 0;
@@ -709,18 +720,20 @@ impl<'w> Simulation<'w> {
         }
     }
 
-    /// One engine round, wiring up the adaptive view when exposed.
+    /// One engine round over the scratch frames (`fr.tx` → `fr.rx`),
+    /// wiring up the adaptive view when exposed.
     #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         net: &mut Network,
         parties: &[SimParty],
         sources: &SourceMap,
-        sends: &Wire,
+        fr: &mut Frames,
         iter: u64,
         chunk_round: Option<usize>,
         opts: RunOptions,
-    ) -> Wire {
+    ) {
+        let Frames { tx, rx } = fr;
         if opts.expose_view {
             let view = OracleView {
                 sim: self,
@@ -729,9 +742,9 @@ impl<'w> Simulation<'w> {
                 iteration: iter,
                 chunk_round,
             };
-            net.step(sends, Some(&view))
+            net.step_into(tx, Some(&view), rx);
         } else {
-            net.step(sends, None)
+            net.step_into(tx, None, rx);
         }
     }
 
@@ -821,6 +834,14 @@ impl<'w> Simulation<'w> {
 
 type SourceMap = BTreeMap<(NodeId, NodeId), Rc<dyn SeedSource>>;
 
+/// The run's two persistent scratch wire buffers: honest sends (`tx`) and
+/// receptions (`rx`). Allocated once per [`Simulation::run`] and reused by
+/// every round of every phase.
+struct Frames {
+    tx: RoundFrame,
+    rx: RoundFrame,
+}
+
 /// Per-party live state of the simulation.
 struct SimParty {
     node: NodeId,
@@ -840,7 +861,13 @@ struct SimParty {
     work: Option<ChunkedParty>,
     pslots: Vec<PartySlot>,
     pslot_cursor: usize,
-    pos: BTreeMap<NodeId, BTreeMap<(usize, DirectedLink), usize>>,
+    /// `pos[link_id]` = this chunk's `(round-in-chunk, symbol index)`
+    /// pairs on that directed link, sorted by round (layout order) — the
+    /// flat LinkId-indexed replacement of the old per-neighbor nested map.
+    pos: Vec<Vec<(u32, u32)>>,
+    /// Total symbols this chunk exchanges with each neighbor (both
+    /// directions); sizes `inprog` and the oracle's final-length math.
+    pair_syms: BTreeMap<NodeId, usize>,
     inprog: BTreeMap<NodeId, Vec<Sym>>,
     already_rewound: BTreeMap<NodeId, bool>,
 }
@@ -852,6 +879,20 @@ impl SimParty {
         if self.snapshots.len() > new_len + 1 {
             self.snapshots.truncate(new_len + 1);
         }
+    }
+
+    /// Symbol index of the slot on directed link `lid` in round `ri` of
+    /// the current chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link carries no symbol in that round.
+    fn pos_idx(&self, lid: LinkId, ri: usize) -> usize {
+        let slots = &self.pos[lid];
+        let i = slots
+            .binary_search_by_key(&(ri as u32), |&(r, _)| r)
+            .expect("no slot on link in round");
+        slots[i].1 as usize
     }
 }
 
@@ -932,7 +973,7 @@ impl AdaptiveView for OracleView<'_, '_> {
         self.parties[u].t[&v].chunks()
     }
 
-    fn collision_corruption(&self, edge: EdgeId, sends: &Wire) -> Option<Corruption> {
+    fn collision_corruption(&self, edge: EdgeId, sends: &RoundFrame) -> Option<Corruption> {
         // Seed visibility: Algorithm C's CRS is hidden from the adversary.
         if let RandomnessMode::Crs {
             adversary_knows_seeds: false,
@@ -971,15 +1012,16 @@ impl AdaptiveView for OracleView<'_, '_> {
             if !on_edge || slot.kind == SlotKind::Payload {
                 continue;
             }
-            let Some(&honest) = sends.get(&slot.link) else {
+            let lid = self.sim.graph.link_id(slot.link)?;
+            let Some(honest) = sends.get(lid) else {
                 continue;
             };
             let receiver = &self.parties[slot.link.to];
             let sender_node = slot.link.from;
-            let idx = receiver.pos[&sender_node][&(jr, slot.link)];
+            let idx = receiver.pos_idx(lid, jr);
             let t_recv = &receiver.t[&sender_node];
             let bit_pos = t_recv.bits().len() + 32 + 2 * idx;
-            let final_len = t_recv.bits().len() + 32 + 2 * receiver.pos[&sender_node].len();
+            let final_len = t_recv.bits().len() + 32 + 2 * receiver.pair_syms[&sender_node];
             let honest_sym = Sym::from_bit(honest);
             for output in [Some(!honest), None] {
                 let observed = match output {
@@ -1086,7 +1128,7 @@ mod tests {
         // One corruption early in the first simulation phase payload.
         let geo = sim.geometry();
         let round = geo.phase_start(0, netsim::PhaseKind::Simulation) + 3;
-        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        let atk = SingleError::new(w.graph(), DirectedLink { from: 0, to: 1 }, round);
         let out = sim.run(Box::new(atk), RunOptions::default());
         assert!(out.success, "single error not recovered: {out:?}");
         assert_eq!(out.stats.corruptions, 1);
@@ -1099,7 +1141,7 @@ mod tests {
         let sim = Simulation::new(&w, cfg, 4);
         let geo = sim.geometry();
         let start = geo.phase_start(1, netsim::PhaseKind::Simulation);
-        let atk = BurstLink::new(DirectedLink { from: 1, to: 2 }, start, 8);
+        let atk = BurstLink::new(w.graph(), DirectedLink { from: 1, to: 2 }, start, 8);
         let out = sim.run(Box::new(atk), RunOptions::default());
         assert!(out.success, "burst not recovered: {out:?}");
         assert!(out.stats.corruptions >= 4);
@@ -1110,10 +1152,9 @@ mod tests {
         let w = Gossip::new(netgraph::topology::ring(5), 8, 2);
         let cfg = SchemeConfig::algorithm_a(w.graph(), 6);
         let sim = Simulation::new(&w, cfg, 5);
-        let links: Vec<_> = w.graph().directed_links().collect();
         let mut ok = 0;
         for seed in 0..5 {
-            let atk = IidNoise::new(links.clone(), 0.001, seed);
+            let atk = IidNoise::new(w.graph(), 0.001, seed);
             let out = sim.run(Box::new(atk), RunOptions::default());
             ok += usize::from(out.success);
         }

@@ -25,7 +25,7 @@ fn single_error_every_phase_is_survivable() {
         PhaseKind::Rewind,
     ] {
         let round = geo.phase_start(1, phase);
-        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        let atk = SingleError::new(w.graph(), DirectedLink { from: 0, to: 1 }, round);
         let out = sim.run(Box::new(atk), RunOptions::default());
         assert!(out.success, "single {phase:?} error not repaired");
     }
@@ -37,13 +37,7 @@ fn flag_passing_attack_only_idles_the_network() {
     let w = gossip_ring(5);
     let cfg = SchemeConfig::algorithm_a(w.graph(), 29);
     let sim = Simulation::new(&w, cfg, 2);
-    let atk = PhaseTargeted::new(
-        sim.geometry(),
-        PhaseKind::FlagPassing,
-        w.graph().directed_links().collect(),
-        0.02,
-        7,
-    );
+    let atk = PhaseTargeted::new(w.graph(), sim.geometry(), PhaseKind::FlagPassing, 0.02, 7);
     let out = sim.run(Box::new(atk), RunOptions::default());
     assert!(out.success, "flag corruption broke correctness: {out:?}");
 }
@@ -55,13 +49,7 @@ fn rewind_forgery_is_survivable() {
     let w = gossip_ring(5);
     let cfg = SchemeConfig::algorithm_a(w.graph(), 31);
     let sim = Simulation::new(&w, cfg, 3);
-    let atk = PhaseTargeted::new(
-        sim.geometry(),
-        PhaseKind::Rewind,
-        w.graph().directed_links().collect(),
-        0.01,
-        9,
-    );
+    let atk = PhaseTargeted::new(w.graph(), sim.geometry(), PhaseKind::Rewind, 0.01, 9);
     let out = sim.run(Box::new(atk), RunOptions::default());
     assert!(out.success, "forged rewinds broke the run: {out:?}");
 }
@@ -72,9 +60,9 @@ fn meeting_points_attack_is_survivable() {
     let cfg = SchemeConfig::algorithm_a(w.graph(), 37);
     let sim = Simulation::new(&w, cfg, 4);
     let atk = PhaseTargeted::new(
+        w.graph(),
         sim.geometry(),
         PhaseKind::MeetingPoints,
-        w.graph().directed_links().collect(),
         0.005,
         11,
     );
@@ -88,7 +76,7 @@ fn long_burst_mid_protocol_is_repaired() {
     let cfg = SchemeConfig::algorithm_a(w.graph(), 41);
     let sim = Simulation::new(&w, cfg, 5);
     let start = sim.geometry().phase_start(2, PhaseKind::Simulation);
-    let atk = BurstLink::new(DirectedLink { from: 2, to: 3 }, start, 20);
+    let atk = BurstLink::new(w.graph(), DirectedLink { from: 2, to: 3 }, start, 20);
     let out = sim.run(Box::new(atk), RunOptions::default());
     assert!(out.success, "20-round burst not repaired: {out:?}");
     assert!(out.stats.corruptions >= 10);
@@ -149,7 +137,7 @@ fn oblivious_attacks_ignore_the_view() {
     let cfg = SchemeConfig::algorithm_a(w.graph(), 71);
     let run = |expose_view| {
         let sim = Simulation::new(&w, cfg.clone(), 8);
-        let atk = netsim::attacks::IidNoise::new(w.graph().directed_links().collect(), 0.002, 3);
+        let atk = netsim::attacks::IidNoise::new(w.graph(), 0.002, 3);
         sim.run(
             Box::new(atk),
             RunOptions {
@@ -172,7 +160,7 @@ fn noise_budget_is_a_hard_cap() {
     let w = gossip_ring(4);
     let cfg = SchemeConfig::algorithm_a(w.graph(), 73);
     let sim = Simulation::new(&w, cfg, 9);
-    let atk = BurstLink::new(DirectedLink { from: 0, to: 1 }, 0, u64::MAX);
+    let atk = BurstLink::new(w.graph(), DirectedLink { from: 0, to: 1 }, 0, u64::MAX);
     let out = sim.run(
         Box::new(atk),
         RunOptions {
@@ -195,7 +183,7 @@ fn late_error_is_repaired() {
     let real = sim.proto().real_chunks() as u64;
     // Hit the simulation phase of the iteration simulating the last chunk.
     let start = sim.geometry().phase_start(real - 1, PhaseKind::Simulation);
-    let atk = SingleError::new(DirectedLink { from: 2, to: 3 }, start + 2);
+    let atk = SingleError::new(w.graph(), DirectedLink { from: 2, to: 3 }, start + 2);
     let out = sim.run(Box::new(atk), RunOptions::default());
     assert!(out.success, "late error not repaired: {out:?}");
 }

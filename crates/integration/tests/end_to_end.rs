@@ -77,6 +77,35 @@ fn noiseless_star_and_binary_tree() {
     );
 }
 
+/// Large-topology smoke: the dense `RoundFrame` wire makes n = 64 rings
+/// cheap enough for the tier-1 suite even in debug builds (the old
+/// `BTreeMap` wire capped the suites near n ≈ 16). Gated to
+/// release-speed settings: few gossip rounds, Algorithm A only.
+#[test]
+fn noiseless_gossip_ring64() {
+    let w = Gossip::new(netgraph::topology::ring(64), 2, 21);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 0x64);
+    let sim = Simulation::new(&w, cfg, 64);
+    let out = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(out.success, "ring(64) noiseless run failed: {out:?}");
+    assert_eq!(out.stats.corruptions, 0);
+    assert!(out.g_star >= sim.proto().real_chunks());
+}
+
+/// Large-topology smoke: a 128-party line (m = 127, 254 directed links —
+/// four presence words per frame), noiseless, end to end.
+#[test]
+fn noiseless_gossip_line128() {
+    let w = Gossip::new(netgraph::topology::line(128), 2, 22);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 0x128);
+    let sim = Simulation::new(&w, cfg, 128);
+    let out = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(out.success, "line(128) noiseless run failed: {out:?}");
+    assert_eq!(out.stats.corruptions, 0);
+    assert!(out.g_star >= sim.proto().real_chunks());
+    assert_eq!(out.b_star, 0);
+}
+
 /// Light oblivious noise (≈0.005/m) must be repaired in the vast majority
 /// of trials for every scheme.
 #[test]
@@ -93,7 +122,7 @@ fn light_noise_matrix() {
             let rounds = geo.setup + sim.iterations() as u64 * geo.iteration_rounds();
             let slots = rounds * 2 * g.edge_count() as u64;
             let prob = (0.005 / m) * sim.predicted_cc() as f64 / slots as f64;
-            let atk = IidNoise::new(g.directed_links().collect(), prob, 500 + t);
+            let atk = IidNoise::new(&g, prob, 500 + t);
             let out = sim.run(Box::new(atk), RunOptions::default());
             ok += usize::from(out.success);
         }
@@ -125,7 +154,7 @@ fn runs_are_reproducible() {
     let run = |seed| {
         let sim = Simulation::new(&w, cfg.clone(), seed);
         let g = w.graph().clone();
-        let atk = IidNoise::new(g.directed_links().collect(), 0.001, seed);
+        let atk = IidNoise::new(&g, 0.001, seed);
         let out = sim.run(Box::new(atk), RunOptions::default());
         (out.success, out.stats.cc, out.stats.corruptions, out.g_star)
     };

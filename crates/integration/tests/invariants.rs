@@ -44,7 +44,7 @@ proptest! {
         let w = Gossip::new(netgraph::topology::ring(4), 5, seed);
         let cfg = SchemeConfig::algorithm_a(w.graph(), seed ^ 0xF00);
         let sim = Simulation::new(&w, cfg, seed);
-        let atk = IidNoise::new(w.graph().directed_links().collect(), prob, seed);
+        let atk = IidNoise::new(w.graph(), prob, seed);
         let budget = 10_000;
         let out = sim.run(Box::new(atk), RunOptions {
             noise_budget: budget,
@@ -63,7 +63,7 @@ proptest! {
         let w = TokenRing::new(4, 2, seed);
         let cfg = SchemeConfig::algorithm_b(w.graph(), 3);
         let sim = Simulation::new(&w, cfg, seed);
-        let atk = IidNoise::new(w.graph().directed_links().collect(), prob, seed);
+        let atk = IidNoise::new(w.graph(), prob, seed);
         let budget = 50_000;
         let out = sim.run(Box::new(atk), RunOptions {
             noise_budget: budget,
@@ -102,7 +102,7 @@ fn overwhelming_noise_fails_honestly() {
     for seed in 0..6 {
         let cfg = SchemeConfig::algorithm_a(w.graph(), seed);
         let sim = Simulation::new(&w, cfg, seed);
-        let atk = IidNoise::new(w.graph().directed_links().collect(), 0.08, seed);
+        let atk = IidNoise::new(w.graph(), 0.08, seed);
         let out = sim.run(Box::new(atk), RunOptions::default());
         if out.success {
             // success is a *verified* claim: cross-check one more time.
@@ -144,6 +144,7 @@ proptest! {
         let cfg = SchemeConfig::algorithm_a(w.graph(), seed);
         let sim = Simulation::new(&w, cfg, seed);
         let atk = netsim::attacks::SingleError::new(
+            w.graph(),
             netgraph::DirectedLink { from: 0, to: 1 },
             round_offset,
         );

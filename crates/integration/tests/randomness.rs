@@ -32,13 +32,7 @@ fn exchange_survives_moderate_setup_noise() {
     let w = TokenRing::new(4, 3, 7);
     let cfg = SchemeConfig::algorithm_b(w.graph(), 4);
     let sim = Simulation::new(&w, cfg, 13);
-    let atk = PhaseTargeted::new(
-        sim.geometry(),
-        PhaseKind::Setup,
-        w.graph().directed_links().collect(),
-        0.03,
-        17,
-    );
+    let atk = PhaseTargeted::new(w.graph(), sim.geometry(), PhaseKind::Setup, 0.03, 17);
     let out = sim.run(Box::new(atk), RunOptions::default());
     assert!(
         out.success,
@@ -97,13 +91,7 @@ fn corrupted_exchange_degrades_to_one_dead_link_not_a_crash() {
     let w = TokenRing::new(4, 2, 21);
     let cfg = SchemeConfig::algorithm_b(w.graph(), 3);
     let sim = Simulation::new(&w, cfg, 23);
-    let atk = PhaseTargeted::new(
-        sim.geometry(),
-        PhaseKind::Setup,
-        w.graph().directed_links().collect(),
-        0.9,
-        29,
-    );
+    let atk = PhaseTargeted::new(w.graph(), sim.geometry(), PhaseKind::Setup, 0.9, 29);
     let out = sim.run(Box::new(atk), RunOptions::default());
     assert!(
         out.stats.corruptions > 100,

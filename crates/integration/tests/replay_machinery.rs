@@ -20,13 +20,7 @@ fn replay_exactness_under_rewind_churn() {
     let w = PointerChase::new(4, 3, 3, 41);
     let cfg = SchemeConfig::algorithm_a(w.graph(), 43);
     let sim = Simulation::new(&w, cfg, 11);
-    let atk = PhaseTargeted::new(
-        sim.geometry(),
-        PhaseKind::Rewind,
-        w.graph().directed_links().collect(),
-        0.008,
-        3,
-    );
+    let atk = PhaseTargeted::new(w.graph(), sim.geometry(), PhaseKind::Rewind, 0.008, 3);
     let out = sim.run(Box::new(atk), RunOptions::default());
     assert!(out.success, "forged-rewind churn broke replay: {out:?}");
 }
@@ -43,7 +37,7 @@ fn replay_exactness_for_stateful_aggregation() {
             .geometry()
             .phase_start(burst_iter, PhaseKind::Simulation)
             + 3;
-        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        let atk = SingleError::new(w.graph(), DirectedLink { from: 0, to: 1 }, round);
         let out = sim.run(Box::new(atk), RunOptions::default());
         assert!(
             out.success,
@@ -76,7 +70,7 @@ fn bot_round_forgery_and_deletion_are_repaired() {
     // symbol there (forging non-participation of a participating party).
     for iter in [0u64, 1, 3] {
         let round = sim.geometry().phase_start(iter, PhaseKind::Simulation);
-        let atk = SingleError::new(DirectedLink { from: 1, to: 2 }, round);
+        let atk = SingleError::new(w.graph(), DirectedLink { from: 1, to: 2 }, round);
         let out = sim.run(Box::new(atk), RunOptions::default());
         assert!(
             out.success,
@@ -95,7 +89,7 @@ fn ablation_flags_have_effect() {
         cfg.disable_rewind = no_rw;
         let sim = Simulation::new(&w, cfg, 23);
         let round = sim.geometry().phase_start(0, PhaseKind::Simulation) + 2;
-        let atk = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+        let atk = SingleError::new(w.graph(), DirectedLink { from: 0, to: 1 }, round);
         sim.run(
             Box::new(atk),
             RunOptions {

@@ -10,6 +10,12 @@ pub type NodeId = usize;
 /// insertion order.
 pub type EdgeId = usize;
 
+/// Dense identifier of a directed link in `0..2m`: `2·edge_id + dir` with
+/// `dir = 0` iff `from < to` (edge-major, low-endpoint-first — the order
+/// of [`Graph::directed_links`]). The index of choice for flat per-link
+/// arrays such as `netsim`'s `RoundFrame`.
+pub type LinkId = usize;
+
 /// One direction of an undirected link: the ordered pair `(from, to)`.
 ///
 /// The synchronous channel model allows one symbol per round per direction
@@ -70,6 +76,9 @@ pub struct Graph {
     adj: Vec<Vec<NodeId>>,
     /// `edge_of[v]` = (neighbor, edge id) pairs parallel to `adj[v]`.
     edge_ids: Vec<Vec<EdgeId>>,
+    /// `links[id]` = the directed link with dense index `id` (2m entries,
+    /// edge-major order), precomputed at construction.
+    links: Vec<DirectedLink>,
 }
 
 /// Error returned by [`Graph::from_edges`] for non-simple inputs.
@@ -140,11 +149,21 @@ impl Graph {
             adj[v] = pairs.iter().map(|p| p.0).collect();
             edge_ids[v] = pairs.iter().map(|p| p.1).collect();
         }
+        let links = norm
+            .iter()
+            .flat_map(|&(u, v)| {
+                [
+                    DirectedLink { from: u, to: v },
+                    DirectedLink { from: v, to: u },
+                ]
+            })
+            .collect();
         Ok(Graph {
             n,
             edges: norm,
             adj,
             edge_ids,
+            links,
         })
     }
 
@@ -193,38 +212,48 @@ impl Graph {
         self.edges.iter().enumerate().map(|(i, &(u, v))| (i, u, v))
     }
 
-    /// Iterates over all `2m` directed links in a fixed deterministic order
+    /// Iterates over all `2m` directed links in [`LinkId`] order
     /// (edge id major, low-endpoint-first direction first).
     pub fn directed_links(&self) -> impl Iterator<Item = DirectedLink> + '_ {
-        self.edges.iter().flat_map(|&(u, v)| {
-            [
-                DirectedLink { from: u, to: v },
-                DirectedLink { from: v, to: u },
-            ]
-        })
+        self.links.iter().copied()
     }
 
-    /// Dense index of a directed link in `0..2m`: `2 * edge_id + dir` where
-    /// `dir = 0` iff `from < to`. Useful for flat per-link arrays.
+    /// Number of directed links `2m`.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Dense index of a directed link, or `None` if the link is not an
+    /// edge of the graph.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netgraph::{DirectedLink, Graph};
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// let l = DirectedLink { from: 2, to: 1 };
+    /// assert_eq!(g.link_id(l), Some(3));
+    /// assert_eq!(g.link(3), l);
+    /// assert_eq!(g.link_id(DirectedLink { from: 0, to: 2 }), None);
+    /// ```
+    pub fn link_id(&self, link: DirectedLink) -> Option<LinkId> {
+        let i = self.adj.get(link.from)?.binary_search(&link.to).ok()?;
+        Some(2 * self.edge_ids[link.from][i] + usize::from(link.from > link.to))
+    }
+
+    /// The directed link with dense index `id` (inverse of
+    /// [`Graph::link_id`]).
     ///
     /// # Panics
     ///
-    /// Panics if the link is not an edge of the graph.
-    pub fn directed_index(&self, link: DirectedLink) -> usize {
-        let e = self
-            .edge_between(link.from, link.to)
-            .expect("directed_index of non-edge");
-        2 * e + usize::from(link.from > link.to)
+    /// Panics if `id >= link_count()`.
+    pub fn link(&self, id: LinkId) -> DirectedLink {
+        self.links[id]
     }
 
-    /// Inverse of [`Graph::directed_index`].
-    pub fn directed_from_index(&self, idx: usize) -> DirectedLink {
-        let (u, v) = self.edges[idx / 2];
-        if idx % 2 == 0 {
-            DirectedLink { from: u, to: v }
-        } else {
-            DirectedLink { from: v, to: u }
-        }
+    /// All `2m` directed links as a slice, in [`LinkId`] order.
+    pub fn links(&self) -> &[DirectedLink] {
+        &self.links
     }
 
     /// BFS distances from `src` (`usize::MAX` for unreachable nodes).
@@ -303,14 +332,40 @@ mod tests {
     }
 
     #[test]
-    fn edge_between_and_directed_index_roundtrip() {
+    fn edge_between_and_link_id_roundtrip() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         for link in g.directed_links().collect::<Vec<_>>() {
-            let idx = g.directed_index(link);
-            assert_eq!(g.directed_from_index(idx), link);
+            let idx = g.link_id(link).unwrap();
+            assert_eq!(g.link(idx), link);
         }
         assert_eq!(g.edge_between(0, 2), None);
         assert_eq!(g.edge_between(1, 0), Some(0));
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_ordered() {
+        let g = Graph::from_edges(5, &[(2, 0), (0, 3), (3, 4), (0, 1)]).unwrap();
+        assert_eq!(g.link_count(), 8);
+        assert_eq!(g.links().len(), 8);
+        for (id, link) in g.directed_links().enumerate() {
+            assert_eq!(g.link(id), link);
+            assert_eq!(g.link_id(link), Some(id));
+        }
+        // Non-edges and out-of-range endpoints map to None.
+        assert_eq!(g.link_id(DirectedLink { from: 1, to: 2 }), None);
+        assert_eq!(g.link_id(DirectedLink { from: 9, to: 0 }), None);
+        assert_eq!(g.link_id(DirectedLink { from: 0, to: 9 }), None);
+    }
+
+    #[test]
+    fn link_id_reversed_toggles_low_bit() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        for link in g.directed_links().collect::<Vec<_>>() {
+            let id = g.link_id(link).unwrap();
+            let rev = g.link_id(link.reversed()).unwrap();
+            assert_eq!(id ^ 1, rev);
+            assert_eq!(id / 2, g.edge_between(link.from, link.to).unwrap());
+        }
     }
 
     #[test]

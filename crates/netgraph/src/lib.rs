@@ -17,5 +17,5 @@ mod graph;
 mod spanning;
 pub mod topology;
 
-pub use graph::{DirectedLink, EdgeId, Graph, GraphError, NodeId};
+pub use graph::{DirectedLink, EdgeId, Graph, GraphError, LinkId, NodeId};
 pub use spanning::SpanningTree;

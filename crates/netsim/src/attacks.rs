@@ -5,10 +5,15 @@
 //! the additive adversaries of §2.1, just generated lazily instead of as a
 //! pre-materialized noise tensor. The seed-aware attack is the §6.1
 //! non-oblivious adversary.
+//!
+//! Attacks that touch specific links resolve them to dense
+//! [`netgraph::LinkId`]s at construction (hence the `&Graph` parameter),
+//! so probing the per-round [`RoundFrame`] is O(1) per link.
 
-use crate::engine::{AdaptiveView, Adversary, Corruption, Wire};
+use crate::engine::{AdaptiveView, Adversary, Corruption};
+use crate::frame::RoundFrame;
 use crate::phase::{PhaseGeometry, PhaseKind};
-use netgraph::DirectedLink;
+use netgraph::{DirectedLink, Graph, LinkId};
 use smallbias::Xoshiro256;
 
 /// Ternary additive noise (§2.1): symbols are {0, 1, *}≅{0, 1, 2} and the
@@ -34,7 +39,7 @@ impl Adversary for NoNoise {
     fn corrupt(
         &mut self,
         _: u64,
-        _: &Wire,
+        _: &RoundFrame,
         _: u64,
         _: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
@@ -51,6 +56,7 @@ impl Adversary for NoNoise {
 /// additive offset in {1, 2}. RNG consumption is fixed per slot, so the
 /// induced pattern is independent of the execution.
 pub struct IidNoise {
+    /// All directed links in [`netgraph::LinkId`] order (index = id).
     links: Vec<DirectedLink>,
     prob: f64,
     rng: Xoshiro256,
@@ -59,10 +65,11 @@ pub struct IidNoise {
 }
 
 impl IidNoise {
-    /// Noise over `links` with per-slot probability `prob`, seeded RNG.
-    pub fn new(links: Vec<DirectedLink>, prob: f64, seed: u64) -> Self {
+    /// Noise over every directed link of `graph` with per-slot probability
+    /// `prob`, seeded RNG.
+    pub fn new(graph: &Graph, prob: f64, seed: u64) -> Self {
         IidNoise {
-            links,
+            links: graph.links().to_vec(),
             prob,
             rng: Xoshiro256::seeded(seed ^ 0x6e6f_6973_65aa_bb01),
             skip_before: 0,
@@ -81,18 +88,18 @@ impl Adversary for IidNoise {
     fn corrupt(
         &mut self,
         round: u64,
-        sends: &Wire,
+        sends: &RoundFrame,
         _budget: u64,
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
         let mut out = Vec::new();
-        for &link in &self.links {
+        for (id, &link) in self.links.iter().enumerate() {
             let hit = self.rng.unit_f64() < self.prob;
             let e = 1 + (self.rng.next_u64() % 2) as u8;
             if hit && round >= self.skip_before {
                 out.push(Corruption {
                     link,
-                    output: additive(sends.get(&link).copied(), e),
+                    output: additive(sends.get(id), e),
                 });
             }
         }
@@ -110,14 +117,25 @@ impl Adversary for IidNoise {
 #[derive(Clone, Copy, Debug)]
 pub struct BurstLink {
     link: DirectedLink,
+    id: LinkId,
     start: u64,
     len: u64,
 }
 
 impl BurstLink {
     /// Burst on `link` during rounds `[start, start + len)`.
-    pub fn new(link: DirectedLink, start: u64, len: u64) -> Self {
-        BurstLink { link, start, len }
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not an edge of `graph`.
+    pub fn new(graph: &Graph, link: DirectedLink, start: u64, len: u64) -> Self {
+        let id = graph.link_id(link).expect("burst on non-edge");
+        BurstLink {
+            link,
+            id,
+            start,
+            len,
+        }
     }
 }
 
@@ -125,7 +143,7 @@ impl Adversary for BurstLink {
     fn corrupt(
         &mut self,
         round: u64,
-        sends: &Wire,
+        sends: &RoundFrame,
         _budget: u64,
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
@@ -134,7 +152,7 @@ impl Adversary for BurstLink {
         }
         vec![Corruption {
             link: self.link,
-            output: additive(sends.get(&self.link).copied(), 1),
+            output: additive(sends.get(self.id), 1),
         }]
     }
 
@@ -148,15 +166,22 @@ impl Adversary for BurstLink {
 #[derive(Clone, Copy, Debug)]
 pub struct SingleError {
     link: DirectedLink,
+    id: LinkId,
     round: u64,
     fired: bool,
 }
 
 impl SingleError {
     /// One corruption on `link` at `round`.
-    pub fn new(link: DirectedLink, round: u64) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not an edge of `graph`.
+    pub fn new(graph: &Graph, link: DirectedLink, round: u64) -> Self {
+        let id = graph.link_id(link).expect("single error on non-edge");
         SingleError {
             link,
+            id,
             round,
             fired: false,
         }
@@ -167,7 +192,7 @@ impl Adversary for SingleError {
     fn corrupt(
         &mut self,
         round: u64,
-        sends: &Wire,
+        sends: &RoundFrame,
         _budget: u64,
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
@@ -177,7 +202,7 @@ impl Adversary for SingleError {
         self.fired = true;
         vec![Corruption {
             link: self.link,
-            output: additive(sends.get(&self.link).copied(), 1),
+            output: additive(sends.get(self.id), 1),
         }]
     }
 
@@ -193,24 +218,26 @@ impl Adversary for SingleError {
 pub struct PhaseTargeted {
     geometry: PhaseGeometry,
     phase: PhaseKind,
+    /// All directed links in [`netgraph::LinkId`] order (index = id).
     links: Vec<DirectedLink>,
     prob: f64,
     rng: Xoshiro256,
 }
 
 impl PhaseTargeted {
-    /// Noise with per-slot probability `prob` confined to `phase`.
+    /// Noise over every directed link of `graph` with per-slot probability
+    /// `prob`, confined to `phase`.
     pub fn new(
+        graph: &Graph,
         geometry: PhaseGeometry,
         phase: PhaseKind,
-        links: Vec<DirectedLink>,
         prob: f64,
         seed: u64,
     ) -> Self {
         PhaseTargeted {
             geometry,
             phase,
-            links,
+            links: graph.links().to_vec(),
             prob,
             rng: Xoshiro256::seeded(seed ^ 0x7068_6173_65cc_dd02),
         }
@@ -221,18 +248,18 @@ impl Adversary for PhaseTargeted {
     fn corrupt(
         &mut self,
         round: u64,
-        sends: &Wire,
+        sends: &RoundFrame,
         _budget: u64,
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
         let mut out = Vec::new();
-        for &link in &self.links {
+        for (id, &link) in self.links.iter().enumerate() {
             let hit = self.rng.unit_f64() < self.prob;
             let e = 1 + (self.rng.next_u64() % 2) as u8;
             if hit && self.geometry.locate(round).phase == self.phase {
                 out.push(Corruption {
                     link,
-                    output: additive(sends.get(&link).copied(), e),
+                    output: additive(sends.get(id), e),
                 });
             }
         }
@@ -280,7 +307,7 @@ impl Adversary for SeedAwareCollision {
     fn corrupt(
         &mut self,
         round: u64,
-        sends: &Wire,
+        sends: &RoundFrame,
         budget: u64,
         view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
@@ -324,6 +351,7 @@ impl Adversary for SeedAwareCollision {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netgraph::topology;
 
     fn dl(from: usize, to: usize) -> DirectedLink {
         DirectedLink { from, to }
@@ -341,10 +369,10 @@ mod tests {
 
     #[test]
     fn iid_noise_is_reproducible() {
-        let links = vec![dl(0, 1), dl(1, 0)];
-        let mut a = IidNoise::new(links.clone(), 0.5, 1);
-        let mut b = IidNoise::new(links, 0.5, 1);
-        let sends = Wire::new();
+        let g = topology::line(2);
+        let mut a = IidNoise::new(&g, 0.5, 1);
+        let mut b = IidNoise::new(&g, 0.5, 1);
+        let sends = RoundFrame::for_graph(&g);
         for round in 0..50 {
             assert_eq!(
                 a.corrupt(round, &sends, u64::MAX, None),
@@ -355,26 +383,35 @@ mod tests {
 
     #[test]
     fn iid_noise_rate_close_to_prob() {
-        let links = vec![dl(0, 1)];
-        let mut a = IidNoise::new(links, 0.1, 42);
-        let sends = Wire::new();
+        let g = topology::line(2); // 2 directed links
+        let mut a = IidNoise::new(&g, 0.1, 42);
+        let sends = RoundFrame::for_graph(&g);
         let mut hits = 0;
         for round in 0..10_000 {
             hits += a.corrupt(round, &sends, u64::MAX, None).len();
         }
+        // Expected hits per round = links × prob = 0.2.
         let rate = hits as f64 / 10_000.0;
-        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+        assert!((rate - 0.2).abs() < 0.03, "rate {rate}");
     }
 
     #[test]
     fn single_error_fires_once() {
-        let mut a = SingleError::new(dl(0, 1), 5);
-        let sends = Wire::new();
+        let g = topology::line(2);
+        let mut a = SingleError::new(&g, dl(0, 1), 5);
+        let sends = RoundFrame::for_graph(&g);
         let mut total = 0;
         for round in 0..10 {
             total += a.corrupt(round, &sends, u64::MAX, None).len();
         }
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn single_error_rejects_non_edge() {
+        let g = topology::line(3);
+        let _ = SingleError::new(&g, dl(0, 2), 0);
     }
 
     #[test]
@@ -386,8 +423,9 @@ mod tests {
             simulation: 5,
             rewind: 5,
         };
-        let mut a = PhaseTargeted::new(g, PhaseKind::FlagPassing, vec![dl(0, 1)], 1.0, 3);
-        let sends = Wire::new();
+        let graph = topology::line(2);
+        let mut a = PhaseTargeted::new(&graph, g, PhaseKind::FlagPassing, 1.0, 3);
+        let sends = RoundFrame::for_graph(&graph);
         for round in 0..40 {
             let cs = a.corrupt(round, &sends, u64::MAX, None);
             let in_fp = g.locate(round).phase == PhaseKind::FlagPassing;
@@ -404,8 +442,10 @@ mod tests {
             simulation: 5,
             rewind: 1,
         };
+        let graph = topology::line(4);
         let mut a = SeedAwareCollision::new(g, 3, 1);
-        assert!(a.corrupt(3, &Wire::new(), u64::MAX, None).is_empty());
+        let sends = RoundFrame::for_graph(&graph);
+        assert!(a.corrupt(3, &sends, u64::MAX, None).is_empty());
         assert!(!a.is_oblivious());
     }
 }

@@ -1,11 +1,7 @@
 //! The round-driven network engine.
 
+use crate::frame::{RoundFrame, Wire};
 use netgraph::{DirectedLink, EdgeId, Graph};
-use std::collections::BTreeMap;
-
-/// The honest sends of one round: directed link → bit. Links absent from
-/// the map are silent.
-pub type Wire = BTreeMap<DirectedLink, bool>;
 
 /// One channel corruption: the link and what the receiver should observe
 /// instead (`Some(bit)` substitutes/inserts, `None` deletes).
@@ -36,18 +32,19 @@ pub trait AdaptiveView {
     /// full-transcript hash comparison collide, so the error goes
     /// undetected. Returns `None` when no such corruption exists this
     /// round.
-    fn collision_corruption(&self, edge: EdgeId, sends: &Wire) -> Option<Corruption>;
+    fn collision_corruption(&self, edge: EdgeId, sends: &RoundFrame) -> Option<Corruption>;
 }
 
 /// An adversary controlling the noise.
 pub trait Adversary {
-    /// Corruptions for the current round. `view` is `None` when the runner
-    /// withholds the live state (oblivious-only experiments) and `Some`
-    /// otherwise; oblivious adversaries must ignore it.
+    /// Corruptions for the current round. `sends` is the honest frame,
+    /// indexed by the graph's [`netgraph::LinkId`]s. `view` is `None` when
+    /// the runner withholds the live state (oblivious-only experiments)
+    /// and `Some` otherwise; oblivious adversaries must ignore it.
     fn corrupt(
         &mut self,
         round: u64,
-        sends: &Wire,
+        sends: &RoundFrame,
         remaining_budget: u64,
         view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption>;
@@ -88,17 +85,24 @@ impl NetStats {
 
 /// The synchronous noisy network.
 ///
+/// The hot path is [`Network::step_into`]: the caller owns two
+/// [`RoundFrame`] buffers (sends and receptions) and reuses them every
+/// round — no per-round allocation. [`Network::step`] is a thin
+/// convenience wrapper over the legacy [`Wire`] map form.
+///
 /// # Examples
 ///
 /// ```
 /// use netgraph::{topology, DirectedLink};
-/// use netsim::{attacks::NoNoise, Network};
+/// use netsim::{attacks::NoNoise, Network, RoundFrame};
 /// let g = topology::line(3);
+/// let id = g.link_id(DirectedLink { from: 0, to: 1 }).unwrap();
 /// let mut net = Network::new(g, Box::new(NoNoise), u64::MAX);
-/// let mut sends = std::collections::BTreeMap::new();
-/// sends.insert(DirectedLink { from: 0, to: 1 }, true);
-/// let rx = net.step(&sends, None);
-/// assert_eq!(rx.get(&DirectedLink { from: 0, to: 1 }), Some(&true));
+/// let mut sends = RoundFrame::for_graph(net.graph());
+/// let mut rx = RoundFrame::for_graph(net.graph());
+/// sends.set(id, true);
+/// net.step_into(&sends, None, &mut rx);
+/// assert_eq!(rx.get(id), Some(true));
 /// assert_eq!(net.stats().cc, 1);
 /// ```
 pub struct Network {
@@ -136,31 +140,36 @@ impl Network {
     }
 
     /// Executes one synchronous round: applies the adversary to the honest
-    /// sends and returns what is observed at each receiving endpoint
-    /// (absent entry = silence).
+    /// sends and writes what each receiving endpoint observes into `rx`
+    /// (silent link = silence). `sends` and `rx` are caller-owned buffers
+    /// sized to the graph; nothing is allocated per round.
     ///
     /// # Panics
     ///
-    /// Panics if a send uses a link that is not an edge of the graph.
-    pub fn step(&mut self, sends: &Wire, view: Option<&dyn AdaptiveView>) -> Wire {
-        for link in sends.keys() {
-            assert!(
-                self.graph.edge_between(link.from, link.to).is_some(),
-                "send on non-edge {link}"
-            );
-        }
+    /// Panics if `sends` or `rx` is not sized to the graph's link count.
+    pub fn step_into(
+        &mut self,
+        sends: &RoundFrame,
+        view: Option<&dyn AdaptiveView>,
+        rx: &mut RoundFrame,
+    ) {
+        assert_eq!(
+            sends.link_count(),
+            self.graph.link_count(),
+            "sends frame not sized to graph"
+        );
         self.stats.rounds += 1;
-        self.stats.cc += sends.len() as u64;
+        self.stats.cc += sends.count_set() as u64;
         let remaining = self.budget - self.stats.corruptions;
         let corruptions = self
             .adversary
             .corrupt(self.stats.rounds - 1, sends, remaining, view);
-        let mut delivered: Wire = sends.clone();
+        rx.copy_from(sends);
         for c in corruptions {
-            if self.graph.edge_between(c.link.from, c.link.to).is_none() {
+            let Some(id) = self.graph.link_id(c.link) else {
                 continue; // corrupting a non-edge is meaningless
-            }
-            let honest = sends.get(&c.link).copied();
+            };
+            let honest = sends.get(id);
             if honest == c.output {
                 continue; // no change, not a corruption
             }
@@ -170,15 +179,24 @@ impl Network {
             }
             self.stats.corruptions += 1;
             match c.output {
-                Some(bit) => {
-                    delivered.insert(c.link, bit);
-                }
-                None => {
-                    delivered.remove(&c.link);
-                }
+                Some(bit) => rx.set(id, bit),
+                None => rx.clear(id),
             }
         }
-        delivered
+    }
+
+    /// Legacy convenience wrapper over [`Network::step_into`] in terms of
+    /// the [`Wire`] map form. Allocates two frames and a map per call —
+    /// use `step_into` with reused buffers on hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a send uses a link that is not an edge of the graph.
+    pub fn step(&mut self, sends: &Wire, view: Option<&dyn AdaptiveView>) -> Wire {
+        let frame = RoundFrame::from_wire(&self.graph, sends);
+        let mut rx = RoundFrame::for_graph(&self.graph);
+        self.step_into(&frame, view, &mut rx);
+        rx.to_wire(&self.graph)
     }
 }
 
@@ -206,9 +224,28 @@ mod tests {
     }
 
     #[test]
+    fn step_into_reuses_buffers() {
+        let g = topology::ring(4);
+        let id01 = g.link_id(dl(0, 1)).unwrap();
+        let id21 = g.link_id(dl(2, 1)).unwrap();
+        let mut net = Network::new(g.clone(), Box::new(NoNoise), 0);
+        let mut sends = RoundFrame::for_graph(&g);
+        let mut rx = RoundFrame::for_graph(&g);
+        for round in 0..3 {
+            sends.clear_all();
+            sends.set(id01, round % 2 == 0);
+            sends.set(id21, true);
+            net.step_into(&sends, None, &mut rx);
+            assert_eq!(rx, sends);
+        }
+        assert_eq!(net.stats().rounds, 3);
+        assert_eq!(net.stats().cc, 6);
+    }
+
+    #[test]
     fn burst_flips_and_counts() {
         let g = topology::line(3);
-        let atk = BurstLink::new(dl(0, 1), 0, 10);
+        let atk = BurstLink::new(&g, dl(0, 1), 0, 10);
         let mut net = Network::new(g, Box::new(atk), 100);
         let mut sends = Wire::new();
         sends.insert(dl(0, 1), false);
@@ -226,7 +263,7 @@ mod tests {
     #[test]
     fn burst_inserts_on_silence() {
         let g = topology::line(3);
-        let atk = BurstLink::new(dl(0, 1), 0, 10);
+        let atk = BurstLink::new(&g, dl(0, 1), 0, 10);
         let mut net = Network::new(g, Box::new(atk), 100);
         let rx = net.step(&Wire::new(), None);
         // Insertion: receiver observes a bit that was never sent.
@@ -238,7 +275,7 @@ mod tests {
     #[test]
     fn budget_is_enforced() {
         let g = topology::line(3);
-        let atk = BurstLink::new(dl(0, 1), 0, 10);
+        let atk = BurstLink::new(&g, dl(0, 1), 0, 10);
         let mut net = Network::new(g, Box::new(atk), 2);
         for _ in 0..5 {
             let mut sends = Wire::new();
@@ -268,5 +305,15 @@ mod tests {
         let mut sends = Wire::new();
         sends.insert(dl(0, 2), true);
         net.step(&sends, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sized to graph")]
+    fn rejects_mis_sized_frame() {
+        let g = topology::line(3);
+        let mut net = Network::new(g, Box::new(NoNoise), 0);
+        let sends = RoundFrame::new(2);
+        let mut rx = RoundFrame::new(2);
+        net.step_into(&sends, None, &mut rx);
     }
 }

@@ -1,0 +1,289 @@
+//! The dense per-round wire representation.
+//!
+//! A [`RoundFrame`] holds one synchronous round's channel contents for
+//! every directed link of a graph: two bit-packed vectors (presence and
+//! value) indexed by [`LinkId`]. Setting, getting and clearing a link is
+//! O(1); wiping or copying a whole frame is O(m/64); iterating the
+//! occupied links is O(m/64 + sends). The legacy map form
+//! ([`Wire`] = `BTreeMap<DirectedLink, bool>`) converts losslessly in
+//! both directions given the graph.
+
+use netgraph::{Graph, LinkId};
+use std::collections::BTreeMap;
+
+/// The legacy map form of one round's sends: directed link → bit. Links
+/// absent from the map are silent. Kept for conversions and tests; the
+/// engine's hot path is [`RoundFrame`].
+pub type Wire = BTreeMap<netgraph::DirectedLink, bool>;
+
+/// One round of wire contents over a fixed link universe, bit-packed.
+///
+/// A frame is sized to a graph's [`Graph::link_count`] and indexed by
+/// [`LinkId`]. Every link is either *silent* (absent) or carries a bit.
+///
+/// # Examples
+///
+/// ```
+/// use netgraph::topology;
+/// use netsim::RoundFrame;
+/// let g = topology::ring(4);
+/// let mut f = RoundFrame::for_graph(&g);
+/// let id = g.link_id(netgraph::DirectedLink { from: 0, to: 1 }).unwrap();
+/// f.set(id, true);
+/// assert_eq!(f.get(id), Some(true));
+/// assert_eq!(f.count_set(), 1);
+/// f.clear_all();
+/// assert!(f.is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundFrame {
+    /// Bit `i` set ⇔ link `i` carries a symbol this round.
+    presence: Vec<u64>,
+    /// Bit `i` = the carried bit (meaningful only where presence is set).
+    value: Vec<u64>,
+    links: usize,
+}
+
+impl RoundFrame {
+    /// An all-silent frame over `links` directed links.
+    pub fn new(links: usize) -> RoundFrame {
+        let words = links.div_ceil(64);
+        RoundFrame {
+            presence: vec![0; words],
+            value: vec![0; words],
+            links,
+        }
+    }
+
+    /// An all-silent frame sized to `graph`'s directed links.
+    pub fn for_graph(graph: &Graph) -> RoundFrame {
+        RoundFrame::new(graph.link_count())
+    }
+
+    /// Number of directed links the frame covers (silent or not).
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// Puts `bit` on link `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= link_count()`.
+    #[inline]
+    pub fn set(&mut self, id: LinkId, bit: bool) {
+        assert!(id < self.links, "link {id} out of range {}", self.links);
+        let (w, b) = (id / 64, id % 64);
+        self.presence[w] |= 1 << b;
+        if bit {
+            self.value[w] |= 1 << b;
+        } else {
+            self.value[w] &= !(1 << b);
+        }
+    }
+
+    /// The bit on link `id`, or `None` if the link is silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= link_count()`.
+    #[inline]
+    pub fn get(&self, id: LinkId) -> Option<bool> {
+        assert!(id < self.links, "link {id} out of range {}", self.links);
+        let (w, b) = (id / 64, id % 64);
+        if self.presence[w] >> b & 1 == 1 {
+            Some(self.value[w] >> b & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// Silences link `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= link_count()`.
+    #[inline]
+    pub fn clear(&mut self, id: LinkId) {
+        assert!(id < self.links, "link {id} out of range {}", self.links);
+        let (w, b) = (id / 64, id % 64);
+        self.presence[w] &= !(1 << b);
+        self.value[w] &= !(1 << b);
+    }
+
+    /// Silences every link (the frame stays allocated — the buffer-reuse
+    /// idiom is `clear_all` + `set` each round).
+    pub fn clear_all(&mut self) {
+        self.presence.fill(0);
+        self.value.fill(0);
+    }
+
+    /// Number of links carrying a symbol.
+    pub fn count_set(&self) -> usize {
+        self.presence.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every link is silent.
+    pub fn is_empty(&self) -> bool {
+        self.presence.iter().all(|&w| w == 0)
+    }
+
+    /// Makes `self` a copy of `other` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames cover different link universes.
+    pub fn copy_from(&mut self, other: &RoundFrame) {
+        assert_eq!(self.links, other.links, "frame size mismatch");
+        self.presence.copy_from_slice(&other.presence);
+        self.value.copy_from_slice(&other.value);
+    }
+
+    /// Iterates `(link, bit)` over the non-silent links in [`LinkId`]
+    /// order.
+    pub fn iter_set(&self) -> impl Iterator<Item = (LinkId, bool)> + '_ {
+        self.presence
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &word)| {
+                let value = self.value[wi];
+                BitIter { word }.map(move |b| (wi * 64 + b, value >> b & 1 == 1))
+            })
+    }
+
+    /// Builds a frame from the legacy map form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is not an edge of `graph` (the legacy engine
+    /// rejected such sends the same way).
+    pub fn from_wire(graph: &Graph, wire: &Wire) -> RoundFrame {
+        let mut f = RoundFrame::for_graph(graph);
+        for (&link, &bit) in wire {
+            let id = graph
+                .link_id(link)
+                .unwrap_or_else(|| panic!("send on non-edge {link}"));
+            f.set(id, bit);
+        }
+        f
+    }
+
+    /// Converts to the legacy map form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was not sized to `graph`.
+    pub fn to_wire(&self, graph: &Graph) -> Wire {
+        assert_eq!(self.links, graph.link_count(), "frame/graph mismatch");
+        self.iter_set()
+            .map(|(id, bit)| (graph.link(id), bit))
+            .collect()
+    }
+}
+
+impl From<(&Graph, &Wire)> for RoundFrame {
+    fn from((graph, wire): (&Graph, &Wire)) -> RoundFrame {
+        RoundFrame::from_wire(graph, wire)
+    }
+}
+
+/// Iterator over the set bit positions of one word.
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{topology, DirectedLink};
+
+    fn dl(from: usize, to: usize) -> DirectedLink {
+        DirectedLink { from, to }
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut f = RoundFrame::new(130);
+        assert_eq!(f.get(0), None);
+        f.set(0, true);
+        f.set(64, false);
+        f.set(129, true);
+        assert_eq!(f.get(0), Some(true));
+        assert_eq!(f.get(64), Some(false));
+        assert_eq!(f.get(129), Some(true));
+        assert_eq!(f.count_set(), 3);
+        f.set(0, false); // overwrite clears the value bit
+        assert_eq!(f.get(0), Some(false));
+        f.clear(0);
+        assert_eq!(f.get(0), None);
+        assert_eq!(f.count_set(), 2);
+        f.clear_all();
+        assert!(f.is_empty());
+        assert_eq!(f.count_set(), 0);
+    }
+
+    #[test]
+    fn iter_set_in_order() {
+        let mut f = RoundFrame::new(200);
+        for &(i, b) in &[(3usize, true), (63, false), (64, true), (199, false)] {
+            f.set(i, b);
+        }
+        let got: Vec<(usize, bool)> = f.iter_set().collect();
+        assert_eq!(got, vec![(3, true), (63, false), (64, true), (199, false)]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let g = topology::ring(5);
+        let mut w = Wire::new();
+        w.insert(dl(0, 1), true);
+        w.insert(dl(1, 0), false);
+        w.insert(dl(4, 0), true);
+        let f = RoundFrame::from_wire(&g, &w);
+        assert_eq!(f.count_set(), 3);
+        assert_eq!(f.to_wire(&g), w);
+        let f2: RoundFrame = (&g, &w).into();
+        assert_eq!(f2, f);
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let g = topology::line(4);
+        let mut a = RoundFrame::for_graph(&g);
+        a.set(1, true);
+        let mut b = RoundFrame::for_graph(&g);
+        b.set(4, false);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        assert_eq!(b.get(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn from_wire_rejects_non_edge() {
+        let g = topology::line(3);
+        let mut w = Wire::new();
+        w.insert(dl(0, 2), true);
+        let _ = RoundFrame::from_wire(&g, &w);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_rejects_out_of_range() {
+        let mut f = RoundFrame::new(4);
+        f.set(4, true);
+    }
+}

@@ -7,10 +7,39 @@
 //! bit); each such change counts as one corruption, and the noise budget is
 //! a fraction of the *actual* communication of the instance.
 //!
+//! # The wire representation
+//!
+//! One round's channel contents are a [`RoundFrame`]: two bit-packed
+//! vectors (presence + value) indexed by the graph's dense
+//! [`netgraph::LinkId`]. Probing a link is O(1), wiping or copying a
+//! frame is O(m/64), and a frame never allocates after construction.
+//!
 //! The [`Network`] engine is driven round-by-round by the coding-scheme
-//! runner: the runner supplies the honest sends, the engine consults the
-//! [`Adversary`], enforces the corruption budget, counts communication, and
-//! returns what each receiver observes.
+//! runner through [`Network::step_into`]: the runner owns a sends frame
+//! and a receptions frame, fills the former, and the engine consults the
+//! [`Adversary`], enforces the corruption budget, counts communication,
+//! and writes what each receiver observes into the latter — both buffers
+//! reused every round.
+//!
+//! ## Migration note (`Wire` users)
+//!
+//! Before this redesign the wire was `Wire = BTreeMap<DirectedLink,
+//! bool>` and the engine's only entry point was `step(&Wire, view) ->
+//! Wire`, which cloned the map every round. `Wire` and [`Network::step`]
+//! survive as a conversion layer — `step` is a thin wrapper that
+//! round-trips through [`RoundFrame::from_wire`] / [`RoundFrame::to_wire`]
+//! and allocates per call, so port hot loops to `step_into`:
+//!
+//! * `wire.insert(link, bit)` → `frame.set(graph.link_id(link)?, bit)`
+//!   (resolve ids once, outside the loop, where possible);
+//! * `wire.get(&link)` → `frame.get(id)` (returns `Option<bool>` by
+//!   value);
+//! * `wire.contains_key(&link)` → `frame.get(id).is_some()`;
+//! * iteration → [`RoundFrame::iter_set`], which yields `(LinkId, bool)`
+//!   in id order;
+//! * [`Adversary::corrupt`] and [`AdaptiveView::collision_corruption`]
+//!   now receive `&RoundFrame`; attacks resolve their target links to ids
+//!   at construction (constructors take `&Graph`).
 //!
 //! Adversaries come in two flavors mirroring the paper:
 //! * **oblivious** ([`Adversary::is_oblivious`] = true) — their decisions
@@ -25,7 +54,9 @@
 
 pub mod attacks;
 mod engine;
+mod frame;
 mod phase;
 
-pub use engine::{AdaptiveView, Adversary, Corruption, NetStats, Network, Wire};
+pub use engine::{AdaptiveView, Adversary, Corruption, NetStats, Network};
+pub use frame::{RoundFrame, Wire};
 pub use phase::{PhaseGeometry, PhaseKind, PhasePos};

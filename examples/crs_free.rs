@@ -43,13 +43,7 @@ pub fn run() {
     let cfg = SchemeConfig::algorithm_b(&graph, 8);
     let sim = Simulation::new(&workload, cfg, 6);
     let geometry = sim.geometry();
-    let attack = PhaseTargeted::new(
-        geometry,
-        PhaseKind::Setup,
-        graph.directed_links().collect(),
-        0.2,
-        13,
-    );
+    let attack = PhaseTargeted::new(&graph, geometry, PhaseKind::Setup, 0.2, 13);
     let out = sim.run(Box::new(attack), RunOptions::default());
     println!(
         "setup-targeted attack: success = {}, but it cost the adversary {} corruptions \

@@ -24,7 +24,7 @@ fn run_variant(disable_flag_passing: bool, disable_rewind: bool) {
     cfg.disable_rewind = disable_rewind;
     let sim = Simulation::new(&workload, cfg, 3);
     let round = sim.geometry().phase_start(0, PhaseKind::Simulation) + 2;
-    let attack = SingleError::new(DirectedLink { from: 0, to: 1 }, round);
+    let attack = SingleError::new(workload.graph(), DirectedLink { from: 0, to: 1 }, round);
     let out = sim.run(
         Box::new(attack),
         RunOptions {

@@ -45,7 +45,7 @@ pub fn run() {
     let slots = rounds * 2 * m as u64;
     let fraction = 0.01 / m as f64;
     let prob = fraction * predicted as f64 / slots as f64;
-    let adversary = IidNoise::new(graph.directed_links().collect(), prob, 99);
+    let adversary = IidNoise::new(&graph, prob, 99);
 
     let out = sim.run(Box::new(adversary), RunOptions::default());
     println!(

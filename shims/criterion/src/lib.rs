@@ -3,12 +3,18 @@
 //! Keeps the bench sources byte-identical to what they'd look like
 //! against real criterion. Measurement is intentionally lightweight: each
 //! benchmark warms up briefly, then runs timed batches for ~100ms and
-//! reports mean wall-clock time per iteration. No statistics, plots, or
-//! baselines — swap in the real crate for those.
+//! reports mean, min, max and std-dev wall-clock time per iteration
+//! (statistics are over per-batch means). No plots or baselines — swap in
+//! the real crate for those.
+//!
+//! Set `CRITERION_SHIM_JSON=<path>` to additionally append one JSON line
+//! per benchmark (`id`, `mean_ns`, `min_ns`, `max_ns`, `stddev_ns`,
+//! `batches`, `iters`) — the format of the repo's `BENCH_*.json` files.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -66,13 +72,54 @@ impl IntoBenchmarkId for BenchmarkId {
     }
 }
 
+/// Per-iteration wall-clock statistics of one benchmark, over the means
+/// of the timed batches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest batch mean.
+    pub min_ns: f64,
+    /// Slowest batch mean.
+    pub max_ns: f64,
+    /// Population standard deviation of batch means.
+    pub stddev_ns: f64,
+    /// Number of timed batches.
+    pub batches: u64,
+    /// Total iterations executed across batches.
+    pub iters: u64,
+}
+
+impl Stats {
+    fn from_batches(batch_means_ns: &[f64], iters: u64) -> Stats {
+        let n = batch_means_ns.len().max(1) as f64;
+        let mean = batch_means_ns.iter().sum::<f64>() / n;
+        let var = batch_means_ns
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        Stats {
+            mean_ns: mean,
+            min_ns: batch_means_ns.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: batch_means_ns
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+            stddev_ns: var.sqrt(),
+            batches: batch_means_ns.len() as u64,
+            iters,
+        }
+    }
+}
+
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
-    mean_ns: f64,
+    stats: Stats,
 }
 
 impl Bencher {
-    /// Times `f`, storing the mean wall-clock nanoseconds per call.
+    /// Times `f`, storing per-iteration wall-clock statistics.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up and batch-size calibration: run once, size batches to
         // ~10ms, then measure for ~100ms total.
@@ -82,36 +129,71 @@ impl Bencher {
         let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000);
         let deadline = Instant::now() + Duration::from_millis(100);
         let mut iters = 0u64;
-        let mut total = Duration::ZERO;
+        let mut batch_means = Vec::new();
         while Instant::now() < deadline {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            total += t.elapsed();
+            let elapsed = t.elapsed();
+            batch_means.push(elapsed.as_nanos() as f64 / batch as f64);
             iters += batch as u64;
         }
-        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.stats = Stats::from_batches(&batch_means, iters);
     }
 }
 
-fn report(id: &str, mean_ns: f64) {
-    let (value, unit) = if mean_ns >= 1e9 {
-        (mean_ns / 1e9, "s")
-    } else if mean_ns >= 1e6 {
-        (mean_ns / 1e6, "ms")
-    } else if mean_ns >= 1e3 {
-        (mean_ns / 1e3, "us")
+fn scaled(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
     } else {
-        (mean_ns, "ns")
+        (ns, "ns")
+    }
+}
+
+fn report(id: &str, s: Stats) {
+    let (value, unit) = scaled(s.mean_ns);
+    let (lo, lo_u) = scaled(s.min_ns);
+    let (hi, hi_u) = scaled(s.max_ns);
+    let (sd, sd_u) = scaled(s.stddev_ns);
+    println!(
+        "{id:<40} time: {value:>10.3} {unit}/iter  \
+         [min {lo:.3} {lo_u}, max {hi:.3} {hi_u}, σ {sd:.3} {sd_u}]"
+    );
+}
+
+fn emit_json(id: &str, s: Stats) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
     };
-    println!("{id:<40} time: {value:>10.3} {unit}/iter");
+    if path.is_empty() {
+        return;
+    }
+    let row = format!(
+        "{{\"id\":\"{id}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+         \"stddev_ns\":{:.1},\"batches\":{},\"iters\":{}}}",
+        s.mean_ns, s.min_ns, s.max_ns, s.stddev_ns, s.batches, s.iters
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{row}");
+    }
 }
 
 fn run_bench(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { mean_ns: 0.0 };
+    let mut b = Bencher {
+        stats: Stats::default(),
+    };
     f(&mut b);
-    report(id, b.mean_ns);
+    report(id, b.stats);
+    emit_json(id, b.stats);
 }
 
 impl Criterion {
@@ -205,9 +287,24 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher { mean_ns: 0.0 };
+        let mut b = Bencher {
+            stats: Stats::default(),
+        };
         b.iter(|| std::hint::black_box(3u64).wrapping_mul(5));
-        assert!(b.mean_ns > 0.0);
+        assert!(b.stats.mean_ns > 0.0);
+        assert!(b.stats.min_ns <= b.stats.mean_ns && b.stats.mean_ns <= b.stats.max_ns);
+        assert!(b.stats.stddev_ns >= 0.0);
+        assert!(b.stats.batches >= 1 && b.stats.iters >= 1);
+    }
+
+    #[test]
+    fn stats_over_known_batches() {
+        let s = Stats::from_batches(&[1.0, 3.0], 2);
+        assert!((s.mean_ns - 2.0).abs() < 1e-12);
+        assert!((s.min_ns - 1.0).abs() < 1e-12);
+        assert!((s.max_ns - 3.0).abs() < 1e-12);
+        assert!((s.stddev_ns - 1.0).abs() < 1e-12);
+        assert_eq!(s.batches, 2);
     }
 
     #[test]
