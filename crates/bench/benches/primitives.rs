@@ -3,10 +3,15 @@
 //! GF(2^64) multiplication, and the Reed–Solomon codec used by the
 //! randomness exchange.
 
+use std::rc::Rc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gf2::Gf64;
 use rscode::ReedSolomon;
-use smallbias::{hash_bits, AghpGenerator, BitString, CrsSource, SeedLabel, SeedSource};
+use smallbias::{
+    hash_bits, sketch_prefix, AghpGenerator, BitString, CrsSource, PrefixHasher, SeedLabel,
+    SeedSource,
+};
 
 fn bench_hash(c: &mut Criterion) {
     let mut g = c.benchmark_group("inner_product_hash");
@@ -40,6 +45,64 @@ fn bench_hash(c: &mut Criterion) {
                 )
             })
         });
+    }
+    g.finish();
+}
+
+/// The incremental-hashing hot path: per protocol iteration, append one
+/// 38-bit chunk (32-bit id + 3 symbols) to the transcript sketch and take
+/// three digests (full + two meeting points) — `O(Δ + τ)` work however
+/// long the transcript already is. The reference pair rehashes the full
+/// prefix from scratch each iteration instead (`O(|T|·τ)`), which is what
+/// the coding scheme paid per link per iteration before the sketch.
+fn bench_prefix_hasher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_hasher");
+    let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(7));
+    let label = SeedLabel {
+        iteration: 0,
+        channel: 0,
+        slot: 2,
+    };
+    for chunks in [64usize, 1024] {
+        g.throughput(Throughput::Elements(chunks as u64));
+        g.bench_with_input(
+            BenchmarkId::new("extend_digest", chunks),
+            &chunks,
+            |b, &chunks| {
+                b.iter(|| {
+                    let mut h = PrefixHasher::new(Rc::clone(&src), label, 64);
+                    let mut acc = 0u64;
+                    for i in 0..chunks {
+                        h.push_bits(i as u64, 32);
+                        h.push_bits(0b10_01_00, 6);
+                        h.mark();
+                        acc ^= h.digest();
+                        if i >= 2 {
+                            acc ^= h.digest_at(i - 1).0 ^ h.digest_at(i - 2).0;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("reference_rehash", chunks),
+            &chunks,
+            |b, &chunks| {
+                let mut bits = BitString::new();
+                for i in 0..chunks {
+                    bits.push_bits(i as u64, 32);
+                    bits.push_bits(0b10_01_00, 6);
+                }
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for i in 1..=chunks {
+                        acc ^= sketch_prefix(&bits, 38 * i, 64, &mut *src.stream(label));
+                    }
+                    acc
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -108,5 +171,12 @@ fn bench_rs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hash, bench_aghp, bench_gf64, bench_rs);
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_prefix_hasher,
+    bench_aghp,
+    bench_gf64,
+    bench_rs
+);
 criterion_main!(benches);

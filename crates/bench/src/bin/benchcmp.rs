@@ -1,0 +1,176 @@
+//! Bench-regression gate: compares a fresh `CRITERION_SHIM_JSON` run
+//! against a committed `BENCH_*.json` baseline and fails (exit 1) if any
+//! shared benchmark id regressed by more than the threshold.
+//!
+//! Usage:
+//!
+//! ```text
+//! benchcmp <baseline.json> <fresh.json> [--threshold 1.5]
+//! ```
+//!
+//! Both inputs are the criterion shim's JSON-lines format (one object per
+//! benchmark with `id` and `mean_ns`). Ids present in only one file are
+//! reported but never fail the gate, so adding or retiring benchmarks does
+//! not require regenerating the baseline in the same change.
+//!
+//! Noise robustness: a shared id counts as regressed only if **both** its
+//! `mean_ns` and its `min_ns` exceed the threshold (when `min_ns` is
+//! present). A genuine slowdown shifts the whole distribution including
+//! the minimum; scheduler noise on shared CI runners inflates the mean
+//! and the tail but rarely the min-of-batch-means, so requiring both
+//! filters most spurious failures without masking real regressions.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed benchmark row.
+#[derive(Clone, Copy, Debug)]
+struct Row {
+    mean_ns: f64,
+    min_ns: Option<f64>,
+}
+
+/// Parses the shim's JSON-lines output. The format is machine-written by
+/// `shims/criterion` (flat objects, string `id`, numeric fields), so a
+/// small field scanner suffices — the workspace's serde shim has no
+/// deserializer to lean on.
+fn parse(path: &str) -> Result<BTreeMap<String, Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id = field_str(line, "id")
+            .ok_or_else(|| format!("{path}:{}: missing \"id\" field", ln + 1))?;
+        let mean_ns = field_num(line, "mean_ns")
+            .ok_or_else(|| format!("{path}:{}: missing \"mean_ns\" field", ln + 1))?;
+        let min_ns = field_num(line, "min_ns");
+        // Last write wins: appended re-runs supersede earlier rows.
+        out.insert(id, Row { mean_ns, min_ns });
+    }
+    Ok(out)
+}
+
+/// Extracts a string field `"key":"value"` from a flat JSON object line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a numeric field `"key":123.4` from a flat JSON object line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 1.5f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 1.0 => threshold = t,
+                _ => {
+                    eprintln!("--threshold needs a number > 1.0");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        eprintln!("usage: benchcmp <baseline.json> <fresh.json> [--threshold 1.5]");
+        return ExitCode::from(2);
+    };
+    let (baseline, fresh) = match (parse(baseline_path), parse(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchcmp: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<42} {:>12} {:>12} {:>8}  status (threshold {threshold}x)",
+        "id", "baseline", "fresh", "ratio"
+    );
+    for (id, base) in &baseline {
+        let Some(new) = fresh.get(id) else {
+            println!(
+                "{id:<42} {:>12} {:>12} {:>8}  missing in fresh run",
+                human(base.mean_ns),
+                "-",
+                "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let ratio = new.mean_ns / base.mean_ns.max(f64::MIN_POSITIVE);
+        let min_ratio = match (base.min_ns, new.min_ns) {
+            (Some(b), Some(n)) if b > 0.0 => Some(n / b),
+            _ => None,
+        };
+        let min_regressed = min_ratio.map_or(true, |r| r > threshold);
+        let status = if ratio > threshold && min_regressed {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio > threshold {
+            "noisy (mean regressed, min did not)"
+        } else if ratio < 1.0 / threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{id:<42} {:>12} {:>12} {ratio:>7.2}x  {status}",
+            human(base.mean_ns),
+            human(new.mean_ns)
+        );
+    }
+    for id in fresh.keys() {
+        if !baseline.contains_key(id) {
+            println!(
+                "{id:<42} {:>12} {:>12} {:>8}  new (no baseline)",
+                "-",
+                human(fresh[id].mean_ns),
+                "-"
+            );
+        }
+    }
+    println!("\ncompared {compared} shared ids; {regressions} regressed beyond {threshold}x");
+    if compared == 0 {
+        eprintln!("benchcmp: no shared benchmark ids — wrong files?");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::spec::{AttackSpec, Scheme, WorkloadSpec};
 use mpic::baseline::{run_no_coding, run_repetition};
-use mpic::{RunOptions, Simulation};
+use mpic::{RunOptions, RunScratch, Simulation};
 use parking_lot::Mutex;
 use protocol::ChunkedProtocol;
 use serde::Serialize;
@@ -72,6 +72,19 @@ pub fn run_trial(
     attack: AttackSpec,
     trial_seed: u64,
 ) -> TrialResult {
+    run_trial_with_scratch(workload, scheme, attack, trial_seed, &mut RunScratch::new())
+}
+
+/// [`run_trial`] reusing a caller-owned [`RunScratch`], so a worker
+/// running many trials pays the per-chunk buffers once instead of per
+/// trial. Outcomes are identical to `run_trial`.
+pub fn run_trial_with_scratch(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    trial_seed: u64,
+    scratch: &mut RunScratch,
+) -> TrialResult {
     let w = workload.build(trial_seed.wrapping_mul(0x9e37_79b9) | 1);
     match scheme {
         Scheme::NoCoding | Scheme::Repetition(_) => {
@@ -128,7 +141,7 @@ pub fn run_trial(
                 record_trace: false,
                 expose_view: true,
             };
-            let out = sim.run(adversary, opts);
+            let out = sim.run_with_scratch(adversary, opts, scratch);
             TrialResult {
                 success: out.success,
                 cc: out.stats.cc,
@@ -170,13 +183,24 @@ pub fn run_many(
     let next = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= trials {
-                    break;
+            s.spawn(|_| {
+                // One scratch per worker: chunk/frame buffers are reused
+                // across every trial the worker claims.
+                let mut scratch = RunScratch::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let r = run_trial_with_scratch(
+                        workload,
+                        scheme,
+                        attack,
+                        base_seed + i as u64,
+                        &mut scratch,
+                    );
+                    results.lock()[i] = Some(r);
                 }
-                let r = run_trial(workload, scheme, attack, base_seed + i as u64);
-                results.lock()[i] = Some(r);
             });
         }
     })

@@ -11,5 +11,5 @@
 pub mod harness;
 pub mod spec;
 
-pub use harness::{run_many, run_trial, Summary, TrialResult};
+pub use harness::{run_many, run_trial, run_trial_with_scratch, Summary, TrialResult};
 pub use spec::{AttackSpec, Scheme, TopoSpec, WorkloadSpec};

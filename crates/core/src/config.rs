@@ -44,6 +44,23 @@ pub enum SeedExpansion {
     Prg,
 }
 
+/// Which transcript-hashing machinery the runner drives.
+///
+/// Both modes compute bit-identical hash values; they differ only in
+/// cost. [`HashingMode::Reference`] exists to cross-check the incremental
+/// path (see the `incremental_hashing` integration suite) and as the
+/// executable specification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HashingMode {
+    /// Per-link incremental sketches: appending a chunk extends a cached
+    /// fold, each hash evaluation is `O(τ)`. The production path.
+    #[default]
+    Incremental,
+    /// Recompute every sketch from the serialized transcript on every
+    /// evaluation (`O(τ·|T|)`).
+    Reference,
+}
+
 /// Full parameterization of the coding scheme.
 #[derive(Clone, Debug)]
 pub struct SchemeConfig {
@@ -69,6 +86,9 @@ pub struct SchemeConfig {
     pub disable_flag_passing: bool,
     /// Ablation: disable the rewind phase (rounds elapse, nobody rewinds).
     pub disable_rewind: bool,
+    /// Transcript-hashing machinery (incremental vs. reference; identical
+    /// hash values either way).
+    pub hashing: HashingMode,
 }
 
 impl SchemeConfig {
@@ -88,6 +108,7 @@ impl SchemeConfig {
             },
             disable_flag_passing: false,
             disable_rewind: false,
+            hashing: HashingMode::default(),
         }
     }
 
@@ -109,6 +130,7 @@ impl SchemeConfig {
             },
             disable_flag_passing: false,
             disable_rewind: false,
+            hashing: HashingMode::default(),
         }
     }
 
@@ -130,6 +152,7 @@ impl SchemeConfig {
             },
             disable_flag_passing: false,
             disable_rewind: false,
+            hashing: HashingMode::default(),
         }
     }
 

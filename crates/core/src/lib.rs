@@ -48,9 +48,11 @@ mod meeting;
 mod runner;
 mod transcript;
 
-pub use config::{RandomnessMode, SchemeConfig, SeedExpansion};
+pub use config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion};
 pub use flags::FlagPlan;
 pub use instrument::{Instrumentation, IterationSample};
-pub use meeting::{LinkStatus, MpDecision, MpMessage, MpState, RecvMpMessage};
-pub use runner::{RunOptions, SimOutcome, Simulation};
-pub use transcript::{sym_delta, symbol_bit_position, LinkTranscript};
+pub use meeting::{transcript_hash, LinkStatus, MpDecision, MpMessage, MpState, RecvMpMessage};
+pub use runner::{RunOptions, RunScratch, SimOutcome, Simulation};
+pub use transcript::{
+    sym_delta, symbol_bit_position, LinkTranscript, TranscriptHasher, SKETCH_BITS,
+};

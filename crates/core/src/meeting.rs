@@ -8,6 +8,17 @@
 //! `mpc1 = k̃·⌊|T|/k̃⌋`, `mpc2 = mpc1 − k̃` are the two *meeting points* at
 //! scale `k̃`.
 //!
+//! The three transcript hashes are **two-level**: each is the fresh
+//! per-iteration inner-product hash ([`transcript_hash`]) of the
+//! transcript's persistent incremental *sketch* at the relevant prefix
+//! (see [`crate::transcript`]), so an evaluation costs `O(τ)` instead of
+//! `O(τ·|T|)`. Two prefixes hash equal iff their `sketch ∥ length` inputs
+//! agree (up to a `2^{-64}` per-pair sketch collision), and for distinct
+//! inputs the fresh outer seed gives the `2^{-τ}` per-iteration collision
+//! probability the analysis consumes — the sketch also hashes the prefix
+//! *length*, which strengthens footnote 11's length binding (an all-zero
+//! serialization no longer collides with the empty transcript).
+//!
 //! Outcome rules (per received message):
 //! * corrupted or mismatching `h(k)` → reset `k, E` and stay in
 //!   meeting-points state (the reset resynchronizes the two counters — a
@@ -25,7 +36,16 @@
 //! single corrupted exchange causes only bounded damage.
 
 use crate::transcript::LinkTranscript;
-use smallbias::{hash_prefix, BitString, SeedBits};
+use smallbias::{hash_words, SeedBits};
+
+/// The per-iteration outer transcript hash: a fresh τ-bit inner-product
+/// hash of the 96-bit input `sketch (64 bits) ∥ prefix bit length (32
+/// bits)`. GF(2)-linear in `sketch` for a fixed seed — the property the
+/// §6.1 seed-aware oracle exploits to predict collisions.
+pub fn transcript_hash(sketch: u64, len_bits: usize, tau: u32, seed: &mut dyn SeedBits) -> u64 {
+    debug_assert!(len_bits < (1usize << 32), "transcript length overflow");
+    hash_words(&[sketch, len_bits as u64], 96, tau, seed)
+}
 
 /// Per-link simulate/repair status (the paper's `status_{u,v}`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -39,7 +59,7 @@ pub enum LinkStatus {
 
 /// The four hash values exchanged per iteration, plus the local meeting
 /// points they refer to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MpMessage {
     /// τ-bit hash of the iteration counter `k`.
     pub h_k: u64,
@@ -58,13 +78,27 @@ pub struct MpMessage {
 impl MpMessage {
     /// Packs the four hashes into `4τ` wire bits, low bit first.
     pub fn to_bits(&self, tau: u32) -> Vec<bool> {
-        let mut out = Vec::with_capacity(4 * tau as usize);
-        for h in [self.h_k, self.h_full, self.h_mpc1, self.h_mpc2] {
-            for t in 0..tau {
-                out.push((h >> t) & 1 == 1);
-            }
-        }
-        out
+        (0..4 * tau as usize)
+            .map(|o| self.wire_bit(o, tau))
+            .collect()
+    }
+
+    /// Wire bit `o` of the `4τ`-bit message (the allocation-free form of
+    /// [`MpMessage::to_bits`] the per-round send loop uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o >= 4τ`.
+    pub fn wire_bit(&self, o: usize, tau: u32) -> bool {
+        let tau = tau as usize;
+        let h = match o / tau {
+            0 => self.h_k,
+            1 => self.h_full,
+            2 => self.h_mpc1,
+            3 => self.h_mpc2,
+            _ => panic!("wire bit index out of range"),
+        };
+        (h >> (o % tau)) & 1 == 1
     }
 }
 
@@ -136,11 +170,17 @@ impl MpState {
 
     /// Start-of-phase step: advance `k`, compute the meeting points and the
     /// outgoing message. `seed_k` seeds the `h(k)` hash; `seed_t` seeds the
-    /// three transcript-prefix hashes (one shared stream per evaluation, so
-    /// cross-party prefix comparisons are meaningful).
+    /// three outer transcript hashes (one fresh stream per evaluation, so
+    /// cross-party prefix comparisons are meaningful). The transcript must
+    /// have a sketch backend attached; each prefix evaluation reads the
+    /// incremental sketch instead of rehashing the serialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transcript` has no sketch backend attached.
     pub fn prepare(
         &mut self,
-        transcript: &LinkTranscript,
+        transcript: &mut LinkTranscript,
         tau: u32,
         seed_k: &mut dyn SeedBits,
         seed_t: impl Fn() -> Box<dyn SeedBits>,
@@ -150,13 +190,13 @@ impl MpState {
         let kt = scale(self.k) as usize;
         let mpc1 = kt * (ell / kt);
         let mpc2 = mpc1.saturating_sub(kt);
-        let mut k_bits = BitString::new();
-        k_bits.push_bits(self.k, 64);
-        let h_k = hash_prefix(&k_bits, 64, tau, seed_k);
-        let bits = transcript.bits();
-        let h_full = hash_prefix(bits, bits.len(), tau, &mut *seed_t());
-        let h_mpc1 = hash_prefix(bits, transcript.prefix_bit_len(mpc1), tau, &mut *seed_t());
-        let h_mpc2 = hash_prefix(bits, transcript.prefix_bit_len(mpc2), tau, &mut *seed_t());
+        let h_k = hash_words(&[self.k], 64, tau, seed_k);
+        let outer = |(sketch, len): (u64, usize), seed: &mut dyn SeedBits| {
+            transcript_hash(sketch, len, tau, seed)
+        };
+        let h_full = outer(transcript.sketch_at(ell), &mut *seed_t());
+        let h_mpc1 = outer(transcript.sketch_at(mpc1), &mut *seed_t());
+        let h_mpc2 = outer(transcript.sketch_at(mpc2), &mut *seed_t());
         MpMessage {
             h_k,
             h_full,
@@ -229,8 +269,10 @@ impl MpState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transcript::TranscriptHasher;
     use protocol::{ChunkRecord, Sym};
     use smallbias::{CrsSource, SeedLabel, SeedSource};
+    use std::rc::Rc;
 
     fn rec(chunk: u64, val: Sym) -> ChunkRecord {
         ChunkRecord {
@@ -239,12 +281,32 @@ mod tests {
         }
     }
 
+    /// Attaches the shared persistent sketch backend both endpoints of the
+    /// test link use (iteration-independent label, slot 2).
+    fn attach(t: &mut LinkTranscript) {
+        let src: Rc<dyn smallbias::SeedSource> = Rc::new(CrsSource::new(0xbeef));
+        t.attach_hasher(TranscriptHasher::incremental(
+            src,
+            SeedLabel {
+                iteration: 0,
+                channel: 0,
+                slot: 2,
+            },
+        ));
+    }
+
     /// Simulates a noiseless meeting-points conversation between two
     /// parties until both return to `Simulate`; returns iterations taken.
     fn converge(a: &mut LinkTranscript, b: &mut LinkTranscript, max_iters: usize) -> usize {
         let src = CrsSource::new(0xbeef);
         let mut sa = MpState::new();
         let mut sb = MpState::new();
+        if !a.has_hasher() {
+            attach(a);
+        }
+        if !b.has_hasher() {
+            attach(b);
+        }
         for it in 0..max_iters {
             let lbl = |slot| SeedLabel {
                 iteration: it as u64,
@@ -279,6 +341,7 @@ mod tests {
 
     fn transcript(vals: &[Sym]) -> LinkTranscript {
         let mut t = LinkTranscript::new();
+        attach(&mut t);
         for (c, &v) in vals.iter().enumerate() {
             t.push(rec(c as u64, v));
         }
@@ -347,7 +410,7 @@ mod tests {
             channel: 0,
             slot,
         };
-        let ma = sa.prepare(&a, 16, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
+        let ma = sa.prepare(&mut a, 16, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
         // Peer's k-hash arrives corrupted.
         let r = RecvMpMessage {
             h_k: Some(ma.h_k ^ 1),
@@ -372,7 +435,7 @@ mod tests {
             channel: 0,
             slot,
         };
-        let ma = sa.prepare(&a, 8, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
+        let ma = sa.prepare(&mut a, 8, &mut *src.stream(lbl(0)), || src.stream(lbl(1)));
         let d = sa.process(&ma, &RecvMpMessage::default(), &mut a);
         assert_eq!(d.status, LinkStatus::MeetingPoints);
         assert_eq!(a.chunks(), 5);

@@ -6,6 +6,16 @@
 //! an optional randomness-exchange prologue (Algorithm 5) when no CRS is
 //! assumed. The [`SimOutcome`] reports success against the noiseless
 //! reference run, communication blow-up, and instrumentation.
+//!
+//! Hot-path layout: all per-party state ([`SimParty`]) is **flat** —
+//! neighbor-indexed dense vectors addressed through the graph's
+//! precomputed [`netgraph::Graph::link_src_nbr`]/`link_dst_nbr` tables,
+//! bitsets for per-neighbor flags, and a [`RunScratch`] arena that pools
+//! the per-chunk allocations so repeated trials ([`Simulation::run_with_scratch`])
+//! allocate nothing per chunk. Transcript hashing is incremental (see
+//! [`crate::transcript`]): each link owns a persistent sketch, and the
+//! meeting-points phase hashes `O(τ)` bits per link per iteration instead
+//! of the whole transcript.
 
 // Throughout this module `u` is simultaneously a node id (sent on the
 // wire, compared against link endpoints) and the index into the
@@ -13,20 +23,42 @@
 // that correspondence.
 #![allow(clippy::needless_range_loop)]
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use crate::config::{RandomnessMode, SchemeConfig, SeedExpansion};
+use crate::config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion};
 use crate::flags::FlagPlan;
 use crate::instrument::{Instrumentation, IterationSample};
-use crate::meeting::{LinkStatus, MpMessage, MpState, RecvMpMessage};
-use crate::transcript::{sym_delta, LinkTranscript};
+use crate::meeting::{transcript_hash, LinkStatus, MpMessage, MpState, RecvMpMessage};
+use crate::transcript::{sym_delta, LinkTranscript, TranscriptHasher, SKETCH_BITS};
 use netgraph::{DirectedLink, EdgeId, Graph, LinkId, NodeId, SpanningTree};
 use netsim::{AdaptiveView, Adversary, Corruption, NetStats, Network, PhaseGeometry, RoundFrame};
 use protocol::reference::{run_reference, ReferenceRun};
 use protocol::{ChunkRecord, ChunkedParty, ChunkedProtocol, PartySlot, SlotKind, Sym, Workload};
 use rscode::{BinaryCode, BinaryWord};
-use smallbias::{splitmix64, CrsSource, DeltaBiasedSource, SeedLabel, SeedSource, Xoshiro256};
+use smallbias::{
+    sketch_column_pair, splitmix64, CrsSource, DeltaBiasedSource, SeedLabel, SeedSource, Xoshiro256,
+};
+
+/// Seed slot of the per-iteration `h(k)` hash.
+const SLOT_K: u32 = 0;
+/// Seed slot of the per-iteration outer transcript hashes.
+const SLOT_OUTER: u32 = 1;
+/// Seed slot of the persistent per-link sketch (addressed at iteration 0;
+/// the sketch seed is iteration-independent by design — that is what makes
+/// the fold cacheable).
+const SLOT_SKETCH: u32 = 2;
+/// Seed slots per (iteration, channel) label pair.
+const SEED_SLOTS: u64 = 3;
+
+/// Label of the persistent sketch seed of `edge`.
+fn sketch_label(edge: EdgeId) -> SeedLabel {
+    SeedLabel {
+        iteration: 0,
+        channel: edge as u64,
+        slot: SLOT_SKETCH,
+    }
+}
 
 /// Result of one noisy simulation.
 #[derive(Clone, Debug)]
@@ -75,6 +107,55 @@ impl Default for RunOptions {
             record_trace: false,
             expose_view: true,
         }
+    }
+}
+
+/// Reusable buffers of one simulation run: the two scratch wire frames and
+/// the per-chunk allocation arena.
+///
+/// [`Simulation::run`] creates one internally;
+/// [`Simulation::run_with_scratch`] lets a trial driver (`bench`'s
+/// `run_many`) carry the same scratch across trials so repeated runs stop
+/// allocating per chunk. A scratch is topology-agnostic: it resizes itself
+/// to whatever graph the next run uses.
+#[derive(Default)]
+pub struct RunScratch {
+    frames: Option<Frames>,
+    arena: Arena,
+    /// Scratch for `party_slots_into` per party, reused across iterations.
+    pslots: Vec<Vec<PartySlot>>,
+}
+
+impl RunScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+
+    fn frames_for(&mut self, graph: &Graph) -> &mut Frames {
+        let need = graph.link_count();
+        if self.frames.as_ref().map(|f| f.tx.link_count()) != Some(need) {
+            self.frames = Some(Frames {
+                tx: RoundFrame::for_graph(graph),
+                rx: RoundFrame::for_graph(graph),
+            });
+        }
+        self.frames.as_mut().unwrap()
+    }
+}
+
+/// Pool of retired per-chunk allocations.
+#[derive(Default)]
+struct Arena {
+    syms: Vec<Vec<Sym>>,
+}
+
+impl Arena {
+    /// A cleared symbol vector (recycled if the pool has stock).
+    fn take_syms(&mut self) -> Vec<Sym> {
+        let mut v = self.syms.pop().unwrap_or_default();
+        v.clear();
+        v
     }
 }
 
@@ -175,15 +256,26 @@ impl<'w> Simulation<'w> {
 
     /// Runs the simulation against `adversary`.
     pub fn run(&self, adversary: Box<dyn Adversary>, opts: RunOptions) -> SimOutcome {
+        self.run_with_scratch(adversary, opts, &mut RunScratch::new())
+    }
+
+    /// Runs the simulation against `adversary`, reusing `scratch`'s
+    /// buffers. Outcomes are identical to [`Simulation::run`]; trial
+    /// drivers pass the same scratch to consecutive runs so per-chunk and
+    /// per-round allocations are paid once per thread, not per trial.
+    pub fn run_with_scratch(
+        &self,
+        adversary: Box<dyn Adversary>,
+        opts: RunOptions,
+        scratch: &mut RunScratch,
+    ) -> SimOutcome {
         let mut net = Network::new(self.graph.clone(), adversary, opts.noise_budget);
-        let mut parties = self.init_parties();
-        // The two scratch wire buffers of the whole run: every round of
-        // every phase reuses them instead of allocating a map.
-        let mut fr = Frames {
-            tx: RoundFrame::for_graph(&self.graph),
-            rx: RoundFrame::for_graph(&self.graph),
-        };
-        let sources = self.establish_randomness(&mut net, &mut fr);
+        let mut parties = self.init_parties(&mut scratch.pslots);
+        scratch.frames_for(&self.graph);
+        let RunScratch { frames, arena, .. } = scratch;
+        let fr = frames.as_mut().expect("frames sized above");
+        let sources = self.establish_randomness(&mut net, fr);
+        self.attach_hashers(&mut parties, &sources);
         let mut inst = Instrumentation::default();
 
         for iter in 0..self.iterations {
@@ -193,17 +285,36 @@ impl<'w> Simulation<'w> {
                 &sources,
                 iter as u64,
                 &mut inst,
-                &mut fr,
+                fr,
                 opts,
             );
-            self.flag_passing_phase(&mut net, &mut parties, &mut fr, opts);
-            self.simulation_phase(&mut net, &mut parties, &sources, iter as u64, &mut fr, opts);
-            self.rewind_phase(&mut net, &mut parties, &mut fr, opts);
+            self.flag_passing_phase(&mut net, &mut parties, &sources, fr, opts);
+            self.simulation_phase(
+                &mut net,
+                &mut parties,
+                &sources,
+                iter as u64,
+                fr,
+                arena,
+                opts,
+            );
+            self.rewind_phase(&mut net, &mut parties, &sources, fr, arena, opts);
             if opts.record_trace {
                 self.sample(&parties, &net, iter as u64, &mut inst);
             }
         }
-        self.evaluate(parties, net, inst)
+        let outcome = self.evaluate(&parties, &net, inst);
+        // Recycle this run's buffers into the scratch for the next trial:
+        // the slot vectors and every chunk's symbol vector (the transcripts
+        // are fully read by `evaluate` above).
+        for p in &mut parties {
+            scratch.pslots.push(std::mem::take(&mut p.pslots));
+            for t in &mut p.t {
+                t.truncate_into(0, &mut arena.syms);
+            }
+            arena.syms.append(&mut p.inprog);
+        }
+        outcome
     }
 
     /// Dense index of the directed link `from → to`.
@@ -218,42 +329,69 @@ impl<'w> Simulation<'w> {
             .expect("send on non-edge")
     }
 
-    fn init_parties(&self) -> Vec<SimParty> {
+    fn init_parties(&self, pslot_pool: &mut Vec<Vec<PartySlot>>) -> Vec<SimParty> {
         (0..self.graph.node_count())
             .map(|u| {
                 let neighbors: Vec<NodeId> = self.graph.neighbors(u).to_vec();
+                let deg = neighbors.len();
+                let lid_out: Vec<LinkId> = neighbors.iter().map(|&v| self.lid(u, v)).collect();
+                let lid_in: Vec<LinkId> = neighbors.iter().map(|&v| self.lid(v, u)).collect();
+                let edge: Vec<EdgeId> = neighbors
+                    .iter()
+                    .map(|&v| self.graph.edge_between(u, v).unwrap())
+                    .collect();
+                let mut pslots = pslot_pool.pop().unwrap_or_default();
+                pslots.clear();
                 SimParty {
                     node: u,
-                    neighbors: neighbors.clone(),
+                    neighbors,
+                    lid_out,
+                    lid_in,
+                    edge,
                     snapshots: vec![ChunkedParty::spawn(self.workload, u)],
-                    t: neighbors
-                        .iter()
-                        .map(|&v| (v, LinkTranscript::new()))
-                        .collect(),
-                    mp: neighbors.iter().map(|&v| (v, MpState::new())).collect(),
-                    mp_out: BTreeMap::new(),
-                    mp_in: BTreeMap::new(),
+                    t: vec![LinkTranscript::new(); deg],
+                    mp: vec![MpState::new(); deg],
+                    mp_out: vec![MpMessage::default(); deg],
+                    mp_in: vec![Vec::new(); deg],
                     status: true,
                     fp_agg: true,
                     net_correct: true,
                     sim_active: false,
                     sim_chunk: 0,
-                    excluded: BTreeSet::new(),
+                    excluded: NbrSet::with_capacity(deg),
                     work: None,
-                    pslots: Vec::new(),
+                    pslots,
                     pslot_cursor: 0,
-                    pos: vec![Vec::new(); self.graph.link_count()],
-                    pair_syms: BTreeMap::new(),
-                    inprog: BTreeMap::new(),
-                    already_rewound: BTreeMap::new(),
+                    pos_out: vec![Vec::new(); deg],
+                    pos_in: vec![Vec::new(); deg],
+                    pair_syms: vec![0; deg],
+                    inprog: vec![Vec::new(); deg],
+                    inprog_active: NbrSet::with_capacity(deg),
+                    already_rewound: NbrSet::with_capacity(deg),
                 }
             })
             .collect()
     }
 
+    /// Attaches the per-link sketch backends (incremental or reference,
+    /// per the config) once the seed sources exist.
+    fn attach_hashers(&self, parties: &mut [SimParty], sources: &Sources) {
+        for p in parties.iter_mut() {
+            for ni in 0..p.neighbors.len() {
+                let src = Rc::clone(&sources.by_link[p.lid_out[ni]]);
+                let label = sketch_label(p.edge[ni]);
+                let hasher = match self.cfg.hashing {
+                    HashingMode::Incremental => TranscriptHasher::incremental(src, label),
+                    HashingMode::Reference => TranscriptHasher::reference(src, label),
+                };
+                p.t[ni].attach_hasher(hasher);
+            }
+        }
+    }
+
     /// Randomness provisioning: CRS, or the Algorithm 5 exchange.
-    fn establish_randomness(&self, net: &mut Network, fr: &mut Frames) -> SourceMap {
-        match &self.cfg.randomness {
+    fn establish_randomness(&self, net: &mut Network, fr: &mut Frames) -> Sources {
+        let map: SourceMap = match &self.cfg.randomness {
             RandomnessMode::Crs { master, .. } => {
                 let mut map: SourceMap = BTreeMap::new();
                 let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(*master));
@@ -324,6 +462,16 @@ impl<'w> Simulation<'w> {
                 }
                 map
             }
+        };
+        // Flatten to the dense LinkId index the hot loops use:
+        // `by_link[lid(u → v)]` is the source party `u` uses for the link.
+        Sources {
+            by_link: self
+                .graph
+                .links()
+                .iter()
+                .map(|l| Rc::clone(&map[&(l.from, l.to)]))
+                .collect(),
         }
     }
 
@@ -339,7 +487,7 @@ impl<'w> Simulation<'w> {
                     x,
                     y,
                     m,
-                    2,
+                    SEED_SLOTS,
                     self.region_words() as u64,
                 ))
             }
@@ -347,10 +495,13 @@ impl<'w> Simulation<'w> {
     }
 
     /// Seed words reserved per (iteration, edge, slot) label in δ-biased
-    /// mode: enough for τ stretches of the longest possible transcript.
+    /// mode. The binding constraint is the persistent sketch: τ_sketch
+    /// interleaved words per word of the longest possible transcript. The
+    /// per-iteration labels (`h(k)`: τ words, outer hashes: 2τ words per
+    /// evaluation) fit with room to spare.
     fn region_words(&self) -> usize {
         let max_bits = (self.iterations + 2) * (32 + 2 * self.max_link_syms);
-        self.cfg.hash_bits as usize * (max_bits / 64 + 2)
+        SKETCH_BITS as usize * (max_bits / 64 + 2)
     }
 
     // ------------------------------------------------------------------
@@ -361,73 +512,68 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
-        sources: &SourceMap,
+        sources: &Sources,
         iter: u64,
         inst: &mut Instrumentation,
         fr: &mut Frames,
         opts: RunOptions,
     ) {
         let tau = self.cfg.hash_bits;
-        // Prepare outgoing messages.
-        for u in 0..parties.len() {
-            let neighbors = parties[u].neighbors.clone();
-            for v in neighbors {
-                let e = self.graph.edge_between(u, v).unwrap() as u64;
-                let src = &sources[&(u, v)];
+        // Prepare outgoing messages (O(τ) per link: sketch + outer hash).
+        for p in parties.iter_mut() {
+            for ni in 0..p.neighbors.len() {
+                let src = &sources.by_link[p.lid_out[ni]];
+                let e = p.edge[ni] as u64;
                 let lbl = |slot| SeedLabel {
                     iteration: iter,
                     channel: e,
                     slot,
                 };
-                let p = &mut parties[u];
-                let state = p.mp.get_mut(&v).unwrap();
-                let transcript = &p.t[&v];
-                let msg = state.prepare(transcript, tau, &mut *src.stream(lbl(0)), || {
-                    src.stream(lbl(1))
-                });
-                p.mp_out.insert(v, msg);
-                p.mp_in.insert(v, vec![None; 4 * tau as usize]);
+                let msg =
+                    p.mp[ni].prepare(&mut p.t[ni], tau, &mut *src.stream(lbl(SLOT_K)), || {
+                        src.stream(lbl(SLOT_OUTER))
+                    });
+                p.mp_out[ni] = msg;
+                let buf = &mut p.mp_in[ni];
+                buf.clear();
+                buf.resize(4 * tau as usize, None);
             }
         }
         // 4τ wire rounds.
         for o in 0..4 * tau as usize {
             fr.tx.clear_all();
             for p in parties.iter() {
-                for (&v, msg) in &p.mp_out {
-                    let bits = msg.to_bits(tau);
-                    fr.tx.set(self.lid(p.node, v), bits[o]);
+                for ni in 0..p.neighbors.len() {
+                    fr.tx.set(p.lid_out[ni], p.mp_out[ni].wire_bit(o, tau));
                 }
             }
             self.step(net, parties, sources, fr, iter, None, opts);
-            for u in 0..parties.len() {
-                let neighbors = parties[u].neighbors.clone();
-                for v in neighbors {
-                    if let Some(bit) = fr.rx.get(self.lid(v, u)) {
-                        parties[u].mp_in.get_mut(&v).unwrap()[o] = Some(bit);
+            for p in parties.iter_mut() {
+                for ni in 0..p.neighbors.len() {
+                    if let Some(bit) = fr.rx.get(p.lid_in[ni]) {
+                        p.mp_in[ni][o] = Some(bit);
                     }
                 }
             }
         }
         // Process.
-        for u in 0..parties.len() {
-            let neighbors = parties[u].neighbors.clone();
-            for v in neighbors {
-                let p = &mut parties[u];
-                let ours = p.mp_out[&v];
-                let theirs = RecvMpMessage::from_bits(&p.mp_in[&v], tau);
-                let state = p.mp.get_mut(&v).unwrap();
-                let transcript = p.t.get_mut(&v).unwrap();
-                let decision = state.process(&ours, &theirs, transcript);
+        for p in parties.iter_mut() {
+            for ni in 0..p.neighbors.len() {
+                let ours = p.mp_out[ni];
+                let theirs = RecvMpMessage::from_bits(&p.mp_in[ni], tau);
+                let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
                 if let Some(g) = decision.truncated_to {
                     p.prune_snapshots(g);
                 }
             }
         }
         // Instrumentation: true full-hash collisions (global knowledge).
-        for (_, u, v) in self.graph.edges() {
-            let mu = parties[u].mp_out[&v];
-            let mv = parties[v].mp_out[&u];
-            if mu.h_full == mv.h_full && !parties[u].t[&v].same_as(&parties[v].t[&u]) {
+        for (e, u, v) in self.graph.edges() {
+            let niu = self.graph.link_src_nbr(2 * e);
+            let niv = self.graph.link_dst_nbr(2 * e);
+            let mu = parties[u].mp_out[niu];
+            let mv = parties[v].mp_out[niv];
+            if mu.h_full == mv.h_full && !parties[u].t[niu].same_as(&parties[v].t[niv]) {
                 inst.hash_collisions += 1;
             }
         }
@@ -440,14 +586,15 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
+        sources: &Sources,
         fr: &mut Frames,
         opts: RunOptions,
     ) {
         // Compute own status (Algorithm 1 lines 6–13).
         for p in parties.iter_mut() {
-            let min_chunk = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
-            let mp_busy = p.mp.values().any(|s| s.status == LinkStatus::MeetingPoints);
-            let uneven = p.t.values().any(|t| t.chunks() > min_chunk);
+            let min_chunk = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
+            let mp_busy = p.mp.iter().any(|s| s.status == LinkStatus::MeetingPoints);
+            let uneven = p.t.iter().any(|t| t.chunks() > min_chunk);
             p.status = !mp_busy && !uneven;
             p.fp_agg = p.status;
             p.net_correct = p.status; // provisional; refined below
@@ -472,7 +619,7 @@ impl<'w> Simulation<'w> {
                     }
                 }
             }
-            self.step(net, parties, &BTreeMap::new(), fr, 0, None, opts);
+            self.step(net, parties, sources, fr, 0, None, opts);
             for u in 0..parties.len() {
                 if self.plan.up_recv_round(tree, u) == Some(o) {
                     let children: Vec<NodeId> = tree.children(u).to_vec();
@@ -504,21 +651,23 @@ impl<'w> Simulation<'w> {
     // ------------------------------------------------------------------
     // Phase 3: simulation
     // ------------------------------------------------------------------
+    #[allow(clippy::too_many_arguments)]
     fn simulation_phase(
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
-        sources: &SourceMap,
+        sources: &Sources,
         iter: u64,
         fr: &mut Frames,
+        arena: &mut Arena,
         opts: RunOptions,
     ) {
         // ⊥ round: non-participants announce themselves.
         fr.tx.clear_all();
         for p in parties.iter() {
             if !p.net_correct {
-                for &v in &p.neighbors {
-                    fr.tx.set(self.lid(p.node, v), true);
+                for &lid in &p.lid_out {
+                    fr.tx.set(lid, true);
                 }
             }
         }
@@ -526,24 +675,26 @@ impl<'w> Simulation<'w> {
         for u in 0..parties.len() {
             let p = &mut parties[u];
             p.sim_active = p.net_correct;
-            p.excluded.clear();
-            p.inprog.clear();
-            for slots in &mut p.pos {
+            p.excluded.clear_all();
+            p.inprog_active.clear_all();
+            for slots in &mut p.pos_out {
                 slots.clear();
             }
-            p.pair_syms.clear();
+            for slots in &mut p.pos_in {
+                slots.clear();
+            }
+            p.pair_syms.iter_mut().for_each(|c| *c = 0);
             p.work = None;
             if !p.sim_active {
                 continue;
             }
-            let neighbors = p.neighbors.clone();
-            for &v in &neighbors {
-                if fr.rx.get(self.lid(v, u)).is_some() {
-                    p.excluded.insert(v);
+            for ni in 0..p.neighbors.len() {
+                if fr.rx.get(p.lid_in[ni]).is_some() {
+                    p.excluded.set(ni);
                 }
             }
             // All transcripts have equal length here (status == 1).
-            let c = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
+            let c = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
             p.sim_chunk = c;
             assert!(
                 p.snapshots.len() > c,
@@ -552,41 +703,41 @@ impl<'w> Simulation<'w> {
                 c + 1
             );
             p.work = Some(p.snapshots[c].clone());
-            p.pslots = self.proto.party_slots(c, u);
+            self.proto.party_slots_into(c, u, &mut p.pslots);
             p.pslot_cursor = 0;
-            // Per-link symbol positions in layout order, flat by LinkId.
+            // Per-neighbor symbol positions in layout order (shared
+            // counter per neighbor across both directions — transcript
+            // symbol order is layout order).
             let layout = self.proto.layout(c);
-            let mut counters: BTreeMap<NodeId, usize> = BTreeMap::new();
             for (ri, round) in layout.rounds.iter().enumerate() {
                 for slot in round {
-                    let other = if slot.link.from == u {
-                        slot.link.to
-                    } else if slot.link.to == u {
-                        slot.link.from
-                    } else {
-                        continue;
+                    let Some(lid) = self.graph.link_id(slot.link) else {
+                        panic!("layout slot on non-edge");
                     };
-                    let idx = counters.entry(other).or_insert(0);
-                    let lid = self
-                        .graph
-                        .link_id(slot.link)
-                        .expect("layout slot on non-edge");
-                    p.pos[lid].push((ri as u32, *idx as u32));
-                    *idx += 1;
+                    if slot.link.from == u {
+                        let ni = self.graph.link_src_nbr(lid);
+                        p.pos_out[ni].push((ri as u32, p.pair_syms[ni] as u32));
+                        p.pair_syms[ni] += 1;
+                    } else if slot.link.to == u {
+                        let ni = self.graph.link_dst_nbr(lid);
+                        p.pos_in[ni].push((ri as u32, p.pair_syms[ni] as u32));
+                        p.pair_syms[ni] += 1;
+                    }
                 }
             }
-            for (&v, &count) in &counters {
-                if !p.excluded.contains(&v) {
-                    p.inprog.insert(v, vec![Sym::Star; count]);
+            for ni in 0..p.neighbors.len() {
+                if p.pair_syms[ni] > 0 && !p.excluded.contains(ni) {
+                    p.inprog_active.set(ni);
+                    let buf = &mut p.inprog[ni];
+                    buf.clear();
+                    buf.resize(p.pair_syms[ni], Sym::Star);
                 }
             }
-            p.pair_syms = counters;
         }
         // Chunk rounds.
         let max_rounds = self.proto.max_rounds_per_chunk();
         for jr in 0..max_rounds {
             fr.tx.clear_all();
-            let mut sent_slots: Vec<(NodeId, PartySlot, LinkId, bool)> = Vec::new();
             for p in parties.iter_mut() {
                 if !p.sim_active {
                     continue;
@@ -598,20 +749,15 @@ impl<'w> Simulation<'w> {
                     }
                     p.pslot_cursor += 1;
                     let bit = p.work.as_mut().unwrap().send(&slot);
-                    let v = slot.link.to;
-                    if !p.excluded.contains(&v) {
-                        let lid = self.lid(slot.link.from, v);
+                    let lid = self.lid(slot.link.from, slot.link.to);
+                    let ni = self.graph.link_src_nbr(lid);
+                    if !p.excluded.contains(ni) {
                         fr.tx.set(lid, bit);
-                        sent_slots.push((p.node, slot, lid, bit));
+                        // Own sent bits are part of T_{u,v}.
+                        let idx = p.pos_out_idx(ni, jr);
+                        p.inprog[ni][idx] = Sym::from_bit(bit);
                     }
                 }
-            }
-            // Record own sent bits (they are part of T_{u,v}).
-            for (u, slot, lid, bit) in &sent_slots {
-                let p = &mut parties[*u];
-                let v = slot.link.to;
-                let idx = p.pos_idx(*lid, jr);
-                p.inprog.get_mut(&v).unwrap()[idx] = Sym::from_bit(*bit);
             }
             self.step(net, parties, sources, fr, iter, Some(jr), opts);
             for p in parties.iter_mut() {
@@ -625,17 +771,17 @@ impl<'w> Simulation<'w> {
                     }
                     debug_assert!(!slot.is_send);
                     p.pslot_cursor += 1;
-                    let v = slot.link.from;
-                    if p.excluded.contains(&v) {
-                        // Not simulating with v: feed the default, record
-                        // nothing.
+                    let lid = self.lid(slot.link.from, slot.link.to);
+                    let ni = self.graph.link_dst_nbr(lid);
+                    if p.excluded.contains(ni) {
+                        // Not simulating with that neighbor: feed the
+                        // default, record nothing.
                         p.work.as_mut().unwrap().recv(&slot, None);
                         continue;
                     }
-                    let lid = self.lid(slot.link.from, slot.link.to);
                     let got = fr.rx.get(lid);
-                    let idx = p.pos_idx(lid, jr);
-                    p.inprog.get_mut(&v).unwrap()[idx] = match got {
+                    let idx = p.pos_in_idx(ni, jr);
+                    p.inprog[ni][idx] = match got {
                         Some(b) => Sym::from_bit(b),
                         None => Sym::Star,
                     };
@@ -649,9 +795,13 @@ impl<'w> Simulation<'w> {
                 continue;
             }
             let c = p.sim_chunk;
-            let inprog = std::mem::take(&mut p.inprog);
-            for (v, syms) in inprog {
-                p.t.get_mut(&v).unwrap().push(ChunkRecord {
+            for ni in 0..p.neighbors.len() {
+                if !p.inprog_active.contains(ni) {
+                    continue;
+                }
+                let mut syms = arena.take_syms();
+                syms.extend_from_slice(&p.inprog[ni]);
+                p.t[ni].push(ChunkRecord {
                     chunk: c as u64,
                     syms,
                 });
@@ -669,50 +819,48 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
+        sources: &Sources,
         fr: &mut Frames,
+        arena: &mut Arena,
         opts: RunOptions,
     ) {
         for p in parties.iter_mut() {
-            p.already_rewound.clear();
+            p.already_rewound.clear_all();
         }
         for _ in 0..self.cfg.rewind_rounds {
             fr.tx.clear_all();
             if self.cfg.disable_rewind {
                 // Ablation (F4): the phase's rounds elapse silently.
-                self.step(net, parties, &BTreeMap::new(), fr, 0, None, opts);
+                self.step(net, parties, sources, fr, 0, None, opts);
                 continue;
             }
             for p in parties.iter_mut() {
-                let min_chunk = p.t.values().map(LinkTranscript::chunks).min().unwrap_or(0);
-                let node = p.node;
-                let neighbors = p.neighbors.clone();
-                for v in neighbors {
-                    let ok = p.mp[&v].status != LinkStatus::MeetingPoints
-                        && !p.already_rewound.get(&v).copied().unwrap_or(false)
-                        && p.t[&v].chunks() > min_chunk;
+                let min_chunk = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
+                for ni in 0..p.neighbors.len() {
+                    let ok = p.mp[ni].status != LinkStatus::MeetingPoints
+                        && !p.already_rewound.contains(ni)
+                        && p.t[ni].chunks() > min_chunk;
                     if ok {
-                        fr.tx.set(self.lid(node, v), true);
-                        let new_len = p.t[&v].chunks() - 1;
-                        p.t.get_mut(&v).unwrap().truncate(new_len);
+                        fr.tx.set(p.lid_out[ni], true);
+                        let new_len = p.t[ni].chunks() - 1;
+                        p.t[ni].truncate_into(new_len, &mut arena.syms);
                         p.prune_snapshots(new_len);
-                        p.already_rewound.insert(v, true);
+                        p.already_rewound.set(ni);
                     }
                 }
             }
-            self.step(net, parties, &BTreeMap::new(), fr, 0, None, opts);
-            for u in 0..parties.len() {
-                let p = &mut parties[u];
-                let neighbors = p.neighbors.clone();
-                for v in neighbors {
-                    if fr.rx.get(self.lid(v, u)).is_some() {
-                        let ok = p.mp[&v].status != LinkStatus::MeetingPoints
-                            && !p.already_rewound.get(&v).copied().unwrap_or(false)
-                            && p.t[&v].chunks() > 0;
+            self.step(net, parties, sources, fr, 0, None, opts);
+            for p in parties.iter_mut() {
+                for ni in 0..p.neighbors.len() {
+                    if fr.rx.get(p.lid_in[ni]).is_some() {
+                        let ok = p.mp[ni].status != LinkStatus::MeetingPoints
+                            && !p.already_rewound.contains(ni)
+                            && p.t[ni].chunks() > 0;
                         if ok {
-                            let new_len = p.t[&v].chunks() - 1;
-                            p.t.get_mut(&v).unwrap().truncate(new_len);
+                            let new_len = p.t[ni].chunks() - 1;
+                            p.t[ni].truncate_into(new_len, &mut arena.syms);
                             p.prune_snapshots(new_len);
-                            p.already_rewound.insert(v, true);
+                            p.already_rewound.set(ni);
                         }
                     }
                 }
@@ -727,7 +875,7 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &[SimParty],
-        sources: &SourceMap,
+        sources: &Sources,
         fr: &mut Frames,
         iter: u64,
         chunk_round: Option<usize>,
@@ -753,9 +901,9 @@ impl<'w> Simulation<'w> {
         let mut h_star = 0usize;
         let mut sum_g = 0usize;
         let mut sum_b = 0usize;
-        for (_, u, v) in self.graph.edges() {
-            let tu = &parties[u].t[&v];
-            let tv = &parties[v].t[&u];
+        for (e, u, v) in self.graph.edges() {
+            let tu = &parties[u].t[self.graph.link_src_nbr(2 * e)];
+            let tv = &parties[v].t[self.graph.link_dst_nbr(2 * e)];
             let g = tu.common_prefix_chunks(tv);
             let h = tu.chunks().max(tv.chunks());
             g_star = g_star.min(g);
@@ -789,15 +937,15 @@ impl<'w> Simulation<'w> {
         });
     }
 
-    fn evaluate(&self, parties: Vec<SimParty>, net: Network, inst: Instrumentation) -> SimOutcome {
+    fn evaluate(&self, parties: &[SimParty], net: &Network, inst: Instrumentation) -> SimOutcome {
         let real = self.proto.real_chunks();
         let mut transcripts_ok = true;
         let mut g_star = usize::MAX;
         let mut h_star = 0usize;
         for (e, u, v) in self.graph.edges() {
             let reference = &self.reference.edge_transcripts[e];
-            let tu = &parties[u].t[&v];
-            let tv = &parties[v].t[&u];
+            let tu = &parties[u].t[self.graph.link_src_nbr(2 * e)];
+            let tv = &parties[v].t[self.graph.link_dst_nbr(2 * e)];
             transcripts_ok &= tu.matches_reference(reference, real);
             transcripts_ok &= tv.matches_reference(reference, real);
             g_star = g_star.min(tu.common_prefix_chunks(tv));
@@ -807,7 +955,7 @@ impl<'w> Simulation<'w> {
             g_star = 0;
         }
         let mut outputs_ok = true;
-        for p in &parties {
+        for p in parties {
             if p.snapshots.len() > real {
                 outputs_ok &= p.snapshots[real].output() == self.reference.outputs[p.node];
             } else {
@@ -834,42 +982,94 @@ impl<'w> Simulation<'w> {
 
 type SourceMap = BTreeMap<(NodeId, NodeId), Rc<dyn SeedSource>>;
 
+/// Per-run seed sources, flattened to the dense [`LinkId`] index:
+/// `by_link[lid(u → v)]` is the source party `u` uses for that link (the
+/// two directions differ in `Exchanged` mode, where the receiver decoded
+/// its copy off the noisy wire).
+struct Sources {
+    by_link: Vec<Rc<dyn SeedSource>>,
+}
+
 /// The run's two persistent scratch wire buffers: honest sends (`tx`) and
-/// receptions (`rx`). Allocated once per [`Simulation::run`] and reused by
-/// every round of every phase.
+/// receptions (`rx`). Allocated once per scratch and reused by every round
+/// of every phase of every run.
 struct Frames {
     tx: RoundFrame,
     rx: RoundFrame,
 }
 
-/// Per-party live state of the simulation.
+/// A dense bitset over a party's neighbor indices.
+#[derive(Clone, Debug, Default)]
+struct NbrSet {
+    words: Vec<u64>,
+}
+
+impl NbrSet {
+    fn with_capacity(n: usize) -> Self {
+        NbrSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Per-party live state of the simulation — flat, neighbor-indexed.
+///
+/// Every per-neighbor collection is a dense vector parallel to
+/// `neighbors` (the graph's sorted adjacency order); per-neighbor flags
+/// are [`NbrSet`] bitsets. Link ids in and out are precomputed so the
+/// phase loops never search the adjacency.
 struct SimParty {
     node: NodeId,
     neighbors: Vec<NodeId>,
+    /// `lid_out[ni]` = LinkId of `node → neighbors[ni]`.
+    lid_out: Vec<LinkId>,
+    /// `lid_in[ni]` = LinkId of `neighbors[ni] → node`.
+    lid_in: Vec<LinkId>,
+    /// `edge[ni]` = undirected edge id to `neighbors[ni]`.
+    edge: Vec<EdgeId>,
     /// `snapshots[i]` = Π′-state after simulating `i` chunks.
     snapshots: Vec<ChunkedParty>,
-    t: BTreeMap<NodeId, LinkTranscript>,
-    mp: BTreeMap<NodeId, MpState>,
-    mp_out: BTreeMap<NodeId, MpMessage>,
-    mp_in: BTreeMap<NodeId, Vec<Option<bool>>>,
+    t: Vec<LinkTranscript>,
+    mp: Vec<MpState>,
+    mp_out: Vec<MpMessage>,
+    mp_in: Vec<Vec<Option<bool>>>,
     status: bool,
     fp_agg: bool,
     net_correct: bool,
     sim_active: bool,
     sim_chunk: usize,
-    excluded: BTreeSet<NodeId>,
+    excluded: NbrSet,
     work: Option<ChunkedParty>,
     pslots: Vec<PartySlot>,
     pslot_cursor: usize,
-    /// `pos[link_id]` = this chunk's `(round-in-chunk, symbol index)`
-    /// pairs on that directed link, sorted by round (layout order) — the
-    /// flat LinkId-indexed replacement of the old per-neighbor nested map.
-    pos: Vec<Vec<(u32, u32)>>,
+    /// This chunk's `(round-in-chunk, symbol index)` pairs on the
+    /// outgoing directed link per neighbor, sorted by round (layout
+    /// order).
+    pos_out: Vec<Vec<(u32, u32)>>,
+    /// Same for the incoming directed link.
+    pos_in: Vec<Vec<(u32, u32)>>,
     /// Total symbols this chunk exchanges with each neighbor (both
-    /// directions); sizes `inprog` and the oracle's final-length math.
-    pair_syms: BTreeMap<NodeId, usize>,
-    inprog: BTreeMap<NodeId, Vec<Sym>>,
-    already_rewound: BTreeMap<NodeId, bool>,
+    /// directions); sizes `inprog` and the oracle's position math.
+    pair_syms: Vec<usize>,
+    /// Reused per-chunk symbol buffers, one per neighbor.
+    inprog: Vec<Vec<Sym>>,
+    /// Which neighbors have an active `inprog` this chunk.
+    inprog_active: NbrSet,
+    already_rewound: NbrSet,
 }
 
 impl SimParty {
@@ -881,14 +1081,26 @@ impl SimParty {
         }
     }
 
-    /// Symbol index of the slot on directed link `lid` in round `ri` of
-    /// the current chunk.
+    /// Symbol index of the send slot to neighbor `ni` in round `ri` of the
+    /// current chunk.
     ///
     /// # Panics
     ///
-    /// Panics if the link carries no symbol in that round.
-    fn pos_idx(&self, lid: LinkId, ri: usize) -> usize {
-        let slots = &self.pos[lid];
+    /// Panics if the link carries no outgoing symbol in that round.
+    fn pos_out_idx(&self, ni: usize, ri: usize) -> usize {
+        Self::pos_idx(&self.pos_out[ni], ri)
+    }
+
+    /// Symbol index of the receive slot from neighbor `ni` in round `ri`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link carries no incoming symbol in that round.
+    fn pos_in_idx(&self, ni: usize, ri: usize) -> usize {
+        Self::pos_idx(&self.pos_in[ni], ri)
+    }
+
+    fn pos_idx(slots: &[(u32, u32)], ri: usize) -> usize {
         let i = slots
             .binary_search_by_key(&(ri as u32), |&(r, _)| r)
             .expect("no slot on link in round");
@@ -957,7 +1169,7 @@ fn max_link_syms(proto: &ChunkedProtocol, graph: &Graph) -> usize {
 struct OracleView<'a, 'w> {
     sim: &'a Simulation<'w>,
     parties: &'a [SimParty],
-    sources: &'a SourceMap,
+    sources: &'a Sources,
     iteration: u64,
     chunk_round: Option<usize>,
 }
@@ -965,12 +1177,14 @@ struct OracleView<'a, 'w> {
 impl AdaptiveView for OracleView<'_, '_> {
     fn diverged(&self, edge: EdgeId) -> bool {
         let (u, v) = self.sim.graph.endpoints(edge);
-        !self.parties[u].t[&v].same_as(&self.parties[v].t[&u])
+        let tu = &self.parties[u].t[self.sim.graph.link_src_nbr(2 * edge)];
+        let tv = &self.parties[v].t[self.sim.graph.link_dst_nbr(2 * edge)];
+        !tu.same_as(tv)
     }
 
     fn transcript_chunks(&self, edge: EdgeId) -> usize {
-        let (u, v) = self.sim.graph.endpoints(edge);
-        self.parties[u].t[&v].chunks()
+        let (u, _) = self.sim.graph.endpoints(edge);
+        self.parties[u].t[self.sim.graph.link_src_nbr(2 * edge)].chunks()
     }
 
     fn collision_corruption(&self, edge: EdgeId, sends: &RoundFrame) -> Option<Corruption> {
@@ -988,15 +1202,17 @@ impl AdaptiveView for OracleView<'_, '_> {
         }
         let (u, v) = self.sim.graph.endpoints(edge);
         let (pu, pv) = (&self.parties[u], &self.parties[v]);
+        let niu = self.sim.graph.link_src_nbr(2 * edge);
+        let niv = self.sim.graph.link_dst_nbr(2 * edge);
         // Both endpoints must be cleanly simulating the same chunk with
         // synchronized meeting-point counters for the prediction to hold.
         if !pu.sim_active
             || !pv.sim_active
-            || pu.excluded.contains(&v)
-            || pv.excluded.contains(&u)
+            || pu.excluded.contains(niu)
+            || pv.excluded.contains(niv)
             || pu.sim_chunk != pv.sim_chunk
-            || pu.mp[&v].k != pv.mp[&u].k
-            || !pu.t[&v].same_as(&pv.t[&u])
+            || pu.mp[niu].k != pv.mp[niv].k
+            || !pu.t[niu].same_as(&pv.t[niv])
         {
             return None;
         }
@@ -1017,11 +1233,10 @@ impl AdaptiveView for OracleView<'_, '_> {
                 continue;
             };
             let receiver = &self.parties[slot.link.to];
-            let sender_node = slot.link.from;
-            let idx = receiver.pos_idx(lid, jr);
-            let t_recv = &receiver.t[&sender_node];
+            let rni = self.sim.graph.link_dst_nbr(lid);
+            let idx = receiver.pos_in_idx(rni, jr);
+            let t_recv = &receiver.t[rni];
             let bit_pos = t_recv.bits().len() + 32 + 2 * idx;
-            let final_len = t_recv.bits().len() + 32 + 2 * receiver.pair_syms[&sender_node];
             let honest_sym = Sym::from_bit(honest);
             for output in [Some(!honest), None] {
                 let observed = match output {
@@ -1029,7 +1244,7 @@ impl AdaptiveView for OracleView<'_, '_> {
                     None => Sym::Star,
                 };
                 let delta = sym_delta(honest_sym, observed);
-                if self.delta_collides(edge, delta, bit_pos, final_len, tau) {
+                if self.delta_collides(edge, delta, bit_pos, tau) {
                     return Some(Corruption {
                         link: slot.link,
                         output,
@@ -1043,53 +1258,33 @@ impl AdaptiveView for OracleView<'_, '_> {
 
 impl OracleView<'_, '_> {
     /// Does a transcript difference of `delta` (2 bits at `bit_pos`) hash
-    /// to zero under the *next* meeting-points full-transcript seed?
-    fn delta_collides(
-        &self,
-        edge: EdgeId,
-        delta: u64,
-        bit_pos: usize,
-        input_bits: usize,
-        tau: u32,
-    ) -> bool {
+    /// to zero under the *next* meeting-points full-transcript hash?
+    ///
+    /// Two-level structure: the 2-bit wire delta XORs a predictable
+    /// `SKETCH_BITS`-wide delta into the receiver's persistent sketch
+    /// (GF(2)-linearity + the known, iteration-independent sketch seed);
+    /// both endpoints commit the same final length, so the outer hashes
+    /// collide iff the fresh outer hash of `Δsketch ∥ 0` is zero.
+    fn delta_collides(&self, edge: EdgeId, delta: u64, bit_pos: usize, tau: u32) -> bool {
         if delta == 0 {
             return false;
         }
-        let (u, v) = self.sim.graph.endpoints(edge);
-        let src = &self.sources[&(u.min(v), u.max(v))];
-        let label = SeedLabel {
+        let src = &self.sources.by_link[2 * edge];
+        let (col0, col1) =
+            sketch_column_pair(bit_pos, SKETCH_BITS, &mut *src.stream(sketch_label(edge)));
+        let mut dsketch = 0u64;
+        if delta & 1 != 0 {
+            dsketch ^= col0;
+        }
+        if delta & 2 != 0 {
+            dsketch ^= col1;
+        }
+        let outer_label = SeedLabel {
             iteration: self.iteration + 1,
             channel: edge as u64,
-            slot: 1,
+            slot: SLOT_OUTER,
         };
-        let w = input_bits.div_ceil(64);
-        let mut stream = src.stream(label);
-        // Stretch t occupies words [t·w, (t+1)·w); we need the bits at
-        // bit_pos and bit_pos + 1 of each stretch.
-        let mut word_idx = 0usize;
-        for t in 0..tau as usize {
-            let need = t * w + bit_pos / 64;
-            while word_idx < need {
-                stream.next_word();
-                word_idx += 1;
-            }
-            let mut w0 = stream.next_word();
-            word_idx += 1;
-            let off = bit_pos % 64;
-            let mut pair = (w0 >> off) & 1;
-            if off == 63 {
-                w0 = stream.next_word();
-                word_idx += 1;
-                pair |= (w0 & 1) << 1;
-            } else {
-                pair |= ((w0 >> (off + 1)) & 1) << 1;
-            }
-            let out_bit = (delta & pair).count_ones() & 1;
-            if out_bit != 0 {
-                return false;
-            }
-        }
-        true
+        transcript_hash(dsketch, 0, tau, &mut *src.stream(outer_label)) == 0
     }
 }
 
@@ -1168,6 +1363,29 @@ mod tests {
         let sim = Simulation::new(&w, cfg, 6);
         let out = sim.run(Box::new(NoNoise), RunOptions::default());
         assert!(out.success, "{out:?}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_outcome_identical() {
+        let w = TokenRing::new(4, 3, 7);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 42);
+        let sim = Simulation::new(&w, cfg, 1);
+        let mut scratch = RunScratch::new();
+        for seed in 0..3 {
+            let fresh = sim.run(
+                Box::new(IidNoise::new(w.graph(), 0.001, seed)),
+                RunOptions::default(),
+            );
+            let reused = sim.run_with_scratch(
+                Box::new(IidNoise::new(w.graph(), 0.001, seed)),
+                RunOptions::default(),
+                &mut scratch,
+            );
+            assert_eq!(fresh.success, reused.success);
+            assert_eq!(fresh.stats, reused.stats);
+            assert_eq!(fresh.g_star, reused.g_star);
+            assert_eq!(fresh.b_star, reused.b_star);
+        }
     }
 
     #[test]

@@ -1,13 +1,73 @@
-//! Pairwise link transcripts `T_{u,v}` with incremental serialization.
+//! Pairwise link transcripts `T_{u,v}` with incremental serialization
+//! **and incremental hashing**.
 //!
 //! A transcript is the sequence of [`ChunkRecord`]s a party has recorded on
 //! one link (§3.2): per chunk, the observed symbols in slot order plus the
 //! chunk number. The serialization hashed by the meeting-points mechanism
 //! is `[chunk id: 32 bits][symbols: 2 bits each]` per chunk — the embedded
 //! chunk ids are what make prefix hashes length-binding (footnote 11).
+//!
+//! Since PR 3 the per-iteration transcript hashes are **two-level**: a
+//! persistent per-link GF(2)-linear *sketch* ([`smallbias::PrefixHasher`],
+//! [`SKETCH_BITS`] wide, fixed seed per link) is extended as chunks are
+//! appended, and each iteration transmits a fresh τ-bit outer hash of
+//! `sketch ∥ bit-length` (see [`crate::MpState::prepare`]). That turns the
+//! per-iteration hashing cost from `O(|T|)` into `O(Δ)` amortized. The
+//! sketch backend is attached per run via [`LinkTranscript::attach_hasher`]
+//! — either incremental (the production path) or a recompute-from-scratch
+//! reference ([`TranscriptHasher::reference`]) that produces bit-identical
+//! digests, used to cross-check the incremental machinery.
+
+use std::rc::Rc;
 
 use protocol::{ChunkRecord, Sym};
-use smallbias::BitString;
+use smallbias::{sketch_prefix, BitString, PrefixHasher, SeedLabel, SeedSource};
+
+/// Width of the persistent per-link transcript sketch, in bits.
+///
+/// Two *distinct* transcripts collide in the sketch with probability
+/// `2^{-64}` over the per-link seed — once per link pair, not per
+/// iteration, so 64 bits keeps the union bound over a whole run
+/// negligible. Per-iteration collision behavior (the `2^{-τ}` of
+/// Lemma 2.3 that the meeting-points analysis consumes) comes from the
+/// fresh outer hash, whose width is the scheme's `hash_bits`.
+pub const SKETCH_BITS: u32 = 64;
+
+/// The sketch backend attached to a [`LinkTranscript`] for one run.
+#[derive(Clone)]
+pub enum TranscriptHasher {
+    /// The production path: a cached incremental fold, `O(Δ)` per append.
+    Incremental(PrefixHasher),
+    /// The reference path: recompute [`sketch_prefix`] from scratch on
+    /// every query. Bit-identical digests, `O(|T|)` per query.
+    Reference {
+        /// Seed source shared by the link's endpoints.
+        src: Rc<dyn SeedSource>,
+        /// Label of the link's persistent sketch seed.
+        label: SeedLabel,
+    },
+}
+
+impl TranscriptHasher {
+    /// The incremental backend over `src`/`label`.
+    pub fn incremental(src: Rc<dyn SeedSource>, label: SeedLabel) -> Self {
+        TranscriptHasher::Incremental(PrefixHasher::new(src, label, SKETCH_BITS))
+    }
+
+    /// The recompute-from-scratch reference backend over `src`/`label`.
+    pub fn reference(src: Rc<dyn SeedSource>, label: SeedLabel) -> Self {
+        TranscriptHasher::Reference { src, label }
+    }
+}
+
+impl std::fmt::Debug for TranscriptHasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranscriptHasher::Incremental(h) => write!(f, "Incremental({h:?})"),
+            TranscriptHasher::Reference { label, .. } => write!(f, "Reference({label:?})"),
+        }
+    }
+}
 
 /// One party's transcript of one link.
 ///
@@ -29,6 +89,7 @@ pub struct LinkTranscript {
     bits: BitString,
     /// Serialized bit length after each chunk (prefix boundaries).
     boundaries: Vec<usize>,
+    hasher: Option<TranscriptHasher>,
 }
 
 impl LinkTranscript {
@@ -65,11 +126,70 @@ impl LinkTranscript {
         }
     }
 
+    /// Attaches the sketch backend for a run. An incremental backend is
+    /// synchronized with any chunks already recorded, so attachment order
+    /// does not matter.
+    pub fn attach_hasher(&mut self, hasher: TranscriptHasher) {
+        let mut hasher = hasher;
+        if let TranscriptHasher::Incremental(h) = &mut hasher {
+            debug_assert!(h.is_empty(), "attach expects a fresh hasher");
+            let mut from = 0usize;
+            for &b in &self.boundaries {
+                for i in from..b {
+                    h.push_bit(self.bits.bit(i));
+                }
+                h.mark();
+                from = b;
+            }
+        }
+        self.hasher = Some(hasher);
+    }
+
+    /// True if a sketch backend is attached.
+    pub fn has_hasher(&self) -> bool {
+        self.hasher.is_some()
+    }
+
+    /// Sketch digest and serialized bit length of the first `chunks`
+    /// chunks — the input of the outer per-iteration hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backend is attached or `chunks > self.chunks()`.
+    pub fn sketch_at(&mut self, chunks: usize) -> (u64, usize) {
+        assert!(chunks <= self.records.len(), "prefix beyond transcript");
+        match self.hasher.as_mut().expect("no sketch backend attached") {
+            TranscriptHasher::Incremental(h) => {
+                if chunks == 0 {
+                    (0, 0)
+                } else {
+                    h.digest_at(chunks - 1)
+                }
+            }
+            TranscriptHasher::Reference { src, label } => {
+                let len = if chunks == 0 {
+                    0
+                } else {
+                    self.boundaries[chunks - 1]
+                };
+                let d = sketch_prefix(&self.bits, len, SKETCH_BITS, &mut *src.stream(*label));
+                (d, len)
+            }
+        }
+    }
+
     /// Appends a chunk record.
     pub fn push(&mut self, rec: ChunkRecord) {
+        let from = self.bits.len();
         self.bits.push_bits(rec.chunk, 32);
         for &s in &rec.syms {
             self.bits.push_bits(s.code(), 2);
+        }
+        if let Some(TranscriptHasher::Incremental(h)) = &mut self.hasher {
+            for i in from..self.bits.len() {
+                h.push_bit(self.bits.bit(i));
+            }
+            h.mark();
         }
         self.boundaries.push(self.bits.len());
         self.records.push(rec);
@@ -83,6 +203,23 @@ impl LinkTranscript {
         self.records.truncate(chunks);
         self.boundaries.truncate(chunks);
         self.bits.truncate(self.prefix_bit_len(chunks));
+        if let Some(TranscriptHasher::Incremental(h)) = &mut self.hasher {
+            h.truncate_to_mark(chunks);
+        }
+    }
+
+    /// [`LinkTranscript::truncate`], recycling the dropped chunks' symbol
+    /// vectors into `pool` for reuse (the runner's per-chunk arena).
+    pub fn truncate_into(&mut self, chunks: usize, pool: &mut Vec<Vec<Sym>>) {
+        if chunks >= self.records.len() {
+            return;
+        }
+        pool.extend(self.records.drain(chunks..).map(|r| r.syms));
+        self.boundaries.truncate(chunks);
+        self.bits.truncate(self.prefix_bit_len(chunks));
+        if let Some(TranscriptHasher::Incremental(h)) = &mut self.hasher {
+            h.truncate_to_mark(chunks);
+        }
     }
 
     /// Length (in chunks) of the longest common prefix with `other` — the
@@ -140,6 +277,14 @@ mod tests {
         }
     }
 
+    fn sketch_label() -> SeedLabel {
+        SeedLabel {
+            iteration: 0,
+            channel: 0,
+            slot: 2,
+        }
+    }
+
     #[test]
     fn serialization_lengths() {
         let mut t = LinkTranscript::new();
@@ -164,6 +309,22 @@ mod tests {
         // Truncating beyond length is a no-op.
         a.truncate(5);
         assert_eq!(a.chunks(), 1);
+    }
+
+    #[test]
+    fn truncate_into_recycles_symbol_vectors() {
+        let mut a = LinkTranscript::new();
+        for c in 0..4 {
+            a.push(rec(c, &[Sym::Zero, Sym::One]));
+        }
+        let mut pool = Vec::new();
+        a.truncate_into(1, &mut pool);
+        assert_eq!(a.chunks(), 1);
+        assert_eq!(pool.len(), 3);
+        assert!(pool.iter().all(|v| v.len() == 2));
+        // No-op beyond length.
+        a.truncate_into(5, &mut pool);
+        assert_eq!(pool.len(), 3);
     }
 
     #[test]
@@ -197,6 +358,63 @@ mod tests {
         let ha = hash_bits(a.bits(), 16, &mut *src.stream(label));
         let hb = hash_bits(b.bits(), 16, &mut *src.stream(label));
         assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn incremental_and_reference_sketches_agree() {
+        let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(99));
+        let mut inc = LinkTranscript::new();
+        inc.attach_hasher(TranscriptHasher::incremental(
+            Rc::clone(&src),
+            sketch_label(),
+        ));
+        let mut reference = LinkTranscript::new();
+        reference.attach_hasher(TranscriptHasher::reference(Rc::clone(&src), sketch_label()));
+        let syms = [Sym::Zero, Sym::One, Sym::Star, Sym::One];
+        for c in 0..5u64 {
+            inc.push(rec(c, &syms));
+            reference.push(rec(c, &syms));
+        }
+        for chunks in 0..=5usize {
+            assert_eq!(
+                inc.sketch_at(chunks),
+                reference.sketch_at(chunks),
+                "chunks {chunks}"
+            );
+        }
+        // Through truncation and regrowth too.
+        inc.truncate(2);
+        reference.truncate(2);
+        inc.push(rec(2, &[Sym::Star]));
+        reference.push(rec(2, &[Sym::Star]));
+        for chunks in 0..=3usize {
+            assert_eq!(inc.sketch_at(chunks), reference.sketch_at(chunks));
+        }
+    }
+
+    #[test]
+    fn late_attachment_syncs_existing_chunks() {
+        let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(7));
+        let mut t = LinkTranscript::new();
+        for c in 0..3u64 {
+            t.push(rec(c, &[Sym::One, Sym::Zero]));
+        }
+        let mut late = t.clone();
+        late.attach_hasher(TranscriptHasher::incremental(
+            Rc::clone(&src),
+            sketch_label(),
+        ));
+        let mut early = LinkTranscript::new();
+        early.attach_hasher(TranscriptHasher::incremental(
+            Rc::clone(&src),
+            sketch_label(),
+        ));
+        for c in 0..3u64 {
+            early.push(rec(c, &[Sym::One, Sym::Zero]));
+        }
+        for chunks in 0..=3usize {
+            assert_eq!(late.sketch_at(chunks), early.sketch_at(chunks));
+        }
     }
 
     #[test]

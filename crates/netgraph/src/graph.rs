@@ -79,6 +79,10 @@ pub struct Graph {
     /// `links[id]` = the directed link with dense index `id` (2m entries,
     /// edge-major order), precomputed at construction.
     links: Vec<DirectedLink>,
+    /// `link_nbr[id]` = for directed link `id = (a → b)`: the index of `b`
+    /// in `adj[a]` and the index of `a` in `adj[b]`, precomputed so flat
+    /// per-neighbor party state can be addressed straight from a link id.
+    link_nbr: Vec<(usize, usize)>,
 }
 
 /// Error returned by [`Graph::from_edges`] for non-simple inputs.
@@ -149,7 +153,7 @@ impl Graph {
             adj[v] = pairs.iter().map(|p| p.0).collect();
             edge_ids[v] = pairs.iter().map(|p| p.1).collect();
         }
-        let links = norm
+        let links: Vec<DirectedLink> = norm
             .iter()
             .flat_map(|&(u, v)| {
                 [
@@ -158,12 +162,21 @@ impl Graph {
                 ]
             })
             .collect();
+        let link_nbr = links
+            .iter()
+            .map(|l| {
+                let s = adj[l.from].binary_search(&l.to).expect("adjacency");
+                let d = adj[l.to].binary_search(&l.from).expect("adjacency");
+                (s, d)
+            })
+            .collect();
         Ok(Graph {
             n,
             edges: norm,
             adj,
             edge_ids,
             links,
+            link_nbr,
         })
     }
 
@@ -254,6 +267,34 @@ impl Graph {
     /// All `2m` directed links as a slice, in [`LinkId`] order.
     pub fn links(&self) -> &[DirectedLink] {
         &self.links
+    }
+
+    /// Index of `v` in `u`'s sorted neighbor list, or `None` if `{u, v}`
+    /// is not an edge. The dense per-party analogue of [`Graph::link_id`]:
+    /// flat neighbor-indexed state (`Vec` per party instead of a
+    /// `BTreeMap<NodeId, _>`) is addressed through it.
+    pub fn nbr_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.adj.get(u)?.binary_search(&v).ok()
+    }
+
+    /// For directed link `id = (a → b)`: the index of `b` in `a`'s
+    /// neighbor list (precomputed; no search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= link_count()`.
+    pub fn link_src_nbr(&self, id: LinkId) -> usize {
+        self.link_nbr[id].0
+    }
+
+    /// For directed link `id = (a → b)`: the index of `a` in `b`'s
+    /// neighbor list (precomputed; no search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= link_count()`.
+    pub fn link_dst_nbr(&self, id: LinkId) -> usize {
+        self.link_nbr[id].1
     }
 
     /// BFS distances from `src` (`usize::MAX` for unreachable nodes).
@@ -355,6 +396,27 @@ mod tests {
         assert_eq!(g.link_id(DirectedLink { from: 1, to: 2 }), None);
         assert_eq!(g.link_id(DirectedLink { from: 9, to: 0 }), None);
         assert_eq!(g.link_id(DirectedLink { from: 0, to: 9 }), None);
+    }
+
+    #[test]
+    fn nbr_index_matches_sorted_adjacency() {
+        let g = Graph::from_edges(5, &[(2, 0), (0, 3), (3, 4), (0, 1)]).unwrap();
+        for u in 0..5 {
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                assert_eq!(g.nbr_index(u, v), Some(i));
+            }
+        }
+        assert_eq!(g.nbr_index(1, 2), None);
+        assert_eq!(g.nbr_index(9, 0), None);
+    }
+
+    #[test]
+    fn link_nbr_slots_agree_with_nbr_index() {
+        let g = Graph::from_edges(5, &[(2, 0), (0, 3), (3, 4), (0, 1)]).unwrap();
+        for (id, link) in g.directed_links().enumerate() {
+            assert_eq!(g.link_src_nbr(id), g.nbr_index(link.from, link.to).unwrap());
+            assert_eq!(g.link_dst_nbr(id), g.nbr_index(link.to, link.from).unwrap());
+        }
     }
 
     #[test]

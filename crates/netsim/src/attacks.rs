@@ -51,15 +51,76 @@ impl Adversary for NoNoise {
     }
 }
 
+/// Geometric gap sampler: enumerates the *hit* slots of an i.i.d.
+/// Bernoulli(`prob`) process over an abstract slot sequence without
+/// touching the misses. Instead of one RNG draw per slot, one draw per hit
+/// yields the gap to the next hit — per-round adversary cost drops from
+/// `O(links)` to `O(expected hits)`, which is what makes high-rate rounds
+/// over hundreds of links cheap. The induced hit pattern is a function of
+/// private randomness only, so attacks built on it remain oblivious
+/// (additive, §2.1).
+struct GapSampler {
+    rng: Xoshiro256,
+    prob: f64,
+    /// Absolute index of the next hit slot (`u64::MAX` = never).
+    next_hit: u64,
+    /// First slot not yet consumed.
+    cursor: u64,
+}
+
+impl GapSampler {
+    fn new(prob: f64, rng: Xoshiro256) -> Self {
+        let mut s = GapSampler {
+            rng,
+            prob,
+            next_hit: 0,
+            cursor: 0,
+        };
+        s.next_hit = s.draw_gap();
+        s
+    }
+
+    /// Misses before the next hit: `Geometric(prob)` via inversion.
+    fn draw_gap(&mut self) -> u64 {
+        if self.prob >= 1.0 {
+            return 0;
+        }
+        if self.prob <= 0.0 {
+            return u64::MAX;
+        }
+        let u = self.rng.unit_f64(); // [0, 1): 1 - u is in (0, 1]
+        let g = ((1.0 - u).ln() / (1.0 - self.prob).ln()).floor();
+        if g >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            g as u64
+        }
+    }
+
+    /// Consumes the next `count` slots, invoking `hit` with the relative
+    /// offset and an additive error `e ∈ {1, 2}` for each hit among them.
+    fn take(&mut self, count: u64, mut hit: impl FnMut(u64, u8)) {
+        let end = self.cursor.saturating_add(count);
+        while self.next_hit < end {
+            let e = 1 + (self.rng.next_u64() % 2) as u8;
+            hit(self.next_hit - self.cursor, e);
+            let gap = self.draw_gap();
+            self.next_hit = self.next_hit.saturating_add(1).saturating_add(gap);
+        }
+        self.cursor = end;
+    }
+}
+
 /// Oblivious i.i.d. additive noise: every `(round, directed link)` slot is
 /// corrupted independently with probability `prob`, with a uniformly random
-/// additive offset in {1, 2}. RNG consumption is fixed per slot, so the
-/// induced pattern is independent of the execution.
+/// additive offset in {1, 2}. Hits are enumerated by a geometric gap
+/// sampler, so a round costs `O(hits)`, not `O(links)`; the pattern is a
+/// function of the private RNG only and therefore independent of the
+/// execution.
 pub struct IidNoise {
     /// All directed links in [`netgraph::LinkId`] order (index = id).
     links: Vec<DirectedLink>,
-    prob: f64,
-    rng: Xoshiro256,
+    sampler: GapSampler,
     /// Rounds to leave untouched at the start (e.g. to spare the setup).
     skip_before: u64,
 }
@@ -70,14 +131,13 @@ impl IidNoise {
     pub fn new(graph: &Graph, prob: f64, seed: u64) -> Self {
         IidNoise {
             links: graph.links().to_vec(),
-            prob,
-            rng: Xoshiro256::seeded(seed ^ 0x6e6f_6973_65aa_bb01),
+            sampler: GapSampler::new(prob, Xoshiro256::seeded(seed ^ 0x6e6f_6973_65aa_bb01)),
             skip_before: 0,
         }
     }
 
-    /// Leaves rounds `< round` noiseless (still consumes RNG, preserving
-    /// obliviousness of the remaining pattern).
+    /// Leaves rounds `< round` noiseless (the pattern still advances,
+    /// preserving obliviousness of the remaining rounds).
     pub fn skip_before(mut self, round: u64) -> Self {
         self.skip_before = round;
         self
@@ -93,16 +153,17 @@ impl Adversary for IidNoise {
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
         let mut out = Vec::new();
-        for (id, &link) in self.links.iter().enumerate() {
-            let hit = self.rng.unit_f64() < self.prob;
-            let e = 1 + (self.rng.next_u64() % 2) as u8;
-            if hit && round >= self.skip_before {
+        let links = &self.links;
+        let emit = round >= self.skip_before;
+        self.sampler.take(links.len() as u64, |off, e| {
+            if emit {
+                let id = off as usize;
                 out.push(Corruption {
-                    link,
+                    link: links[id],
                     output: additive(sends.get(id), e),
                 });
             }
-        }
+        });
         out
     }
 
@@ -220,8 +281,7 @@ pub struct PhaseTargeted {
     phase: PhaseKind,
     /// All directed links in [`netgraph::LinkId`] order (index = id).
     links: Vec<DirectedLink>,
-    prob: f64,
-    rng: Xoshiro256,
+    sampler: GapSampler,
 }
 
 impl PhaseTargeted {
@@ -238,8 +298,7 @@ impl PhaseTargeted {
             geometry,
             phase,
             links: graph.links().to_vec(),
-            prob,
-            rng: Xoshiro256::seeded(seed ^ 0x7068_6173_65cc_dd02),
+            sampler: GapSampler::new(prob, Xoshiro256::seeded(seed ^ 0x7068_6173_65cc_dd02)),
         }
     }
 }
@@ -253,16 +312,17 @@ impl Adversary for PhaseTargeted {
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
         let mut out = Vec::new();
-        for (id, &link) in self.links.iter().enumerate() {
-            let hit = self.rng.unit_f64() < self.prob;
-            let e = 1 + (self.rng.next_u64() % 2) as u8;
-            if hit && self.geometry.locate(round).phase == self.phase {
+        let links = &self.links;
+        let emit = self.geometry.locate(round).phase == self.phase;
+        self.sampler.take(links.len() as u64, |off, e| {
+            if emit {
+                let id = off as usize;
                 out.push(Corruption {
-                    link,
+                    link: links[id],
                     output: additive(sends.get(id), e),
                 });
             }
-        }
+        });
         out
     }
 

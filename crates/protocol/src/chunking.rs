@@ -214,8 +214,16 @@ impl ChunkedProtocol {
     /// Party `u`'s slots in chunk `c`, in processing order (per round:
     /// sends sorted by link, then receives sorted by link).
     pub fn party_slots(&self, c: usize, u: NodeId) -> Vec<PartySlot> {
-        let layout = self.layout(c);
         let mut out = Vec::new();
+        self.party_slots_into(c, u, &mut out);
+        out
+    }
+
+    /// [`ChunkedProtocol::party_slots`] writing into a caller-owned buffer
+    /// (cleared first), so per-iteration drivers reuse one allocation.
+    pub fn party_slots_into(&self, c: usize, u: NodeId, out: &mut Vec<PartySlot>) {
+        out.clear();
+        let layout = self.layout(c);
         for (ri, round) in layout.rounds.iter().enumerate() {
             for slot in round.iter().filter(|s| s.link.from == u) {
                 out.push(PartySlot {
@@ -236,7 +244,6 @@ impl ChunkedProtocol {
                 });
             }
         }
-        out
     }
 
     /// Number of slots chunk `c` places on the undirected link `{u, v}`

@@ -155,6 +155,12 @@ pub fn hash_bits(input: &BitString, tau: u32, seed: &mut dyn SeedBits) -> u64 {
 /// this is what the meeting-points mechanism uses for its `T[..mpc]`
 /// prefix hashes.
 ///
+/// The fold exploits GF(2)-linearity of parity: instead of one popcount
+/// per word we XOR-accumulate `word & seed_word` and take a single parity
+/// at the end of each stretch, with seed words pulled in batches through
+/// [`SeedBits::fill_words`]. Seed consumption and outputs are identical
+/// to the word-at-a-time formulation.
+///
 /// # Panics
 ///
 /// Panics if `tau` is not in `1..=64` or `prefix_len > input.len()`.
@@ -172,18 +178,395 @@ pub fn hash_prefix(input: &BitString, prefix_len: usize, tau: u32, seed: &mut dy
         (1u64 << tail_bits) - 1
     };
     let words = input.words();
+    let mut buf = [0u64; SEED_BATCH];
     let mut out = 0u64;
     for t in 0..tau {
-        let mut acc = 0u32;
-        for &w in &words[..full_words] {
-            acc ^= (w & seed.next_word()).count_ones() & 1;
+        let mut acc = 0u64;
+        let mut j = 0usize;
+        while j < full_words {
+            let take = (full_words - j).min(SEED_BATCH);
+            seed.fill_words(&mut buf[..take]);
+            for (w, s) in words[j..j + take].iter().zip(&buf[..take]) {
+                acc ^= w & s;
+            }
+            j += take;
         }
         if tail_bits != 0 {
-            acc ^= (words[full_words] & tail_mask & seed.next_word()).count_ones() & 1;
+            acc ^= words[full_words] & tail_mask & seed.next_word();
         }
-        out |= u64::from(acc & 1) << t;
+        out |= u64::from(acc.count_ones() & 1) << t;
     }
     out
+}
+
+/// Seed words pulled per [`SeedBits::fill_words`] batch on the hash hot
+/// paths (512 B of stack).
+const SEED_BATCH: usize = 64;
+
+/// Inner-product hash of a short input given directly as packed words —
+/// the no-allocation form of [`hash_prefix`] for inputs that never live in
+/// a [`BitString`] (iteration counters, sketch digests).
+///
+/// Produces exactly `hash_prefix` of the equivalent bit string: bits
+/// beyond `len_bits` in the last word must be zero.
+///
+/// # Panics
+///
+/// Panics if `tau` is not in `1..=64` or `len_bits > 64 · words.len()`.
+pub fn hash_words(words: &[u64], len_bits: usize, tau: u32, seed: &mut dyn SeedBits) -> u64 {
+    assert!((1..=64).contains(&tau), "tau must be in 1..=64");
+    assert!(len_bits <= 64 * words.len(), "len_bits beyond input");
+    if len_bits == 0 {
+        return 0;
+    }
+    let full_words = len_bits / 64;
+    let tail_bits = len_bits % 64;
+    let mut buf = [0u64; SEED_BATCH];
+    let used = full_words + usize::from(tail_bits != 0);
+    debug_assert!(used <= SEED_BATCH, "hash_words is for short inputs");
+    let mut out = 0u64;
+    for t in 0..tau {
+        seed.fill_words(&mut buf[..used]);
+        let mut acc = 0u64;
+        for (w, s) in words[..used].iter().zip(&buf[..used]) {
+            acc ^= w & s;
+        }
+        out |= u64::from(acc.count_ones() & 1) << t;
+    }
+    out
+}
+
+/// Reference implementation of the incremental transcript sketch: an
+/// inner-product hash with a **word-interleaved** seed layout.
+///
+/// Where [`hash_prefix`] lays the seed out stretch-major (stretch `t`
+/// occupies `⌈P/64⌉` consecutive words, so the word serving `(t, j)` moves
+/// whenever the prefix length `P` does), the sketch interleaves: input
+/// word `j` is folded against seed words `τ·j .. τ·j + τ`, one per output
+/// bit. The seed word serving a given `(t, j)` is therefore independent of
+/// the input length — exactly the property that lets [`PrefixHasher`]
+/// extend a cached fold as the input grows instead of rehashing `O(P)`
+/// bits per evaluation.
+///
+/// For inputs of at most 64 bits the two layouts coincide, so
+/// `sketch_prefix(x, p, τ, s) == hash_prefix(x, p, τ, s)` whenever
+/// `p ≤ 64` — the anchor tying the sketch back to Definition 2.2.
+///
+/// Like `hash_prefix` this is GF(2)-linear in the input for a fixed seed,
+/// and distinct inputs collide with probability `2^{-τ}` over a uniform
+/// seed.
+///
+/// # Panics
+///
+/// Panics if `tau` is not in `1..=64` or `prefix_len > input.len()`.
+pub fn sketch_prefix(
+    input: &BitString,
+    prefix_len: usize,
+    tau: u32,
+    seed: &mut dyn SeedBits,
+) -> u64 {
+    assert!((1..=64).contains(&tau), "tau must be in 1..=64");
+    assert!(prefix_len <= input.len(), "prefix longer than input");
+    let tau = tau as usize;
+    let full_words = prefix_len / 64;
+    let tail_bits = prefix_len % 64;
+    let words = input.words();
+    let mut buf = [0u64; 64];
+    let mut acc = 0u64;
+    for &w in &words[..full_words] {
+        seed.fill_words(&mut buf[..tau]);
+        acc ^= fold_word(w, &buf[..tau]);
+    }
+    if tail_bits != 0 {
+        seed.fill_words(&mut buf[..tau]);
+        let tail = words[full_words] & ((1u64 << tail_bits) - 1);
+        acc ^= fold_word(tail, &buf[..tau]);
+    }
+    acc
+}
+
+/// Folds one input word against its `τ` interleaved seed words: bit `t` of
+/// the result is `parity(word & seeds[t])`.
+#[inline]
+fn fold_word(word: u64, seeds: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for (t, &s) in seeds.iter().enumerate() {
+        acc |= u64::from((word & s).count_ones() & 1) << t;
+    }
+    acc
+}
+
+/// The seed "column" at one input bit position: bit `t` of the result is
+/// the seed bit that position contributes to sketch output bit `t` (bit
+/// `pos % 64` of interleaved seed word `τ·(pos/64) + t`).
+///
+/// By GF(2)-linearity, flipping input bit `pos` XORs exactly this column
+/// into the sketch — the quantity the §6.1 seed-aware oracle needs to
+/// predict the damage of a corruption. `seed` must be a fresh stream for
+/// the label; the scan consumes `τ·(pos/64 + 1)` words.
+pub fn sketch_column(pos: usize, tau: u32, seed: &mut dyn SeedBits) -> u64 {
+    sketch_column_pair(pos, tau, seed).0
+}
+
+/// The seed columns at input bit positions `pos` and `pos + 1`, from one
+/// sequential scan of the stream (the §6.1 oracle's candidate corruptions
+/// are 2-bit symbol deltas at adjacent positions, so it needs both).
+pub fn sketch_column_pair(pos: usize, tau: u32, seed: &mut dyn SeedBits) -> (u64, u64) {
+    assert!((1..=64).contains(&tau), "tau must be in 1..=64");
+    let tau = tau as usize;
+    let mut buf = [0u64; 64];
+    for _ in 0..pos / 64 {
+        seed.fill_words(&mut buf[..tau]);
+    }
+    seed.fill_words(&mut buf[..tau]);
+    let off = pos % 64;
+    let mut first = 0u64;
+    let mut second = 0u64;
+    for (t, &s) in buf[..tau].iter().enumerate() {
+        first |= ((s >> off) & 1) << t;
+        if off < 63 {
+            second |= ((s >> (off + 1)) & 1) << t;
+        }
+    }
+    if off == 63 {
+        // `pos + 1` starts the next input word: one more batch.
+        seed.fill_words(&mut buf[..tau]);
+        for (t, &s) in buf[..tau].iter().enumerate() {
+            second |= (s & 1) << t;
+        }
+    }
+    (first, second)
+}
+
+/// Incremental prefix hasher over the word-interleaved sketch layout of
+/// [`sketch_prefix`].
+///
+/// Feed it the same bits as the reference and it produces the same digest
+/// at every prefix length — but appending `Δ` bits costs `O(Δ·τ/64)`
+/// amortized instead of `O(P·τ/64)` per evaluation, turning the coding
+/// scheme's per-iteration transcript hashing from `O(T²)` over a run into
+/// `O(T)`.
+///
+/// Seed words are pulled lazily from the source and cached, so the stream
+/// is read exactly once per run however many digests are taken. `mark()`
+/// records a checkpoint (the transcript layer marks every chunk
+/// boundary); `digest_at` evaluates any checkpointed prefix in `O(τ)` and
+/// `truncate_to_mark` rewinds the fold in `O(1)` — matching the rollback
+/// pattern of the meeting-points mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use smallbias::{sketch_prefix, BitString, CrsSource, PrefixHasher, SeedLabel, SeedSource};
+/// use std::rc::Rc;
+/// let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(7));
+/// let label = SeedLabel { iteration: 0, channel: 0, slot: 2 };
+/// let mut h = PrefixHasher::new(Rc::clone(&src), label, 64);
+/// let bits: BitString = (0..100).map(|i| i % 3 == 0).collect();
+/// for i in 0..bits.len() {
+///     h.push_bit(bits.bit(i));
+/// }
+/// assert_eq!(h.digest(), sketch_prefix(&bits, 100, 64, &mut *src.stream(label)));
+/// ```
+pub struct PrefixHasher {
+    src: std::rc::Rc<dyn crate::seed::SeedSource>,
+    label: crate::seed::SeedLabel,
+    tau: u32,
+    /// Open seed stream, positioned after `seed.len()` words. `None`
+    /// after a clone; reopened (and fast-forwarded) on the next pull.
+    stream: Option<Box<dyn SeedBits>>,
+    /// Cached seed words in interleaved order (`τ` per input word).
+    seed: Vec<u64>,
+    /// Fold over completed input words.
+    acc: u64,
+    /// Bits of the in-progress input word (high bits zero).
+    partial: u64,
+    /// Total bits pushed.
+    len: usize,
+    marks: Vec<Mark>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Mark {
+    len: usize,
+    acc: u64,
+    partial: u64,
+}
+
+impl PrefixHasher {
+    /// A fresh hasher with `tau` output bits drawing seed words from
+    /// `src` under `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not in `1..=64`.
+    pub fn new(
+        src: std::rc::Rc<dyn crate::seed::SeedSource>,
+        label: crate::seed::SeedLabel,
+        tau: u32,
+    ) -> Self {
+        assert!((1..=64).contains(&tau), "tau must be in 1..=64");
+        PrefixHasher {
+            src,
+            label,
+            tau,
+            stream: None,
+            seed: Vec::new(),
+            acc: 0,
+            partial: 0,
+            len: 0,
+            marks: Vec::new(),
+        }
+    }
+
+    /// Output width τ.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Bits pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one input bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        if bit {
+            self.partial |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+        if self.len % 64 == 0 {
+            let j = self.len / 64 - 1;
+            let word = std::mem::take(&mut self.partial);
+            let tau = self.tau as usize;
+            self.ensure_seed((j + 1) * tau);
+            self.acc ^= fold_word(word, &self.seed[j * tau..(j + 1) * tau]);
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, lowest bit first
+    /// (mirroring [`BitString::push_bits`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn push_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64);
+        for j in 0..count {
+            self.push_bit((value >> j) & 1 == 1);
+        }
+    }
+
+    /// Digest of everything pushed so far (equals [`sketch_prefix`] of the
+    /// same bits under the same label).
+    pub fn digest(&mut self) -> u64 {
+        self.digest_of(self.len, self.acc, self.partial)
+    }
+
+    /// Records a checkpoint at the current length and returns its index.
+    pub fn mark(&mut self) -> usize {
+        self.marks.push(Mark {
+            len: self.len,
+            acc: self.acc,
+            partial: self.partial,
+        });
+        self.marks.len() - 1
+    }
+
+    /// Number of recorded checkpoints.
+    pub fn marks(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Digest and bit length at checkpoint `idx` (`O(τ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.marks()`.
+    pub fn digest_at(&mut self, idx: usize) -> (u64, usize) {
+        let m = self.marks[idx];
+        (self.digest_of(m.len, m.acc, m.partial), m.len)
+    }
+
+    /// Rewinds the hasher to the state at checkpoint `count - 1` (or to
+    /// empty for `count == 0`), keeping the first `count` checkpoints.
+    /// No-op if fewer than `count` checkpoints exist.
+    pub fn truncate_to_mark(&mut self, count: usize) {
+        if count > self.marks.len() {
+            return;
+        }
+        let m = if count == 0 {
+            Mark {
+                len: 0,
+                acc: 0,
+                partial: 0,
+            }
+        } else {
+            self.marks[count - 1]
+        };
+        self.marks.truncate(count);
+        self.len = m.len;
+        self.acc = m.acc;
+        self.partial = m.partial;
+    }
+
+    fn digest_of(&mut self, len: usize, acc: u64, partial: u64) -> u64 {
+        if len % 64 == 0 {
+            return acc;
+        }
+        let j = len / 64;
+        let tau = self.tau as usize;
+        self.ensure_seed((j + 1) * tau);
+        acc ^ fold_word(partial, &self.seed[j * tau..(j + 1) * tau])
+    }
+
+    fn ensure_seed(&mut self, words: usize) {
+        if self.seed.len() >= words {
+            return;
+        }
+        let stream = self.stream.get_or_insert_with(|| {
+            // Reopened after a clone: fast-forward past the cached words.
+            let mut s = self.src.stream(self.label);
+            for _ in 0..self.seed.len() {
+                s.next_word();
+            }
+            s
+        });
+        let old = self.seed.len();
+        self.seed.resize(words, 0);
+        stream.fill_words(&mut self.seed[old..]);
+    }
+}
+
+impl Clone for PrefixHasher {
+    fn clone(&self) -> Self {
+        PrefixHasher {
+            src: std::rc::Rc::clone(&self.src),
+            label: self.label,
+            tau: self.tau,
+            stream: None,
+            seed: self.seed.clone(),
+            acc: self.acc,
+            partial: self.partial,
+            len: self.len,
+            marks: self.marks.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PrefixHasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefixHasher")
+            .field("tau", &self.tau)
+            .field("len", &self.len)
+            .field("marks", &self.marks.len())
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +696,162 @@ mod tests {
         assert_eq!(b.words().len(), 1);
         b.truncate(200); // no-op
         assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn hash_words_matches_hash_prefix() {
+        let src = CrsSource::new(55);
+        for (words, len) in [
+            (vec![0xdead_beef_u64], 37usize),
+            (vec![0x0123_4567_89ab_cdef], 64),
+            (vec![u64::MAX, 0xffff_ffff], 96),
+            (vec![0, 0], 0),
+        ] {
+            let mut bits = BitString::new();
+            for (j, &w) in words.iter().enumerate() {
+                let take = (len.saturating_sub(64 * j)).min(64);
+                bits.push_bits(w, take as u32);
+            }
+            for tau in [1u32, 8, 64] {
+                let a = hash_words(&words, len, tau, &mut *src.stream(label(tau)));
+                let b = hash_prefix(&bits, len, tau, &mut *src.stream(label(tau)));
+                assert_eq!(a, b, "len {len} tau {tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_matches_hash_prefix_on_short_inputs() {
+        // For inputs ≤ 64 bits the stretch-major and interleaved layouts
+        // coincide — the anchor tying the sketch to Definition 2.2.
+        let src = CrsSource::new(77);
+        let full: BitString = (0..64).map(|i| i % 7 < 3).collect();
+        for plen in [1usize, 13, 63, 64] {
+            for tau in [1u32, 5, 16, 64] {
+                let a = sketch_prefix(&full, plen, tau, &mut *src.stream(label(tau)));
+                let b = hash_prefix(&full, plen, tau, &mut *src.stream(label(tau)));
+                assert_eq!(a, b, "plen {plen} tau {tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_hasher_matches_reference_at_every_prefix() {
+        let src: std::rc::Rc<dyn SeedSource> = std::rc::Rc::new(CrsSource::new(91));
+        let bits: BitString = (0..300).map(|i| i % 5 < 2).collect();
+        for tau in [1u32, 7, 64] {
+            let l = label(tau);
+            let mut h = PrefixHasher::new(std::rc::Rc::clone(&src), l, tau);
+            for i in 0..=bits.len() {
+                assert_eq!(
+                    h.digest(),
+                    sketch_prefix(&bits, i, tau, &mut *src.stream(l)),
+                    "prefix {i} tau {tau}"
+                );
+                if i < bits.len() {
+                    h.push_bit(bits.bit(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_hasher_marks_and_truncation() {
+        let src: std::rc::Rc<dyn SeedSource> = std::rc::Rc::new(CrsSource::new(17));
+        let l = label(0);
+        let bits: BitString = (0..190).map(|i| i % 3 != 0).collect();
+        let mut h = PrefixHasher::new(std::rc::Rc::clone(&src), l, 64);
+        let mut boundaries = Vec::new();
+        for i in 0..bits.len() {
+            h.push_bit(bits.bit(i));
+            if (i + 1) % 38 == 0 {
+                h.mark();
+                boundaries.push(i + 1);
+            }
+        }
+        for (k, &b) in boundaries.iter().enumerate() {
+            let (d, len) = h.digest_at(k);
+            assert_eq!(len, b);
+            assert_eq!(
+                d,
+                sketch_prefix(&bits, b, 64, &mut *src.stream(l)),
+                "mark {k}"
+            );
+        }
+        // Rewind to the second mark, then re-push different bits.
+        h.truncate_to_mark(2);
+        assert_eq!(h.len(), 76);
+        assert_eq!(h.marks(), 2);
+        let mut alt = BitString::new();
+        for i in 0..76 {
+            alt.push_bit(bits.bit(i));
+        }
+        for i in 0..30 {
+            let bit = i % 2 == 0;
+            h.push_bit(bit);
+            alt.push_bit(bit);
+        }
+        assert_eq!(
+            h.digest(),
+            sketch_prefix(&alt, 106, 64, &mut *src.stream(l))
+        );
+        // Rewind to empty.
+        h.truncate_to_mark(0);
+        assert_eq!(h.digest(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn prefix_hasher_clone_reopens_stream() {
+        let src: std::rc::Rc<dyn SeedSource> = std::rc::Rc::new(CrsSource::new(29));
+        let l = label(3);
+        let mut h = PrefixHasher::new(std::rc::Rc::clone(&src), l, 32);
+        for i in 0..100 {
+            h.push_bit(i % 4 == 1);
+        }
+        let mut c = h.clone();
+        for i in 100..170 {
+            h.push_bit(i % 4 == 1);
+            c.push_bit(i % 4 == 1);
+        }
+        assert_eq!(h.digest(), c.digest());
+    }
+
+    #[test]
+    fn sketch_column_predicts_single_bit_flips() {
+        let src = CrsSource::new(41);
+        let l = label(9);
+        let bits: BitString = (0..150).map(|i| i % 11 < 4).collect();
+        for pos in [0usize, 5, 63, 64, 127, 149] {
+            let flipped: BitString = (0..150).map(|i| bits.bit(i) ^ (i == pos)).collect();
+            let a = sketch_prefix(&bits, 150, 64, &mut *src.stream(l));
+            let b = sketch_prefix(&flipped, 150, 64, &mut *src.stream(l));
+            let col = sketch_column(pos, 64, &mut *src.stream(l));
+            assert_eq!(a ^ b, col, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn sketch_column_pair_matches_single_columns() {
+        // Including pos % 64 == 63, where the pair spans two input words.
+        let src = CrsSource::new(43);
+        let l = label(9);
+        for tau in [1u32, 8, 64] {
+            for pos in [0usize, 30, 62, 63, 64, 127] {
+                let (c0, c1) = sketch_column_pair(pos, tau, &mut *src.stream(l));
+                assert_eq!(
+                    c0,
+                    sketch_column(pos, tau, &mut *src.stream(l)),
+                    "pos {pos}"
+                );
+                assert_eq!(
+                    c1,
+                    sketch_column(pos + 1, tau, &mut *src.stream(l)),
+                    "pos {}",
+                    pos + 1
+                );
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,24 @@ impl Xoshiro256 {
         result
     }
 
+    /// Fills `out` with the next `out.len()` values of the stream —
+    /// identical to repeated [`Xoshiro256::next_u64`], but the generator
+    /// state lives in registers for the whole batch.
+    pub fn fill(&mut self, out: &mut [u64]) {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        for w in out {
+            *w = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+
     /// Uniform value in `0..n`.
     ///
     /// # Panics
