@@ -5,12 +5,19 @@
 //! hashing/coding work of the full schemes.
 //!
 //! Uses the `RoundFrame` hot path (`step_into` with caller-owned
-//! buffers), the way the coding-scheme runner drives the engine.
+//! buffers), the way the coding-scheme runner drives the engine; the
+//! `wire_batch` group additionally pits the word-level `FrameBatch` path
+//! (`step_rounds_into`, one call for a 32-round meeting-points-style
+//! exchange) against 32 bit-serial rounds on the large topologies, and
+//! `sim_large` tracks full end-to-end scheme runs at n ≥ 128.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpic::{RunOptions, RunScratch, SchemeConfig, Simulation};
 use netgraph::{topology, Graph};
 use netsim::attacks::{IidNoise, NoNoise};
-use netsim::{Network, RoundFrame};
+use netsim::{FrameBatch, Network, RoundFrame};
+use protocol::workloads::Gossip;
+use protocol::Workload;
 
 fn topologies() -> Vec<(&'static str, Graph)> {
     vec![
@@ -61,5 +68,80 @@ fn bench_step_noisy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_step_silent, bench_step_noisy);
+fn large_topologies() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("ring256", topology::ring(256)),
+        ("grid16x16", topology::grid(16, 16)),
+    ]
+}
+
+/// A 32-round fully-utilized exchange (the shape of a τ = 8
+/// meeting-points phase) through the word-level batch path: marshal every
+/// link's 32-bit lane, one `step_rounds_into`.
+fn bench_wire_batch(c: &mut Criterion) {
+    const ROUNDS: usize = 32;
+    let mut g = c.benchmark_group("wire_batch");
+    for (label, graph) in large_topologies() {
+        let mut tx = FrameBatch::for_graph(&graph, ROUNDS);
+        let mut rx = FrameBatch::for_graph(&graph, ROUNDS);
+        let mut net = Network::new(graph.clone(), Box::new(NoNoise), 0);
+        g.throughput(Throughput::Elements((ROUNDS * graph.link_count()) as u64));
+        g.bench_with_input(BenchmarkId::new("batched", label), &graph, |b, graph| {
+            b.iter(|| {
+                for id in 0..graph.link_count() {
+                    tx.set_bits(id, &[0x5EED_F00D ^ id as u64], ROUNDS);
+                }
+                net.step_rounds_into(&tx, None, &mut rx);
+            })
+        });
+    }
+    // The bit-serial reference: same 32 rounds, per-round fill + step.
+    for (label, graph) in large_topologies() {
+        let mut tx = RoundFrame::for_graph(&graph);
+        let mut rx = RoundFrame::for_graph(&graph);
+        let mut net = Network::new(graph.clone(), Box::new(NoNoise), 0);
+        g.throughput(Throughput::Elements((ROUNDS * graph.link_count()) as u64));
+        g.bench_with_input(BenchmarkId::new("reference", label), &graph, |b, graph| {
+            b.iter(|| {
+                for o in 0..ROUNDS {
+                    tx.clear_all();
+                    for id in 0..graph.link_count() {
+                        tx.set(id, (0x5EED_F00D ^ id as u64) >> o & 1 == 1);
+                    }
+                    net.step_into(&tx, None, &mut rx);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Full end-to-end Algorithm A runs on the large topologies the ROADMAP
+/// targets (noiseless gossip; the `t1_end_to_end` shape at n ≥ 128).
+fn bench_sim_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_large");
+    g.sample_size(10);
+    let workloads = [
+        ("ring128", Gossip::new(topology::ring(128), 2, 22)),
+        ("ring256", Gossip::new(topology::ring(256), 2, 23)),
+        ("grid16x16", Gossip::new(topology::grid(16, 16), 2, 24)),
+    ];
+    for (label, w) in &workloads {
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 7);
+        let sim = Simulation::new(w, cfg, 1);
+        let mut scratch = RunScratch::new();
+        g.bench_function(BenchmarkId::new("alg_a", *label), |b| {
+            b.iter(|| sim.run_with_scratch(Box::new(NoNoise), RunOptions::default(), &mut scratch))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_silent,
+    bench_step_noisy,
+    bench_wire_batch,
+    bench_sim_large
+);
 criterion_main!(benches);

@@ -32,6 +32,7 @@ fn main() {
         "f7" => f7(quick),
         "f8" => f8(quick),
         "f9" => f9(quick),
+        "large" => large(quick),
         "all" => {
             t1(quick);
             f1(quick);
@@ -43,9 +44,10 @@ fn main() {
             f7(quick);
             f8(quick);
             f9(quick);
+            large(quick);
         }
         other => {
-            eprintln!("unknown experiment {other}; use t1|f1..f9|all [--quick]");
+            eprintln!("unknown experiment {other}; use t1|f1..f9|large|all [--quick]");
             std::process::exit(2);
         }
     }
@@ -607,6 +609,61 @@ fn f9(quick: bool) {
             json!({"workload": w.label(), "payload_cc": payload, "rc_pi": rc,
                    "rounds_sim": s.mean_rounds, "round_blowup": s.mean_rounds / rc as f64,
                    "cc_blowup": s.mean_blowup}),
+        );
+    }
+}
+
+/// LARGE — large-topology throughput: noiseless and lightly noisy runs on
+/// the ROADMAP's n ≥ 128 targets (ring(256), grid(16×16)), exercising the
+/// word-batched wire path end to end at scale.
+fn large(quick: bool) {
+    header(
+        "LARGE",
+        "Large topologies — batched wire rounds at n >= 128",
+    );
+    let trials = if quick { 2 } else { 10 };
+    println!(
+        "{:<10} {:>4} {:>4} {:>8} {:>10} {:>12}",
+        "topology", "n", "m", "ok@0", "blowup", "ok@.002/m"
+    );
+    let topologies: &[TopoSpec] = if quick {
+        &[TopoSpec::Ring(256), TopoSpec::Grid(16, 16)]
+    } else {
+        &[
+            TopoSpec::Ring(128),
+            TopoSpec::Ring(256),
+            TopoSpec::Grid(16, 16),
+            TopoSpec::Line(256),
+        ]
+    };
+    for &topo in topologies {
+        let g = topo.build(1);
+        let m = g.edge_count() as f64;
+        let w = WorkloadSpec::Gossip { topo, rounds: 2 };
+        let (clean, _) = run_many(w, Scheme::A, AttackSpec::None, trials, 900);
+        let (noisy, _) = run_many(
+            w,
+            Scheme::A,
+            AttackSpec::Iid {
+                fraction: 0.002 / m,
+            },
+            trials,
+            950,
+        );
+        println!(
+            "{:<10} {:>4} {:>4} {:>8.2} {:>10.1} {:>12.2}",
+            topo.label(),
+            g.node_count(),
+            g.edge_count(),
+            clean.success_rate,
+            clean.mean_blowup,
+            noisy.success_rate,
+        );
+        emit(
+            "large",
+            json!({"topology": topo.label(), "n": g.node_count(), "m": g.edge_count(),
+                   "ok_clean": clean.success_rate, "blowup": clean.mean_blowup,
+                   "ok_noisy": noisy.success_rate}),
         );
     }
 }

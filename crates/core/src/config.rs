@@ -61,6 +61,25 @@ pub enum HashingMode {
     Reference,
 }
 
+/// Which wire-round machinery the runner drives for phases whose rounds
+/// are independent (meeting points, randomness exchange).
+///
+/// Both modes produce byte-identical [`crate::SimOutcome`]s (cross-checked
+/// by the `wire_batch` integration suite); they differ only in cost.
+/// [`WireMode::Reference`] is the executable specification; the batched
+/// path is the production path for large topologies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireMode {
+    /// Word-level batches: a phase's independent rounds go through one
+    /// `netsim::Network::step_rounds_into` call, each link's multi-round
+    /// message marshalled into words once. The production path.
+    #[default]
+    Batched,
+    /// Bit-serial rounds: one `step_into` per wire round, every link bit
+    /// set individually (the pre-batching hot path, kept as the reference).
+    Reference,
+}
+
 /// Full parameterization of the coding scheme.
 #[derive(Clone, Debug)]
 pub struct SchemeConfig {
@@ -89,6 +108,9 @@ pub struct SchemeConfig {
     /// Transcript-hashing machinery (incremental vs. reference; identical
     /// hash values either way).
     pub hashing: HashingMode,
+    /// Wire-round machinery for independent-round phases (batched vs.
+    /// bit-serial reference; identical outcomes either way).
+    pub wire: WireMode,
 }
 
 impl SchemeConfig {
@@ -109,6 +131,7 @@ impl SchemeConfig {
             disable_flag_passing: false,
             disable_rewind: false,
             hashing: HashingMode::default(),
+            wire: WireMode::default(),
         }
     }
 
@@ -131,6 +154,7 @@ impl SchemeConfig {
             disable_flag_passing: false,
             disable_rewind: false,
             hashing: HashingMode::default(),
+            wire: WireMode::default(),
         }
     }
 
@@ -153,6 +177,7 @@ impl SchemeConfig {
             disable_flag_passing: false,
             disable_rewind: false,
             hashing: HashingMode::default(),
+            wire: WireMode::default(),
         }
     }
 

@@ -48,7 +48,7 @@ mod meeting;
 mod runner;
 mod transcript;
 
-pub use config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion};
+pub use config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode};
 pub use flags::FlagPlan;
 pub use instrument::{Instrumentation, IterationSample};
 pub use meeting::{transcript_hash, LinkStatus, MpDecision, MpMessage, MpState, RecvMpMessage};

@@ -100,6 +100,60 @@ impl MpMessage {
         };
         (h >> (o % tau)) & 1 == 1
     }
+
+    /// Number of words [`MpMessage::to_words`] fills for hash length `tau`
+    /// (`4τ ≤ 240` bits for `τ ≤ 60`, so at most 4).
+    pub fn wire_words(tau: u32) -> usize {
+        (4 * tau as usize).div_ceil(64)
+    }
+
+    /// Packs the `4τ` wire bits into `out` words (bit `o` of the message
+    /// in bit `o % 64` of `out[o / 64]` — the lane layout of
+    /// `netsim::FrameBatch::set_bits`). Exactly the bit sequence of
+    /// [`MpMessage::wire_bit`], marshalled once per message instead of
+    /// once per round. Returns the bit count `4τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has fewer than [`MpMessage::wire_words`] words.
+    pub fn to_words(&self, tau: u32, out: &mut [u64]) -> usize {
+        let tau = tau as usize;
+        let nbits = 4 * tau;
+        let words = nbits.div_ceil(64);
+        assert!(
+            out.len() >= words,
+            "need {words} words for 4τ = {nbits} bits"
+        );
+        out[..words].fill(0);
+        for (f, h) in [self.h_k, self.h_full, self.h_mpc1, self.h_mpc2]
+            .into_iter()
+            .enumerate()
+        {
+            let masked = h & mask_tau(tau);
+            let start = f * tau;
+            let (w, b) = (start / 64, start % 64);
+            out[w] |= masked << b;
+            if b + tau > 64 {
+                out[w + 1] |= masked >> (64 - b);
+            }
+        }
+        nbits
+    }
+}
+
+/// Low `tau` bits set (`tau ≤ 60`).
+fn mask_tau(tau: usize) -> u64 {
+    (1u64 << tau) - 1
+}
+
+/// Extracts `tau` bits starting at bit `start` from little-endian words.
+fn extract_bits(words: &[u64], start: usize, tau: usize) -> u64 {
+    let (w, b) = (start / 64, start % 64);
+    let mut v = words[w] >> b;
+    if b + tau > 64 {
+        v |= words[w + 1] << (64 - b);
+    }
+    v & mask_tau(tau)
 }
 
 /// A received message: each field is `None` if any of its bits was deleted.
@@ -127,6 +181,32 @@ impl RecvMpMessage {
                 v |= u64::from(bits[i * tau + t]?) << t;
             }
             Some(v)
+        };
+        RecvMpMessage {
+            h_k: field(0),
+            h_full: field(1),
+            h_mpc1: field(2),
+            h_mpc2: field(3),
+        }
+    }
+
+    /// Reassembles a message from a received word lane (`value` bits plus
+    /// a `presence` mask, the layout of `netsim::FrameBatch::lane`): a
+    /// field survives iff **all** of its `τ` presence bits are set, else it
+    /// reads as deleted — exactly [`RecvMpMessage::from_bits`] on the
+    /// equivalent `Option<bool>` sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes are shorter than `ceil(4τ / 64)` words.
+    pub fn from_words(value: &[u64], presence: &[u64], tau: u32) -> Self {
+        let tau = tau as usize;
+        let field = |i: usize| -> Option<u64> {
+            let start = i * tau;
+            if extract_bits(presence, start, tau) != mask_tau(tau) {
+                return None;
+            }
+            Some(extract_bits(value, start, tau))
         };
         RecvMpMessage {
             h_k: field(0),
@@ -471,5 +551,54 @@ mod tests {
         let mut a = LinkTranscript::new();
         let mut b = LinkTranscript::new();
         assert_eq!(converge(&mut a, &mut b, 3), 1);
+    }
+
+    #[test]
+    fn word_marshalling_matches_wire_bits() {
+        let msg = MpMessage {
+            h_k: 0x0ABC_DEF9_8765_4321,
+            h_full: 0x0123_4567_89AB_CDEF,
+            h_mpc1: 0x0F0F_F0F0_AA55_33CC,
+            h_mpc2: 0x0313_3700_C0FF_EE42,
+            mpc1: 8,
+            mpc2: 4,
+        };
+        for tau in [1u32, 7, 8, 16, 17, 31, 32, 33, 48, 60] {
+            let mut words = [0u64; 4];
+            let nbits = msg.to_words(tau, &mut words);
+            assert_eq!(nbits, 4 * tau as usize);
+            assert_eq!(MpMessage::wire_words(tau), nbits.div_ceil(64));
+            for o in 0..nbits {
+                assert_eq!(
+                    words[o / 64] >> (o % 64) & 1 == 1,
+                    msg.wire_bit(o, tau),
+                    "tau {tau} bit {o}"
+                );
+            }
+            // Full-presence lanes decode to the same fields as from_bits.
+            let presence = {
+                let mut p = [0u64; 4];
+                for o in 0..nbits {
+                    p[o / 64] |= 1 << (o % 64);
+                }
+                p
+            };
+            let r = RecvMpMessage::from_words(&words, &presence, tau);
+            let bits: Vec<Option<bool>> = msg.to_bits(tau).into_iter().map(Some).collect();
+            let want = RecvMpMessage::from_bits(&bits, tau);
+            assert_eq!(r.h_k, want.h_k, "tau {tau}");
+            assert_eq!(r.h_full, want.h_full);
+            assert_eq!(r.h_mpc1, want.h_mpc1);
+            assert_eq!(r.h_mpc2, want.h_mpc2);
+            // One deleted bit kills exactly its field.
+            let mut p2 = presence;
+            let dead = tau as usize; // first bit of h_full
+            p2[dead / 64] &= !(1 << (dead % 64));
+            let r2 = RecvMpMessage::from_words(&words, &p2, tau);
+            assert_eq!(r2.h_k, want.h_k);
+            assert_eq!(r2.h_full, None);
+            assert_eq!(r2.h_mpc1, want.h_mpc1);
+            assert_eq!(r2.h_mpc2, want.h_mpc2);
+        }
     }
 }

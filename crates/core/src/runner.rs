@@ -16,6 +16,23 @@
 //! [`crate::transcript`]): each link owns a persistent sketch, and the
 //! meeting-points phase hashes `O(τ)` bits per link per iteration instead
 //! of the whole transcript.
+//!
+//! Wire rounds are **word-batched** where the rounds are independent
+//! ([`WireMode::Batched`], the default): the 4τ meeting-points rounds
+//! marshal each link's [`MpMessage`] into a [`netsim::FrameBatch`] lane
+//! once ([`MpMessage::to_words`]) and go through a single
+//! [`netsim::Network::step_rounds_into`] call, as does the Algorithm 5
+//! randomness-exchange prologue (LinkId-indexed dense lanes end to end).
+//! Flag passing is data-dependent round to round, so it stays bit-serial
+//! but drives precompiled per-round event schedules; the rewind wave
+//! tracks which parties can still send (truncation events only). Chunk
+//! slot tables and per-neighbor symbol positions come precompiled from
+//! [`protocol::ChunkedProtocol`] (`party_slots_cached`/`party_plan`),
+//! and party snapshots are copy-on-write ([`protocol::ChunkedParty`]),
+//! so an iteration deep-clones only states that actually advance Π.
+//! [`WireMode::Reference`] keeps the bit-serial rounds as the executable
+//! specification — the `wire_batch` integration suite cross-checks
+//! byte-identical [`SimOutcome`]s between the modes.
 
 // Throughout this module `u` is simultaneously a node id (sent on the
 // wire, compared against link endpoints) and the index into the
@@ -26,15 +43,17 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use crate::config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion};
+use crate::config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode};
 use crate::flags::FlagPlan;
 use crate::instrument::{Instrumentation, IterationSample};
 use crate::meeting::{transcript_hash, LinkStatus, MpMessage, MpState, RecvMpMessage};
 use crate::transcript::{sym_delta, LinkTranscript, TranscriptHasher, SKETCH_BITS};
 use netgraph::{DirectedLink, EdgeId, Graph, LinkId, NodeId, SpanningTree};
-use netsim::{AdaptiveView, Adversary, Corruption, NetStats, Network, PhaseGeometry, RoundFrame};
+use netsim::{
+    AdaptiveView, Adversary, Corruption, FrameBatch, NetStats, Network, PhaseGeometry, RoundFrame,
+};
 use protocol::reference::{run_reference, ReferenceRun};
-use protocol::{ChunkRecord, ChunkedParty, ChunkedProtocol, PartySlot, SlotKind, Sym, Workload};
+use protocol::{ChunkRecord, ChunkedParty, ChunkedProtocol, SlotKind, Sym, Workload};
 use rscode::{BinaryCode, BinaryWord};
 use smallbias::{
     sketch_column_pair, splitmix64, CrsSource, DeltaBiasedSource, SeedLabel, SeedSource, Xoshiro256,
@@ -122,8 +141,24 @@ impl Default for RunOptions {
 pub struct RunScratch {
     frames: Option<Frames>,
     arena: Arena,
-    /// Scratch for `party_slots_into` per party, reused across iterations.
-    pslots: Vec<Vec<PartySlot>>,
+    /// Batch buffers of the exchange prologue and the per-iteration
+    /// meeting-points rounds.
+    batches: Option<Batches>,
+    /// Batch buffers of the (disabled-)rewind phase, kept separate so
+    /// alternating phase geometries never thrash one slot.
+    rewind_batches: Option<Batches>,
+    /// Reusable party-tracking buffers of the rewind wave.
+    rewind_parties: RewindScratch,
+}
+
+/// The rewind wave's active-set tracking buffers (see
+/// [`Simulation`]'s rewind phase): pooled here so an iteration allocates
+/// nothing.
+#[derive(Default)]
+struct RewindScratch {
+    active: Vec<NodeId>,
+    next: Vec<NodeId>,
+    marked: Vec<bool>,
 }
 
 impl RunScratch {
@@ -142,6 +177,31 @@ impl RunScratch {
         }
         self.frames.as_mut().unwrap()
     }
+}
+
+/// The batched counterpart of [`Frames`]: one tx and one rx
+/// [`FrameBatch`], re-shaped in place whenever its phase needs a
+/// different `(links, rounds)` geometry. Each batched phase family gets
+/// its own slot in [`RunScratch`] (meeting-points/exchange vs. rewind),
+/// so after warm-up a run never reallocates a batch.
+struct Batches {
+    tx: FrameBatch,
+    rx: FrameBatch,
+}
+
+/// The scratch's batch buffers, (re)sized to `links × rounds`.
+fn batches_for(slot: &mut Option<Batches>, links: usize, rounds: usize) -> &mut Batches {
+    let fits = slot
+        .as_ref()
+        .map(|b| b.tx.link_count() == links && b.tx.rounds() == rounds)
+        .unwrap_or(false);
+    if !fits {
+        *slot = Some(Batches {
+            tx: FrameBatch::new(links, rounds),
+            rx: FrameBatch::new(links, rounds),
+        });
+    }
+    slot.as_mut().unwrap()
 }
 
 /// Pool of retired per-chunk allocations.
@@ -168,6 +228,7 @@ pub struct Simulation<'w> {
     graph: Graph,
     tree: SpanningTree,
     plan: FlagPlan,
+    flag_sched: FlagSchedule,
     geometry: PhaseGeometry,
     iterations: usize,
     trial_seed: u64,
@@ -189,6 +250,7 @@ impl<'w> Simulation<'w> {
         let reference = run_reference(workload, &proto);
         let tree = SpanningTree::bfs(&graph, 0);
         let plan = FlagPlan::new(&tree);
+        let flag_sched = FlagSchedule::new(&graph, &tree, &plan);
         let iterations = cfg.iterations(proto.real_chunks());
         let exchange_bits = match &cfg.randomness {
             RandomnessMode::Crs { .. } => 0,
@@ -215,6 +277,7 @@ impl<'w> Simulation<'w> {
             graph,
             tree,
             plan,
+            flag_sched,
             geometry,
             iterations,
             trial_seed,
@@ -270,11 +333,17 @@ impl<'w> Simulation<'w> {
         scratch: &mut RunScratch,
     ) -> SimOutcome {
         let mut net = Network::new(self.graph.clone(), adversary, opts.noise_budget);
-        let mut parties = self.init_parties(&mut scratch.pslots);
+        let mut parties = self.init_parties();
         scratch.frames_for(&self.graph);
-        let RunScratch { frames, arena, .. } = scratch;
+        let RunScratch {
+            frames,
+            arena,
+            batches,
+            rewind_batches,
+            rewind_parties,
+        } = scratch;
         let fr = frames.as_mut().expect("frames sized above");
-        let sources = self.establish_randomness(&mut net, fr);
+        let sources = self.establish_randomness(&mut net, fr, batches);
         self.attach_hashers(&mut parties, &sources);
         let mut inst = Instrumentation::default();
 
@@ -286,6 +355,7 @@ impl<'w> Simulation<'w> {
                 iter as u64,
                 &mut inst,
                 fr,
+                batches,
                 opts,
             );
             self.flag_passing_phase(&mut net, &mut parties, &sources, fr, opts);
@@ -298,17 +368,25 @@ impl<'w> Simulation<'w> {
                 arena,
                 opts,
             );
-            self.rewind_phase(&mut net, &mut parties, &sources, fr, arena, opts);
+            self.rewind_phase(
+                &mut net,
+                &mut parties,
+                &sources,
+                fr,
+                rewind_batches,
+                rewind_parties,
+                arena,
+                opts,
+            );
             if opts.record_trace {
                 self.sample(&parties, &net, iter as u64, &mut inst);
             }
         }
         let outcome = self.evaluate(&parties, &net, inst);
         // Recycle this run's buffers into the scratch for the next trial:
-        // the slot vectors and every chunk's symbol vector (the transcripts
-        // are fully read by `evaluate` above).
+        // every chunk's symbol vector (the transcripts are fully read by
+        // `evaluate` above).
         for p in &mut parties {
-            scratch.pslots.push(std::mem::take(&mut p.pslots));
             for t in &mut p.t {
                 t.truncate_into(0, &mut arena.syms);
             }
@@ -329,7 +407,7 @@ impl<'w> Simulation<'w> {
             .expect("send on non-edge")
     }
 
-    fn init_parties(&self, pslot_pool: &mut Vec<Vec<PartySlot>>) -> Vec<SimParty> {
+    fn init_parties(&self) -> Vec<SimParty> {
         (0..self.graph.node_count())
             .map(|u| {
                 let neighbors: Vec<NodeId> = self.graph.neighbors(u).to_vec();
@@ -340,8 +418,6 @@ impl<'w> Simulation<'w> {
                     .iter()
                     .map(|&v| self.graph.edge_between(u, v).unwrap())
                     .collect();
-                let mut pslots = pslot_pool.pop().unwrap_or_default();
-                pslots.clear();
                 SimParty {
                     node: u,
                     neighbors,
@@ -360,11 +436,7 @@ impl<'w> Simulation<'w> {
                     sim_chunk: 0,
                     excluded: NbrSet::with_capacity(deg),
                     work: None,
-                    pslots,
                     pslot_cursor: 0,
-                    pos_out: vec![Vec::new(); deg],
-                    pos_in: vec![Vec::new(); deg],
-                    pair_syms: vec![0; deg],
                     inprog: vec![Vec::new(); deg],
                     inprog_active: NbrSet::with_capacity(deg),
                     already_rewound: NbrSet::with_capacity(deg),
@@ -390,17 +462,25 @@ impl<'w> Simulation<'w> {
     }
 
     /// Randomness provisioning: CRS, or the Algorithm 5 exchange.
-    fn establish_randomness(&self, net: &mut Network, fr: &mut Frames) -> Sources {
-        let map: SourceMap = match &self.cfg.randomness {
+    ///
+    /// The exchange's wire state is [`LinkId`]-indexed and dense end to
+    /// end: each transmitting link's coded seed is packed into a word
+    /// lane, pushed through one batched engine step (or bit-serially
+    /// under [`WireMode::Reference`] — identical receptions), and decoded
+    /// straight off the received lane.
+    fn establish_randomness(
+        &self,
+        net: &mut Network,
+        fr: &mut Frames,
+        batches: &mut Option<Batches>,
+    ) -> Sources {
+        // `by_link[lid(u → v)]` is the source party `u` uses for the link.
+        match &self.cfg.randomness {
             RandomnessMode::Crs { master, .. } => {
-                let mut map: SourceMap = BTreeMap::new();
                 let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(*master));
-                for (e, u, v) in self.graph.edges().collect::<Vec<_>>() {
-                    let _ = e;
-                    map.insert((u, v), Rc::clone(&src));
-                    map.insert((v, u), Rc::clone(&src));
+                Sources {
+                    by_link: self.graph.links().iter().map(|_| Rc::clone(&src)).collect(),
                 }
-                map
             }
             RandomnessMode::Exchanged {
                 expansion,
@@ -408,15 +488,18 @@ impl<'w> Simulation<'w> {
             } => {
                 let reps = (*code_repetitions).max(1);
                 let code = BinaryCode::rate_one_third();
+                let m = self.graph.edge_count();
+                let rounds = self.exchange_bits;
+                let lane_words = rounds.div_ceil(64).max(1);
                 // Per edge: the lower endpoint samples and transmits a
-                // 128-bit seed, RS-coded and repeated.
-                let mut true_seeds: BTreeMap<EdgeId, (u64, u64)> = BTreeMap::new();
-                let mut wire_bits: BTreeMap<EdgeId, Vec<bool>> = BTreeMap::new();
+                // 128-bit seed, RS-coded and repeated, packed into a lane.
+                let mut true_seeds: Vec<(u64, u64)> = Vec::with_capacity(m);
+                let mut lanes: Vec<u64> = vec![0; m * lane_words];
                 for (e, _, _) in self.graph.edges() {
                     let mut rng =
                         Xoshiro256::seeded(self.trial_seed ^ splitmix64(&mut (e as u64 + 1)));
                     let (x, y) = (rng.next_u64(), rng.next_u64());
-                    true_seeds.insert(e, (x, y));
+                    true_seeds.push((x, y));
                     let mut seed_bits = Vec::with_capacity(128);
                     for j in 0..64 {
                         seed_bits.push((x >> j) & 1 == 1);
@@ -425,53 +508,67 @@ impl<'w> Simulation<'w> {
                         seed_bits.push((y >> j) & 1 == 1);
                     }
                     let one = code.encode(&seed_bits).bits;
-                    let mut all = Vec::with_capacity(one.len() * reps);
-                    for _ in 0..reps {
-                        all.extend_from_slice(&one);
-                    }
-                    wire_bits.insert(e, all);
-                }
-                // Transmit, one bit per edge per round (sender = lower id).
-                let rounds = self.exchange_bits;
-                let elids: Vec<LinkId> =
-                    self.graph.edges().map(|(_, u, v)| self.lid(u, v)).collect();
-                let mut received: BTreeMap<EdgeId, Vec<Option<bool>>> = self
-                    .graph
-                    .edges()
-                    .map(|(e, _, _)| (e, vec![None; rounds]))
-                    .collect();
-                for o in 0..rounds {
-                    fr.tx.clear_all();
-                    for (e, _, _) in self.graph.edges() {
-                        fr.tx.set(elids[e], wire_bits[&e][o]);
-                    }
-                    net.step_into(&fr.tx, None, &mut fr.rx);
-                    for (e, _, _) in self.graph.edges() {
-                        if let Some(bit) = fr.rx.get(elids[e]) {
-                            received.get_mut(&e).unwrap()[o] = Some(bit);
+                    let lane = &mut lanes[e * lane_words..(e + 1) * lane_words];
+                    for o in 0..rounds {
+                        if one[o % one.len()] {
+                            lane[o / 64] |= 1 << (o % 64);
                         }
                     }
                 }
-                // Decode at the receivers.
-                let mut map: SourceMap = BTreeMap::new();
-                for (e, u, v) in self.graph.edges() {
-                    let (x, y) = true_seeds[&e];
-                    map.insert((u, v), self.expand_seed(*expansion, x, y));
-                    let (dx, dy) = decode_seed(&code, &received[&e], reps);
-                    map.insert((v, u), self.expand_seed(*expansion, dx, dy));
+                // Transmit, one bit per edge per round (sender = lower id).
+                let elids: Vec<LinkId> =
+                    self.graph.edges().map(|(_, u, v)| self.lid(u, v)).collect();
+                let mut received: Vec<Vec<Option<bool>>> = vec![vec![None; rounds]; m];
+                match self.cfg.wire {
+                    WireMode::Batched => {
+                        let b = batches_for(batches, self.graph.link_count(), rounds);
+                        b.tx.clear_all();
+                        for e in 0..m {
+                            b.tx.set_bits(
+                                elids[e],
+                                &lanes[e * lane_words..(e + 1) * lane_words],
+                                rounds,
+                            );
+                        }
+                        net.step_rounds_into(&b.tx, None, &mut b.rx);
+                        for e in 0..m {
+                            let (value, presence) = b.rx.lane(elids[e]);
+                            for o in 0..rounds {
+                                if presence[o / 64] >> (o % 64) & 1 == 1 {
+                                    received[e][o] = Some(value[o / 64] >> (o % 64) & 1 == 1);
+                                }
+                            }
+                        }
+                    }
+                    WireMode::Reference => {
+                        for o in 0..rounds {
+                            fr.tx.clear_all();
+                            for e in 0..m {
+                                let bit = lanes[e * lane_words + o / 64] >> (o % 64) & 1 == 1;
+                                fr.tx.set(elids[e], bit);
+                            }
+                            net.step_into(&fr.tx, None, &mut fr.rx);
+                            for e in 0..m {
+                                if let Some(bit) = fr.rx.get(elids[e]) {
+                                    received[e][o] = Some(bit);
+                                }
+                            }
+                        }
+                    }
                 }
-                map
+                // Decode at the receivers, flattening straight to the
+                // dense LinkId index (links are edge-major: lid(u → v) =
+                // 2e for u < v, 2e + 1 the other way).
+                let mut by_link: Vec<Rc<dyn SeedSource>> =
+                    Vec::with_capacity(self.graph.link_count());
+                for (e, _, _) in self.graph.edges() {
+                    let (x, y) = true_seeds[e];
+                    by_link.push(self.expand_seed(*expansion, x, y));
+                    let (dx, dy) = decode_seed(&code, &received[e], reps);
+                    by_link.push(self.expand_seed(*expansion, dx, dy));
+                }
+                Sources { by_link }
             }
-        };
-        // Flatten to the dense LinkId index the hot loops use:
-        // `by_link[lid(u → v)]` is the source party `u` uses for the link.
-        Sources {
-            by_link: self
-                .graph
-                .links()
-                .iter()
-                .map(|l| Rc::clone(&map[&(l.from, l.to)]))
-                .collect(),
         }
     }
 
@@ -516,9 +613,11 @@ impl<'w> Simulation<'w> {
         iter: u64,
         inst: &mut Instrumentation,
         fr: &mut Frames,
+        batches: &mut Option<Batches>,
         opts: RunOptions,
     ) {
         let tau = self.cfg.hash_bits;
+        let batched = self.cfg.wire == WireMode::Batched;
         // Prepare outgoing messages (O(τ) per link: sketch + outer hash).
         for p in parties.iter_mut() {
             for ni in 0..p.neighbors.len() {
@@ -534,36 +633,68 @@ impl<'w> Simulation<'w> {
                         src.stream(lbl(SLOT_OUTER))
                     });
                 p.mp_out[ni] = msg;
-                let buf = &mut p.mp_in[ni];
-                buf.clear();
-                buf.resize(4 * tau as usize, None);
-            }
-        }
-        // 4τ wire rounds.
-        for o in 0..4 * tau as usize {
-            fr.tx.clear_all();
-            for p in parties.iter() {
-                for ni in 0..p.neighbors.len() {
-                    fr.tx.set(p.lid_out[ni], p.mp_out[ni].wire_bit(o, tau));
+                if !batched {
+                    let buf = &mut p.mp_in[ni];
+                    buf.clear();
+                    buf.resize(4 * tau as usize, None);
                 }
             }
-            self.step(net, parties, sources, fr, iter, None, opts);
+        }
+        // The 4τ wire rounds. Batched: every link's whole message is
+        // marshalled into its lane once and the engine applies the
+        // adversary to all rounds in a single pass — no per-round fill
+        // loop over n·Δ link slots. (Every directed link speaks, so every
+        // lane is overwritten; no clear needed.)
+        if batched {
+            let nbits = 4 * tau as usize;
+            let b = batches_for(batches, self.graph.link_count(), nbits);
+            let mut words = [0u64; 4];
+            for p in parties.iter() {
+                for ni in 0..p.neighbors.len() {
+                    let n = p.mp_out[ni].to_words(tau, &mut words);
+                    b.tx.set_bits(p.lid_out[ni], &words, n);
+                }
+            }
+            self.step_batch(net, parties, sources, b, iter, opts);
+            // Process straight off the received lanes.
+            let rx = &b.rx;
             for p in parties.iter_mut() {
                 for ni in 0..p.neighbors.len() {
-                    if let Some(bit) = fr.rx.get(p.lid_in[ni]) {
-                        p.mp_in[ni][o] = Some(bit);
+                    let ours = p.mp_out[ni];
+                    let (value, presence) = rx.lane(p.lid_in[ni]);
+                    let theirs = RecvMpMessage::from_words(value, presence, tau);
+                    let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
+                    if let Some(g) = decision.truncated_to {
+                        p.prune_snapshots(g);
                     }
                 }
             }
-        }
-        // Process.
-        for p in parties.iter_mut() {
-            for ni in 0..p.neighbors.len() {
-                let ours = p.mp_out[ni];
-                let theirs = RecvMpMessage::from_bits(&p.mp_in[ni], tau);
-                let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
-                if let Some(g) = decision.truncated_to {
-                    p.prune_snapshots(g);
+        } else {
+            for o in 0..4 * tau as usize {
+                fr.tx.clear_all();
+                for p in parties.iter() {
+                    for ni in 0..p.neighbors.len() {
+                        fr.tx.set(p.lid_out[ni], p.mp_out[ni].wire_bit(o, tau));
+                    }
+                }
+                self.step(net, parties, sources, fr, iter, None, opts);
+                for p in parties.iter_mut() {
+                    for ni in 0..p.neighbors.len() {
+                        if let Some(bit) = fr.rx.get(p.lid_in[ni]) {
+                            p.mp_in[ni][o] = Some(bit);
+                        }
+                    }
+                }
+            }
+            // Process.
+            for p in parties.iter_mut() {
+                for ni in 0..p.neighbors.len() {
+                    let ours = p.mp_out[ni];
+                    let theirs = RecvMpMessage::from_bits(&p.mp_in[ni], tau);
+                    let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
+                    if let Some(g) = decision.truncated_to {
+                        p.prune_snapshots(g);
+                    }
                 }
             }
         }
@@ -599,45 +730,37 @@ impl<'w> Simulation<'w> {
             p.fp_agg = p.status;
             p.net_correct = p.status; // provisional; refined below
         }
-        let tree = &self.tree;
+        // The up/down waves are data-dependent round to round (a parent's
+        // send folds bits received in earlier rounds), so the phase steps
+        // bit-serially in both wire modes — but each round touches only
+        // its precompiled schedule entries instead of scanning all n
+        // parties ([`FlagSchedule`]).
+        let root = self.tree.root();
         for o in 0..self.plan.rounds() {
             fr.tx.clear_all();
-            for p in parties.iter() {
-                let u = p.node;
-                if self.plan.up_send_round(tree, u) == Some(o) {
-                    let parent = tree.parent(u).unwrap();
-                    fr.tx.set(self.lid(u, parent), p.fp_agg);
-                }
-                if self.plan.down_send_round(tree, u) == Some(o) {
-                    let flag = if u == tree.root() {
-                        p.fp_agg
-                    } else {
-                        p.net_correct
-                    };
-                    for &c in tree.children(u) {
-                        fr.tx.set(self.lid(u, c), flag);
-                    }
-                }
+            for &(u, lid) in &self.flag_sched.up_sends[o] {
+                fr.tx.set(lid, parties[u].fp_agg);
+            }
+            for &(u, lid) in &self.flag_sched.down_sends[o] {
+                let flag = if u == root {
+                    parties[u].fp_agg
+                } else {
+                    parties[u].net_correct
+                };
+                fr.tx.set(lid, flag);
             }
             self.step(net, parties, sources, fr, 0, None, opts);
-            for u in 0..parties.len() {
-                if self.plan.up_recv_round(tree, u) == Some(o) {
-                    let children: Vec<NodeId> = tree.children(u).to_vec();
-                    for c in children {
-                        // Deleted flag reads as stop (false).
-                        let bit = fr.rx.get(self.lid(c, u)).unwrap_or(false);
-                        parties[u].fp_agg &= bit;
-                    }
-                }
-                if self.plan.down_recv_round(tree, u) == Some(o) {
-                    let parent = tree.parent(u).unwrap();
-                    let bit = fr.rx.get(self.lid(parent, u)).unwrap_or(false);
-                    parties[u].net_correct = bit && parties[u].status;
-                }
+            for &(u, lid) in &self.flag_sched.up_recvs[o] {
+                // Deleted flag reads as stop (false).
+                let bit = fr.rx.get(lid).unwrap_or(false);
+                parties[u].fp_agg &= bit;
+            }
+            for &(u, lid) in &self.flag_sched.down_recvs[o] {
+                let bit = fr.rx.get(lid).unwrap_or(false);
+                parties[u].net_correct = bit && parties[u].status;
             }
         }
         // The root's final flag is its own aggregate.
-        let root = tree.root();
         parties[root].net_correct = parties[root].fp_agg && parties[root].status;
         if self.cfg.disable_flag_passing {
             // Ablation (F4): no global coordination — every party acts on
@@ -677,13 +800,6 @@ impl<'w> Simulation<'w> {
             p.sim_active = p.net_correct;
             p.excluded.clear_all();
             p.inprog_active.clear_all();
-            for slots in &mut p.pos_out {
-                slots.clear();
-            }
-            for slots in &mut p.pos_in {
-                slots.clear();
-            }
-            p.pair_syms.iter_mut().for_each(|c| *c = 0);
             p.work = None;
             if !p.sim_active {
                 continue;
@@ -702,35 +818,20 @@ impl<'w> Simulation<'w> {
                 p.snapshots.len(),
                 c + 1
             );
+            // Copy-on-write: the working state deep-clones only at this
+            // chunk's first payload bit (never, for padding-only chunks).
             p.work = Some(p.snapshots[c].clone());
-            self.proto.party_slots_into(c, u, &mut p.pslots);
             p.pslot_cursor = 0;
-            // Per-neighbor symbol positions in layout order (shared
-            // counter per neighbor across both directions — transcript
-            // symbol order is layout order).
-            let layout = self.proto.layout(c);
-            for (ri, round) in layout.rounds.iter().enumerate() {
-                for slot in round {
-                    let Some(lid) = self.graph.link_id(slot.link) else {
-                        panic!("layout slot on non-edge");
-                    };
-                    if slot.link.from == u {
-                        let ni = self.graph.link_src_nbr(lid);
-                        p.pos_out[ni].push((ri as u32, p.pair_syms[ni] as u32));
-                        p.pair_syms[ni] += 1;
-                    } else if slot.link.to == u {
-                        let ni = self.graph.link_dst_nbr(lid);
-                        p.pos_in[ni].push((ri as u32, p.pair_syms[ni] as u32));
-                        p.pair_syms[ni] += 1;
-                    }
-                }
-            }
+            // Per-neighbor symbol positions come from the chunk shape's
+            // precompiled [`protocol::PartyPlan`] — the per-iteration
+            // layout walk this loop used to do.
+            let plan = self.proto.party_plan(c, u);
             for ni in 0..p.neighbors.len() {
-                if p.pair_syms[ni] > 0 && !p.excluded.contains(ni) {
+                if plan.pair_syms[ni] > 0 && !p.excluded.contains(ni) {
                     p.inprog_active.set(ni);
                     let buf = &mut p.inprog[ni];
                     buf.clear();
-                    buf.resize(p.pair_syms[ni], Sym::Star);
+                    buf.resize(plan.pair_syms[ni], Sym::Star);
                 }
             }
         }
@@ -742,19 +843,20 @@ impl<'w> Simulation<'w> {
                 if !p.sim_active {
                     continue;
                 }
-                while p.pslot_cursor < p.pslots.len() {
-                    let slot = p.pslots[p.pslot_cursor];
+                let pslots = self.proto.party_slots_cached(p.sim_chunk, p.node);
+                let plan = self.proto.party_plan(p.sim_chunk, p.node);
+                while p.pslot_cursor < pslots.len() {
+                    let slot = pslots[p.pslot_cursor];
                     if slot.round_in_chunk != jr || !slot.is_send {
                         break;
                     }
                     p.pslot_cursor += 1;
                     let bit = p.work.as_mut().unwrap().send(&slot);
-                    let lid = self.lid(slot.link.from, slot.link.to);
-                    let ni = self.graph.link_src_nbr(lid);
+                    let ni = self.graph.link_src_nbr(slot.lid);
                     if !p.excluded.contains(ni) {
-                        fr.tx.set(lid, bit);
+                        fr.tx.set(slot.lid, bit);
                         // Own sent bits are part of T_{u,v}.
-                        let idx = p.pos_out_idx(ni, jr);
+                        let idx = plan.pos_out_idx(ni, jr);
                         p.inprog[ni][idx] = Sym::from_bit(bit);
                     }
                 }
@@ -764,23 +866,24 @@ impl<'w> Simulation<'w> {
                 if !p.sim_active {
                     continue;
                 }
-                while p.pslot_cursor < p.pslots.len() {
-                    let slot = p.pslots[p.pslot_cursor];
+                let pslots = self.proto.party_slots_cached(p.sim_chunk, p.node);
+                let plan = self.proto.party_plan(p.sim_chunk, p.node);
+                while p.pslot_cursor < pslots.len() {
+                    let slot = pslots[p.pslot_cursor];
                     if slot.round_in_chunk != jr {
                         break;
                     }
                     debug_assert!(!slot.is_send);
                     p.pslot_cursor += 1;
-                    let lid = self.lid(slot.link.from, slot.link.to);
-                    let ni = self.graph.link_dst_nbr(lid);
+                    let ni = self.graph.link_dst_nbr(slot.lid);
                     if p.excluded.contains(ni) {
                         // Not simulating with that neighbor: feed the
                         // default, record nothing.
                         p.work.as_mut().unwrap().recv(&slot, None);
                         continue;
                     }
-                    let got = fr.rx.get(lid);
-                    let idx = p.pos_in_idx(ni, jr);
+                    let got = fr.rx.get(slot.lid);
+                    let idx = plan.pos_in_idx(ni, jr);
                     p.inprog[ni][idx] = match got {
                         Some(b) => Sym::from_bit(b),
                         None => Sym::Star,
@@ -815,26 +918,60 @@ impl<'w> Simulation<'w> {
     // ------------------------------------------------------------------
     // Phase 4: rewind
     // ------------------------------------------------------------------
+    #[allow(clippy::too_many_arguments)]
     fn rewind_phase(
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
         sources: &Sources,
         fr: &mut Frames,
+        batches: &mut Option<Batches>,
+        rw: &mut RewindScratch,
         arena: &mut Arena,
         opts: RunOptions,
     ) {
         for p in parties.iter_mut() {
             p.already_rewound.clear_all();
         }
+        if self.cfg.disable_rewind {
+            // Ablation (F4): the phase's rounds elapse silently — nobody
+            // sends and receptions are ignored, so the rounds are
+            // independent and the batched mode pushes them through one
+            // engine call.
+            if self.cfg.wire == WireMode::Batched {
+                let b = batches_for(batches, self.graph.link_count(), self.cfg.rewind_rounds);
+                b.tx.clear_all();
+                self.step_batch(net, parties, sources, b, 0, opts);
+            } else {
+                for _ in 0..self.cfg.rewind_rounds {
+                    fr.tx.clear_all();
+                    self.step(net, parties, sources, fr, 0, None, opts);
+                }
+            }
+            return;
+        }
+        // A party can newly become able to send a rewind bit only after
+        // one of its transcripts truncated (its own send or a received
+        // request) — nothing else in this phase moves its chunk counts.
+        // So each round scans only the parties that truncated last round
+        // (`active`), plus everyone once at phase start; receptions are
+        // enumerated from the frame's set bits. A round with nothing to
+        // rewind and no noise costs O(m/64) instead of O(Σ deg).
+        let n = parties.len();
+        let RewindScratch {
+            active,
+            next,
+            marked,
+        } = rw;
+        active.clear();
+        active.extend(0..n);
+        next.clear();
+        marked.clear();
+        marked.resize(n, false);
         for _ in 0..self.cfg.rewind_rounds {
             fr.tx.clear_all();
-            if self.cfg.disable_rewind {
-                // Ablation (F4): the phase's rounds elapse silently.
-                self.step(net, parties, sources, fr, 0, None, opts);
-                continue;
-            }
-            for p in parties.iter_mut() {
+            for &u in active.iter() {
+                let p = &mut parties[u];
                 let min_chunk = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
                 for ni in 0..p.neighbors.len() {
                     let ok = p.mp[ni].status != LinkStatus::MeetingPoints
@@ -846,24 +983,36 @@ impl<'w> Simulation<'w> {
                         p.t[ni].truncate_into(new_len, &mut arena.syms);
                         p.prune_snapshots(new_len);
                         p.already_rewound.set(ni);
+                        if !marked[u] {
+                            marked[u] = true;
+                            next.push(u);
+                        }
                     }
                 }
             }
             self.step(net, parties, sources, fr, 0, None, opts);
-            for p in parties.iter_mut() {
-                for ni in 0..p.neighbors.len() {
-                    if fr.rx.get(p.lid_in[ni]).is_some() {
-                        let ok = p.mp[ni].status != LinkStatus::MeetingPoints
-                            && !p.already_rewound.contains(ni)
-                            && p.t[ni].chunks() > 0;
-                        if ok {
-                            let new_len = p.t[ni].chunks() - 1;
-                            p.t[ni].truncate_into(new_len, &mut arena.syms);
-                            p.prune_snapshots(new_len);
-                            p.already_rewound.set(ni);
-                        }
+            for (lid, _) in fr.rx.iter_set() {
+                let u = self.graph.link(lid).to;
+                let ni = self.graph.link_dst_nbr(lid);
+                let p = &mut parties[u];
+                let ok = p.mp[ni].status != LinkStatus::MeetingPoints
+                    && !p.already_rewound.contains(ni)
+                    && p.t[ni].chunks() > 0;
+                if ok {
+                    let new_len = p.t[ni].chunks() - 1;
+                    p.t[ni].truncate_into(new_len, &mut arena.syms);
+                    p.prune_snapshots(new_len);
+                    p.already_rewound.set(ni);
+                    if !marked[u] {
+                        marked[u] = true;
+                        next.push(u);
                     }
                 }
+            }
+            std::mem::swap(active, next);
+            next.clear();
+            for &u in active.iter() {
+                marked[u] = false;
             }
         }
     }
@@ -893,6 +1042,34 @@ impl<'w> Simulation<'w> {
             net.step_into(tx, Some(&view), rx);
         } else {
             net.step_into(tx, None, rx);
+        }
+    }
+
+    /// One batched engine pass over `b.tx` → `b.rx` (the multi-round
+    /// analogue of [`Simulation::step`]), wiring up the adaptive view when
+    /// exposed. Batches never overlap chunk-simulation rounds, so the
+    /// oracle's `chunk_round` is `None`.
+    fn step_batch(
+        &self,
+        net: &mut Network,
+        parties: &[SimParty],
+        sources: &Sources,
+        b: &mut Batches,
+        iter: u64,
+        opts: RunOptions,
+    ) {
+        let Batches { tx, rx } = b;
+        if opts.expose_view {
+            let view = OracleView {
+                sim: self,
+                parties,
+                sources,
+                iteration: iter,
+                chunk_round: None,
+            };
+            net.step_rounds_into(tx, Some(&view), rx);
+        } else {
+            net.step_rounds_into(tx, None, rx);
         }
     }
 
@@ -980,8 +1157,6 @@ impl<'w> Simulation<'w> {
     }
 }
 
-type SourceMap = BTreeMap<(NodeId, NodeId), Rc<dyn SeedSource>>;
-
 /// Per-run seed sources, flattened to the dense [`LinkId`] index:
 /// `by_link[lid(u → v)]` is the source party `u` uses for that link (the
 /// two directions differ in `Exchanged` mode, where the receiver decoded
@@ -996,6 +1171,58 @@ struct Sources {
 struct Frames {
     tx: RoundFrame,
     rx: RoundFrame,
+}
+
+/// Precompiled per-round event lists of the flag-passing phase: which
+/// `(party, link)` pairs send or receive in each round of the up/down
+/// waves. Replaces the per-round scan of all `n` parties against
+/// [`FlagPlan`]'s round arithmetic (Θ(n · tree depth) per iteration —
+/// the flag-passing analogue of the meeting-points fill loops).
+struct FlagSchedule {
+    /// Per round: `(u, lid(u → parent))` — `u` sends its aggregate up.
+    up_sends: Vec<Vec<(NodeId, LinkId)>>,
+    /// Per round: `(u, lid(u → child))` — `u` forwards the flag down.
+    down_sends: Vec<Vec<(NodeId, LinkId)>>,
+    /// Per round: `(u, lid(child → u))` — `u` folds a child's aggregate.
+    up_recvs: Vec<Vec<(NodeId, LinkId)>>,
+    /// Per round: `(u, lid(parent → u))` — `u` hears the final flag.
+    down_recvs: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl FlagSchedule {
+    fn new(graph: &Graph, tree: &SpanningTree, plan: &FlagPlan) -> FlagSchedule {
+        let rounds = plan.rounds();
+        let lid = |from: NodeId, to: NodeId| {
+            graph
+                .link_id(DirectedLink { from, to })
+                .expect("tree edge on non-edge")
+        };
+        let mut s = FlagSchedule {
+            up_sends: vec![Vec::new(); rounds],
+            down_sends: vec![Vec::new(); rounds],
+            up_recvs: vec![Vec::new(); rounds],
+            down_recvs: vec![Vec::new(); rounds],
+        };
+        for u in 0..graph.node_count() {
+            if let Some(o) = plan.up_send_round(tree, u) {
+                s.up_sends[o].push((u, lid(u, tree.parent(u).unwrap())));
+            }
+            if let Some(o) = plan.down_send_round(tree, u) {
+                for &c in tree.children(u) {
+                    s.down_sends[o].push((u, lid(u, c)));
+                }
+            }
+            if let Some(o) = plan.up_recv_round(tree, u) {
+                for &c in tree.children(u) {
+                    s.up_recvs[o].push((u, lid(c, u)));
+                }
+            }
+            if let Some(o) = plan.down_recv_round(tree, u) {
+                s.down_recvs[o].push((u, lid(tree.parent(u).unwrap(), u)));
+            }
+        }
+        s
+    }
 }
 
 /// A dense bitset over a party's neighbor indices.
@@ -1054,17 +1281,11 @@ struct SimParty {
     sim_chunk: usize,
     excluded: NbrSet,
     work: Option<ChunkedParty>,
-    pslots: Vec<PartySlot>,
+    /// Progress through the chunk's precompiled
+    /// [`protocol::ChunkedProtocol::party_slots_cached`] table (the slot
+    /// data itself is borrowed from the protocol, not copied per
+    /// iteration; positions come from [`protocol::PartyPlan`]).
     pslot_cursor: usize,
-    /// This chunk's `(round-in-chunk, symbol index)` pairs on the
-    /// outgoing directed link per neighbor, sorted by round (layout
-    /// order).
-    pos_out: Vec<Vec<(u32, u32)>>,
-    /// Same for the incoming directed link.
-    pos_in: Vec<Vec<(u32, u32)>>,
-    /// Total symbols this chunk exchanges with each neighbor (both
-    /// directions); sizes `inprog` and the oracle's position math.
-    pair_syms: Vec<usize>,
     /// Reused per-chunk symbol buffers, one per neighbor.
     inprog: Vec<Vec<Sym>>,
     /// Which neighbors have an active `inprog` this chunk.
@@ -1079,32 +1300,6 @@ impl SimParty {
         if self.snapshots.len() > new_len + 1 {
             self.snapshots.truncate(new_len + 1);
         }
-    }
-
-    /// Symbol index of the send slot to neighbor `ni` in round `ri` of the
-    /// current chunk.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the link carries no outgoing symbol in that round.
-    fn pos_out_idx(&self, ni: usize, ri: usize) -> usize {
-        Self::pos_idx(&self.pos_out[ni], ri)
-    }
-
-    /// Symbol index of the receive slot from neighbor `ni` in round `ri`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the link carries no incoming symbol in that round.
-    fn pos_in_idx(&self, ni: usize, ri: usize) -> usize {
-        Self::pos_idx(&self.pos_in[ni], ri)
-    }
-
-    fn pos_idx(slots: &[(u32, u32)], ri: usize) -> usize {
-        let i = slots
-            .binary_search_by_key(&(ri as u32), |&(r, _)| r)
-            .expect("no slot on link in round");
-        slots[i].1 as usize
     }
 }
 
@@ -1228,13 +1423,16 @@ impl AdaptiveView for OracleView<'_, '_> {
             if !on_edge || slot.kind == SlotKind::Payload {
                 continue;
             }
-            let lid = self.sim.graph.link_id(slot.link)?;
-            let Some(honest) = sends.get(lid) else {
+            let Some(honest) = sends.get(slot.lid) else {
                 continue;
             };
             let receiver = &self.parties[slot.link.to];
-            let rni = self.sim.graph.link_dst_nbr(lid);
-            let idx = receiver.pos_in_idx(rni, jr);
+            let rni = self.sim.graph.link_dst_nbr(slot.lid);
+            let idx = self
+                .sim
+                .proto
+                .party_plan(receiver.sim_chunk, slot.link.to)
+                .pos_in_idx(rni, jr);
             let t_recv = &receiver.t[rni];
             let bit_pos = t_recv.bits().len() + 32 + 2 * idx;
             let honest_sym = Sym::from_bit(honest);

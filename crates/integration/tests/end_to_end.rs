@@ -106,6 +106,37 @@ fn noiseless_gossip_line128() {
     assert_eq!(out.b_star, 0);
 }
 
+/// Large-topology smoke: a 256-party ring (m = 256, 512 directed links).
+/// The word-batched wire rounds, cached chunk plans and copy-on-write
+/// snapshots (PR 4) make this cheap enough for the tier-1 suite even in
+/// debug builds; kept time-boxed like the ring(64)/line(128) smokes via
+/// few gossip rounds and Algorithm A only.
+#[test]
+fn noiseless_gossip_ring256() {
+    let w = Gossip::new(netgraph::topology::ring(256), 2, 23);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 0x256);
+    let sim = Simulation::new(&w, cfg, 256);
+    let out = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(out.success, "ring(256) noiseless run failed: {out:?}");
+    assert_eq!(out.stats.corruptions, 0);
+    assert!(out.g_star >= sim.proto().real_chunks());
+    assert_eq!(out.b_star, 0);
+}
+
+/// Large-topology smoke: a 16×16 grid (n = 256, m = 480 — a shallow BFS
+/// tree, the opposite flag-passing regime from the ring's line tree).
+#[test]
+fn noiseless_gossip_grid16x16() {
+    let w = Gossip::new(netgraph::topology::grid(16, 16), 2, 24);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 0x1616);
+    let sim = Simulation::new(&w, cfg, 257);
+    let out = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(out.success, "grid(16x16) noiseless run failed: {out:?}");
+    assert_eq!(out.stats.corruptions, 0);
+    assert!(out.g_star >= sim.proto().real_chunks());
+    assert_eq!(out.b_star, 0);
+}
+
 /// Light oblivious noise (≈0.005/m) must be repaired in the vast majority
 /// of trials for every scheme.
 #[test]

@@ -10,8 +10,8 @@
 //! [`netgraph::LinkId`]s at construction (hence the `&Graph` parameter),
 //! so probing the per-round [`RoundFrame`] is O(1) per link.
 
-use crate::engine::{AdaptiveView, Adversary, Corruption};
-use crate::frame::RoundFrame;
+use crate::engine::{AdaptiveView, Adversary, Corruption, RoundCorruption};
+use crate::frame::{FrameBatch, RoundFrame};
 use crate::phase::{PhaseGeometry, PhaseKind};
 use netgraph::{DirectedLink, Graph, LinkId};
 use smallbias::Xoshiro256;
@@ -46,9 +46,53 @@ impl Adversary for NoNoise {
         Vec::new()
     }
 
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        _: u64,
+        _: &FrameBatch,
+        _: u64,
+        _: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        Vec::new()
+    }
+
     fn name(&self) -> &'static str {
         "none"
     }
+}
+
+/// Shared batch-corruption loop of the sampler-driven attacks: replays
+/// the sequential per-round RNG consumption (round-major `take` over the
+/// link universe) and emits hits only for rounds where `emit` holds —
+/// the one place the byte-identical-to-sequential contract lives for
+/// both [`IidNoise`] and [`PhaseTargeted`].
+fn sampled_batch(
+    links: &[DirectedLink],
+    sampler: &mut GapSampler,
+    sends: &FrameBatch,
+    emit: impl Fn(usize) -> bool,
+) -> Vec<RoundCorruption> {
+    let mut out = Vec::new();
+    for r in 0..sends.rounds() {
+        let emit_round = emit(r);
+        sampler.take(links.len() as u64, |off, e| {
+            if emit_round {
+                let id = off as usize;
+                out.push(RoundCorruption {
+                    round: r,
+                    corruption: Corruption {
+                        link: links[id],
+                        output: additive(sends.get(id, r), e),
+                    },
+                });
+            }
+        });
+    }
+    out
 }
 
 /// Geometric gap sampler: enumerates the *hit* slots of an i.i.d.
@@ -167,6 +211,23 @@ impl Adversary for IidNoise {
         out
     }
 
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        let skip = self.skip_before;
+        sampled_batch(&self.links, &mut self.sampler, sends, |r| {
+            first_round + r as u64 >= skip
+        })
+    }
+
     fn name(&self) -> &'static str {
         "iid"
     }
@@ -217,6 +278,32 @@ impl Adversary for BurstLink {
         }]
     }
 
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        (0..sends.rounds())
+            .filter(|&r| {
+                let round = first_round + r as u64;
+                round >= self.start && round < self.start + self.len
+            })
+            .map(|r| RoundCorruption {
+                round: r,
+                corruption: Corruption {
+                    link: self.link,
+                    output: additive(sends.get(self.id, r), 1),
+                },
+            })
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "burst"
     }
@@ -264,6 +351,34 @@ impl Adversary for SingleError {
         vec![Corruption {
             link: self.link,
             output: additive(sends.get(self.id), 1),
+        }]
+    }
+
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        if self.fired || self.round < first_round {
+            return Vec::new();
+        }
+        let off = (self.round - first_round) as usize;
+        if off >= sends.rounds() {
+            return Vec::new();
+        }
+        self.fired = true;
+        vec![RoundCorruption {
+            round: off,
+            corruption: Corruption {
+                link: self.link,
+                output: additive(sends.get(self.id, off), 1),
+            },
         }]
     }
 
@@ -326,6 +441,23 @@ impl Adversary for PhaseTargeted {
         out
     }
 
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        let (geometry, phase) = (self.geometry, self.phase);
+        sampled_batch(&self.links, &mut self.sampler, sends, |r| {
+            geometry.locate(first_round + r as u64).phase == phase
+        })
+    }
+
     fn name(&self) -> &'static str {
         "phase_targeted"
     }
@@ -341,6 +473,11 @@ impl Adversary for PhaseTargeted {
 /// every iteration once `m` candidate positions × 2^{-τ} ≳ 1 and the
 /// simulation never converges; against τ = Θ(log m) (Algorithm B) the
 /// success probability per candidate is `m^{-Θ(1)}` and the hunt starves.
+///
+/// Deliberately **not** [`Adversary::batch_aware`]: its oracle reads live
+/// per-round simulation state, which only exists on the sequential path —
+/// batched steps (meeting points, exchange) reach it through the engine's
+/// per-round fallback, where it correctly stays idle.
 pub struct SeedAwareCollision {
     geometry: PhaseGeometry,
     edges: usize,

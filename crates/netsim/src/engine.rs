@@ -1,6 +1,6 @@
 //! The round-driven network engine.
 
-use crate::frame::{RoundFrame, Wire};
+use crate::frame::{FrameBatch, RoundFrame, Wire};
 use netgraph::{DirectedLink, EdgeId, Graph};
 
 /// One channel corruption: the link and what the receiver should observe
@@ -11,6 +11,17 @@ pub struct Corruption {
     pub link: DirectedLink,
     /// The channel output after noise: a bit, or silence.
     pub output: Option<bool>,
+}
+
+/// One corruption inside a [`FrameBatch`]: the batch round it lands in
+/// plus the per-link override — the batched form keeps full per-round
+/// addressing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundCorruption {
+    /// Round offset within the batch (`0..batch.rounds()`).
+    pub round: usize,
+    /// The corruption applied in that round.
+    pub corruption: Corruption,
 }
 
 /// Live-execution view offered to non-oblivious adversaries.
@@ -48,6 +59,39 @@ pub trait Adversary {
         remaining_budget: u64,
         view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption>;
+
+    /// Whether this adversary can corrupt a whole [`FrameBatch`] in one
+    /// [`Adversary::corrupt_batch`] call. When `false` (the default),
+    /// [`Network::step_rounds_into`] falls back to consulting
+    /// [`Adversary::corrupt`] round by round — outcome-identical, just
+    /// without the single-call fast path.
+    fn batch_aware(&self) -> bool {
+        false
+    }
+
+    /// Corruptions for a whole batch of independent rounds
+    /// `[first_round, first_round + sends.rounds())`, in round order.
+    ///
+    /// Implementations MUST produce exactly the corruption stream that
+    /// `sends.rounds()` sequential [`Adversary::corrupt`] calls would —
+    /// same corruptions, same order, same private-randomness consumption —
+    /// so that the batched and bit-serial engine paths stay byte-identical.
+    /// Only consulted when [`Adversary::batch_aware`] returns `true`; the
+    /// default implementation panics to make an incomplete override loud.
+    ///
+    /// `remaining_budget` is the budget at the *start* of the batch;
+    /// adversaries whose decisions depend on mid-batch budget draw-down
+    /// must stay on the per-round path (`batch_aware = false`).
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        remaining_budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        let _ = (first_round, sends, remaining_budget, view);
+        unimplemented!("batch_aware adversary must override corrupt_batch")
+    }
 
     /// Whether this adversary's pattern is independent of the execution
     /// (additive / fixing oblivious adversaries of §2.1).
@@ -110,6 +154,9 @@ pub struct Network {
     adversary: Box<dyn Adversary>,
     budget: u64,
     stats: NetStats,
+    /// Scratch frames of [`Network::step_rounds_into`]'s per-round
+    /// fallback path, allocated on first use and reused across batches.
+    fallback_frames: Option<(RoundFrame, RoundFrame)>,
 }
 
 impl Network {
@@ -121,6 +168,7 @@ impl Network {
             adversary,
             budget,
             stats: NetStats::default(),
+            fallback_frames: None,
         }
     }
 
@@ -182,6 +230,83 @@ impl Network {
                 Some(bit) => rx.set(id, bit),
                 None => rx.clear(id),
             }
+        }
+    }
+
+    /// Executes a whole batch of **independent** synchronous rounds in one
+    /// call: every round of `sends` passes through the adversary and the
+    /// budget accounting exactly as if stepped individually through
+    /// [`Network::step_into`], and the receptions land in `rx`.
+    ///
+    /// Outcome contract: after this call, `rx`, [`Network::stats`] and the
+    /// adversary state are byte-identical to `sends.rounds()` sequential
+    /// `step_into` calls over the batch's per-round frames. The fast path
+    /// (a [`Adversary::batch_aware`] adversary) is one bulk lane copy plus
+    /// one `corrupt_batch` consultation; other adversaries are consulted
+    /// round by round against extracted frames.
+    ///
+    /// Rounds inside a batch must not depend on each other's receptions —
+    /// the caller sees `rx` only when every round has already been sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sends` or `rx` is not sized to the graph's link count,
+    /// or if their round counts differ.
+    pub fn step_rounds_into(
+        &mut self,
+        sends: &FrameBatch,
+        view: Option<&dyn AdaptiveView>,
+        rx: &mut FrameBatch,
+    ) {
+        assert_eq!(
+            sends.link_count(),
+            self.graph.link_count(),
+            "sends batch not sized to graph"
+        );
+        assert_eq!(sends.rounds(), rx.rounds(), "batch round mismatch");
+        let rounds = sends.rounds();
+        if self.adversary.batch_aware() {
+            let first_round = self.stats.rounds;
+            self.stats.rounds += rounds as u64;
+            self.stats.cc += sends.count_set() as u64;
+            let remaining = self.budget - self.stats.corruptions;
+            let corruptions = self
+                .adversary
+                .corrupt_batch(first_round, sends, remaining, view);
+            rx.copy_from(sends);
+            for rc in corruptions {
+                debug_assert!(rc.round < rounds, "corruption past batch end");
+                let Some(id) = self.graph.link_id(rc.corruption.link) else {
+                    continue; // corrupting a non-edge is meaningless
+                };
+                let honest = sends.get(id, rc.round);
+                if honest == rc.corruption.output {
+                    continue; // no change, not a corruption
+                }
+                if self.stats.corruptions >= self.budget {
+                    self.stats.dropped_corruptions += 1;
+                    continue;
+                }
+                self.stats.corruptions += 1;
+                match rc.corruption.output {
+                    Some(bit) => rx.set(id, rc.round, bit),
+                    None => rx.clear(id, rc.round),
+                }
+            }
+        } else {
+            // Per-round fallback: exactly the sequential protocol, frames
+            // extracted from the lanes (scratch reused across batches).
+            let links = sends.link_count();
+            let (mut tx, mut rxf) = self
+                .fallback_frames
+                .take()
+                .unwrap_or_else(|| (RoundFrame::new(links), RoundFrame::new(links)));
+            for r in 0..rounds {
+                sends.round_into(r, &mut tx);
+                self.step_into(&tx, view, &mut rxf);
+                rx.set_round(r, &rxf);
+            }
+            self.fallback_frames = Some((tx, rxf));
         }
     }
 

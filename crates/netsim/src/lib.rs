@@ -21,6 +21,24 @@
 //! and writes what each receiver observes into the latter — both buffers
 //! reused every round.
 //!
+//! # Batched wire rounds
+//!
+//! Phases whose rounds carry **no data dependency** (every round's sends
+//! are known up front — the coding scheme's 4τ-round meeting-points hash
+//! exchange and its randomness-exchange prologue) go through the
+//! word-level batch path instead: a [`FrameBatch`] packs `R` rounds
+//! **lane-major** (each link owns `R` contiguous presence/value bits), so
+//! a link's whole multi-round message is written with one
+//! [`FrameBatch::set_bits`] word store and read back as a
+//! [`FrameBatch::lane`] slice. [`Network::step_rounds_into`] consumes a
+//! batch in one call — one bulk copy, one [`Adversary::corrupt_batch`]
+//! consultation for batch-aware adversaries (every oblivious attack in
+//! [`attacks`]) and a per-round fallback for the rest — with the
+//! contract that receptions, [`NetStats`] and adversary state end up
+//! byte-identical to stepping the rounds one at a time. Corruptions in a
+//! batch are addressed per round via [`RoundCorruption`], so nothing is
+//! lost relative to the bit-serial path.
+//!
 //! ## Migration note (`Wire` users)
 //!
 //! Before this redesign the wire was `Wire = BTreeMap<DirectedLink,
@@ -57,6 +75,6 @@ mod engine;
 mod frame;
 mod phase;
 
-pub use engine::{AdaptiveView, Adversary, Corruption, NetStats, Network};
-pub use frame::{RoundFrame, Wire};
+pub use engine::{AdaptiveView, Adversary, Corruption, NetStats, Network, RoundCorruption};
+pub use frame::{FrameBatch, RoundFrame, Wire};
 pub use phase::{PhaseGeometry, PhaseKind, PhasePos};

@@ -16,7 +16,8 @@
 //! never fed to the inner [`PartyLogic`].
 
 use crate::{PartyLogic, Workload};
-use netgraph::{DirectedLink, Graph, NodeId};
+use netgraph::{DirectedLink, Graph, LinkId, NodeId};
+use std::rc::Rc;
 
 /// What a slot carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +35,9 @@ pub enum SlotKind {
 pub struct Slot {
     /// The directed link that speaks.
     pub link: DirectedLink,
+    /// The dense [`LinkId`] of `link`, resolved at chunking time so hot
+    /// loops never search the adjacency.
+    pub lid: LinkId,
     /// Payload vs. padding.
     pub kind: SlotKind,
     /// For [`SlotKind::Payload`]: the original schedule round; otherwise 0.
@@ -68,12 +72,115 @@ pub struct PartySlot {
     pub round_in_chunk: usize,
     /// The directed link.
     pub link: DirectedLink,
+    /// The dense [`LinkId`] of `link` (precomputed; no adjacency search).
+    pub lid: LinkId,
     /// Payload vs. padding.
     pub kind: SlotKind,
     /// Original schedule round for payload slots.
     pub payload_round: usize,
     /// True if this party is the sender on `link`.
     pub is_send: bool,
+}
+
+/// Cached per-(chunk-shape, party) position tables: where this party's
+/// symbols with each neighbor sit inside a chunk, in layout order.
+///
+/// Two chunks with the same *structural shape* (identical [`LinkId`]
+/// sequence per round, payload content ignored) share one plan, so the
+/// runner's per-iteration "walk the whole layout per party" pass from
+/// before this cache is now a table lookup. Computed once by
+/// [`ChunkedProtocol::new`]; retrieved via [`ChunkedProtocol::party_plan`].
+#[derive(Clone, Debug, Default)]
+pub struct PartyPlan {
+    /// Per neighbor (in the party's sorted adjacency order): this chunk's
+    /// `(round-in-chunk, symbol index)` pairs on the *outgoing* directed
+    /// link, sorted by round.
+    pub pos_out: Vec<Vec<(u32, u32)>>,
+    /// Same for the *incoming* directed link.
+    pub pos_in: Vec<Vec<(u32, u32)>>,
+    /// Total symbols this chunk exchanges with each neighbor (both
+    /// directions) — the symbol-index space of `pos_out`/`pos_in`.
+    pub pair_syms: Vec<usize>,
+}
+
+impl PartyPlan {
+    /// Symbol index of the send slot to neighbor `ni` in round `ri`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link carries no outgoing symbol in that round.
+    pub fn pos_out_idx(&self, ni: usize, ri: usize) -> usize {
+        Self::pos_idx(&self.pos_out[ni], ri)
+    }
+
+    /// Symbol index of the receive slot from neighbor `ni` in round `ri`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link carries no incoming symbol in that round.
+    pub fn pos_in_idx(&self, ni: usize, ri: usize) -> usize {
+        Self::pos_idx(&self.pos_in[ni], ri)
+    }
+
+    fn pos_idx(slots: &[(u32, u32)], ri: usize) -> usize {
+        let i = slots
+            .binary_search_by_key(&(ri as u32), |&(r, _)| r)
+            .expect("no slot on link in round");
+        slots[i].1 as usize
+    }
+}
+
+/// The structural identity of a chunk: the [`LinkId`] sequence of every
+/// round. Chunks with equal keys share their [`PartyPlan`]s.
+type ShapeKey = Vec<Vec<LinkId>>;
+
+/// Position tables of one distinct chunk shape, for every party.
+#[derive(Clone, Debug)]
+struct ShapePlans {
+    plans: Vec<PartyPlan>,
+}
+
+/// Hash-indexed shape deduplicator used at chunking time, so compiling a
+/// protocol whose chunks all differ structurally stays linear in the
+/// number of chunks instead of quadratic.
+#[derive(Default)]
+struct ShapeInterner {
+    shapes: Vec<ShapePlans>,
+    index: std::collections::HashMap<ShapeKey, usize>,
+}
+
+impl ShapeInterner {
+    /// Index of `layout`'s structural shape, compiling per-party position
+    /// tables if this link-per-round sequence has not been seen.
+    fn intern(&mut self, layout: &ChunkLayout, g: &Graph) -> usize {
+        let key: ShapeKey = layout
+            .rounds
+            .iter()
+            .map(|round| round.iter().map(|s| s.lid).collect())
+            .collect();
+        if let Some(&i) = self.index.get(&key) {
+            return i;
+        }
+        let plans = build_shape_plans(&key, g);
+        self.shapes.push(ShapePlans { plans });
+        self.index.insert(key, self.shapes.len() - 1);
+        self.shapes.len() - 1
+    }
+}
+
+/// One chunk's party-partitioned slot tables: every party's
+/// [`PartySlot`]s in processing order, flattened with per-party offsets.
+#[derive(Clone, Debug, Default)]
+struct PartySlots {
+    flat: Vec<PartySlot>,
+    /// `n + 1` offsets; party `u`'s slots are `flat[offsets[u]..offsets[u + 1]]`.
+    offsets: Vec<usize>,
+}
+
+impl PartySlots {
+    fn of(&self, u: NodeId) -> &[PartySlot] {
+        &self.flat[self.offsets[u]..self.offsets[u + 1]]
+    }
 }
 
 /// Π′: the chunked, padded form of a workload's schedule.
@@ -98,6 +205,17 @@ pub struct ChunkedProtocol {
     max_rounds: usize,
     n: usize,
     m: usize,
+    /// Party-partitioned slot tables, one per real chunk (parallel to
+    /// `real`), so [`ChunkedProtocol::party_slots_cached`] is a borrow.
+    real_slots: Vec<PartySlots>,
+    /// Slot tables of the dummy chunk (every index past `real`).
+    dummy_slots: PartySlots,
+    /// Distinct structural shapes and their per-party position tables.
+    shapes: Vec<ShapePlans>,
+    /// `real[c]`'s shape index into `shapes`.
+    real_shape: Vec<usize>,
+    /// The dummy chunk's shape index.
+    dummy_shape: usize,
 }
 
 impl ChunkedProtocol {
@@ -121,6 +239,7 @@ impl ChunkedProtocol {
             .into_iter()
             .map(|link| Slot {
                 link,
+                lid: g.link_id(link).expect("heartbeat on non-edge"),
                 kind: SlotKind::Heartbeat,
                 payload_round: 0,
             })
@@ -145,6 +264,7 @@ impl ChunkedProtocol {
                         .iter()
                         .map(|&link| Slot {
                             link,
+                            lid: g.link_id(link).expect("schedule slot on non-edge"),
                             kind: SlotKind::Payload,
                             payload_round: r,
                         })
@@ -169,13 +289,31 @@ impl ChunkedProtocol {
             .chain(std::iter::once(dummy.round_count()))
             .max()
             .unwrap();
+        // Compile the per-chunk party slot tables and the deduplicated
+        // per-shape position tables (one pass over each layout; shared
+        // across every iteration that simulates the chunk).
+        let n = g.node_count();
+        let real_slots: Vec<PartySlots> = real.iter().map(|l| build_party_slots(l, n)).collect();
+        let dummy_slots = build_party_slots(&dummy, n);
+        let mut interner = ShapeInterner::default();
+        let mut real_shape = Vec::with_capacity(real.len());
+        for layout in &real {
+            real_shape.push(interner.intern(layout, g));
+        }
+        let dummy_shape = interner.intern(&dummy, g);
+        let shapes = interner.shapes;
         ChunkedProtocol {
             chunk_bits,
             real,
             dummy,
             max_rounds,
-            n: g.node_count(),
+            n,
             m,
+            real_slots,
+            dummy_slots,
+            shapes,
+            real_shape,
+            dummy_shape,
         }
     }
 
@@ -214,36 +352,26 @@ impl ChunkedProtocol {
     /// Party `u`'s slots in chunk `c`, in processing order (per round:
     /// sends sorted by link, then receives sorted by link).
     pub fn party_slots(&self, c: usize, u: NodeId) -> Vec<PartySlot> {
-        let mut out = Vec::new();
-        self.party_slots_into(c, u, &mut out);
-        out
+        self.party_slots_cached(c, u).to_vec()
     }
 
-    /// [`ChunkedProtocol::party_slots`] writing into a caller-owned buffer
-    /// (cleared first), so per-iteration drivers reuse one allocation.
-    pub fn party_slots_into(&self, c: usize, u: NodeId, out: &mut Vec<PartySlot>) {
-        out.clear();
-        let layout = self.layout(c);
-        for (ri, round) in layout.rounds.iter().enumerate() {
-            for slot in round.iter().filter(|s| s.link.from == u) {
-                out.push(PartySlot {
-                    round_in_chunk: ri,
-                    link: slot.link,
-                    kind: slot.kind,
-                    payload_round: slot.payload_round,
-                    is_send: true,
-                });
-            }
-            for slot in round.iter().filter(|s| s.link.to == u) {
-                out.push(PartySlot {
-                    round_in_chunk: ri,
-                    link: slot.link,
-                    kind: slot.kind,
-                    payload_round: slot.payload_round,
-                    is_send: false,
-                });
-            }
-        }
+    /// Borrow of party `u`'s precompiled slot table for chunk `c` (the
+    /// zero-copy form of [`ChunkedProtocol::party_slots`]).
+    pub fn party_slots_cached(&self, c: usize, u: NodeId) -> &[PartySlot] {
+        self.real_slots.get(c).unwrap_or(&self.dummy_slots).of(u)
+    }
+
+    /// Party `u`'s cached position tables for chunk `c` (shared across
+    /// all chunks of the same structural shape).
+    pub fn party_plan(&self, c: usize, u: NodeId) -> &PartyPlan {
+        let shape = self.real_shape.get(c).copied().unwrap_or(self.dummy_shape);
+        &self.shapes[shape].plans[u]
+    }
+
+    /// Number of distinct structural chunk shapes the protocol compiled
+    /// (diagnostics; the dummy chunk contributes one).
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
     }
 
     /// Number of slots chunk `c` places on the undirected link `{u, v}`
@@ -278,6 +406,7 @@ fn fill_chunk(layout: &mut ChunkLayout, g: &Graph, chunk_bits: usize) {
                 .iter()
                 .map(|&link| Slot {
                     link,
+                    lid: g.link_id(link).expect("filler on non-edge"),
                     kind: SlotKind::Filler,
                     payload_round: 0,
                 })
@@ -288,18 +417,99 @@ fn fill_chunk(layout: &mut ChunkLayout, g: &Graph, chunk_bits: usize) {
     }
 }
 
+/// Partitions a layout into every party's processing-order slot table in
+/// one pass (per round: sends by link order, then receives by link order —
+/// round slots are already link-sorted).
+fn build_party_slots(layout: &ChunkLayout, n: usize) -> PartySlots {
+    let mut per_party: Vec<Vec<PartySlot>> = vec![Vec::new(); n];
+    for (ri, round) in layout.rounds.iter().enumerate() {
+        for slot in round {
+            per_party[slot.link.from].push(PartySlot {
+                round_in_chunk: ri,
+                link: slot.link,
+                lid: slot.lid,
+                kind: slot.kind,
+                payload_round: slot.payload_round,
+                is_send: true,
+            });
+        }
+        for slot in round {
+            per_party[slot.link.to].push(PartySlot {
+                round_in_chunk: ri,
+                link: slot.link,
+                lid: slot.lid,
+                kind: slot.kind,
+                payload_round: slot.payload_round,
+                is_send: false,
+            });
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut flat = Vec::with_capacity(per_party.iter().map(Vec::len).sum());
+    offsets.push(0);
+    for mut slots in per_party {
+        flat.append(&mut slots);
+        offsets.push(flat.len());
+    }
+    PartySlots { flat, offsets }
+}
+
+/// Compiles the per-party position tables of one structural shape.
+fn build_shape_plans(key: &ShapeKey, g: &Graph) -> Vec<PartyPlan> {
+    let n = g.node_count();
+    let mut plans: Vec<PartyPlan> = (0..n)
+        .map(|u| {
+            let deg = g.degree(u);
+            PartyPlan {
+                pos_out: vec![Vec::new(); deg],
+                pos_in: vec![Vec::new(); deg],
+                pair_syms: vec![0; deg],
+            }
+        })
+        .collect();
+    // One pass over the shape: each slot advances the sender's and the
+    // receiver's shared per-neighbor symbol counter (transcript symbol
+    // order is layout order, counted identically at both endpoints).
+    for (ri, round) in key.iter().enumerate() {
+        for &lid in round {
+            let link = g.link(lid);
+            let sni = g.link_src_nbr(lid);
+            let plan = &mut plans[link.from];
+            let idx = plan.pair_syms[sni];
+            plan.pos_out[sni].push((ri as u32, idx as u32));
+            plan.pair_syms[sni] += 1;
+            let dni = g.link_dst_nbr(lid);
+            let plan = &mut plans[link.to];
+            let idx = plan.pair_syms[dni];
+            plan.pos_in[dni].push((ri as u32, idx as u32));
+            plan.pair_syms[dni] += 1;
+        }
+    }
+    plans
+}
+
 /// A party of the chunked protocol Π′: wraps the inner [`PartyLogic`] and
 /// routes payload slots to it while answering padding slots itself.
+///
+/// The inner Π-state is held behind an [`Rc`] with **clone-on-mutate**
+/// semantics: [`Clone`] is a reference-count bump, and the state is
+/// deep-cloned ([`PartyLogic::clone_box`]) only at the first payload bit
+/// that actually mutates a shared copy. The coding-scheme runner keeps one
+/// snapshot per simulated chunk for the rewind machinery; under this
+/// representation a chunk that carries no payload for a party (dummy and
+/// padding-only chunks — the majority of iterations of a long run) costs
+/// no clone at all, and the snapshot chain stores O(distinct states)
+/// instead of O(chunks) deep copies.
 pub struct ChunkedParty {
     node: NodeId,
-    inner: Box<dyn PartyLogic>,
+    inner: Rc<dyn PartyLogic>,
 }
 
 impl Clone for ChunkedParty {
     fn clone(&self) -> Self {
         ChunkedParty {
             node: self.node,
-            inner: self.inner.clone_box(),
+            inner: Rc::clone(&self.inner),
         }
     }
 }
@@ -315,13 +525,28 @@ impl ChunkedParty {
     pub fn spawn(w: &dyn Workload, node: NodeId) -> Self {
         ChunkedParty {
             node,
-            inner: w.spawn(node),
+            inner: Rc::from(w.spawn(node)),
         }
     }
 
     /// This party's node id.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Mutable access to the Π-state, deep-cloning first iff it is shared
+    /// (the copy-on-write step).
+    fn inner_mut(&mut self) -> &mut dyn PartyLogic {
+        if Rc::get_mut(&mut self.inner).is_none() {
+            self.inner = Rc::from(self.inner.clone_box());
+        }
+        Rc::get_mut(&mut self.inner).expect("uniquely owned after clone-on-write")
+    }
+
+    /// True if `self` and `other` currently share one Π-state allocation
+    /// (diagnostics for the copy-on-write machinery).
+    pub fn shares_state_with(&self, other: &ChunkedParty) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Computes the bit to send for one of this party's send slots.
@@ -332,7 +557,7 @@ impl ChunkedParty {
     pub fn send(&mut self, slot: &PartySlot) -> bool {
         assert!(slot.is_send && slot.link.from == self.node);
         match slot.kind {
-            SlotKind::Payload => self.inner.send_bit(slot.payload_round, slot.link),
+            SlotKind::Payload => self.inner_mut().send_bit(slot.payload_round, slot.link),
             SlotKind::Heartbeat | SlotKind::Filler => false,
         }
     }
@@ -348,7 +573,7 @@ impl ChunkedParty {
     pub fn recv(&mut self, slot: &PartySlot, sym: Option<bool>) {
         assert!(!slot.is_send && slot.link.to == self.node);
         if slot.kind == SlotKind::Payload {
-            self.inner
+            self.inner_mut()
                 .recv_bit(slot.payload_round, slot.link, sym.unwrap_or(false));
         }
     }
@@ -460,5 +685,132 @@ mod tests {
     fn rejects_tiny_chunks() {
         let w = TokenRing::new(4, 2, 0);
         let _ = ChunkedProtocol::new(&w, w.graph().edge_count());
+    }
+
+    #[test]
+    fn slots_carry_correct_link_ids() {
+        let w = Gossip::new(netgraph::topology::grid(2, 3), 4, 5);
+        let g = w.graph();
+        let p = ChunkedProtocol::new(&w, 5 * g.edge_count());
+        for c in 0..p.real_chunks() + 1 {
+            for s in p.layout(c).rounds.iter().flatten() {
+                assert_eq!(Some(s.lid), g.link_id(s.link));
+            }
+            for u in 0..g.node_count() {
+                for s in p.party_slots_cached(c, u) {
+                    assert_eq!(Some(s.lid), g.link_id(s.link));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_party_slots_match_layout_walk() {
+        let w = Gossip::new(netgraph::topology::random_connected(7, 11, 3), 5, 2);
+        let g = w.graph();
+        let p = ChunkedProtocol::new(&w, 5 * g.edge_count());
+        for c in 0..p.real_chunks() + 2 {
+            let layout = p.layout(c);
+            for u in 0..g.node_count() {
+                // The pre-cache algorithm, verbatim.
+                let mut want = Vec::new();
+                for (ri, round) in layout.rounds.iter().enumerate() {
+                    for slot in round.iter().filter(|s| s.link.from == u) {
+                        want.push((ri, slot.link, slot.kind, slot.payload_round, true));
+                    }
+                    for slot in round.iter().filter(|s| s.link.to == u) {
+                        want.push((ri, slot.link, slot.kind, slot.payload_round, false));
+                    }
+                }
+                let got: Vec<_> = p
+                    .party_slots_cached(c, u)
+                    .iter()
+                    .map(|s| (s.round_in_chunk, s.link, s.kind, s.payload_round, s.is_send))
+                    .collect();
+                assert_eq!(got, want, "chunk {c} party {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn party_plan_matches_layout_walk() {
+        let w = Gossip::new(netgraph::topology::grid(3, 3), 4, 8);
+        let g = w.graph();
+        let p = ChunkedProtocol::new(&w, 5 * g.edge_count());
+        for c in 0..p.real_chunks() + 2 {
+            let layout = p.layout(c);
+            for u in 0..g.node_count() {
+                // The pre-cache per-iteration walk, verbatim.
+                let deg = g.degree(u);
+                let mut pos_out = vec![Vec::new(); deg];
+                let mut pos_in = vec![Vec::new(); deg];
+                let mut pair_syms = vec![0usize; deg];
+                for (ri, round) in layout.rounds.iter().enumerate() {
+                    for slot in round {
+                        let lid = g.link_id(slot.link).unwrap();
+                        if slot.link.from == u {
+                            let ni = g.link_src_nbr(lid);
+                            pos_out[ni].push((ri as u32, pair_syms[ni] as u32));
+                            pair_syms[ni] += 1;
+                        } else if slot.link.to == u {
+                            let ni = g.link_dst_nbr(lid);
+                            pos_in[ni].push((ri as u32, pair_syms[ni] as u32));
+                            pair_syms[ni] += 1;
+                        }
+                    }
+                }
+                let plan = p.party_plan(c, u);
+                assert_eq!(plan.pos_out, pos_out, "chunk {c} party {u}");
+                assert_eq!(plan.pos_in, pos_in, "chunk {c} party {u}");
+                assert_eq!(plan.pair_syms, pair_syms, "chunk {c} party {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_dedupe_dummy_iterations() {
+        let w = Gossip::new(netgraph::topology::ring(5), 6, 3);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        // Every chunk index past the real ones maps to the one dummy shape.
+        let a = p.party_plan(p.real_chunks() + 1, 0) as *const PartyPlan;
+        let b = p.party_plan(p.real_chunks() + 7, 0) as *const PartyPlan;
+        assert_eq!(a, b, "dummy chunks must share one plan");
+        assert!(p.shape_count() <= p.real_chunks() + 1);
+    }
+
+    #[test]
+    fn cow_party_clones_share_until_payload_mutation() {
+        let w = TokenRing::new(4, 2, 5);
+        let p = ChunkedProtocol::new(&w, 5 * w.graph().edge_count());
+        let mut a = ChunkedParty::spawn(&w, 0);
+        // Padding slots never touch Π-state: snapshots stay shared.
+        let slots: Vec<PartySlot> = p.party_slots(0, 0);
+        let snapshot = a.clone();
+        assert!(a.shares_state_with(&snapshot));
+        for s in &slots {
+            match (s.is_send, s.kind) {
+                (true, SlotKind::Heartbeat | SlotKind::Filler) => {
+                    let _ = a.send(s);
+                }
+                (false, SlotKind::Heartbeat | SlotKind::Filler) => {
+                    a.recv(s, Some(false));
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            a.shares_state_with(&snapshot),
+            "padding slots must not deep-clone"
+        );
+        // First payload slot triggers exactly one deep clone.
+        if let Some(s) = slots
+            .iter()
+            .find(|s| s.is_send && s.kind == SlotKind::Payload)
+        {
+            let _ = a.send(s);
+            assert!(!a.shares_state_with(&snapshot));
+        }
+        // Outputs equal regardless of sharing.
+        assert_eq!(snapshot.output(), ChunkedParty::spawn(&w, 0).output());
     }
 }

@@ -24,7 +24,9 @@ pub mod reference;
 mod schedule;
 pub mod workloads;
 
-pub use chunking::{ChunkLayout, ChunkedParty, ChunkedProtocol, PartySlot, Slot, SlotKind};
+pub use chunking::{
+    ChunkLayout, ChunkedParty, ChunkedProtocol, PartyPlan, PartySlot, Slot, SlotKind,
+};
 pub use logic::{PartyLogic, Workload};
 pub use schedule::Schedule;
 
