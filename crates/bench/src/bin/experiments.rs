@@ -33,6 +33,7 @@ fn main() {
         "f8" => f8(quick),
         "f9" => f9(quick),
         "large" => large(quick),
+        "adaptive" => adaptive(quick),
         "all" => {
             t1(quick);
             f1(quick);
@@ -45,9 +46,10 @@ fn main() {
             f8(quick);
             f9(quick);
             large(quick);
+            adaptive(quick);
         }
         other => {
-            eprintln!("unknown experiment {other}; use t1|f1..f9|large|all [--quick]");
+            eprintln!("unknown experiment {other}; use t1|f1..f9|large|adaptive|all [--quick]");
             std::process::exit(2);
         }
     }
@@ -665,5 +667,146 @@ fn large(quick: bool) {
                    "ok_clean": clean.success_rate, "blowup": clean.mean_blowup,
                    "ok_noisy": noisy.success_rate}),
         );
+    }
+}
+
+/// ADAPTIVE — phase-aware adaptive attacks (PR 5) vs their closest
+/// oblivious counterparts, at equal corruption budgets: detection-latency
+/// and stall metrics from the instrumentation counters.
+fn adaptive(quick: bool) {
+    use netsim::attacks::{
+        BurstLink, CrossIterationHunter, FlagFlipper, IidNoise, MeetingPointSplitter, Pair,
+        PhaseTargeted, RewindSuppressor,
+    };
+    use netsim::Adversary;
+
+    header(
+        "ADAPTIVE",
+        "Phase-aware adaptive attacks vs oblivious counterparts (equal budgets)",
+    );
+
+    let w = protocol::workloads::Gossip::new(netgraph::topology::ring(5), 6, 17);
+    let g = protocol::Workload::graph(&w).clone();
+    let cfg = SchemeConfig::algorithm_a(&g, 23);
+    let sim = Simulation::new(&w, cfg.clone(), 1);
+    let geo = sim.geometry();
+    let start = geo.phase_start(1, PhaseKind::Simulation);
+    let burst = |g: &netgraph::Graph| -> Box<dyn Adversary> {
+        Box::new(BurstLink::new(
+            g,
+            netgraph::DirectedLink { from: 1, to: 2 },
+            start,
+            8,
+        ))
+    };
+
+    println!(
+        "{:<24} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
+        "attack", "budget", "corr", "coll", "mp_trunc", "stalled", "rw_trunc", "ok"
+    );
+    let rows: Vec<(&str, Box<dyn Adversary>, u64)> = vec![
+        (
+            "mp_splitter",
+            Box::new(MeetingPointSplitter::new(&g, cfg.hash_bits, 2)),
+            40,
+        ),
+        (
+            "  vs phase_mp",
+            Box::new(PhaseTargeted::new(
+                &g,
+                geo,
+                PhaseKind::MeetingPoints,
+                0.02,
+                7,
+            )),
+            40,
+        ),
+        ("flag_flipper", Box::new(FlagFlipper::new(&g, 1)), 6),
+        (
+            "  vs phase_fp",
+            Box::new(PhaseTargeted::new(&g, geo, PhaseKind::FlagPassing, 0.05, 7)),
+            6,
+        ),
+        (
+            "burst+rw_suppressor",
+            Box::new(Pair(burst(&g), Box::new(RewindSuppressor::new(&g, 4)))),
+            11,
+        ),
+        (
+            "  vs burst+phase_rw",
+            Box::new(Pair(
+                burst(&g),
+                Box::new(PhaseTargeted::new(&g, geo, PhaseKind::Rewind, 0.02, 7)),
+            )),
+            11,
+        ),
+        ("  vs burst alone", burst(&g), 11),
+    ];
+    let show = |label: &str, out: &mpic::SimOutcome, budget: u64| {
+        let b = if budget == u64::MAX {
+            "inf".into()
+        } else {
+            budget.to_string()
+        };
+        println!(
+            "{:<24} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
+            label,
+            b,
+            out.stats.corruptions,
+            out.instrumentation.hash_collisions,
+            out.instrumentation.mp_truncations,
+            out.instrumentation.stalled_iterations,
+            out.instrumentation.rewind_truncations,
+            out.success,
+        );
+        emit(
+            "adaptive",
+            json!({"attack": label.trim(), "budget": budget,
+                   "corruptions": out.stats.corruptions,
+                   "collisions": out.instrumentation.hash_collisions,
+                   "mp_truncations": out.instrumentation.mp_truncations,
+                   "stalled_iterations": out.instrumentation.stalled_iterations,
+                   "rewind_truncations": out.instrumentation.rewind_truncations,
+                   "success": out.success}),
+        );
+    };
+    for (label, adv, budget) in rows {
+        let out = sim.run(
+            adv,
+            RunOptions {
+                noise_budget: budget,
+                record_trace: false,
+                expose_view: true,
+            },
+        );
+        show(label, &out, budget);
+    }
+
+    // The cross-iteration hunter against its §6.1 prey (τ = 4) and
+    // against τ = Θ(log m).
+    let wc = protocol::workloads::Gossip::new(netgraph::topology::clique(6), 6, 51);
+    let gc = protocol::Workload::graph(&wc).clone();
+    let mut weak = SchemeConfig::algorithm_a(&gc, 61);
+    weak.hash_bits = 4;
+    let simc = Simulation::new(&wc, weak, 6);
+    let out = simc.run(
+        Box::new(CrossIterationHunter::new(gc.edge_count(), 1, 8)),
+        RunOptions::default(),
+    );
+    show("hunter tau4", &out, u64::MAX);
+    let out = simc.run(
+        Box::new(IidNoise::new(&gc, 0.001, 3)),
+        RunOptions::default(),
+    );
+    show("  vs iid tau4", &out, u64::MAX);
+    if !quick {
+        let mut strong = SchemeConfig::algorithm_a(&gc, 61);
+        strong.hash_bits = (3.0 * (gc.edge_count() as f64).log2()).ceil() as u32;
+        let sims = Simulation::new(&wc, strong, 6);
+        let out = sims.run(
+            Box::new(CrossIterationHunter::new(gc.edge_count(), 1, 8)),
+            RunOptions::default(),
+        );
+        show("hunter tau_strong", &out, u64::MAX);
     }
 }

@@ -61,6 +61,32 @@ pub enum HashingMode {
     Reference,
 }
 
+/// How much of the live execution the runner's [`netsim::AdaptiveView`]
+/// reveals to a non-oblivious adversary.
+///
+/// This is orthogonal to [`crate::RunOptions`]'s `expose_view` (which
+/// decides whether a view object exists at all): the class decides what
+/// the view *answers*. Seed visibility is still governed separately by
+/// [`RandomnessMode`] (Algorithm C hides the CRS from the oracle even at
+/// full phase visibility).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdversaryClass {
+    /// No live view is constructed, even if the run options would expose
+    /// one — the oblivious additive model of §2.1.
+    Oblivious,
+    /// The pre-phase-aware surface: per-edge divergence, transcript
+    /// lengths and the §6.1 collision oracle. Phase position, meeting
+    /// point/flag/rewind state and the memory slot are withheld.
+    SeedAware,
+    /// Full phase visibility: everything in [`AdversaryClass::SeedAware`]
+    /// plus phase position, per-endpoint meeting-point candidates, flag
+    /// states, the rewind wave's active set, and the cross-iteration
+    /// memory slot. The default — experiments that want a weaker
+    /// adversary dial it down.
+    #[default]
+    PhaseAware,
+}
+
 /// Which wire-round machinery the runner drives for phases whose rounds
 /// are independent (meeting points, randomness exchange).
 ///
@@ -111,6 +137,9 @@ pub struct SchemeConfig {
     /// Wire-round machinery for independent-round phases (batched vs.
     /// bit-serial reference; identical outcomes either way).
     pub wire: WireMode,
+    /// How much live state the adaptive view reveals (phase visibility
+    /// knob; seed visibility stays with [`RandomnessMode`]).
+    pub adversary_class: AdversaryClass,
 }
 
 impl SchemeConfig {
@@ -132,6 +161,7 @@ impl SchemeConfig {
             disable_rewind: false,
             hashing: HashingMode::default(),
             wire: WireMode::default(),
+            adversary_class: AdversaryClass::default(),
         }
     }
 
@@ -155,6 +185,7 @@ impl SchemeConfig {
             disable_rewind: false,
             hashing: HashingMode::default(),
             wire: WireMode::default(),
+            adversary_class: AdversaryClass::default(),
         }
     }
 
@@ -178,6 +209,7 @@ impl SchemeConfig {
             disable_rewind: false,
             hashing: HashingMode::default(),
             wire: WireMode::default(),
+            adversary_class: AdversaryClass::default(),
         }
     }
 

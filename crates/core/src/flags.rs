@@ -15,7 +15,7 @@
 //! network for one iteration, which Lemma 4.8's accounting already
 //! charges to the adversary).
 
-use netgraph::{NodeId, SpanningTree};
+use netgraph::{DirectedLink, Graph, LinkId, NodeId, SpanningTree};
 
 /// Precomputed per-node round roles for one flag-passing phase.
 #[derive(Clone, Debug)]
@@ -80,6 +80,63 @@ impl FlagPlan {
         } else {
             Some(self.depth + tree.level(u) - 2)
         }
+    }
+}
+
+/// Precompiled per-round event lists of the flag-passing phase: which
+/// `(party, link)` pairs send or receive in each round of the up/down
+/// waves. Replaces a per-round scan of all `n` parties against
+/// [`FlagPlan`]'s round arithmetic (Θ(n · tree depth) per iteration —
+/// the flag-passing analogue of the meeting-points fill loops).
+pub struct FlagSchedule {
+    /// Per round: `(u, lid(u → parent))` — `u` sends its aggregate up.
+    pub up_sends: Vec<Vec<(NodeId, LinkId)>>,
+    /// Per round: `(u, lid(u → child))` — `u` forwards the flag down.
+    pub down_sends: Vec<Vec<(NodeId, LinkId)>>,
+    /// Per round: `(u, lid(child → u))` — `u` folds a child's aggregate.
+    pub up_recvs: Vec<Vec<(NodeId, LinkId)>>,
+    /// Per round: `(u, lid(parent → u))` — `u` hears the final flag.
+    pub down_recvs: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl FlagSchedule {
+    /// Compiles the plan's round arithmetic into per-round event lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tree edge is not an edge of `graph`.
+    pub fn new(graph: &Graph, tree: &SpanningTree, plan: &FlagPlan) -> FlagSchedule {
+        let rounds = plan.rounds();
+        let lid = |from: NodeId, to: NodeId| {
+            graph
+                .link_id(DirectedLink { from, to })
+                .expect("tree edge on non-edge")
+        };
+        let mut s = FlagSchedule {
+            up_sends: vec![Vec::new(); rounds],
+            down_sends: vec![Vec::new(); rounds],
+            up_recvs: vec![Vec::new(); rounds],
+            down_recvs: vec![Vec::new(); rounds],
+        };
+        for u in 0..graph.node_count() {
+            if let Some(o) = plan.up_send_round(tree, u) {
+                s.up_sends[o].push((u, lid(u, tree.parent(u).unwrap())));
+            }
+            if let Some(o) = plan.down_send_round(tree, u) {
+                for &c in tree.children(u) {
+                    s.down_sends[o].push((u, lid(u, c)));
+                }
+            }
+            if let Some(o) = plan.up_recv_round(tree, u) {
+                for &c in tree.children(u) {
+                    s.up_recvs[o].push((u, lid(c, u)));
+                }
+            }
+            if let Some(o) = plan.down_recv_round(tree, u) {
+                s.down_recvs[o].push((u, lid(tree.parent(u).unwrap(), u)));
+            }
+        }
+        s
     }
 }
 

@@ -53,6 +53,27 @@ pub struct Instrumentation {
     /// Meeting-point rollbacks that landed on non-matching prefixes
     /// (mpc-level collisions).
     pub bad_rollbacks: u64,
+    /// Meeting-points `k, E` counter resets caused by a corrupted or
+    /// mismatching `h(k)` (summed over links × iterations). Every reset
+    /// restarts a link's repair loop from scratch, so this is the
+    /// detection-latency cost a meeting-points attack inflicts.
+    pub mp_resets: u64,
+    /// Meeting-point rollbacks applied (transcript truncations decided by
+    /// the meeting-points phase).
+    pub mp_truncations: u64,
+    /// Iterations in which at least one party sat out the simulation
+    /// phase (`net_correct` false somewhere) — the stall metric of §1.2:
+    /// a stalled iteration burns a full phase round-trip without
+    /// simulating a chunk everywhere.
+    pub stalled_iterations: u64,
+    /// Transcript truncations performed by the rewind wave (own sends and
+    /// honored requests), summed over iterations.
+    pub rewind_truncations: u64,
+    /// Deepest rewind wave observed: the maximum, over rewind phases, of
+    /// the number of distinct rounds within one phase in which at least
+    /// one truncation happened. ≥ 2 means a *multi-level* rewind — a
+    /// request propagated and triggered further rollbacks downstream.
+    pub rewind_wave_depth: u64,
 }
 
 impl Instrumentation {

@@ -48,8 +48,10 @@ mod meeting;
 mod runner;
 mod transcript;
 
-pub use config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode};
-pub use flags::FlagPlan;
+pub use config::{
+    AdversaryClass, HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode,
+};
+pub use flags::{FlagPlan, FlagSchedule};
 pub use instrument::{Instrumentation, IterationSample};
 pub use meeting::{transcript_hash, LinkStatus, MpDecision, MpMessage, MpState, RecvMpMessage};
 pub use runner::{RunOptions, RunScratch, SimOutcome, Simulation};

@@ -224,6 +224,11 @@ pub struct MpDecision {
     pub status: LinkStatus,
     /// If `Some(g)`, the transcript was rolled back to `g` chunks.
     pub truncated_to: Option<usize>,
+    /// The `k, E` counters were reset because the peer's `h(k)` was
+    /// corrupted or mismatched — the repair loop restarted from scratch
+    /// (the stall event phase-aware attacks try to maximize; counted by
+    /// the runner's instrumentation).
+    pub reset: bool,
 }
 
 /// Per-link meeting-points state (`k_{u,v}`, `E_{u,v}` of Algorithm 2).
@@ -304,6 +309,7 @@ impl MpState {
             return MpDecision {
                 status: self.status,
                 truncated_to: None,
+                reset: true,
             };
         }
         // Full transcripts agree: back to simulation.
@@ -314,6 +320,7 @@ impl MpState {
             return MpDecision {
                 status: self.status,
                 truncated_to: None,
+                reset: false,
             };
         }
         // Confirmed mismatch.
@@ -335,6 +342,7 @@ impl MpState {
                 return MpDecision {
                     status: self.status,
                     truncated_to: Some(g),
+                    reset: false,
                 };
             }
         }
@@ -342,6 +350,7 @@ impl MpState {
         MpDecision {
             status: self.status,
             truncated_to: None,
+            reset: false,
         }
     }
 }

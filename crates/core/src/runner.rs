@@ -40,17 +40,21 @@
 // that correspondence.
 #![allow(clippy::needless_range_loop)]
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use crate::config::{HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode};
-use crate::flags::FlagPlan;
+use crate::config::{
+    AdversaryClass, HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode,
+};
+use crate::flags::{FlagPlan, FlagSchedule};
 use crate::instrument::{Instrumentation, IterationSample};
 use crate::meeting::{transcript_hash, LinkStatus, MpMessage, MpState, RecvMpMessage};
 use crate::transcript::{sym_delta, LinkTranscript, TranscriptHasher, SKETCH_BITS};
 use netgraph::{DirectedLink, EdgeId, Graph, LinkId, NodeId, SpanningTree};
 use netsim::{
-    AdaptiveView, Adversary, Corruption, FrameBatch, NetStats, Network, PhaseGeometry, RoundFrame,
+    AdaptiveView, Adversary, Corruption, EdgeMpView, FlagView, FrameBatch, MpSideView, NetStats,
+    Network, PhaseGeometry, PhasePos, RoundFrame,
 };
 use protocol::reference::{run_reference, ReferenceRun};
 use protocol::{ChunkRecord, ChunkedParty, ChunkedProtocol, SlotKind, Sym, Workload};
@@ -346,6 +350,9 @@ impl<'w> Simulation<'w> {
         let sources = self.establish_randomness(&mut net, fr, batches);
         self.attach_hashers(&mut parties, &sources);
         let mut inst = Instrumentation::default();
+        // The adversary's cross-iteration scratch slot: owned by the run,
+        // surfaced through the view, never read by honest parties.
+        let memory = Cell::new(0u64);
 
         for iter in 0..self.iterations {
             self.meeting_points_phase(
@@ -356,9 +363,18 @@ impl<'w> Simulation<'w> {
                 &mut inst,
                 fr,
                 batches,
+                &memory,
                 opts,
             );
-            self.flag_passing_phase(&mut net, &mut parties, &sources, fr, opts);
+            self.flag_passing_phase(
+                &mut net,
+                &mut parties,
+                &sources,
+                &mut inst,
+                fr,
+                &memory,
+                opts,
+            );
             self.simulation_phase(
                 &mut net,
                 &mut parties,
@@ -366,16 +382,19 @@ impl<'w> Simulation<'w> {
                 iter as u64,
                 fr,
                 arena,
+                &memory,
                 opts,
             );
             self.rewind_phase(
                 &mut net,
                 &mut parties,
                 &sources,
+                &mut inst,
                 fr,
                 rewind_batches,
                 rewind_parties,
                 arena,
+                &memory,
                 opts,
             );
             if opts.record_trace {
@@ -614,6 +633,7 @@ impl<'w> Simulation<'w> {
         inst: &mut Instrumentation,
         fr: &mut Frames,
         batches: &mut Option<Batches>,
+        memory: &Cell<u64>,
         opts: RunOptions,
     ) {
         let tau = self.cfg.hash_bits;
@@ -655,7 +675,7 @@ impl<'w> Simulation<'w> {
                     b.tx.set_bits(p.lid_out[ni], &words, n);
                 }
             }
-            self.step_batch(net, parties, sources, b, iter, opts);
+            self.step_batch(net, parties, sources, b, StepCtx::plain(iter, memory), opts);
             // Process straight off the received lanes.
             let rx = &b.rx;
             for p in parties.iter_mut() {
@@ -664,7 +684,9 @@ impl<'w> Simulation<'w> {
                     let (value, presence) = rx.lane(p.lid_in[ni]);
                     let theirs = RecvMpMessage::from_words(value, presence, tau);
                     let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
+                    inst.mp_resets += u64::from(decision.reset);
                     if let Some(g) = decision.truncated_to {
+                        inst.mp_truncations += 1;
                         p.prune_snapshots(g);
                     }
                 }
@@ -677,7 +699,14 @@ impl<'w> Simulation<'w> {
                         fr.tx.set(p.lid_out[ni], p.mp_out[ni].wire_bit(o, tau));
                     }
                 }
-                self.step(net, parties, sources, fr, iter, None, opts);
+                self.step(
+                    net,
+                    parties,
+                    sources,
+                    fr,
+                    StepCtx::plain(iter, memory),
+                    opts,
+                );
                 for p in parties.iter_mut() {
                     for ni in 0..p.neighbors.len() {
                         if let Some(bit) = fr.rx.get(p.lid_in[ni]) {
@@ -692,7 +721,9 @@ impl<'w> Simulation<'w> {
                     let ours = p.mp_out[ni];
                     let theirs = RecvMpMessage::from_bits(&p.mp_in[ni], tau);
                     let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
+                    inst.mp_resets += u64::from(decision.reset);
                     if let Some(g) = decision.truncated_to {
+                        inst.mp_truncations += 1;
                         p.prune_snapshots(g);
                     }
                 }
@@ -713,12 +744,15 @@ impl<'w> Simulation<'w> {
     // ------------------------------------------------------------------
     // Phase 2: flag passing
     // ------------------------------------------------------------------
+    #[allow(clippy::too_many_arguments)]
     fn flag_passing_phase(
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
         sources: &Sources,
+        inst: &mut Instrumentation,
         fr: &mut Frames,
+        memory: &Cell<u64>,
         opts: RunOptions,
     ) {
         // Compute own status (Algorithm 1 lines 6–13).
@@ -749,7 +783,7 @@ impl<'w> Simulation<'w> {
                 };
                 fr.tx.set(lid, flag);
             }
-            self.step(net, parties, sources, fr, 0, None, opts);
+            self.step(net, parties, sources, fr, StepCtx::plain(0, memory), opts);
             for &(u, lid) in &self.flag_sched.up_recvs[o] {
                 // Deleted flag reads as stop (false).
                 let bit = fr.rx.get(lid).unwrap_or(false);
@@ -769,6 +803,7 @@ impl<'w> Simulation<'w> {
                 p.net_correct = p.status;
             }
         }
+        inst.stalled_iterations += u64::from(parties.iter().any(|p| !p.net_correct));
     }
 
     // ------------------------------------------------------------------
@@ -783,6 +818,7 @@ impl<'w> Simulation<'w> {
         iter: u64,
         fr: &mut Frames,
         arena: &mut Arena,
+        memory: &Cell<u64>,
         opts: RunOptions,
     ) {
         // ⊥ round: non-participants announce themselves.
@@ -794,7 +830,14 @@ impl<'w> Simulation<'w> {
                 }
             }
         }
-        self.step(net, parties, sources, fr, iter, None, opts);
+        self.step(
+            net,
+            parties,
+            sources,
+            fr,
+            StepCtx::plain(iter, memory),
+            opts,
+        );
         for u in 0..parties.len() {
             let p = &mut parties[u];
             p.sim_active = p.net_correct;
@@ -861,7 +904,14 @@ impl<'w> Simulation<'w> {
                     }
                 }
             }
-            self.step(net, parties, sources, fr, iter, Some(jr), opts);
+            self.step(
+                net,
+                parties,
+                sources,
+                fr,
+                StepCtx::chunk(iter, jr, memory),
+                opts,
+            );
             for p in parties.iter_mut() {
                 if !p.sim_active {
                     continue;
@@ -924,10 +974,12 @@ impl<'w> Simulation<'w> {
         net: &mut Network,
         parties: &mut [SimParty],
         sources: &Sources,
+        inst: &mut Instrumentation,
         fr: &mut Frames,
         batches: &mut Option<Batches>,
         rw: &mut RewindScratch,
         arena: &mut Arena,
+        memory: &Cell<u64>,
         opts: RunOptions,
     ) {
         for p in parties.iter_mut() {
@@ -941,11 +993,11 @@ impl<'w> Simulation<'w> {
             if self.cfg.wire == WireMode::Batched {
                 let b = batches_for(batches, self.graph.link_count(), self.cfg.rewind_rounds);
                 b.tx.clear_all();
-                self.step_batch(net, parties, sources, b, 0, opts);
+                self.step_batch(net, parties, sources, b, StepCtx::plain(0, memory), opts);
             } else {
                 for _ in 0..self.cfg.rewind_rounds {
                     fr.tx.clear_all();
-                    self.step(net, parties, sources, fr, 0, None, opts);
+                    self.step(net, parties, sources, fr, StepCtx::plain(0, memory), opts);
                 }
             }
             return;
@@ -968,8 +1020,10 @@ impl<'w> Simulation<'w> {
         next.clear();
         marked.clear();
         marked.resize(n, false);
+        let mut wave_rounds = 0u64;
         for _ in 0..self.cfg.rewind_rounds {
             fr.tx.clear_all();
+            let mut truncated_this_round = false;
             for &u in active.iter() {
                 let p = &mut parties[u];
                 let min_chunk = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
@@ -983,6 +1037,8 @@ impl<'w> Simulation<'w> {
                         p.t[ni].truncate_into(new_len, &mut arena.syms);
                         p.prune_snapshots(new_len);
                         p.already_rewound.set(ni);
+                        inst.rewind_truncations += 1;
+                        truncated_this_round = true;
                         if !marked[u] {
                             marked[u] = true;
                             next.push(u);
@@ -990,7 +1046,14 @@ impl<'w> Simulation<'w> {
                     }
                 }
             }
-            self.step(net, parties, sources, fr, 0, None, opts);
+            self.step(
+                net,
+                parties,
+                sources,
+                fr,
+                StepCtx::rewind(active.len(), memory),
+                opts,
+            );
             for (lid, _) in fr.rx.iter_set() {
                 let u = self.graph.link(lid).to;
                 let ni = self.graph.link_dst_nbr(lid);
@@ -1003,41 +1066,49 @@ impl<'w> Simulation<'w> {
                     p.t[ni].truncate_into(new_len, &mut arena.syms);
                     p.prune_snapshots(new_len);
                     p.already_rewound.set(ni);
+                    inst.rewind_truncations += 1;
+                    truncated_this_round = true;
                     if !marked[u] {
                         marked[u] = true;
                         next.push(u);
                     }
                 }
             }
+            wave_rounds += u64::from(truncated_this_round);
             std::mem::swap(active, next);
             next.clear();
             for &u in active.iter() {
                 marked[u] = false;
             }
         }
+        inst.rewind_wave_depth = inst.rewind_wave_depth.max(wave_rounds);
+    }
+
+    /// Whether this run hands the adversary a live view at all: the run
+    /// options must expose it *and* the scheme's adversary class must not
+    /// be [`AdversaryClass::Oblivious`].
+    fn view_exposed(&self, opts: RunOptions) -> bool {
+        opts.expose_view && self.cfg.adversary_class != AdversaryClass::Oblivious
     }
 
     /// One engine round over the scratch frames (`fr.tx` → `fr.rx`),
     /// wiring up the adaptive view when exposed.
-    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         net: &mut Network,
         parties: &[SimParty],
         sources: &Sources,
         fr: &mut Frames,
-        iter: u64,
-        chunk_round: Option<usize>,
+        ctx: StepCtx,
         opts: RunOptions,
     ) {
         let Frames { tx, rx } = fr;
-        if opts.expose_view {
+        if self.view_exposed(opts) {
             let view = OracleView {
                 sim: self,
                 parties,
                 sources,
-                iteration: iter,
-                chunk_round,
+                ctx,
             };
             net.step_into(tx, Some(&view), rx);
         } else {
@@ -1055,17 +1126,16 @@ impl<'w> Simulation<'w> {
         parties: &[SimParty],
         sources: &Sources,
         b: &mut Batches,
-        iter: u64,
+        ctx: StepCtx,
         opts: RunOptions,
     ) {
         let Batches { tx, rx } = b;
-        if opts.expose_view {
+        if self.view_exposed(opts) {
             let view = OracleView {
                 sim: self,
                 parties,
                 sources,
-                iteration: iter,
-                chunk_round: None,
+                ctx,
             };
             net.step_rounds_into(tx, Some(&view), rx);
         } else {
@@ -1171,58 +1241,6 @@ struct Sources {
 struct Frames {
     tx: RoundFrame,
     rx: RoundFrame,
-}
-
-/// Precompiled per-round event lists of the flag-passing phase: which
-/// `(party, link)` pairs send or receive in each round of the up/down
-/// waves. Replaces the per-round scan of all `n` parties against
-/// [`FlagPlan`]'s round arithmetic (Θ(n · tree depth) per iteration —
-/// the flag-passing analogue of the meeting-points fill loops).
-struct FlagSchedule {
-    /// Per round: `(u, lid(u → parent))` — `u` sends its aggregate up.
-    up_sends: Vec<Vec<(NodeId, LinkId)>>,
-    /// Per round: `(u, lid(u → child))` — `u` forwards the flag down.
-    down_sends: Vec<Vec<(NodeId, LinkId)>>,
-    /// Per round: `(u, lid(child → u))` — `u` folds a child's aggregate.
-    up_recvs: Vec<Vec<(NodeId, LinkId)>>,
-    /// Per round: `(u, lid(parent → u))` — `u` hears the final flag.
-    down_recvs: Vec<Vec<(NodeId, LinkId)>>,
-}
-
-impl FlagSchedule {
-    fn new(graph: &Graph, tree: &SpanningTree, plan: &FlagPlan) -> FlagSchedule {
-        let rounds = plan.rounds();
-        let lid = |from: NodeId, to: NodeId| {
-            graph
-                .link_id(DirectedLink { from, to })
-                .expect("tree edge on non-edge")
-        };
-        let mut s = FlagSchedule {
-            up_sends: vec![Vec::new(); rounds],
-            down_sends: vec![Vec::new(); rounds],
-            up_recvs: vec![Vec::new(); rounds],
-            down_recvs: vec![Vec::new(); rounds],
-        };
-        for u in 0..graph.node_count() {
-            if let Some(o) = plan.up_send_round(tree, u) {
-                s.up_sends[o].push((u, lid(u, tree.parent(u).unwrap())));
-            }
-            if let Some(o) = plan.down_send_round(tree, u) {
-                for &c in tree.children(u) {
-                    s.down_sends[o].push((u, lid(u, c)));
-                }
-            }
-            if let Some(o) = plan.up_recv_round(tree, u) {
-                for &c in tree.children(u) {
-                    s.up_recvs[o].push((u, lid(c, u)));
-                }
-            }
-            if let Some(o) = plan.down_recv_round(tree, u) {
-                s.down_recvs[o].push((u, lid(tree.parent(u).unwrap(), u)));
-            }
-        }
-        s
-    }
 }
 
 /// A dense bitset over a party's neighbor indices.
@@ -1359,14 +1377,79 @@ fn max_link_syms(proto: &ChunkedProtocol, graph: &Graph) -> usize {
     best
 }
 
+/// The per-step slice of run state the live view carries beyond the
+/// party array: which iteration/chunk round is executing (for the §6.1
+/// oracle), the rewind wave's active-set size (rewind rounds only), and
+/// the run-owned adversary memory slot.
+#[derive(Clone, Copy)]
+struct StepCtx<'a> {
+    iteration: u64,
+    chunk_round: Option<usize>,
+    rewind_active: Option<usize>,
+    memory: &'a Cell<u64>,
+}
+
+impl<'a> StepCtx<'a> {
+    /// A non-chunk, non-rewind round of iteration `iteration`.
+    fn plain(iteration: u64, memory: &'a Cell<u64>) -> Self {
+        StepCtx {
+            iteration,
+            chunk_round: None,
+            rewind_active: None,
+            memory,
+        }
+    }
+
+    /// Chunk-simulation round `jr` of iteration `iteration`.
+    fn chunk(iteration: u64, jr: usize, memory: &'a Cell<u64>) -> Self {
+        StepCtx {
+            iteration,
+            chunk_round: Some(jr),
+            rewind_active: None,
+            memory,
+        }
+    }
+
+    /// A rewind-wave round with `active` parties still able to send.
+    fn rewind(active: usize, memory: &'a Cell<u64>) -> Self {
+        StepCtx {
+            iteration: 0,
+            chunk_round: None,
+            rewind_active: Some(active),
+            memory,
+        }
+    }
+}
+
 /// The live view handed to non-oblivious adversaries: global state plus
-/// the §6.1 seed-aware collision oracle.
+/// the §6.1 seed-aware collision oracle and, when the scheme's
+/// [`AdversaryClass`] grants it, the phase-aware surface (phase position,
+/// meeting-point/flag/rewind state, cross-iteration memory).
 struct OracleView<'a, 'w> {
     sim: &'a Simulation<'w>,
     parties: &'a [SimParty],
     sources: &'a Sources,
-    iteration: u64,
-    chunk_round: Option<usize>,
+    ctx: StepCtx<'a>,
+}
+
+impl OracleView<'_, '_> {
+    /// Whether the phase-aware surface is granted.
+    fn phase_visible(&self) -> bool {
+        self.sim.cfg.adversary_class == AdversaryClass::PhaseAware
+    }
+
+    /// One endpoint's [`MpSideView`] (party `u`, neighbor index `ni`).
+    fn mp_side(&self, u: NodeId, ni: usize) -> MpSideView {
+        let p = &self.parties[u];
+        MpSideView {
+            k: p.mp[ni].k,
+            e: p.mp[ni].e,
+            in_meeting_points: p.mp[ni].status == LinkStatus::MeetingPoints,
+            mpc1: p.mp_out[ni].mpc1,
+            mpc2: p.mp_out[ni].mpc2,
+            chunks: p.t[ni].chunks(),
+        }
+    }
 }
 
 impl AdaptiveView for OracleView<'_, '_> {
@@ -1391,8 +1474,8 @@ impl AdaptiveView for OracleView<'_, '_> {
         {
             return None;
         }
-        let jr = self.chunk_round?;
-        if self.iteration + 1 >= self.sim.iterations as u64 {
+        let jr = self.ctx.chunk_round?;
+        if self.ctx.iteration + 1 >= self.sim.iterations as u64 {
             return None;
         }
         let (u, v) = self.sim.graph.endpoints(edge);
@@ -1417,7 +1500,10 @@ impl AdaptiveView for OracleView<'_, '_> {
         // slots only (their content never feeds Π, so the damage is
         // exactly a 2-bit transcript delta).
         let layout = self.sim.proto.layout(c);
-        for slot in &layout.rounds[jr] {
+        // Chunks shorter than the phase's reserved round count (e.g. the
+        // dummy heartbeat) have no slots in the trailing rounds.
+        let round_slots = layout.rounds.get(jr)?;
+        for slot in round_slots {
             let on_edge = (slot.link.from == u && slot.link.to == v)
                 || (slot.link.from == v && slot.link.to == u);
             if !on_edge || slot.kind == SlotKind::Payload {
@@ -1452,6 +1538,54 @@ impl AdaptiveView for OracleView<'_, '_> {
         }
         None
     }
+
+    fn phase_of(&self, round: u64) -> Option<PhasePos> {
+        self.phase_visible()
+            .then(|| self.sim.geometry.locate(round))
+    }
+
+    fn mp_view(&self, edge: EdgeId) -> Option<EdgeMpView> {
+        if !self.phase_visible() {
+            return None;
+        }
+        let (u, v) = self.sim.graph.endpoints(edge);
+        Some(EdgeMpView {
+            lo: self.mp_side(u, self.sim.graph.link_src_nbr(2 * edge)),
+            hi: self.mp_side(v, self.sim.graph.link_dst_nbr(2 * edge)),
+        })
+    }
+
+    fn flag_view(&self, node: NodeId) -> Option<FlagView> {
+        if !self.phase_visible() {
+            return None;
+        }
+        let p = &self.parties[node];
+        Some(FlagView {
+            status: p.status,
+            aggregate: p.fp_agg,
+            net_correct: p.net_correct,
+        })
+    }
+
+    fn rewind_active(&self) -> Option<usize> {
+        if !self.phase_visible() {
+            return None;
+        }
+        self.ctx.rewind_active
+    }
+
+    fn memory(&self) -> u64 {
+        if !self.phase_visible() {
+            return 0;
+        }
+        self.ctx.memory.get()
+    }
+
+    fn set_memory(&self, value: u64) {
+        if self.phase_visible() {
+            self.ctx.memory.set(value);
+        }
+    }
 }
 
 impl OracleView<'_, '_> {
@@ -1478,7 +1612,7 @@ impl OracleView<'_, '_> {
             dsketch ^= col1;
         }
         let outer_label = SeedLabel {
-            iteration: self.iteration + 1,
+            iteration: self.ctx.iteration + 1,
             channel: edge as u64,
             slot: SLOT_OUTER,
         };

@@ -1,0 +1,416 @@
+//! Phase-aware adaptive adversaries vs their oblivious counterparts.
+//!
+//! Each of the four PR-5 attacks conditions on the live phase surface
+//! (`AdaptiveView::phase_of` + meeting-point/flag/rewind state + the
+//! cross-iteration memory slot) and must *strictly outperform* its
+//! closest oblivious counterpart on at least one instrumented metric at
+//! equal (or smaller) corruption spend. At the same time the paper's
+//! resilience bound stays an executable invariant: with a bounded noise
+//! budget every run still decodes correctly — the attacks hurt
+//! *progress*, not *correctness*.
+//!
+//! The suite also pins the `AdversaryClass` knob (withholding phase
+//! visibility starves all four attacks) and the multi-level rewind wave
+//! on sparse synthetic speaking orders (ROADMAP "New workloads").
+
+use mpic::{AdversaryClass, RunOptions, SchemeConfig, SimOutcome, Simulation};
+use netgraph::DirectedLink;
+use netsim::attacks::{
+    BurstLink, CrossIterationHunter, FlagFlipper, IidNoise, MeetingPointSplitter, NoNoise, Pair,
+    PhaseTargeted, RewindSuppressor, SeedAwareCollision,
+};
+use netsim::{Adversary, PhaseKind};
+use protocol::workloads::{Gossip, Synthetic};
+use protocol::Workload;
+
+fn gossip_ring5() -> Gossip {
+    Gossip::new(netgraph::topology::ring(5), 6, 17)
+}
+
+fn run(sim: &Simulation, adv: Box<dyn Adversary>, budget: u64) -> SimOutcome {
+    sim.run(
+        adv,
+        RunOptions {
+            noise_budget: budget,
+            ..Default::default()
+        },
+    )
+}
+
+/// The meeting-points splitter manufactures undetected divergence
+/// (asymmetric mpc2 rollbacks) and forces strictly more meeting-point
+/// truncations and hash-masked divergence events than the oblivious
+/// meeting-points spray at the same budget — while the run still decodes.
+#[test]
+fn meeting_point_splitter_beats_oblivious_spray() {
+    let w = gossip_ring5();
+    let g = w.graph().clone();
+    let cfg = SchemeConfig::algorithm_a(&g, 23);
+    let sim = Simulation::new(&w, cfg.clone(), 1);
+    let budget = 40;
+
+    let split = run(
+        &sim,
+        Box::new(MeetingPointSplitter::new(&g, cfg.hash_bits, 2)),
+        budget,
+    );
+    let spray = run(
+        &sim,
+        Box::new(PhaseTargeted::new(
+            &g,
+            sim.geometry(),
+            PhaseKind::MeetingPoints,
+            0.02,
+            7,
+        )),
+        budget,
+    );
+
+    // Same spend…
+    assert_eq!(split.stats.corruptions, budget);
+    assert_eq!(spray.stats.corruptions, budget);
+    // …strictly more manufactured divergence: every split lands as a
+    // rollback the hash comparison of that iteration could not see.
+    assert!(
+        split.instrumentation.hash_collisions > spray.instrumentation.hash_collisions,
+        "splitter should mask divergence: {} vs {}",
+        split.instrumentation.hash_collisions,
+        spray.instrumentation.hash_collisions
+    );
+    assert!(
+        split.instrumentation.mp_truncations > spray.instrumentation.mp_truncations,
+        "splitter should force more rollbacks: {} vs {}",
+        split.instrumentation.mp_truncations,
+        spray.instrumentation.mp_truncations
+    );
+    // The manufactured length gaps drive the rewind wave; the spray's
+    // scattered hits do not.
+    assert!(split.instrumentation.rewind_truncations > spray.instrumentation.rewind_truncations);
+    // Resilience invariant: bounded budget ⇒ both decode correctly.
+    assert!(split.success, "splitter broke decoding: {split:?}");
+    assert!(spray.success);
+}
+
+/// One live *continue→stop* flip per iteration stalls the whole network
+/// for that iteration; the oblivious flag-phase spray wastes most hits on
+/// silent slots. Strictly more stalled iterations at equal spend.
+#[test]
+fn flag_flipper_beats_oblivious_spray() {
+    let w = gossip_ring5();
+    let g = w.graph().clone();
+    let cfg = SchemeConfig::algorithm_a(&g, 23);
+    let sim = Simulation::new(&w, cfg, 1);
+    let budget = 6;
+
+    let flip = run(&sim, Box::new(FlagFlipper::new(&g, 1)), budget);
+    let spray = run(
+        &sim,
+        Box::new(PhaseTargeted::new(
+            &g,
+            sim.geometry(),
+            PhaseKind::FlagPassing,
+            0.05,
+            7,
+        )),
+        budget,
+    );
+
+    assert_eq!(flip.stats.corruptions, budget);
+    assert_eq!(spray.stats.corruptions, budget);
+    // Every flipper corruption buys a full stalled iteration.
+    assert_eq!(flip.instrumentation.stalled_iterations, budget);
+    assert!(
+        flip.instrumentation.stalled_iterations > spray.instrumentation.stalled_iterations,
+        "flipper should stall more: {} vs {}",
+        flip.instrumentation.stalled_iterations,
+        spray.instrumentation.stalled_iterations
+    );
+    assert!(flip.success, "flipper broke decoding: {flip:?}");
+    assert!(spray.success);
+}
+
+/// The rewind suppressor deletes requests exactly on the rounds where the
+/// wave front advances (active set shrinking, tracked through the memory
+/// slot): strictly fewer rewinds complete than with no suppression at
+/// all, and the unhealed gaps surface as extra meeting-point rollbacks.
+/// The oblivious rewind spray does the opposite — its insertions *forge*
+/// requests and add truncations.
+#[test]
+fn rewind_suppressor_stalls_the_wave() {
+    let w = gossip_ring5();
+    let g = w.graph().clone();
+    let cfg = SchemeConfig::algorithm_a(&g, 23);
+    let sim = Simulation::new(&w, cfg, 1);
+    let geo = sim.geometry();
+    // A burst inside iteration 1's chunk creates the length gaps the
+    // rewind wave then has to close.
+    let start = geo.phase_start(1, PhaseKind::Simulation);
+    let burst = || -> Box<dyn Adversary> {
+        Box::new(BurstLink::new(
+            &g,
+            DirectedLink { from: 1, to: 2 },
+            start,
+            8,
+        ))
+    };
+
+    let alone = run(&sim, burst(), 11);
+    let suppressed = run(
+        &sim,
+        Box::new(Pair(burst(), Box::new(RewindSuppressor::new(&g, 4)))),
+        11,
+    );
+    let sprayed = run(
+        &sim,
+        Box::new(Pair(
+            burst(),
+            Box::new(PhaseTargeted::new(&g, geo, PhaseKind::Rewind, 0.02, 7)),
+        )),
+        11,
+    );
+
+    // The suppressor actually fired beyond the burst's own corruptions.
+    assert!(suppressed.stats.corruptions > alone.stats.corruptions);
+    // Suppression: fewer rewinds complete than with the burst alone, and
+    // far fewer than under the oblivious spray (whose insertions forge
+    // extra rewinds instead of stalling them).
+    assert!(
+        suppressed.instrumentation.rewind_truncations < alone.instrumentation.rewind_truncations,
+        "suppressor should stall the wave: {} vs {} unsuppressed",
+        suppressed.instrumentation.rewind_truncations,
+        alone.instrumentation.rewind_truncations
+    );
+    assert!(
+        suppressed.instrumentation.rewind_truncations < sprayed.instrumentation.rewind_truncations
+    );
+    // The suppressed gaps are repaired the expensive way — by
+    // meeting-point rollbacks in later iterations (detection latency).
+    assert!(
+        suppressed.instrumentation.mp_truncations > alone.instrumentation.mp_truncations,
+        "suppressed gaps should fall back to MP repair: {} vs {}",
+        suppressed.instrumentation.mp_truncations,
+        alone.instrumentation.mp_truncations
+    );
+    // Resilience invariant.
+    assert!(alone.success);
+    assert!(
+        suppressed.success,
+        "suppressor broke decoding: {suppressed:?}"
+    );
+}
+
+/// The cross-iteration hunter banks oracle credits in the memory slot
+/// and lands bursts of predicted collisions: orders of magnitude more
+/// hash-masked corruptions than oblivious noise at comparable spend, and
+/// at least as many as the fixed-allowance §6.1 hunter.
+#[test]
+fn cross_iteration_hunter_beats_oblivious_noise() {
+    let w = Gossip::new(netgraph::topology::clique(6), 6, 51);
+    let g = w.graph().clone();
+    let mut weak = SchemeConfig::algorithm_a(&g, 61);
+    weak.hash_bits = 4;
+    let sim = Simulation::new(&w, weak, 6);
+
+    let hunter = sim.run(
+        Box::new(CrossIterationHunter::new(g.edge_count(), 1, 8)),
+        RunOptions::default(),
+    );
+    let oblivious = sim.run(Box::new(IidNoise::new(&g, 0.001, 3)), RunOptions::default());
+    let fixed = sim.run(
+        Box::new(SeedAwareCollision::new(sim.geometry(), g.edge_count(), 1)),
+        RunOptions::default(),
+    );
+
+    assert!(
+        hunter.instrumentation.hash_collisions > 4 * oblivious.instrumentation.hash_collisions,
+        "hunter should mass-produce collisions: {} vs {}",
+        hunter.instrumentation.hash_collisions,
+        oblivious.instrumentation.hash_collisions
+    );
+    // Amortization pays: banked credits land at least as many collisions
+    // as the per-iteration-capped hunter.
+    assert!(
+        hunter.instrumentation.hash_collisions >= fixed.instrumentation.hash_collisions,
+        "amortized {} < fixed {}",
+        hunter.instrumentation.hash_collisions,
+        fixed.instrumentation.hash_collisions
+    );
+    // τ = 4 falls (the §6.1 separation), reported honestly.
+    assert!(!hunter.success);
+}
+
+/// The resilience bound as an executable invariant: with a bounded noise
+/// budget, every one of the four attacks — and the hunter even against
+/// the weak τ it defeats unbounded — still decodes correctly once the
+/// budget runs dry.
+#[test]
+fn all_adaptive_attacks_decode_within_budget() {
+    let w = gossip_ring5();
+    let g = w.graph().clone();
+    let cfg = SchemeConfig::algorithm_a(&g, 23);
+    let sim = Simulation::new(&w, cfg.clone(), 1);
+    let geo = sim.geometry();
+    let start = geo.phase_start(1, PhaseKind::Simulation);
+
+    let attacks: Vec<(&str, Box<dyn Adversary>, u64)> = vec![
+        (
+            "splitter",
+            Box::new(MeetingPointSplitter::new(&g, cfg.hash_bits, 2)),
+            40,
+        ),
+        ("flipper", Box::new(FlagFlipper::new(&g, 1)), 8),
+        (
+            "suppressor",
+            Box::new(Pair(
+                Box::new(BurstLink::new(
+                    &g,
+                    DirectedLink { from: 1, to: 2 },
+                    start,
+                    8,
+                )),
+                Box::new(RewindSuppressor::new(&g, 4)),
+            )),
+            11,
+        ),
+        (
+            "hunter",
+            Box::new(CrossIterationHunter::new(g.edge_count(), 1, 8)),
+            8,
+        ),
+    ];
+    for (name, adv, budget) in attacks {
+        let out = run(&sim, adv, budget);
+        assert!(out.stats.corruptions <= budget);
+        assert!(
+            out.success,
+            "{name} with budget {budget} broke decoding: {out:?}"
+        );
+    }
+
+    // The hunter against its prey (τ = 4), budget-bounded: the masked
+    // corruptions are detected by later fresh hashes and repaired.
+    let wc = Gossip::new(netgraph::topology::clique(6), 6, 51);
+    let gc = wc.graph().clone();
+    let mut weak = SchemeConfig::algorithm_a(&gc, 61);
+    weak.hash_bits = 4;
+    let simc = Simulation::new(&wc, weak, 6);
+    let out = run(
+        &simc,
+        Box::new(CrossIterationHunter::new(gc.edge_count(), 1, 8)),
+        8,
+    );
+    assert!(out.success, "budget-bounded hunter broke decoding: {out:?}");
+
+    // And against τ = Θ(log m) the oracle starves outright.
+    let mut strong = SchemeConfig::algorithm_a(&gc, 61);
+    strong.hash_bits = (3.0 * (gc.edge_count() as f64).log2()).ceil() as u32;
+    let sims = Simulation::new(&wc, strong, 6);
+    let out = sims.run(
+        Box::new(CrossIterationHunter::new(gc.edge_count(), 1, 8)),
+        RunOptions::default(),
+    );
+    assert!(out.success);
+    assert_eq!(
+        out.stats.corruptions, 0,
+        "strong τ should starve the oracle"
+    );
+}
+
+/// The `AdversaryClass` knob: withholding phase visibility
+/// (`SeedAware`) starves all four phase-aware attacks, and `Oblivious`
+/// silences even the seed-aware oracle.
+#[test]
+fn adversary_class_withholds_phase_visibility() {
+    let w = gossip_ring5();
+    let g = w.graph().clone();
+    let geo_probe = Simulation::new(&w, SchemeConfig::algorithm_a(&g, 23), 1).geometry();
+    let start = geo_probe.phase_start(1, PhaseKind::Simulation);
+
+    let mut held = SchemeConfig::algorithm_a(&g, 23);
+    held.adversary_class = AdversaryClass::SeedAware;
+    let sim = Simulation::new(&w, held, 1);
+    let attacks: Vec<Box<dyn Adversary>> = vec![
+        Box::new(MeetingPointSplitter::new(&g, 8, 2)),
+        Box::new(FlagFlipper::new(&g, 1)),
+        Box::new(RewindSuppressor::new(&g, 4)),
+        Box::new(CrossIterationHunter::new(g.edge_count(), 1, 8)),
+    ];
+    for adv in attacks {
+        let name = adv.name();
+        let out = run(&sim, adv, 1000);
+        assert_eq!(
+            out.stats.corruptions, 0,
+            "{name} should starve without phase visibility"
+        );
+        assert!(out.success);
+    }
+    // The §6.1 oracle is still available at SeedAware…
+    let wc = Gossip::new(netgraph::topology::clique(6), 6, 51);
+    let gc = wc.graph().clone();
+    let mut weak = SchemeConfig::algorithm_a(&gc, 61);
+    weak.hash_bits = 4;
+    weak.adversary_class = AdversaryClass::SeedAware;
+    let simc = Simulation::new(&wc, weak.clone(), 6);
+    let out = simc.run(
+        Box::new(SeedAwareCollision::new(simc.geometry(), gc.edge_count(), 1)),
+        RunOptions::default(),
+    );
+    assert!(out.stats.corruptions > 0, "oracle should survive SeedAware");
+    // …and gone at Oblivious.
+    weak.adversary_class = AdversaryClass::Oblivious;
+    let simc = Simulation::new(&wc, weak, 6);
+    let out = simc.run(
+        Box::new(SeedAwareCollision::new(simc.geometry(), gc.edge_count(), 1)),
+        RunOptions::default(),
+    );
+    assert_eq!(out.stats.corruptions, 0);
+    assert!(out.success);
+    // A burst doesn't need the view at all: Oblivious leaves it intact.
+    let mut cfg = SchemeConfig::algorithm_a(&g, 23);
+    cfg.adversary_class = AdversaryClass::Oblivious;
+    let sim = Simulation::new(&w, cfg, 1);
+    let out = run(
+        &sim,
+        Box::new(BurstLink::new(
+            &g,
+            DirectedLink { from: 1, to: 2 },
+            start,
+            8,
+        )),
+        1000,
+    );
+    assert_eq!(out.stats.corruptions, 8);
+    assert!(out.success);
+}
+
+/// Sparse, irregular speaking orders (one link per round, skewed) under
+/// rewind-phase forgeries provably trigger a **multi-level** rewind wave:
+/// truncations happen in ≥ 2 distinct rounds of one rewind phase
+/// (`rewind_wave_depth`), across every generator seed — and the run still
+/// decodes. (ROADMAP "New workloads" down payment.)
+#[test]
+fn sparse_synthetic_triggers_multi_level_rewind() {
+    for seed in 0..6u64 {
+        let w = Synthetic::sparse(netgraph::topology::ring(4), 30, seed);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), 5);
+        let sim = Simulation::new(&w, cfg, seed);
+        let atk = PhaseTargeted::new(w.graph(), sim.geometry(), PhaseKind::Rewind, 0.04, seed);
+        let out = run(&sim, Box::new(atk), 12);
+        assert!(
+            out.instrumentation.rewind_wave_depth >= 2,
+            "seed {seed}: wave depth {} — no multi-level rewind",
+            out.instrumentation.rewind_wave_depth
+        );
+        assert!(out.instrumentation.rewind_truncations >= 4, "seed {seed}");
+        assert!(out.success, "seed {seed}: {out:?}");
+    }
+    // The noiseless control on the same workloads never rewinds — the
+    // wave above is attack-induced, not an artifact of sparsity itself.
+    let w = Synthetic::sparse(netgraph::topology::ring(4), 30, 0);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 5);
+    let sim = Simulation::new(&w, cfg, 0);
+    let out = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(out.success);
+    assert_eq!(out.instrumentation.rewind_truncations, 0);
+    assert_eq!(out.instrumentation.rewind_wave_depth, 0);
+}

@@ -137,6 +137,24 @@ fn noiseless_gossip_grid16x16() {
     assert_eq!(out.b_star, 0);
 }
 
+/// Large-topology smoke: a 1024-party ring (m = 1024, 2048 directed
+/// links — 32 presence words per frame), the next rung above the PR 4
+/// targets. Word-batched wire rounds keep the whole run ≈ 0.5 s in debug
+/// builds, inside the tier-1 time box (budget ≤ 2 s; if this ever
+/// regresses past that, demote to `#[ignore]` and lean on the release-
+/// mode `experiments -- large` CI smoke instead).
+#[test]
+fn noiseless_gossip_ring1024() {
+    let w = Gossip::new(netgraph::topology::ring(1024), 2, 25);
+    let cfg = SchemeConfig::algorithm_a(w.graph(), 0x1024);
+    let sim = Simulation::new(&w, cfg, 1024);
+    let out = sim.run(Box::new(NoNoise), RunOptions::default());
+    assert!(out.success, "ring(1024) noiseless run failed: {out:?}");
+    assert_eq!(out.stats.corruptions, 0);
+    assert!(out.g_star >= sim.proto().real_chunks());
+    assert_eq!(out.b_star, 0);
+}
+
 /// Light oblivious noise (≈0.005/m) must be repaired in the vast majority
 /// of trials for every scheme.
 #[test]

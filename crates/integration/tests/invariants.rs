@@ -3,7 +3,11 @@
 //! invariants — it may fail to simulate Π, but it must fail safe.
 
 use mpic::{RunOptions, SchemeConfig, Simulation};
-use netsim::attacks::IidNoise;
+use netsim::attacks::{
+    CrossIterationHunter, FlagFlipper, IidNoise, MeetingPointSplitter, RewindSuppressor,
+    ScriptedAdversary,
+};
+use netsim::Adversary;
 use proptest::prelude::*;
 use protocol::workloads::{Gossip, TokenRing};
 use protocol::Workload;
@@ -131,6 +135,64 @@ proptest! {
         let sim = Simulation::new(&w, cfg, seed);
         let out = sim.run(Box::new(netsim::attacks::NoNoise), RunOptions::default());
         prop_assert!(out.success, "synthetic seed {seed} failed");
+    }
+
+    /// Arbitrary **budget-respecting corruption scripts** (the
+    /// `ScriptedAdversary` fuzz family): whatever the script does, the
+    /// structural invariants hold and the run is never *silently* wrong —
+    /// a claimed success is a verified bit-for-bit match against the
+    /// noiseless reference (`success ≡ transcripts_ok ∧ outputs_ok`,
+    /// checked inside `check_invariants`).
+    #[test]
+    fn scripted_fuzz_never_silently_wrong(
+        seed in 0u64..100_000,
+        len in 0usize..80,
+    ) {
+        let w = Gossip::new(netgraph::topology::ring(4), 5, seed);
+        let cfg = SchemeConfig::algorithm_a(w.graph(), seed ^ 0xFA2);
+        let sim = Simulation::new(&w, cfg, seed);
+        let geo = sim.geometry();
+        let rounds = geo.setup + sim.iterations() as u64 * geo.iteration_rounds();
+        let atk = ScriptedAdversary::random(w.graph(), rounds, len, seed);
+        // The random script respects the budget by construction…
+        let budget = len as u64;
+        prop_assert!(atk.script().len() as u64 <= budget);
+        let out = sim.run(Box::new(atk), RunOptions {
+            noise_budget: budget,
+            record_trace: true,
+            expose_view: true,
+        });
+        check_invariants(&out, budget);
+        // …so the engine never had to drop anything.
+        prop_assert_eq!(out.stats.dropped_corruptions, 0);
+    }
+
+    /// The "never silently wrong beyond budget" property runs against
+    /// **every adaptive attack family** too: phase-aware strategies with
+    /// arbitrary per-phase allowances, under arbitrary global budgets,
+    /// uphold the same invariants.
+    #[test]
+    fn adaptive_families_uphold_invariants(
+        seed in 0u64..10_000,
+        family in 0usize..4,
+        budget in 0u64..60,
+    ) {
+        let w = Gossip::new(netgraph::topology::ring(4), 5, seed);
+        let g = w.graph().clone();
+        let cfg = SchemeConfig::algorithm_a(&g, seed ^ 0xADA);
+        let sim = Simulation::new(&w, cfg.clone(), seed);
+        let adv: Box<dyn Adversary> = match family {
+            0 => Box::new(MeetingPointSplitter::new(&g, cfg.hash_bits, 1 + seed % 3)),
+            1 => Box::new(FlagFlipper::new(&g, 1 + seed % 2)),
+            2 => Box::new(RewindSuppressor::new(&g, 2 + seed % 4)),
+            _ => Box::new(CrossIterationHunter::new(g.edge_count(), 1, 4 + seed % 8)),
+        };
+        let out = sim.run(adv, RunOptions {
+            noise_budget: budget,
+            record_trace: true,
+            expose_view: true,
+        });
+        check_invariants(&out, budget);
     }
 
     /// Synthetic protocols also repair a single random-phase corruption.

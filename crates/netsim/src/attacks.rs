@@ -545,6 +545,653 @@ impl Adversary for SeedAwareCollision {
     }
 }
 
+// ---------------------------------------------------------------------
+// Phase-aware adaptive attacks (PR 5).
+//
+// All four condition on the live view's phase-aware surface
+// (`AdaptiveView::phase_of` and friends). When the runner withholds phase
+// visibility (`AdversaryClass::{Oblivious,SeedAware}`), `phase_of`
+// returns `None` and every one of them idles — the same attack code
+// degrades gracefully to a no-op under a stricter adversary model.
+// ---------------------------------------------------------------------
+
+/// Runs two adversaries' corruption streams in the same round — the
+/// composition the suites and experiments use to pair a wave-triggering
+/// oblivious attack (e.g. a burst) with a phase-aware one. Oblivious iff
+/// both halves are; never batch-aware (the halves are consulted through
+/// the engine's per-round fallback, which preserves each one's stream).
+pub struct Pair(pub Box<dyn Adversary>, pub Box<dyn Adversary>);
+
+impl Adversary for Pair {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &RoundFrame,
+        remaining_budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let mut out = self.0.corrupt(round, sends, remaining_budget, view);
+        out.extend(self.1.corrupt(round, sends, remaining_budget, view));
+        out
+    }
+
+    fn is_oblivious(&self) -> bool {
+        self.0.is_oblivious() && self.1.is_oblivious()
+    }
+
+    fn name(&self) -> &'static str {
+        "pair"
+    }
+}
+
+/// Walks a batch round by round through a per-round `decide` procedure,
+/// preserving the sequential corruption stream — the shared batch-native
+/// path of the deterministic phase-aware attacks.
+fn decided_batch(
+    first_round: u64,
+    sends: &FrameBatch,
+    mut decide: impl FnMut(u64, &dyn Fn(LinkId) -> Option<bool>) -> Vec<Corruption>,
+) -> Vec<RoundCorruption> {
+    let mut out = Vec::new();
+    for r in 0..sends.rounds() {
+        for corruption in decide(first_round + r as u64, &|id| sends.get(id, r)) {
+            out.push(RoundCorruption {
+                round: r,
+                corruption,
+            });
+        }
+    }
+    out
+}
+
+/// The per-edge directed-link pair `(lo → hi, hi → lo)` for every edge,
+/// resolved once at construction so phase-aware attacks address an edge's
+/// two directions in O(1).
+fn edge_links(graph: &Graph) -> Vec<(DirectedLink, LinkId, DirectedLink, LinkId)> {
+    graph
+        .edges()
+        .map(|(_, u, v)| {
+            let fwd = DirectedLink { from: u, to: v };
+            let bwd = DirectedLink { from: v, to: u };
+            (
+                fwd,
+                graph.link_id(fwd).expect("edge link"),
+                bwd,
+                graph.link_id(bwd).expect("edge link"),
+            )
+        })
+        .collect()
+}
+
+/// Phase-aware **meeting-points splitter**: spends its budget exclusively
+/// on the 4τ-bit meeting-points exchange, in two modes chosen per edge
+/// from the live view:
+///
+/// * *split* — on an edge whose transcripts still agree, corrupt one bit
+///   of `h(T)` **and** one bit of `h(T[..mpc1])` in one direction. The
+///   receiver sees a confirmed mismatch whose only surviving rollback
+///   candidate is its own `mpc2`, truncates one chunk, and returns to
+///   `Simulate` — an **asymmetric** rollback that manufactures a length
+///   divergence for 2 corruptions without ever touching payload;
+/// * *stall* — on an edge that has already diverged, corrupt one bit of
+///   `h(k)` in each direction. Both endpoints reset their `k, E`
+///   counters (counted as `mp_resets`), so the repair loop restarts from
+///   scratch and the divergence survives another iteration.
+///
+/// Its oblivious counterpart is [`PhaseTargeted`] aimed at
+/// [`PhaseKind::MeetingPoints`], which sprays the same rounds blindly;
+/// the splitter lands every corruption on a field that matters.
+///
+/// Batch-native: the meeting-points exchange is exactly the phase the
+/// batched wire path accelerates, so [`Adversary::corrupt_batch`] walks
+/// the batch's rounds through the same per-round decision procedure (no
+/// private randomness, so the streams are identical by construction).
+pub struct MeetingPointSplitter {
+    /// Per-edge directed links, edge-id order.
+    elinks: Vec<(DirectedLink, LinkId, DirectedLink, LinkId)>,
+    tau: u32,
+    /// Max edges attacked per iteration (each costs ≤ 2 corruptions).
+    per_iteration: u64,
+    spent_this_iteration: u64,
+    current_iteration: u64,
+    /// Edges chosen for a split at offset τ, to re-target at offset 2τ.
+    split_targets: Vec<usize>,
+}
+
+impl MeetingPointSplitter {
+    /// Splitter over all edges of `graph` for hash length `tau`,
+    /// attacking at most `per_iteration` edges per iteration.
+    pub fn new(graph: &Graph, tau: u32, per_iteration: u64) -> Self {
+        MeetingPointSplitter {
+            elinks: edge_links(graph),
+            tau,
+            per_iteration,
+            spent_this_iteration: 0,
+            current_iteration: u64::MAX,
+            split_targets: Vec::new(),
+        }
+    }
+
+    /// The shared per-round decision procedure of both engine paths.
+    fn decide(
+        &mut self,
+        round: u64,
+        get: &dyn Fn(LinkId) -> Option<bool>,
+        view: &dyn AdaptiveView,
+    ) -> Vec<Corruption> {
+        let Some(pos) = view.phase_of(round) else {
+            return Vec::new(); // phase visibility withheld
+        };
+        if pos.phase != PhaseKind::MeetingPoints {
+            return Vec::new();
+        }
+        if pos.iteration != self.current_iteration {
+            self.current_iteration = pos.iteration;
+            self.spent_this_iteration = 0;
+            self.split_targets.clear();
+        }
+        let tau = self.tau as u64;
+        let mut out = Vec::new();
+        let mut hit =
+            |elinks: &[(DirectedLink, LinkId, DirectedLink, LinkId)], e: usize, both: bool| {
+                let (fwd, fid, bwd, bid) = elinks[e];
+                out.push(Corruption {
+                    link: fwd,
+                    output: additive(get(fid), 1),
+                });
+                if both {
+                    out.push(Corruption {
+                        link: bwd,
+                        output: additive(get(bid), 1),
+                    });
+                }
+            };
+        match pos.offset {
+            // Bit 0 of h(k): stall every already-diverged edge.
+            0 => {
+                for e in 0..self.elinks.len() {
+                    if self.spent_this_iteration >= self.per_iteration {
+                        break;
+                    }
+                    if view.diverged(e) {
+                        self.spent_this_iteration += 1;
+                        hit(&self.elinks, e, true);
+                    }
+                }
+            }
+            // Bit 0 of h(T): open a split on agreeing edges…
+            o if o == tau => {
+                for e in 0..self.elinks.len() {
+                    if self.spent_this_iteration >= self.per_iteration {
+                        break;
+                    }
+                    if !view.diverged(e) {
+                        self.spent_this_iteration += 1;
+                        self.split_targets.push(e);
+                        hit(&self.elinks, e, false);
+                    }
+                }
+            }
+            // …and bit 0 of h(T[..mpc1]): close it (same edges, same
+            // direction), leaving mpc2 as the only rollback candidate.
+            o if o == 2 * tau => {
+                let targets = std::mem::take(&mut self.split_targets);
+                for &e in &targets {
+                    hit(&self.elinks, e, false);
+                }
+                self.split_targets = targets;
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+impl Adversary for MeetingPointSplitter {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &RoundFrame,
+        _budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let Some(view) = view else {
+            return Vec::new();
+        };
+        self.decide(round, &|id| sends.get(id), view)
+    }
+
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        _budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        let Some(view) = view else {
+            return Vec::new();
+        };
+        decided_batch(first_round, sends, |round, get| {
+            self.decide(round, get, view)
+        })
+    }
+
+    fn is_oblivious(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "mp_splitter"
+    }
+}
+
+/// Phase-aware **flag flipper**: desynchronizes the network by flipping
+/// live *continue* flags to *stop* during the flag-passing phase. One
+/// up-sweep flip poisons every aggregate above the victim, so the root
+/// broadcasts *stop* and the whole network idles for the iteration —
+/// one corruption buys a full stalled iteration (`stalled_iterations`),
+/// where the oblivious [`PhaseTargeted`] counterpart mostly lands on
+/// silent slots or flags that were *stop* anyway.
+///
+/// Batch-native for the same reason as [`MeetingPointSplitter`]: the
+/// decision procedure is deterministic per round, so the batched walk
+/// emits exactly the sequential stream. (Flag passing itself is
+/// data-dependent and never batched by the runner, so in practice the
+/// batch path only ever sees this attack idle.)
+pub struct FlagFlipper {
+    /// All directed links in [`netgraph::LinkId`] order (index = id).
+    links: Vec<DirectedLink>,
+    /// Max flags flipped per iteration.
+    per_iteration: u64,
+    spent_this_iteration: u64,
+    current_iteration: u64,
+}
+
+impl FlagFlipper {
+    /// Flipper over `graph`, at most `per_iteration` flips per iteration.
+    pub fn new(graph: &Graph, per_iteration: u64) -> Self {
+        FlagFlipper {
+            links: graph.links().to_vec(),
+            per_iteration,
+            spent_this_iteration: 0,
+            current_iteration: u64::MAX,
+        }
+    }
+
+    fn decide(
+        &mut self,
+        round: u64,
+        get: &dyn Fn(LinkId) -> Option<bool>,
+        view: &dyn AdaptiveView,
+    ) -> Vec<Corruption> {
+        let Some(pos) = view.phase_of(round) else {
+            return Vec::new();
+        };
+        if pos.phase != PhaseKind::FlagPassing {
+            return Vec::new();
+        }
+        if pos.iteration != self.current_iteration {
+            self.current_iteration = pos.iteration;
+            self.spent_this_iteration = 0;
+        }
+        let mut out = Vec::new();
+        for id in 0..self.links.len() {
+            if self.spent_this_iteration >= self.per_iteration {
+                break;
+            }
+            if get(id) == Some(true) {
+                self.spent_this_iteration += 1;
+                out.push(Corruption {
+                    link: self.links[id],
+                    output: Some(false),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Adversary for FlagFlipper {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &RoundFrame,
+        _budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let Some(view) = view else {
+            return Vec::new();
+        };
+        self.decide(round, &|id| sends.get(id), view)
+    }
+
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        _budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        let Some(view) = view else {
+            return Vec::new();
+        };
+        decided_batch(first_round, sends, |round, get| {
+            self.decide(round, get, view)
+        })
+    }
+
+    fn is_oblivious(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "flag_flipper"
+    }
+}
+
+/// Phase-aware **rewind suppressor**: watches the rewind wave's active
+/// set through [`AdaptiveView::rewind_active`] and spends budget exactly
+/// on rounds where the set *shrinks* — the rounds in which the wave
+/// front is advancing — deleting every rewind request on the wire. A
+/// deleted request leaves the sender truncated and the receiver not,
+/// so instead of closing a length gap the wave widens it, and the
+/// damage surfaces as extra repair iterations. The previous round's
+/// active-set size is carried in the view's cross-iteration memory slot.
+///
+/// Its oblivious counterpart is [`PhaseTargeted`] on
+/// [`PhaseKind::Rewind`], which wastes most hits on silent links.
+///
+/// Deliberately **not** [`Adversary::batch_aware`]: the active-set
+/// signal only exists on the sequential path (the runner batches rewind
+/// rounds only when the phase is disabled and silent), so the engine's
+/// per-round fallback — where this attack correctly idles outside the
+/// rewind phase — is the honest implementation.
+pub struct RewindSuppressor {
+    /// All directed links in [`netgraph::LinkId`] order (index = id).
+    links: Vec<DirectedLink>,
+    /// Max deletions per rewind phase.
+    per_phase: u64,
+    spent_this_phase: u64,
+    current_iteration: u64,
+}
+
+impl RewindSuppressor {
+    /// Suppressor over `graph`, deleting at most `per_phase` requests per
+    /// rewind phase.
+    pub fn new(graph: &Graph, per_phase: u64) -> Self {
+        RewindSuppressor {
+            links: graph.links().to_vec(),
+            per_phase,
+            spent_this_phase: 0,
+            current_iteration: u64::MAX,
+        }
+    }
+}
+
+impl Adversary for RewindSuppressor {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &RoundFrame,
+        _budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let Some(view) = view else {
+            return Vec::new();
+        };
+        let Some(pos) = view.phase_of(round) else {
+            return Vec::new();
+        };
+        if pos.phase != PhaseKind::Rewind {
+            return Vec::new();
+        }
+        let Some(active) = view.rewind_active() else {
+            return Vec::new(); // rewind disabled, or visibility withheld
+        };
+        if pos.iteration != self.current_iteration {
+            self.current_iteration = pos.iteration;
+            self.spent_this_phase = 0;
+        }
+        if pos.offset == 0 {
+            // Phase start: everyone is nominally active; just record.
+            view.set_memory(active as u64);
+            return Vec::new();
+        }
+        let prev = view.memory();
+        view.set_memory(active as u64);
+        if (active as u64) >= prev {
+            return Vec::new(); // wave not advancing: save the budget
+        }
+        let mut out = Vec::new();
+        for (id, _) in sends.iter_set() {
+            if self.spent_this_phase >= self.per_phase {
+                break;
+            }
+            self.spent_this_phase += 1;
+            out.push(Corruption {
+                link: self.links[id],
+                output: None, // delete the rewind request
+            });
+        }
+        out
+    }
+
+    fn is_oblivious(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "rewind_suppressor"
+    }
+}
+
+/// Phase-aware **cross-iteration hunter**: the §6.1 seed-aware collision
+/// hunt, but with its budget *amortized across iterations* through the
+/// view's memory slot. Each simulation phase deposits `per_iteration`
+/// hunting credits (capped at `burst_cap`); every predicted-collision
+/// corruption spends one. Iterations in which the oracle finds nothing
+/// bank their credits, so when the execution finally reaches a
+/// collision-rich configuration the hunter can land a burst the
+/// fixed-allowance [`SeedAwareCollision`] would have had to spread out.
+///
+/// Like [`SeedAwareCollision`], deliberately **not**
+/// [`Adversary::batch_aware`]: its oracle reads live per-round
+/// simulation state that only exists on the sequential path.
+pub struct CrossIterationHunter {
+    edges: usize,
+    per_iteration: u64,
+    burst_cap: u64,
+    current_iteration: u64,
+}
+
+impl CrossIterationHunter {
+    /// Hunts over all `edges` edges, earning `per_iteration` credits per
+    /// iteration, banked up to `burst_cap`.
+    pub fn new(edges: usize, per_iteration: u64, burst_cap: u64) -> Self {
+        CrossIterationHunter {
+            edges,
+            per_iteration,
+            burst_cap: burst_cap.max(per_iteration),
+            current_iteration: u64::MAX,
+        }
+    }
+}
+
+impl Adversary for CrossIterationHunter {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &RoundFrame,
+        budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let Some(view) = view else {
+            return Vec::new();
+        };
+        let Some(pos) = view.phase_of(round) else {
+            return Vec::new(); // phase visibility withheld: starve
+        };
+        if pos.phase != PhaseKind::Simulation || budget == 0 {
+            return Vec::new();
+        }
+        // Credits live in the cross-iteration memory slot.
+        let mut credits = view.memory();
+        if pos.iteration != self.current_iteration {
+            self.current_iteration = pos.iteration;
+            credits = (credits + self.per_iteration).min(self.burst_cap);
+        }
+        let mut out = Vec::new();
+        for edge in 0..self.edges {
+            if credits == 0 {
+                break;
+            }
+            if view.diverged(edge) {
+                continue; // the point is to create fresh divergence
+            }
+            if let Some(c) = view.collision_corruption(edge, sends) {
+                credits -= 1;
+                out.push(c);
+            }
+        }
+        view.set_memory(credits);
+        out
+    }
+
+    fn is_oblivious(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "cross_iteration_hunter"
+    }
+}
+
+/// One step of a [`ScriptedAdversary`]: an additive error `e ∈ {1, 2}`
+/// on the directed link with dense id `lid`, at absolute round `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScriptStep {
+    /// Absolute engine round the corruption lands in.
+    pub round: u64,
+    /// Dense [`LinkId`] of the target link.
+    pub lid: LinkId,
+    /// Additive error in {1, 2} (mod-3 over {0, 1, *}).
+    pub e: u8,
+}
+
+/// A fully scripted oblivious adversary: a fixed, budget-respecting
+/// corruption script fixed before the run (the additive noise tensor of
+/// §2.1, materialized). The invariant fuzz suites generate random
+/// scripts ([`ScriptedAdversary::random`]) and replay them through every
+/// engine path and scheme configuration.
+pub struct ScriptedAdversary {
+    /// All directed links in [`netgraph::LinkId`] order (index = id).
+    links: Vec<DirectedLink>,
+    /// Steps sorted by round (stable on lid).
+    script: Vec<ScriptStep>,
+    cursor: usize,
+}
+
+impl ScriptedAdversary {
+    /// An adversary replaying `script` (sorted internally by round).
+    pub fn new(graph: &Graph, mut script: Vec<ScriptStep>) -> Self {
+        script.sort_by_key(|s| (s.round, s.lid));
+        ScriptedAdversary {
+            links: graph.links().to_vec(),
+            script,
+            cursor: 0,
+        }
+    }
+
+    /// A deterministic random script of `len` steps over rounds
+    /// `[0, max_round)`, derived from `seed` — the reusable generator of
+    /// the invariant fuzz suites (proptest draws `(seed, len)` and the
+    /// script follows).
+    pub fn random(graph: &Graph, max_round: u64, len: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seeded(seed ^ 0x5c21_97ed_ab1e_5007);
+        let links = graph.link_count() as u64;
+        let script = (0..len)
+            .map(|_| ScriptStep {
+                round: rng.next_u64() % max_round.max(1),
+                lid: (rng.next_u64() % links) as LinkId,
+                e: 1 + (rng.next_u64() % 2) as u8,
+            })
+            .collect();
+        ScriptedAdversary::new(graph, script)
+    }
+
+    /// The script (sorted by round).
+    pub fn script(&self) -> &[ScriptStep] {
+        &self.script
+    }
+}
+
+impl Adversary for ScriptedAdversary {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &RoundFrame,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let mut out = Vec::new();
+        while self.cursor < self.script.len() && self.script[self.cursor].round < round {
+            self.cursor += 1; // rounds the engine never asked about
+        }
+        while self.cursor < self.script.len() && self.script[self.cursor].round == round {
+            let s = self.script[self.cursor];
+            self.cursor += 1;
+            out.push(Corruption {
+                link: self.links[s.lid],
+                output: additive(sends.get(s.lid), s.e),
+            });
+        }
+        out
+    }
+
+    fn batch_aware(&self) -> bool {
+        true
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        _budget: u64,
+        _view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        let end = first_round + sends.rounds() as u64;
+        let mut out = Vec::new();
+        while self.cursor < self.script.len() && self.script[self.cursor].round < first_round {
+            self.cursor += 1;
+        }
+        while self.cursor < self.script.len() && self.script[self.cursor].round < end {
+            let s = self.script[self.cursor];
+            self.cursor += 1;
+            let r = (s.round - first_round) as usize;
+            out.push(RoundCorruption {
+                round: r,
+                corruption: Corruption {
+                    link: self.links[s.lid],
+                    output: additive(sends.get(s.lid, r), s.e),
+                },
+            });
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +1275,65 @@ mod tests {
             let in_fp = g.locate(round).phase == PhaseKind::FlagPassing;
             assert_eq!(!cs.is_empty(), in_fp, "round {round}");
         }
+    }
+
+    #[test]
+    fn phase_aware_attacks_idle_without_view() {
+        let graph = topology::line(3);
+        let sends = RoundFrame::for_graph(&graph);
+        let mut attacks: Vec<Box<dyn Adversary>> = vec![
+            Box::new(MeetingPointSplitter::new(&graph, 8, 2)),
+            Box::new(FlagFlipper::new(&graph, 1)),
+            Box::new(RewindSuppressor::new(&graph, 4)),
+            Box::new(CrossIterationHunter::new(2, 1, 4)),
+        ];
+        for a in &mut attacks {
+            assert!(a.corrupt(5, &sends, u64::MAX, None).is_empty());
+            assert!(!a.is_oblivious());
+        }
+    }
+
+    #[test]
+    fn scripted_adversary_replays_in_round_order() {
+        let graph = topology::line(3);
+        let steps = vec![
+            ScriptStep {
+                round: 7,
+                lid: 1,
+                e: 2,
+            },
+            ScriptStep {
+                round: 2,
+                lid: 0,
+                e: 1,
+            },
+            ScriptStep {
+                round: 7,
+                lid: 0,
+                e: 1,
+            },
+        ];
+        let mut a = ScriptedAdversary::new(&graph, steps);
+        assert_eq!(a.script()[0].round, 2, "sorted by round");
+        let sends = RoundFrame::for_graph(&graph);
+        assert!(a.corrupt(0, &sends, u64::MAX, None).is_empty());
+        assert_eq!(a.corrupt(2, &sends, u64::MAX, None).len(), 1);
+        // Skipped rounds are dropped, same-round steps batch together.
+        assert_eq!(a.corrupt(7, &sends, u64::MAX, None).len(), 2);
+        assert!(a.corrupt(8, &sends, u64::MAX, None).is_empty());
+    }
+
+    #[test]
+    fn scripted_random_is_deterministic_and_budget_sized() {
+        let graph = topology::ring(4);
+        let a = ScriptedAdversary::random(&graph, 100, 17, 5);
+        let b = ScriptedAdversary::random(&graph, 100, 17, 5);
+        assert_eq!(a.script(), b.script());
+        assert_eq!(a.script().len(), 17);
+        assert!(a
+            .script()
+            .iter()
+            .all(|s| s.round < 100 && s.lid < graph.link_count() && (1..=2).contains(&s.e)));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The round-driven network engine.
 
 use crate::frame::{FrameBatch, RoundFrame, Wire};
-use netgraph::{DirectedLink, EdgeId, Graph};
+use crate::phase::PhasePos;
+use netgraph::{DirectedLink, EdgeId, Graph, NodeId};
 
 /// One channel corruption: the link and what the receiver should observe
 /// instead (`Some(bit)` substitutes/inserts, `None` deletes).
@@ -24,12 +25,69 @@ pub struct RoundCorruption {
     pub corruption: Corruption,
 }
 
+/// One endpoint's live meeting-points position on an edge, as published
+/// through [`AdaptiveView::mp_view`]: the repair-loop counters of
+/// Algorithm 2 plus the two meeting-point candidates the *next* exchange
+/// will hash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MpSideView {
+    /// Consecutive meeting-points iterations `k` on this side.
+    pub k: u64,
+    /// Mismatch-evidence counter `E` on this side.
+    pub e: u64,
+    /// Whether this side currently classifies the link as mid-repair.
+    pub in_meeting_points: bool,
+    /// Meeting-point candidate `mpc1` (chunks) of the latest exchange.
+    pub mpc1: usize,
+    /// Meeting-point candidate `mpc2` (chunks) of the latest exchange.
+    pub mpc2: usize,
+    /// Transcript length (chunks) on this side.
+    pub chunks: usize,
+}
+
+/// Both endpoints' [`MpSideView`]s of one edge (`lo` = the lower node id).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeMpView {
+    /// The lower-id endpoint's side.
+    pub lo: MpSideView,
+    /// The higher-id endpoint's side.
+    pub hi: MpSideView,
+}
+
+/// One party's live flag-passing state, as published through
+/// [`AdaptiveView::flag_view`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlagView {
+    /// The party's own status bit (Algorithm 1 lines 6–13).
+    pub status: bool,
+    /// Its running up-sweep aggregate.
+    pub aggregate: bool,
+    /// The network-correct flag it acts on this iteration.
+    pub net_correct: bool,
+}
+
 /// Live-execution view offered to non-oblivious adversaries.
 ///
 /// The paper's non-oblivious adversary (§6) sees the parties' inputs and
 /// the entire transcript so far — in particular the hash seeds that crossed
 /// the network — and picks corruptions adaptively. We expose that power as
 /// a trait implemented by the coding-scheme runner.
+///
+/// # Phase-aware surface
+///
+/// Beyond the per-edge divergence bits and the §6.1 seed-aware oracle,
+/// the runner publishes its live phase position and per-phase state:
+/// where the current round falls ([`AdaptiveView::phase_of`]), each
+/// endpoint's meeting-point candidates and repair counters
+/// ([`AdaptiveView::mp_view`]), each party's flag state
+/// ([`AdaptiveView::flag_view`]), the size of the active-party set while
+/// the rewind wave runs ([`AdaptiveView::rewind_active`]), and a
+/// cross-iteration scratch slot ([`AdaptiveView::memory`] /
+/// [`AdaptiveView::set_memory`]) so strategies can condition on what they
+/// observed in earlier iterations. Every phase-aware method has a
+/// withholding default (`None` / zero): the runner only answers when the
+/// experiment's `AdversaryClass` grants phase visibility, so the same
+/// attack code degrades to idle under a stricter adversary model.
 pub trait AdaptiveView {
     /// True if the two endpoints of `edge` currently hold differing
     /// pairwise transcripts.
@@ -44,6 +102,49 @@ pub trait AdaptiveView {
     /// undetected. Returns `None` when no such corruption exists this
     /// round.
     fn collision_corruption(&self, edge: EdgeId, sends: &RoundFrame) -> Option<Corruption>;
+
+    /// Where absolute round `round` falls in the scheme's phase layout
+    /// (iteration, phase kind, round-within-phase). `None` when phase
+    /// visibility is withheld. Batch adversaries pass
+    /// `first_round + offset` to locate each round of the batch.
+    fn phase_of(&self, round: u64) -> Option<PhasePos> {
+        let _ = round;
+        None
+    }
+
+    /// Both endpoints' live meeting-points state on `edge` (counters and
+    /// the candidates the next rollback would target). `None` when phase
+    /// visibility is withheld.
+    fn mp_view(&self, edge: EdgeId) -> Option<EdgeMpView> {
+        let _ = edge;
+        None
+    }
+
+    /// `node`'s live flag-passing state. `None` when phase visibility is
+    /// withheld.
+    fn flag_view(&self, node: NodeId) -> Option<FlagView> {
+        let _ = node;
+        None
+    }
+
+    /// While the rewind wave runs: how many parties may still send a
+    /// rewind request this round (the wave's active set). `None` outside
+    /// the rewind phase or when phase visibility is withheld.
+    fn rewind_active(&self) -> Option<usize> {
+        None
+    }
+
+    /// Reads the cross-iteration memory slot (0 when withheld). The slot
+    /// is owned by the run, survives across rounds and iterations, and is
+    /// adversary-private: the honest parties never read it.
+    fn memory(&self) -> u64 {
+        0
+    }
+
+    /// Writes the cross-iteration memory slot (no-op when withheld).
+    fn set_memory(&self, value: u64) {
+        let _ = value;
+    }
 }
 
 /// An adversary controlling the noise.

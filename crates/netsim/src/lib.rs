@@ -75,6 +75,9 @@ mod engine;
 mod frame;
 mod phase;
 
-pub use engine::{AdaptiveView, Adversary, Corruption, NetStats, Network, RoundCorruption};
+pub use engine::{
+    AdaptiveView, Adversary, Corruption, EdgeMpView, FlagView, MpSideView, NetStats, Network,
+    RoundCorruption,
+};
 pub use frame::{FrameBatch, RoundFrame, Wire};
 pub use phase::{PhaseGeometry, PhaseKind, PhasePos};

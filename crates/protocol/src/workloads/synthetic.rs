@@ -52,6 +52,40 @@ impl Synthetic {
             }
             schedule.push_round(round);
         }
+        Synthetic::from_schedule(graph, schedule, seed)
+    }
+
+    /// A **sparse, irregular** speaking order: every round activates
+    /// exactly one directed link, drawn from a skewed distribution (half
+    /// the rounds cluster on one "hot" link, the rest scatter), so
+    /// per-link traffic has long silent gaps and chunk boundaries fall
+    /// mid-conversation. This is the workload shape that stresses the
+    /// rewind machinery: a mid-chunk corruption leaves length gaps that
+    /// only a multi-round rewind wave can close (see the
+    /// `adaptive_phases` suite, which asserts the wave via the
+    /// `rewind_wave_depth` counter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn sparse(graph: Graph, rounds: usize, seed: u64) -> Self {
+        assert!(rounds >= 1);
+        let links: Vec<DirectedLink> = graph.directed_links().collect();
+        let mut s = seed ^ 0x51a5_51a5;
+        let hot = links[(mix64(&mut s) % links.len() as u64) as usize];
+        let mut schedule = Schedule::new();
+        for _ in 0..rounds {
+            let link = if mix64(&mut s) % 2 == 0 {
+                hot
+            } else {
+                links[(mix64(&mut s) % links.len() as u64) as usize]
+            };
+            schedule.push_round(vec![link]);
+        }
+        Synthetic::from_schedule(graph, schedule, seed)
+    }
+
+    fn from_schedule(graph: Graph, schedule: Schedule, seed: u64) -> Self {
         let mut t = seed;
         let inputs = (0..graph.node_count()).map(|_| mix64(&mut t)).collect();
         Synthetic {

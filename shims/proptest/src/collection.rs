@@ -64,12 +64,27 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = self.size.pick(rng);
         (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+
+    /// Halve-and-retry on the *length*: truncate to half (never below the
+    /// size range's minimum). Element-wise shrinking is deliberately out
+    /// of scope — small length is what makes counterexamples readable.
+    fn shrink(&self, value: &Vec<S::Value>) -> Option<Vec<S::Value>> {
+        let target = (value.len() / 2).max(self.size.lo);
+        if target >= value.len() {
+            None
+        } else {
+            Some(value[..target].to_vec())
+        }
     }
 }
 
@@ -125,6 +140,19 @@ mod tests {
             let v = vec(any::<u8>(), 1..300).new_value(&mut rng);
             assert!((1..300).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn vec_shrink_halves_length_down_to_minimum() {
+        let s = vec(0u8..10, 3..=20);
+        let v: Vec<u8> = (0..16).map(|i| i % 10).collect();
+        let half = s.shrink(&v).unwrap();
+        assert_eq!(half, &v[..8], "prefix truncation");
+        let quarter = s.shrink(&half).unwrap();
+        assert_eq!(quarter.len(), 4);
+        let floor = s.shrink(&quarter).unwrap();
+        assert_eq!(floor.len(), 3, "clamped at the size minimum");
+        assert_eq!(s.shrink(&floor), None);
     }
 
     #[test]

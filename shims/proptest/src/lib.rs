@@ -4,7 +4,12 @@
 //! * value generation is a deterministic splitmix64 stream seeded from the
 //!   test's module path and name, so every run explores the same cases and
 //!   failures reproduce exactly;
-//! * there is no shrinking — a failing case reports its index and message;
+//! * shrinking is **minimal halve-and-retry**: when a case fails, each
+//!   parameter in turn is repeatedly halved toward its strategy's minimum
+//!   (integer ranges halve the offset from the lower bound,
+//!   `collection::vec` halves the length) for as long as the failure
+//!   still reproduces, and the panic message reports the shrunk
+//!   counterexample. There is no backtracking search beyond that;
 //! * the default case count is 64 (configure per-block with
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` as usual).
 //!
@@ -32,6 +37,14 @@ pub mod prelude {
 /// Outcome type threaded through a generated test body: `Ok` to continue,
 /// `Err(Reject)` to skip the case, `Err(Fail)` to fail the test.
 pub type TestCaseResult = Result<(), test_runner::TestCaseError>;
+
+/// Implementation detail of [`proptest!`]: pins a case closure's argument
+/// type to the parameter tuple's type (closure parameter inference cannot
+/// resolve method calls on `&_` before the first call site).
+#[doc(hidden)]
+pub fn __typed_case<V, F: FnMut(&V) -> TestCaseResult>(_witness: &V, f: F) -> F {
+    f
+}
 
 /// Defines property tests. See the crate docs for the supported forms.
 #[macro_export]
@@ -93,15 +106,46 @@ macro_rules! __proptest_items {
 }
 
 /// Implementation detail of [`proptest!`]: folds the parameter list into
-/// `(pattern, strategy)` pairs, then emits the case body.
+/// `(pattern, strategy)` pairs, then emits the case body (with the
+/// halve-and-retry shrink loop around failures).
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_case {
     ($rng:ident, [$(($pat:ident, $strat:expr))*] () $body:block) => {{
-        $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);)*
-        #[allow(unreachable_code)]
-        let __case_outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
-        __case_outcome
+        $(let mut $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);)*
+        // The body as a re-runnable closure over the parameter tuple, so
+        // shrink candidates can be retried without redrawing.
+        let __witness = ($(::std::clone::Clone::clone(&$pat),)*);
+        #[allow(unused_variables)]
+        let mut __case = $crate::__typed_case(&__witness, |__vals| {
+            let ($($pat,)*) = ::std::clone::Clone::clone(__vals);
+            #[allow(unreachable_code)]
+            (|| { $body Ok(()) })()
+        });
+        #[allow(unused_mut)]
+        let mut __outcome: $crate::TestCaseResult = __case(&__witness);
+        if let Err($crate::test_runner::TestCaseError::Fail(_)) = &__outcome {
+            let mut __steps: u32 = 0;
+            loop {
+                let mut __progress = false;
+                $crate::__proptest_shrink_each!(
+                    __case, __outcome, __progress, __steps,
+                    [$(($pat, $strat))*] [$(($pat, $strat))*]
+                );
+                if !__progress || __steps >= 512 {
+                    break;
+                }
+            }
+            if let Err($crate::test_runner::TestCaseError::Fail(__msg)) = __outcome {
+                #[allow(unused_mut)]
+                let mut __cex = ::std::string::String::new();
+                $(__cex.push_str(&format!("{} = {:?}, ", stringify!($pat), $pat));)*
+                __outcome = Err($crate::test_runner::TestCaseError::Fail(format!(
+                    "{__msg}\n  counterexample (after {__steps} shrink steps): {__cex}"
+                )));
+            }
+        }
+        __outcome
     }};
     ($rng:ident, [$($acc:tt)*] ($name:ident in $strat:expr) $body:block) => {
         $crate::__proptest_case!($rng, [$($acc)* ($name, $strat)] () $body)
@@ -116,6 +160,41 @@ macro_rules! __proptest_case {
         $crate::__proptest_case!(
             $rng, [$($acc)* ($name, $crate::arbitrary::any::<$ty>())] ($($rest)*) $body
         )
+    };
+}
+
+/// Implementation detail of [`__proptest_case!`]: one shrink loop per
+/// parameter. Peels parameters off the first list one at a time; the
+/// second (full) list rebuilds the argument tuple for every retry.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_shrink_each {
+    ($case:ident, $outcome:ident, $progress:ident, $steps:ident,
+     [] [$(($all:ident, $allstrat:expr))*]) => {};
+    ($case:ident, $outcome:ident, $progress:ident, $steps:ident,
+     [($pat:ident, $strat:expr) $($rest:tt)*] [$(($all:ident, $allstrat:expr))*]) => {
+        while $steps < 512 {
+            let Some(__cand) = $crate::strategy::Strategy::shrink(&($strat), &$pat) else {
+                break;
+            };
+            let __prev = ::std::mem::replace(&mut $pat, __cand);
+            $steps += 1;
+            match $case(&($(::std::clone::Clone::clone(&$all),)*)) {
+                Err($crate::test_runner::TestCaseError::Fail(__m)) => {
+                    // Still failing on the simpler value: keep it.
+                    $outcome = Err($crate::test_runner::TestCaseError::Fail(__m));
+                    $progress = true;
+                }
+                _ => {
+                    // Passed (or was rejected): revert and stop here.
+                    $pat = __prev;
+                    break;
+                }
+            }
+        }
+        $crate::__proptest_shrink_each!(
+            $case, $outcome, $progress, $steps, [$($rest)*] [$(($all, $allstrat))*]
+        );
     };
 }
 
@@ -187,4 +266,58 @@ macro_rules! prop_assume {
             return Err($crate::test_runner::TestCaseError::Reject);
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    // Deliberately failing properties (no `#[test]` attribute — invoked
+    // manually under `catch_unwind` to inspect the shrink report).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        fn fails_at_50_or_more(v in 0u64..100_000) {
+            prop_assert!(v < 50);
+        }
+
+        fn fails_on_long_vectors(v in crate::collection::vec(0u8..4, 0..64)) {
+            prop_assert!(v.len() < 5, "len {}", v.len());
+        }
+    }
+
+    fn panic_message(f: fn()) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property should fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string panic payload")
+    }
+
+    /// Halve-and-retry lands just above the failure threshold: the
+    /// reported integer counterexample sits in [50, 100) (halving it
+    /// once more would pass) instead of anywhere in [50, 100 000).
+    #[test]
+    fn integer_failures_shrink_to_small_counterexamples() {
+        let msg = panic_message(fails_at_50_or_more);
+        assert!(msg.contains("counterexample"), "{msg}");
+        let v: u64 = msg
+            .split("v = ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("counterexample value in message");
+        assert!((50..100).contains(&v), "not shrunk: v = {v} in {msg}");
+    }
+
+    /// Vector failures shrink on length: the reported counterexample has
+    /// 5..10 elements (half of it would pass).
+    #[test]
+    fn vec_failures_shrink_to_short_counterexamples() {
+        let msg = panic_message(fails_on_long_vectors);
+        assert!(msg.contains("counterexample"), "{msg}");
+        let list = msg.split("v = [").nth(1).and_then(|s| s.split(']').next());
+        let len = list.map(|s| s.split(',').count()).expect("vec in message");
+        assert!((5..10).contains(&len), "not shrunk: len = {len} in {msg}");
+    }
 }

@@ -10,6 +10,17 @@ pub trait Strategy {
 
     /// Draws one value from the deterministic stream.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// One **halve-and-retry** shrink step: a candidate strictly simpler
+    /// than `value` (closer to the strategy's minimum), or `None` when
+    /// `value` is already minimal. The `proptest!` runner repeats the
+    /// step while the failure reproduces and reverts the last passing
+    /// candidate, so failures report small counterexamples. The default
+    /// (no shrinking) matches strategies where "simpler" has no meaning.
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        let _ = value;
+        None
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -17,6 +28,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn new_value(&self, rng: &mut TestRng) -> Self::Value {
         (**self).new_value(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -32,6 +47,9 @@ macro_rules! impl_int_ranges {
                 assert!(self.start < self.end, "empty range strategy");
                 draw_i128(rng, self.start as i128, self.end as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                shrink_i128(self.start as i128, *value as i128).map(|v| v as $t)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -39,16 +57,33 @@ macro_rules! impl_int_ranges {
                 assert!(self.start() <= self.end(), "empty range strategy");
                 draw_i128(rng, *self.start() as i128, *self.end() as i128 + 1) as $t
             }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                shrink_i128(*self.start() as i128, *value as i128).map(|v| v as $t)
+            }
         }
         impl Strategy for RangeFrom<$t> {
             type Value = $t;
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 (self.start..=<$t>::MAX).new_value(rng)
             }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                shrink_i128(self.start as i128, *value as i128).map(|v| v as $t)
+            }
         }
     )*};
 }
 impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Halve the offset from the range's minimum (widened bounds): the
+/// integer halve-and-retry step. `None` once the value sits at the
+/// minimum.
+fn shrink_i128(lo: i128, value: i128) -> Option<i128> {
+    if value == lo {
+        None
+    } else {
+        Some(lo + (value - lo) / 2)
+    }
+}
 
 /// Uniform draw from `[lo, hi_excl)` over widened integer bounds.
 fn draw_i128(rng: &mut TestRng, lo: i128, hi_excl: i128) -> i128 {
@@ -129,6 +164,31 @@ mod tests {
             let _ = w; // full domain: just must not panic
         }
         assert!(seen_neg && seen_pos, "signed range never crossed zero");
+    }
+
+    #[test]
+    fn integer_shrink_halves_toward_minimum() {
+        let s = 10u64..1000;
+        assert_eq!(s.shrink(&810), Some(410)); // 10 + 800/2
+        assert_eq!(s.shrink(&11), Some(10));
+        assert_eq!(s.shrink(&10), None, "minimum is terminal");
+        let si = -8i32..=8;
+        assert_eq!(si.shrink(&8), Some(0)); // -8 + 16/2
+        assert_eq!(si.shrink(&-8), None);
+        let sf = 5usize..;
+        assert_eq!(sf.shrink(&5), None);
+        assert_eq!(sf.shrink(&105), Some(55));
+        // Halving always terminates.
+        let mut v = u64::MAX;
+        let full = 0u64..u64::MAX;
+        let mut steps = 0;
+        while let Some(next) = full.shrink(&v) {
+            assert!(next < v);
+            v = next;
+            steps += 1;
+        }
+        assert_eq!(v, 0);
+        assert!(steps <= 64);
     }
 
     #[test]
