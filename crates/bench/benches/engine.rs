@@ -137,11 +137,47 @@ fn bench_sim_large(c: &mut Criterion) {
     g.finish();
 }
 
+/// Intra-trial parallelism on the ISSUE's large targets: the same
+/// end-to-end Algorithm A run at `Serial` vs `Threads(4)`, on topologies
+/// big enough (2048–8192 lanes) that the meeting-points hash preparation
+/// and transcript commits dominate. The serial/threads4 id pair is the
+/// speedup ratio `BENCH_par.json` records; on a single-core runner the
+/// two converge (threads4 pays a small scheduling tax), on multi-core
+/// hardware threads4 drops with the core count.
+fn bench_sim_par(c: &mut Criterion) {
+    use mpic::Parallelism;
+    let mut g = c.benchmark_group("sim_par");
+    g.sample_size(10);
+    let workloads = [
+        ("ring1024", Gossip::new(topology::ring(1024), 2, 41)),
+        ("ring4096", Gossip::new(topology::ring(4096), 2, 41)),
+        ("grid64x64", Gossip::new(topology::grid(64, 64), 2, 41)),
+    ];
+    for (label, w) in &workloads {
+        for (mode, par) in [
+            ("serial", Parallelism::Serial),
+            ("threads4", Parallelism::Threads(4)),
+        ] {
+            let mut cfg = SchemeConfig::algorithm_a(w.graph(), 7);
+            cfg.parallelism = par;
+            let sim = Simulation::new(w, cfg, 1);
+            let mut scratch = RunScratch::new();
+            g.bench_function(BenchmarkId::new(mode, *label), |b| {
+                b.iter(|| {
+                    sim.run_with_scratch(Box::new(NoNoise), RunOptions::default(), &mut scratch)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_step_silent,
     bench_step_noisy,
     bench_wire_batch,
-    bench_sim_large
+    bench_sim_large,
+    bench_sim_par
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! GF(2^64) multiplication, and the Reed–Solomon codec used by the
 //! randomness exchange.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gf2::Gf64;
@@ -57,7 +57,7 @@ fn bench_hash(c: &mut Criterion) {
 /// the coding scheme paid per link per iteration before the sketch.
 fn bench_prefix_hasher(c: &mut Criterion) {
     let mut g = c.benchmark_group("prefix_hasher");
-    let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(7));
+    let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(7));
     let label = SeedLabel {
         iteration: 0,
         channel: 0,
@@ -70,7 +70,7 @@ fn bench_prefix_hasher(c: &mut Criterion) {
             &chunks,
             |b, &chunks| {
                 b.iter(|| {
-                    let mut h = PrefixHasher::new(Rc::clone(&src), label, 64);
+                    let mut h = PrefixHasher::new(Arc::clone(&src), label, 64);
                     let mut acc = 0u64;
                     for i in 0..chunks {
                         h.push_bits(i as u64, 32);

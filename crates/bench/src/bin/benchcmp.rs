@@ -20,20 +20,23 @@
 //! and the tail but rarely the min-of-batch-means, so requiring both
 //! filters most spurious failures without masking real regressions.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// One parsed benchmark row.
-#[derive(Clone, Copy, Debug)]
+/// One benchmark row of the criterion shim's JSON-lines output. Extra
+/// fields in a line (`max_ns`, `stddev_ns`, `batches`, `iters`) are
+/// ignored; `min_ns` is optional so older baselines still parse.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 struct Row {
+    id: String,
     mean_ns: f64,
     min_ns: Option<f64>,
 }
 
-/// Parses the shim's JSON-lines output. The format is machine-written by
-/// `shims/criterion` (flat objects, string `id`, numeric fields), so a
-/// small field scanner suffices — the workspace's serde shim has no
-/// deserializer to lean on.
+/// Parses the shim's JSON-lines output via the serde shim's
+/// deserializer (swap the shim for the real `serde`/`serde_json` and
+/// this function is unchanged).
 fn parse(path: &str) -> Result<BTreeMap<String, Row>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = BTreeMap::new();
@@ -42,34 +45,11 @@ fn parse(path: &str) -> Result<BTreeMap<String, Row>, String> {
         if line.is_empty() {
             continue;
         }
-        let id = field_str(line, "id")
-            .ok_or_else(|| format!("{path}:{}: missing \"id\" field", ln + 1))?;
-        let mean_ns = field_num(line, "mean_ns")
-            .ok_or_else(|| format!("{path}:{}: missing \"mean_ns\" field", ln + 1))?;
-        let min_ns = field_num(line, "min_ns");
+        let row: Row = serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
         // Last write wins: appended re-runs supersede earlier rows.
-        out.insert(id, Row { mean_ns, min_ns });
+        out.insert(row.id.clone(), row);
     }
     Ok(out)
-}
-
-/// Extracts a string field `"key":"value"` from a flat JSON object line.
-fn field_str(line: &str, key: &str) -> Option<String> {
-    let tag = format!("\"{key}\":\"");
-    let start = line.find(&tag)? + tag.len();
-    let end = line[start..].find('"')? + start;
-    Some(line[start..end].to_string())
-}
-
-/// Extracts a numeric field `"key":123.4` from a flat JSON object line.
-fn field_num(line: &str, key: &str) -> Option<f64> {
-    let tag = format!("\"{key}\":");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn human(ns: f64) -> String {
@@ -172,5 +152,38 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Derive-level round trip through the serde shim: a serialized row
+    /// parses back field-for-field, including a criterion-shim line with
+    /// extra fields and one without `min_ns`.
+    #[test]
+    fn row_round_trips_through_shim() {
+        let row = Row {
+            id: "sim_large/ring_4096".into(),
+            mean_ns: 1.25e9,
+            min_ns: Some(1.1e9),
+        };
+        let text = serde_json::to_string(&row).unwrap();
+        let back: Row = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.id, row.id);
+        assert_eq!(back.mean_ns.to_bits(), row.mean_ns.to_bits());
+        assert_eq!(back.min_ns, row.min_ns);
+
+        let line = r#"{"id":"x","mean_ns":10.0,"min_ns":9.0,"max_ns":12.0,"stddev_ns":0.5,"batches":20,"iters":40}"#;
+        let r: Row = serde_json::from_str(line).unwrap();
+        assert_eq!(r.id, "x");
+        assert_eq!(r.min_ns, Some(9.0));
+
+        let old = r#"{"id":"y","mean_ns":3.5}"#;
+        let r: Row = serde_json::from_str(old).unwrap();
+        assert_eq!(r.min_ns, None);
+
+        assert!(serde_json::from_str::<Row>(r#"{"mean_ns":3.5}"#).is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! Regenerates every table/figure of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|all] [--quick]`
+//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|all] [--quick]`
 //!
 //! Each experiment prints a table to stdout and appends JSON rows to
 //! `results/<id>.jsonl`.
@@ -34,6 +34,7 @@ fn main() {
         "f9" => f9(quick),
         "large" => large(quick),
         "adaptive" => adaptive(quick),
+        "parallel" => parallel(quick),
         "all" => {
             t1(quick);
             f1(quick);
@@ -47,9 +48,12 @@ fn main() {
             f9(quick);
             large(quick);
             adaptive(quick);
+            parallel(quick);
         }
         other => {
-            eprintln!("unknown experiment {other}; use t1|f1..f9|large|adaptive|all [--quick]");
+            eprintln!(
+                "unknown experiment {other}; use t1|f1..f9|large|adaptive|parallel|all [--quick]"
+            );
             std::process::exit(2);
         }
     }
@@ -808,5 +812,83 @@ fn adaptive(quick: bool) {
             RunOptions::default(),
         );
         show("hunter tau_strong", &out, u64::MAX);
+    }
+}
+
+/// PARALLEL — intra-trial parallel speedup: serial vs `Threads(n)`
+/// wall-clock on the ISSUE's large targets (ring(1024), ring(4096),
+/// grid(64×64); smaller stand-ins under `--quick`), asserting along the
+/// way that the threaded outcomes stay byte-identical to serial. Rows
+/// land in `results/parallel.jsonl`; the committed `BENCH_par.json`
+/// baseline is produced by the criterion-shim benches, this subcommand
+/// is the human-readable end-to-end view.
+fn parallel(quick: bool) {
+    use mpic::{Parallelism, RunScratch};
+    use netsim::attacks::NoNoise;
+
+    header(
+        "PARALLEL",
+        "Intra-trial parallelism — serial vs threaded wall-clock (identical outcomes)",
+    );
+    let budget = mpic::sim_threads_env().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    });
+    let mut counts: Vec<usize> = vec![2, 4, budget];
+    counts.sort_unstable();
+    counts.dedup();
+    counts.retain(|&t| t > 1);
+    let topologies: Vec<(&str, netgraph::Graph)> = if quick {
+        vec![
+            ("ring(512)", netgraph::topology::ring(512)),
+            ("grid(16x16)", netgraph::topology::grid(16, 16)),
+        ]
+    } else {
+        vec![
+            ("ring(1024)", netgraph::topology::ring(1024)),
+            ("ring(4096)", netgraph::topology::ring(4096)),
+            ("grid(64x64)", netgraph::topology::grid(64, 64)),
+        ]
+    };
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>8}",
+        "topology", "threads", "serial", "parallel", "speedup"
+    );
+    for (label, g) in &topologies {
+        let w = protocol::workloads::Gossip::new(g.clone(), 2, 41);
+        let base = SchemeConfig::algorithm_a(protocol::Workload::graph(&w), 7);
+        let mut scratch = RunScratch::new();
+        // One warm-up run per configuration fills the scratch arena, so the
+        // timed run below measures the engine, not the first allocation.
+        let timed = |par: Parallelism, scratch: &mut RunScratch| {
+            let mut cfg = base.clone();
+            cfg.parallelism = par;
+            let sim = Simulation::new(&w, cfg, 1);
+            sim.run_with_scratch(Box::new(NoNoise), RunOptions::default(), scratch);
+            let t = std::time::Instant::now();
+            let out = sim.run_with_scratch(Box::new(NoNoise), RunOptions::default(), scratch);
+            (t.elapsed(), out)
+        };
+        let (serial_t, serial_out) = timed(Parallelism::Serial, &mut scratch);
+        for &t in &counts {
+            let (par_t, par_out) = timed(Parallelism::Threads(t), &mut scratch);
+            assert_eq!(serial_out.stats, par_out.stats, "{label}: outcome diverged");
+            assert_eq!(serial_out.success, par_out.success, "{label}");
+            assert_eq!(serial_out.iterations, par_out.iterations, "{label}");
+            assert_eq!(serial_out.payload_cc, par_out.payload_cc, "{label}");
+            let speedup = serial_t.as_secs_f64() / par_t.as_secs_f64().max(f64::MIN_POSITIVE);
+            println!(
+                "{label:<12} {t:>7} {:>12.2?} {:>12.2?} {speedup:>7.2}x",
+                serial_t, par_t
+            );
+            emit(
+                "parallel",
+                json!({"topology": label, "threads": t,
+                       "serial_ns": serial_t.as_nanos() as u64,
+                       "parallel_ns": par_t.as_nanos() as u64,
+                       "speedup": speedup, "success": par_out.success}),
+            );
+        }
     }
 }

@@ -2,10 +2,11 @@
 
 use crate::spec::{AttackSpec, Scheme, WorkloadSpec};
 use mpic::baseline::{run_no_coding, run_repetition};
-use mpic::{RunOptions, RunScratch, Simulation};
+use mpic::{Parallelism, RunOptions, RunScratch, Simulation};
 use parking_lot::Mutex;
 use protocol::ChunkedProtocol;
 use serde::Serialize;
+use smallbias::splitmix64;
 
 /// One trial's result row.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -85,6 +86,28 @@ pub fn run_trial_with_scratch(
     trial_seed: u64,
     scratch: &mut RunScratch,
 ) -> TrialResult {
+    run_trial_inner(
+        workload,
+        scheme,
+        attack,
+        trial_seed,
+        scratch,
+        Parallelism::Serial,
+    )
+}
+
+/// The full trial pipeline, with the scheme's intra-trial [`Parallelism`]
+/// chosen by the caller. Byte-identical outcomes across all settings (the
+/// parallel hash paths shard deterministically), so this is a pure
+/// wall-clock knob.
+fn run_trial_inner(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    trial_seed: u64,
+    scratch: &mut RunScratch,
+    parallelism: Parallelism,
+) -> TrialResult {
     let w = workload.build(trial_seed.wrapping_mul(0x9e37_79b9) | 1);
     match scheme {
         Scheme::NoCoding | Scheme::Repetition(_) => {
@@ -128,7 +151,8 @@ pub fn run_trial_with_scratch(
         _ => {
             let g = w.graph().clone();
             let hint = ChunkedProtocol::new(&*w, 5 * g.edge_count()).real_chunks();
-            let cfg = scheme.config(&g, hint, 0xc0de ^ trial_seed);
+            let mut cfg = scheme.config(&g, hint, 0xc0de ^ trial_seed);
+            cfg.parallelism = parallelism;
             let sim = Simulation::new(&*w, cfg, trial_seed);
             let geometry = sim.geometry();
             let predicted_cc = sim.predicted_cc();
@@ -156,18 +180,73 @@ pub fn run_trial_with_scratch(
     }
 }
 
+/// Sanitizes a noise fraction to `[0, 1]`: NaN reads as 0 and
+/// out-of-range values clamp. Without this, a negative or NaN fraction
+/// survives to the `as u64` cast in [`attack_budget`], which saturates to
+/// 0 for negatives but maps any accidental `fraction * cc > u64::MAX`
+/// arithmetic (or NaN) to an unintended budget.
+fn clamped_fraction(fraction: f64) -> f64 {
+    if fraction.is_nan() {
+        0.0
+    } else {
+        fraction.clamp(0.0, 1.0)
+    }
+}
+
 /// Budget rule: fraction-carrying attacks are capped at their fraction of
 /// the predicted communication (with 50% slack for prediction error);
-/// pattern attacks bound themselves.
+/// pattern attacks bound themselves. The fraction is validated first —
+/// see [`clamped_fraction`].
 fn attack_budget(attack: &AttackSpec, predicted_cc: u64) -> u64 {
     match attack {
-        AttackSpec::Iid { fraction } => ((fraction * 1.5) * predicted_cc as f64).ceil() as u64,
+        AttackSpec::Iid { fraction } => {
+            debug_assert!(
+                !fraction.is_nan() && (0.0..=1.0).contains(fraction),
+                "attack fraction {fraction} outside [0, 1]"
+            );
+            ((clamped_fraction(*fraction) * 1.5) * predicted_cc as f64).ceil() as u64
+        }
         _ => u64::MAX,
     }
 }
 
-/// Runs `trials` trials in parallel (crossbeam scoped threads) and
-/// aggregates.
+/// Derives trial `i`'s seed from `base_seed` with a splitmix64-style
+/// mix, so distinct `(base_seed, i)` pairs land in unrelated streams.
+///
+/// The old `base_seed + i` rule made adjacent base seeds share almost
+/// every per-trial RNG stream: `run_many(s, …)` trial `i+1` and
+/// `run_many(s+1, …)` trial `i` were the *same* trial, silently
+/// correlating sweeps that were meant to be independent replicas.
+fn trial_seed(base_seed: u64, i: usize) -> u64 {
+    let mut s = base_seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64(&mut s)
+}
+
+/// The run's total thread budget: the `SIM_THREADS` environment override
+/// when set, otherwise the machine's available parallelism.
+fn thread_budget() -> usize {
+    mpic::sim_threads_env().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `trials` trials concurrently and aggregates.
+///
+/// Threading is two-level: the total budget (the `SIM_THREADS` override
+/// when set, otherwise the machine's available parallelism) is split
+/// between **inter-trial** workers — scoped threads claiming trial
+/// indices off a shared cursor, one reusable [`RunScratch`] each — and
+/// **intra-trial** parallelism handed to each trial's simulation as
+/// [`Parallelism::Threads`], which shards the per-link hash work inside
+/// a single run. Many short trials → all budget goes to workers; fewer
+/// trials than budget → the leftover threads speed up each trial.
+/// Outcomes are byte-identical for every split, so the shape of the
+/// budget never changes the statistics.
+///
+/// Per-trial seeds come from a splitmix64-style mix of
+/// `(base_seed, index)`, so different base seeds share no trial streams.
 pub fn run_many(
     workload: WorkloadSpec,
     scheme: Scheme,
@@ -176,10 +255,9 @@ pub fn run_many(
     base_seed: u64,
 ) -> (Summary, Vec<TrialResult>) {
     let results = Mutex::new(vec![None; trials]);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(trials.max(1));
+    let budget = thread_budget();
+    let threads = budget.min(trials.max(1));
+    let intra = Parallelism::Threads((budget / threads.max(1)).max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::scope(|s| {
         for _ in 0..threads {
@@ -192,12 +270,13 @@ pub fn run_many(
                     if i >= trials {
                         break;
                     }
-                    let r = run_trial_with_scratch(
+                    let r = run_trial_inner(
                         workload,
                         scheme,
                         attack,
-                        base_seed + i as u64,
+                        trial_seed(base_seed, i),
                         &mut scratch,
+                        intra,
                     );
                     results.lock()[i] = Some(r);
                 }
@@ -254,5 +333,42 @@ mod tests {
         assert_eq!(s.trials, 4);
         assert_eq!(rows.len(), 4);
         assert!((s.success_rate - 1.0).abs() < 1e-12);
+    }
+
+    /// Adjacent base seeds must not share per-trial seeds (the old
+    /// `base_seed + i` rule made `run_many(s)` and `run_many(s + 1)`
+    /// overlap in all but one trial).
+    #[test]
+    fn adjacent_base_seeds_share_no_trial_streams() {
+        let trials = 64usize;
+        let a: std::collections::BTreeSet<u64> = (0..trials).map(|i| trial_seed(1000, i)).collect();
+        let b: std::collections::BTreeSet<u64> = (0..trials).map(|i| trial_seed(1001, i)).collect();
+        assert_eq!(a.len(), trials, "collisions within one base seed");
+        assert_eq!(b.len(), trials, "collisions within one base seed");
+        assert!(
+            a.is_disjoint(&b),
+            "base seeds 1000/1001 share trial seeds: {:?}",
+            a.intersection(&b).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn attack_budget_clamps_invalid_fractions() {
+        let cc = 1_000_000u64;
+        let at = |f: f64| attack_budget(&AttackSpec::Iid { fraction: f }, cc);
+        // Boundary values map exactly.
+        assert_eq!(at(0.0), 0);
+        assert_eq!(at(1.0), (1.5 * cc as f64).ceil() as u64);
+        assert_eq!(at(0.5), (0.75 * cc as f64).ceil() as u64);
+        // Invalid inputs clamp instead of casting to garbage. (The
+        // debug_assert flags them in dev builds, so exercise the clamp
+        // helper directly.)
+        assert_eq!(clamped_fraction(-0.25), 0.0);
+        assert_eq!(clamped_fraction(f64::NAN), 0.0);
+        assert_eq!(clamped_fraction(7.5), 1.0);
+        assert_eq!(clamped_fraction(f64::INFINITY), 1.0);
+        assert_eq!(clamped_fraction(f64::NEG_INFINITY), 0.0);
+        // Pattern attacks stay uncapped.
+        assert_eq!(attack_budget(&AttackSpec::None, cc), u64::MAX);
     }
 }

@@ -106,6 +106,54 @@ pub enum WireMode {
     Reference,
 }
 
+/// Intra-trial thread budget for the link-sharded phases (meeting-points
+/// hash preparation, chunk-commit transcript appends).
+///
+/// Every mode produces byte-identical [`crate::SimOutcome`]s: per-link
+/// seed streams are [`netgraph::LinkId`]-indexed, so workers own disjoint
+/// link shards and write disjoint state regardless of scheduling (the
+/// `parallel_equivalence` integration suite cross-checks this). The knob
+/// trades only wall-clock time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Everything on the caller's thread. The default, so existing
+    /// byte-identity suites and single-trial callers are unaffected.
+    #[default]
+    Serial,
+    /// Exactly `n` worker threads per parallel region (`Threads(0)` and
+    /// `Threads(1)` degrade to [`Parallelism::Serial`]).
+    Threads(usize),
+    /// The `SIM_THREADS` environment variable if set, otherwise
+    /// [`std::thread::available_parallelism`].
+    Auto,
+}
+
+impl Parallelism {
+    /// The effective thread count: `Serial` → 1, `Threads(n)` → `max(n, 1)`,
+    /// `Auto` → `SIM_THREADS` or the machine's available parallelism.
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => sim_threads_env().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            }),
+        }
+    }
+}
+
+/// The `SIM_THREADS` override, if set to a positive integer. Shared by
+/// both thread pools: `Parallelism::Auto` here and `bench::run_many`'s
+/// inter-trial worker budget.
+pub fn sim_threads_env() -> Option<usize> {
+    std::env::var("SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
 /// Full parameterization of the coding scheme.
 #[derive(Clone, Debug)]
 pub struct SchemeConfig {
@@ -140,6 +188,9 @@ pub struct SchemeConfig {
     /// How much live state the adaptive view reveals (phase visibility
     /// knob; seed visibility stays with [`RandomnessMode`]).
     pub adversary_class: AdversaryClass,
+    /// Intra-trial thread budget for the link-sharded phases (byte-
+    /// identical outcomes in every mode; wall-clock only).
+    pub parallelism: Parallelism,
 }
 
 impl SchemeConfig {
@@ -162,6 +213,7 @@ impl SchemeConfig {
             hashing: HashingMode::default(),
             wire: WireMode::default(),
             adversary_class: AdversaryClass::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -186,6 +238,7 @@ impl SchemeConfig {
             hashing: HashingMode::default(),
             wire: WireMode::default(),
             adversary_class: AdversaryClass::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -210,6 +263,7 @@ impl SchemeConfig {
             hashing: HashingMode::default(),
             wire: WireMode::default(),
             adversary_class: AdversaryClass::default(),
+            parallelism: Parallelism::default(),
         }
     }
 

@@ -49,7 +49,8 @@ mod runner;
 mod transcript;
 
 pub use config::{
-    AdversaryClass, HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode,
+    sim_threads_env, AdversaryClass, HashingMode, Parallelism, RandomnessMode, SchemeConfig,
+    SeedExpansion, WireMode,
 };
 pub use flags::{FlagPlan, FlagSchedule};
 pub use instrument::{Instrumentation, IterationSample};

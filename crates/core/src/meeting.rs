@@ -361,7 +361,7 @@ mod tests {
     use crate::transcript::TranscriptHasher;
     use protocol::{ChunkRecord, Sym};
     use smallbias::{CrsSource, SeedLabel, SeedSource};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn rec(chunk: u64, val: Sym) -> ChunkRecord {
         ChunkRecord {
@@ -373,7 +373,7 @@ mod tests {
     /// Attaches the shared persistent sketch backend both endpoints of the
     /// test link use (iteration-independent label, slot 2).
     fn attach(t: &mut LinkTranscript) {
-        let src: Rc<dyn smallbias::SeedSource> = Rc::new(CrsSource::new(0xbeef));
+        let src: Arc<dyn smallbias::SeedSource> = Arc::new(CrsSource::new(0xbeef));
         t.attach_hasher(TranscriptHasher::incremental(
             src,
             SeedLabel {

@@ -42,7 +42,7 @@
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::config::{
     AdversaryClass, HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode,
@@ -153,6 +153,12 @@ pub struct RunScratch {
     rewind_batches: Option<Batches>,
     /// Reusable party-tracking buffers of the rewind wave.
     rewind_parties: RewindScratch,
+    /// Persistent intra-trial worker pool, rebuilt only when the resolved
+    /// thread count changes. A run enters a parallel region twice per
+    /// iteration; keeping the workers alive across regions (and across
+    /// trials sharing this scratch) is what makes those regions cheaper
+    /// than the serial loop they replace.
+    pool: Option<crossbeam::WorkerPool>,
 }
 
 /// The rewind wave's active-set tracking buffers (see
@@ -212,15 +218,6 @@ fn batches_for(slot: &mut Option<Batches>, links: usize, rounds: usize) -> &mut 
 #[derive(Default)]
 struct Arena {
     syms: Vec<Vec<Sym>>,
-}
-
-impl Arena {
-    /// A cleared symbol vector (recycled if the pool has stock).
-    fn take_syms(&mut self) -> Vec<Sym> {
-        let mut v = self.syms.pop().unwrap_or_default();
-        v.clear();
-        v
-    }
 }
 
 /// A configured, compiled simulation instance.
@@ -337,7 +334,14 @@ impl<'w> Simulation<'w> {
         scratch: &mut RunScratch,
     ) -> SimOutcome {
         let mut net = Network::new(self.graph.clone(), adversary, opts.noise_budget);
-        let mut parties = self.init_parties();
+        let (mut parties, mut lanes) = self.init_state();
+        // Resolved once per run so `Parallelism::Auto` reads the
+        // environment once, not per phase; the pool persists across runs
+        // sharing this scratch as long as the count stays the same.
+        let threads = self.cfg.parallelism.resolve();
+        if scratch.pool.as_ref().map(crossbeam::WorkerPool::threads) != Some(threads) {
+            scratch.pool = Some(crossbeam::WorkerPool::new(threads));
+        }
         scratch.frames_for(&self.graph);
         let RunScratch {
             frames,
@@ -345,10 +349,12 @@ impl<'w> Simulation<'w> {
             batches,
             rewind_batches,
             rewind_parties,
+            pool,
         } = scratch;
+        let pool = pool.as_ref().expect("pool sized above");
         let fr = frames.as_mut().expect("frames sized above");
         let sources = self.establish_randomness(&mut net, fr, batches);
-        self.attach_hashers(&mut parties, &sources);
+        self.attach_hashers(&mut lanes, &sources);
         let mut inst = Instrumentation::default();
         // The adversary's cross-iteration scratch slot: owned by the run,
         // surfaced through the view, never read by honest parties.
@@ -358,8 +364,10 @@ impl<'w> Simulation<'w> {
             self.meeting_points_phase(
                 &mut net,
                 &mut parties,
+                &mut lanes,
                 &sources,
                 iter as u64,
+                pool,
                 &mut inst,
                 fr,
                 batches,
@@ -369,6 +377,7 @@ impl<'w> Simulation<'w> {
             self.flag_passing_phase(
                 &mut net,
                 &mut parties,
+                &lanes,
                 &sources,
                 &mut inst,
                 fr,
@@ -378,8 +387,10 @@ impl<'w> Simulation<'w> {
             self.simulation_phase(
                 &mut net,
                 &mut parties,
+                &mut lanes,
                 &sources,
                 iter as u64,
+                pool,
                 fr,
                 arena,
                 &memory,
@@ -388,28 +399,27 @@ impl<'w> Simulation<'w> {
             self.rewind_phase(
                 &mut net,
                 &mut parties,
+                &mut lanes,
                 &sources,
                 &mut inst,
                 fr,
                 rewind_batches,
                 rewind_parties,
-                arena,
                 &memory,
                 opts,
             );
             if opts.record_trace {
-                self.sample(&parties, &net, iter as u64, &mut inst);
+                self.sample(&lanes, &net, iter as u64, &mut inst);
             }
         }
-        let outcome = self.evaluate(&parties, &net, inst);
+        let outcome = self.evaluate(&parties, &lanes, &net, inst);
         // Recycle this run's buffers into the scratch for the next trial:
         // every chunk's symbol vector (the transcripts are fully read by
-        // `evaluate` above).
-        for p in &mut parties {
-            for t in &mut p.t {
-                t.truncate_into(0, &mut arena.syms);
-            }
-            arena.syms.append(&mut p.inprog);
+        // `evaluate` above) plus the lane-local pools.
+        for lane in &mut lanes {
+            lane.t.truncate_into(0, &mut arena.syms);
+            arena.syms.push(std::mem::take(&mut lane.inprog));
+            arena.syms.append(&mut lane.pool);
         }
         outcome
     }
@@ -426,28 +436,19 @@ impl<'w> Simulation<'w> {
             .expect("send on non-edge")
     }
 
-    fn init_parties(&self) -> Vec<SimParty> {
-        (0..self.graph.node_count())
+    fn init_state(&self) -> (Vec<SimParty>, Vec<LinkLane>) {
+        let parties = (0..self.graph.node_count())
             .map(|u| {
                 let neighbors: Vec<NodeId> = self.graph.neighbors(u).to_vec();
                 let deg = neighbors.len();
                 let lid_out: Vec<LinkId> = neighbors.iter().map(|&v| self.lid(u, v)).collect();
                 let lid_in: Vec<LinkId> = neighbors.iter().map(|&v| self.lid(v, u)).collect();
-                let edge: Vec<EdgeId> = neighbors
-                    .iter()
-                    .map(|&v| self.graph.edge_between(u, v).unwrap())
-                    .collect();
                 SimParty {
                     node: u,
                     neighbors,
                     lid_out,
                     lid_in,
-                    edge,
                     snapshots: vec![ChunkedParty::spawn(self.workload, u)],
-                    t: vec![LinkTranscript::new(); deg],
-                    mp: vec![MpState::new(); deg],
-                    mp_out: vec![MpMessage::default(); deg],
-                    mp_in: vec![Vec::new(); deg],
                     status: true,
                     fp_agg: true,
                     net_correct: true,
@@ -456,27 +457,28 @@ impl<'w> Simulation<'w> {
                     excluded: NbrSet::with_capacity(deg),
                     work: None,
                     pslot_cursor: 0,
-                    inprog: vec![Vec::new(); deg],
-                    inprog_active: NbrSet::with_capacity(deg),
                     already_rewound: NbrSet::with_capacity(deg),
                 }
             })
-            .collect()
+            .collect();
+        let lanes = (0..self.graph.link_count())
+            .map(|_| LinkLane::new())
+            .collect();
+        (parties, lanes)
     }
 
     /// Attaches the per-link sketch backends (incremental or reference,
-    /// per the config) once the seed sources exist.
-    fn attach_hashers(&self, parties: &mut [SimParty], sources: &Sources) {
-        for p in parties.iter_mut() {
-            for ni in 0..p.neighbors.len() {
-                let src = Rc::clone(&sources.by_link[p.lid_out[ni]]);
-                let label = sketch_label(p.edge[ni]);
-                let hasher = match self.cfg.hashing {
-                    HashingMode::Incremental => TranscriptHasher::incremental(src, label),
-                    HashingMode::Reference => TranscriptHasher::reference(src, label),
-                };
-                p.t[ni].attach_hasher(hasher);
-            }
+    /// per the config) once the seed sources exist. Links are edge-major
+    /// (`lid(u → v) = 2e` for `u < v`), so the lane's edge id is `lid / 2`.
+    fn attach_hashers(&self, lanes: &mut [LinkLane], sources: &Sources) {
+        for (lid, lane) in lanes.iter_mut().enumerate() {
+            let src = Arc::clone(&sources.by_link[lid]);
+            let label = sketch_label(lid / 2);
+            let hasher = match self.cfg.hashing {
+                HashingMode::Incremental => TranscriptHasher::incremental(src, label),
+                HashingMode::Reference => TranscriptHasher::reference(src, label),
+            };
+            lane.t.attach_hasher(hasher);
         }
     }
 
@@ -496,9 +498,14 @@ impl<'w> Simulation<'w> {
         // `by_link[lid(u → v)]` is the source party `u` uses for the link.
         match &self.cfg.randomness {
             RandomnessMode::Crs { master, .. } => {
-                let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(*master));
+                let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(*master));
                 Sources {
-                    by_link: self.graph.links().iter().map(|_| Rc::clone(&src)).collect(),
+                    by_link: self
+                        .graph
+                        .links()
+                        .iter()
+                        .map(|_| Arc::clone(&src))
+                        .collect(),
                 }
             }
             RandomnessMode::Exchanged {
@@ -578,7 +585,7 @@ impl<'w> Simulation<'w> {
                 // Decode at the receivers, flattening straight to the
                 // dense LinkId index (links are edge-major: lid(u → v) =
                 // 2e for u < v, 2e + 1 the other way).
-                let mut by_link: Vec<Rc<dyn SeedSource>> =
+                let mut by_link: Vec<Arc<dyn SeedSource>> =
                     Vec::with_capacity(self.graph.link_count());
                 for (e, _, _) in self.graph.edges() {
                     let (x, y) = true_seeds[e];
@@ -591,15 +598,15 @@ impl<'w> Simulation<'w> {
         }
     }
 
-    fn expand_seed(&self, expansion: SeedExpansion, x: u64, y: u64) -> Rc<dyn SeedSource> {
+    fn expand_seed(&self, expansion: SeedExpansion, x: u64, y: u64) -> Arc<dyn SeedSource> {
         match expansion {
             SeedExpansion::Prg => {
                 let mut s = x;
-                Rc::new(CrsSource::new(splitmix64(&mut s) ^ y.rotate_left(17)))
+                Arc::new(CrsSource::new(splitmix64(&mut s) ^ y.rotate_left(17)))
             }
             SeedExpansion::Aghp => {
                 let m = self.graph.edge_count() as u64;
-                Rc::new(DeltaBiasedSource::new(
+                Arc::new(DeltaBiasedSource::new(
                     x,
                     y,
                     m,
@@ -628,8 +635,10 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
+        lanes: &mut [LinkLane],
         sources: &Sources,
         iter: u64,
+        pool: &crossbeam::WorkerPool,
         inst: &mut Instrumentation,
         fr: &mut Frames,
         batches: &mut Option<Batches>,
@@ -639,27 +648,33 @@ impl<'w> Simulation<'w> {
         let tau = self.cfg.hash_bits;
         let batched = self.cfg.wire == WireMode::Batched;
         // Prepare outgoing messages (O(τ) per link: sketch + outer hash).
-        for p in parties.iter_mut() {
-            for ni in 0..p.neighbors.len() {
-                let src = &sources.by_link[p.lid_out[ni]];
-                let e = p.edge[ni] as u64;
+        // This is the phase's hash-heavy hot loop; each lane is
+        // self-contained (its own transcript hasher and a pure per-label
+        // seed source), so the lane vector shards across worker threads by
+        // contiguous LinkId range. The outcome is byte-identical to the
+        // serial order because no lane reads another lane's state.
+        let by_link = &sources.by_link[..];
+        pool.run_chunks(lanes, 16, |start, shard| {
+            for (off, lane) in shard.iter_mut().enumerate() {
+                let lid = start + off;
+                let src = &by_link[lid];
+                let e = (lid / 2) as u64;
                 let lbl = |slot| SeedLabel {
                     iteration: iter,
                     channel: e,
                     slot,
                 };
-                let msg =
-                    p.mp[ni].prepare(&mut p.t[ni], tau, &mut *src.stream(lbl(SLOT_K)), || {
-                        src.stream(lbl(SLOT_OUTER))
-                    });
-                p.mp_out[ni] = msg;
+                lane.mp_out =
+                    lane.mp
+                        .prepare(&mut lane.t, tau, &mut *src.stream(lbl(SLOT_K)), || {
+                            src.stream(lbl(SLOT_OUTER))
+                        });
                 if !batched {
-                    let buf = &mut p.mp_in[ni];
-                    buf.clear();
-                    buf.resize(4 * tau as usize, None);
+                    lane.mp_in.clear();
+                    lane.mp_in.resize(4 * tau as usize, None);
                 }
             }
-        }
+        });
         // The 4τ wire rounds. Batched: every link's whole message is
         // marshalled into its lane once and the engine applies the
         // adversary to all rounds in a single pass — no per-round fill
@@ -669,21 +684,28 @@ impl<'w> Simulation<'w> {
             let nbits = 4 * tau as usize;
             let b = batches_for(batches, self.graph.link_count(), nbits);
             let mut words = [0u64; 4];
-            for p in parties.iter() {
-                for ni in 0..p.neighbors.len() {
-                    let n = p.mp_out[ni].to_words(tau, &mut words);
-                    b.tx.set_bits(p.lid_out[ni], &words, n);
-                }
+            for (lid, lane) in lanes.iter().enumerate() {
+                let n = lane.mp_out.to_words(tau, &mut words);
+                b.tx.set_bits(lid, &words, n);
             }
-            self.step_batch(net, parties, sources, b, StepCtx::plain(iter, memory), opts);
+            self.step_batch(
+                net,
+                parties,
+                lanes,
+                sources,
+                b,
+                StepCtx::plain(iter, memory),
+                opts,
+            );
             // Process straight off the received lanes.
             let rx = &b.rx;
             for p in parties.iter_mut() {
                 for ni in 0..p.neighbors.len() {
-                    let ours = p.mp_out[ni];
+                    let lane = &mut lanes[p.lid_out[ni]];
+                    let ours = lane.mp_out;
                     let (value, presence) = rx.lane(p.lid_in[ni]);
                     let theirs = RecvMpMessage::from_words(value, presence, tau);
-                    let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
+                    let decision = lane.mp.process(&ours, &theirs, &mut lane.t);
                     inst.mp_resets += u64::from(decision.reset);
                     if let Some(g) = decision.truncated_to {
                         inst.mp_truncations += 1;
@@ -694,33 +716,33 @@ impl<'w> Simulation<'w> {
         } else {
             for o in 0..4 * tau as usize {
                 fr.tx.clear_all();
-                for p in parties.iter() {
-                    for ni in 0..p.neighbors.len() {
-                        fr.tx.set(p.lid_out[ni], p.mp_out[ni].wire_bit(o, tau));
-                    }
+                for (lid, lane) in lanes.iter().enumerate() {
+                    fr.tx.set(lid, lane.mp_out.wire_bit(o, tau));
                 }
                 self.step(
                     net,
                     parties,
+                    lanes,
                     sources,
                     fr,
                     StepCtx::plain(iter, memory),
                     opts,
                 );
-                for p in parties.iter_mut() {
-                    for ni in 0..p.neighbors.len() {
-                        if let Some(bit) = fr.rx.get(p.lid_in[ni]) {
-                            p.mp_in[ni][o] = Some(bit);
-                        }
+                // `lid ^ 1` is the reverse direction: a lane's reception
+                // buffer fills from the paired incoming link.
+                for (lid, lane) in lanes.iter_mut().enumerate() {
+                    if let Some(bit) = fr.rx.get(lid ^ 1) {
+                        lane.mp_in[o] = Some(bit);
                     }
                 }
             }
             // Process.
             for p in parties.iter_mut() {
                 for ni in 0..p.neighbors.len() {
-                    let ours = p.mp_out[ni];
-                    let theirs = RecvMpMessage::from_bits(&p.mp_in[ni], tau);
-                    let decision = p.mp[ni].process(&ours, &theirs, &mut p.t[ni]);
+                    let lane = &mut lanes[p.lid_out[ni]];
+                    let ours = lane.mp_out;
+                    let theirs = RecvMpMessage::from_bits(&lane.mp_in, tau);
+                    let decision = lane.mp.process(&ours, &theirs, &mut lane.t);
                     inst.mp_resets += u64::from(decision.reset);
                     if let Some(g) = decision.truncated_to {
                         inst.mp_truncations += 1;
@@ -730,12 +752,10 @@ impl<'w> Simulation<'w> {
             }
         }
         // Instrumentation: true full-hash collisions (global knowledge).
-        for (e, u, v) in self.graph.edges() {
-            let niu = self.graph.link_src_nbr(2 * e);
-            let niv = self.graph.link_dst_nbr(2 * e);
-            let mu = parties[u].mp_out[niu];
-            let mv = parties[v].mp_out[niv];
-            if mu.h_full == mv.h_full && !parties[u].t[niu].same_as(&parties[v].t[niv]) {
+        for (e, _, _) in self.graph.edges() {
+            let lu = &lanes[2 * e];
+            let lv = &lanes[2 * e + 1];
+            if lu.mp_out.h_full == lv.mp_out.h_full && !lu.t.same_as(&lv.t) {
                 inst.hash_collisions += 1;
             }
         }
@@ -749,6 +769,7 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
+        lanes: &[LinkLane],
         sources: &Sources,
         inst: &mut Instrumentation,
         fr: &mut Frames,
@@ -757,9 +778,17 @@ impl<'w> Simulation<'w> {
     ) {
         // Compute own status (Algorithm 1 lines 6–13).
         for p in parties.iter_mut() {
-            let min_chunk = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
-            let mp_busy = p.mp.iter().any(|s| s.status == LinkStatus::MeetingPoints);
-            let uneven = p.t.iter().any(|t| t.chunks() > min_chunk);
+            let min_chunk = p
+                .lid_out
+                .iter()
+                .map(|&l| lanes[l].t.chunks())
+                .min()
+                .unwrap_or(0);
+            let mp_busy = p
+                .lid_out
+                .iter()
+                .any(|&l| lanes[l].mp.status == LinkStatus::MeetingPoints);
+            let uneven = p.lid_out.iter().any(|&l| lanes[l].t.chunks() > min_chunk);
             p.status = !mp_busy && !uneven;
             p.fp_agg = p.status;
             p.net_correct = p.status; // provisional; refined below
@@ -783,7 +812,15 @@ impl<'w> Simulation<'w> {
                 };
                 fr.tx.set(lid, flag);
             }
-            self.step(net, parties, sources, fr, StepCtx::plain(0, memory), opts);
+            self.step(
+                net,
+                parties,
+                lanes,
+                sources,
+                fr,
+                StepCtx::plain(0, memory),
+                opts,
+            );
             for &(u, lid) in &self.flag_sched.up_recvs[o] {
                 // Deleted flag reads as stop (false).
                 let bit = fr.rx.get(lid).unwrap_or(false);
@@ -814,8 +851,10 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
+        lanes: &mut [LinkLane],
         sources: &Sources,
         iter: u64,
+        pool: &crossbeam::WorkerPool,
         fr: &mut Frames,
         arena: &mut Arena,
         memory: &Cell<u64>,
@@ -833,6 +872,7 @@ impl<'w> Simulation<'w> {
         self.step(
             net,
             parties,
+            lanes,
             sources,
             fr,
             StepCtx::plain(iter, memory),
@@ -842,8 +882,10 @@ impl<'w> Simulation<'w> {
             let p = &mut parties[u];
             p.sim_active = p.net_correct;
             p.excluded.clear_all();
-            p.inprog_active.clear_all();
             p.work = None;
+            for &lid in &p.lid_out {
+                lanes[lid].inprog_active = false;
+            }
             if !p.sim_active {
                 continue;
             }
@@ -853,7 +895,12 @@ impl<'w> Simulation<'w> {
                 }
             }
             // All transcripts have equal length here (status == 1).
-            let c = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
+            let c = p
+                .lid_out
+                .iter()
+                .map(|&l| lanes[l].t.chunks())
+                .min()
+                .unwrap_or(0);
             p.sim_chunk = c;
             assert!(
                 p.snapshots.len() > c,
@@ -871,10 +918,18 @@ impl<'w> Simulation<'w> {
             let plan = self.proto.party_plan(c, u);
             for ni in 0..p.neighbors.len() {
                 if plan.pair_syms[ni] > 0 && !p.excluded.contains(ni) {
-                    p.inprog_active.set(ni);
-                    let buf = &mut p.inprog[ni];
-                    buf.clear();
-                    buf.resize(plan.pair_syms[ni], Sym::Star);
+                    let lane = &mut lanes[p.lid_out[ni]];
+                    lane.inprog_active = true;
+                    lane.sim_chunk = c as u64;
+                    lane.inprog.clear();
+                    lane.inprog.resize(plan.pair_syms[ni], Sym::Star);
+                    // Stock the lane-local pool (serially) so the parallel
+                    // commit below never touches the shared arena.
+                    if lane.pool.is_empty() {
+                        if let Some(v) = arena.syms.pop() {
+                            lane.pool.push(v);
+                        }
+                    }
                 }
             }
         }
@@ -900,13 +955,14 @@ impl<'w> Simulation<'w> {
                         fr.tx.set(slot.lid, bit);
                         // Own sent bits are part of T_{u,v}.
                         let idx = plan.pos_out_idx(ni, jr);
-                        p.inprog[ni][idx] = Sym::from_bit(bit);
+                        lanes[slot.lid].inprog[idx] = Sym::from_bit(bit);
                     }
                 }
             }
             self.step(
                 net,
                 parties,
+                lanes,
                 sources,
                 fr,
                 StepCtx::chunk(iter, jr, memory),
@@ -934,7 +990,9 @@ impl<'w> Simulation<'w> {
                     }
                     let got = fr.rx.get(slot.lid);
                     let idx = plan.pos_in_idx(ni, jr);
-                    p.inprog[ni][idx] = match got {
+                    // The receiver's own copy of the link lives on the
+                    // reverse lane (`lid ^ 1`).
+                    lanes[slot.lid ^ 1].inprog[idx] = match got {
                         Some(b) => Sym::from_bit(b),
                         None => Sym::Star,
                     };
@@ -942,25 +1000,33 @@ impl<'w> Simulation<'w> {
                 }
             }
         }
-        // Commit.
+        // Commit. The transcript appends (which feed each lane's
+        // incremental hasher — the expensive part on large topologies)
+        // shard across threads by LinkId range; each lane draws its
+        // recycled symbol buffer from its own pool, never the shared
+        // arena, so shards stay disjoint and the result is byte-identical
+        // to the serial order.
+        pool.run_chunks(lanes, 16, |_, shard| {
+            for lane in shard.iter_mut() {
+                if !lane.inprog_active {
+                    continue;
+                }
+                lane.inprog_active = false;
+                let mut syms = lane.pool.pop().unwrap_or_default();
+                syms.clear();
+                syms.extend_from_slice(&lane.inprog);
+                lane.t.push(ChunkRecord {
+                    chunk: lane.sim_chunk,
+                    syms,
+                });
+            }
+        });
         for p in parties.iter_mut() {
             if !p.sim_active {
                 continue;
             }
-            let c = p.sim_chunk;
-            for ni in 0..p.neighbors.len() {
-                if !p.inprog_active.contains(ni) {
-                    continue;
-                }
-                let mut syms = arena.take_syms();
-                syms.extend_from_slice(&p.inprog[ni]);
-                p.t[ni].push(ChunkRecord {
-                    chunk: c as u64,
-                    syms,
-                });
-            }
             let work = p.work.take().unwrap();
-            p.snapshots.truncate(c + 1);
+            p.snapshots.truncate(p.sim_chunk + 1);
             p.snapshots.push(work);
         }
     }
@@ -973,12 +1039,12 @@ impl<'w> Simulation<'w> {
         &self,
         net: &mut Network,
         parties: &mut [SimParty],
+        lanes: &mut [LinkLane],
         sources: &Sources,
         inst: &mut Instrumentation,
         fr: &mut Frames,
         batches: &mut Option<Batches>,
         rw: &mut RewindScratch,
-        arena: &mut Arena,
         memory: &Cell<u64>,
         opts: RunOptions,
     ) {
@@ -993,11 +1059,27 @@ impl<'w> Simulation<'w> {
             if self.cfg.wire == WireMode::Batched {
                 let b = batches_for(batches, self.graph.link_count(), self.cfg.rewind_rounds);
                 b.tx.clear_all();
-                self.step_batch(net, parties, sources, b, StepCtx::plain(0, memory), opts);
+                self.step_batch(
+                    net,
+                    parties,
+                    lanes,
+                    sources,
+                    b,
+                    StepCtx::plain(0, memory),
+                    opts,
+                );
             } else {
                 for _ in 0..self.cfg.rewind_rounds {
                     fr.tx.clear_all();
-                    self.step(net, parties, sources, fr, StepCtx::plain(0, memory), opts);
+                    self.step(
+                        net,
+                        parties,
+                        lanes,
+                        sources,
+                        fr,
+                        StepCtx::plain(0, memory),
+                        opts,
+                    );
                 }
             }
             return;
@@ -1026,15 +1108,21 @@ impl<'w> Simulation<'w> {
             let mut truncated_this_round = false;
             for &u in active.iter() {
                 let p = &mut parties[u];
-                let min_chunk = p.t.iter().map(LinkTranscript::chunks).min().unwrap_or(0);
+                let min_chunk = p
+                    .lid_out
+                    .iter()
+                    .map(|&l| lanes[l].t.chunks())
+                    .min()
+                    .unwrap_or(0);
                 for ni in 0..p.neighbors.len() {
-                    let ok = p.mp[ni].status != LinkStatus::MeetingPoints
+                    let lane = &mut lanes[p.lid_out[ni]];
+                    let ok = lane.mp.status != LinkStatus::MeetingPoints
                         && !p.already_rewound.contains(ni)
-                        && p.t[ni].chunks() > min_chunk;
+                        && lane.t.chunks() > min_chunk;
                     if ok {
                         fr.tx.set(p.lid_out[ni], true);
-                        let new_len = p.t[ni].chunks() - 1;
-                        p.t[ni].truncate_into(new_len, &mut arena.syms);
+                        let new_len = lane.t.chunks() - 1;
+                        lane.t.truncate_into(new_len, &mut lane.pool);
                         p.prune_snapshots(new_len);
                         p.already_rewound.set(ni);
                         inst.rewind_truncations += 1;
@@ -1049,6 +1137,7 @@ impl<'w> Simulation<'w> {
             self.step(
                 net,
                 parties,
+                lanes,
                 sources,
                 fr,
                 StepCtx::rewind(active.len(), memory),
@@ -1058,12 +1147,13 @@ impl<'w> Simulation<'w> {
                 let u = self.graph.link(lid).to;
                 let ni = self.graph.link_dst_nbr(lid);
                 let p = &mut parties[u];
-                let ok = p.mp[ni].status != LinkStatus::MeetingPoints
+                let lane = &mut lanes[lid ^ 1];
+                let ok = lane.mp.status != LinkStatus::MeetingPoints
                     && !p.already_rewound.contains(ni)
-                    && p.t[ni].chunks() > 0;
+                    && lane.t.chunks() > 0;
                 if ok {
-                    let new_len = p.t[ni].chunks() - 1;
-                    p.t[ni].truncate_into(new_len, &mut arena.syms);
+                    let new_len = lane.t.chunks() - 1;
+                    lane.t.truncate_into(new_len, &mut lane.pool);
                     p.prune_snapshots(new_len);
                     p.already_rewound.set(ni);
                     inst.rewind_truncations += 1;
@@ -1093,10 +1183,12 @@ impl<'w> Simulation<'w> {
 
     /// One engine round over the scratch frames (`fr.tx` → `fr.rx`),
     /// wiring up the adaptive view when exposed.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         net: &mut Network,
         parties: &[SimParty],
+        lanes: &[LinkLane],
         sources: &Sources,
         fr: &mut Frames,
         ctx: StepCtx,
@@ -1107,6 +1199,7 @@ impl<'w> Simulation<'w> {
             let view = OracleView {
                 sim: self,
                 parties,
+                lanes,
                 sources,
                 ctx,
             };
@@ -1120,10 +1213,12 @@ impl<'w> Simulation<'w> {
     /// analogue of [`Simulation::step`]), wiring up the adaptive view when
     /// exposed. Batches never overlap chunk-simulation rounds, so the
     /// oracle's `chunk_round` is `None`.
+    #[allow(clippy::too_many_arguments)]
     fn step_batch(
         &self,
         net: &mut Network,
         parties: &[SimParty],
+        lanes: &[LinkLane],
         sources: &Sources,
         b: &mut Batches,
         ctx: StepCtx,
@@ -1134,6 +1229,7 @@ impl<'w> Simulation<'w> {
             let view = OracleView {
                 sim: self,
                 parties,
+                lanes,
                 sources,
                 ctx,
             };
@@ -1143,14 +1239,14 @@ impl<'w> Simulation<'w> {
         }
     }
 
-    fn sample(&self, parties: &[SimParty], net: &Network, iter: u64, inst: &mut Instrumentation) {
+    fn sample(&self, lanes: &[LinkLane], net: &Network, iter: u64, inst: &mut Instrumentation) {
         let mut g_star = usize::MAX;
         let mut h_star = 0usize;
         let mut sum_g = 0usize;
         let mut sum_b = 0usize;
-        for (e, u, v) in self.graph.edges() {
-            let tu = &parties[u].t[self.graph.link_src_nbr(2 * e)];
-            let tv = &parties[v].t[self.graph.link_dst_nbr(2 * e)];
+        for (e, _, _) in self.graph.edges() {
+            let tu = &lanes[2 * e].t;
+            let tv = &lanes[2 * e + 1].t;
             let g = tu.common_prefix_chunks(tv);
             let h = tu.chunks().max(tv.chunks());
             g_star = g_star.min(g);
@@ -1184,15 +1280,21 @@ impl<'w> Simulation<'w> {
         });
     }
 
-    fn evaluate(&self, parties: &[SimParty], net: &Network, inst: Instrumentation) -> SimOutcome {
+    fn evaluate(
+        &self,
+        parties: &[SimParty],
+        lanes: &[LinkLane],
+        net: &Network,
+        inst: Instrumentation,
+    ) -> SimOutcome {
         let real = self.proto.real_chunks();
         let mut transcripts_ok = true;
         let mut g_star = usize::MAX;
         let mut h_star = 0usize;
-        for (e, u, v) in self.graph.edges() {
+        for (e, _, _) in self.graph.edges() {
             let reference = &self.reference.edge_transcripts[e];
-            let tu = &parties[u].t[self.graph.link_src_nbr(2 * e)];
-            let tv = &parties[v].t[self.graph.link_dst_nbr(2 * e)];
+            let tu = &lanes[2 * e].t;
+            let tv = &lanes[2 * e + 1].t;
             transcripts_ok &= tu.matches_reference(reference, real);
             transcripts_ok &= tv.matches_reference(reference, real);
             g_star = g_star.min(tu.common_prefix_chunks(tv));
@@ -1232,7 +1334,7 @@ impl<'w> Simulation<'w> {
 /// two directions differ in `Exchanged` mode, where the receiver decoded
 /// its copy off the noisy wire).
 struct Sources {
-    by_link: Vec<Rc<dyn SeedSource>>,
+    by_link: Vec<Arc<dyn SeedSource>>,
 }
 
 /// The run's two persistent scratch wire buffers: honest sends (`tx`) and
@@ -1271,12 +1373,55 @@ impl NbrSet {
     }
 }
 
+/// Per-directed-link live state, dense over [`LinkId`].
+///
+/// `lanes[lid(u → v)]` holds party `u`'s endpoint state for its link to
+/// `v`: the transcript copy, the meeting-points counter machine, the
+/// outgoing/incoming message buffers and the in-progress chunk symbols.
+/// Pulling this out of [`SimParty`] makes the per-link phases (hash
+/// preparation, chunk commits) shardable: a worker thread owns a
+/// contiguous `LinkId` range and touches nothing outside its shard, so
+/// [`crossbeam::par_chunks_mut`] over the lane vector is deterministic.
+struct LinkLane {
+    t: LinkTranscript,
+    mp: MpState,
+    mp_out: MpMessage,
+    /// Per-round reception buffer ([`WireMode::Reference`] only).
+    mp_in: Vec<Option<bool>>,
+    /// Reused per-chunk symbol buffer.
+    inprog: Vec<Sym>,
+    /// Whether `inprog` holds symbols to commit this iteration.
+    inprog_active: bool,
+    /// The chunk `inprog` belongs to (owner party's `sim_chunk`).
+    sim_chunk: u64,
+    /// Lane-local `Vec<Sym>` pool so the parallel commit never touches
+    /// the shared arena; refilled from the arena on (serial) activation
+    /// and by this lane's own rewind truncations.
+    pool: Vec<Vec<Sym>>,
+}
+
+impl LinkLane {
+    fn new() -> Self {
+        LinkLane {
+            t: LinkTranscript::new(),
+            mp: MpState::new(),
+            mp_out: MpMessage::default(),
+            mp_in: Vec::new(),
+            inprog: Vec::new(),
+            inprog_active: false,
+            sim_chunk: 0,
+            pool: Vec::new(),
+        }
+    }
+}
+
 /// Per-party live state of the simulation — flat, neighbor-indexed.
 ///
-/// Every per-neighbor collection is a dense vector parallel to
-/// `neighbors` (the graph's sorted adjacency order); per-neighbor flags
-/// are [`NbrSet`] bitsets. Link ids in and out are precomputed so the
-/// phase loops never search the adjacency.
+/// Per-link endpoint state lives in the dense [`LinkLane`] vector
+/// (`lanes[lid_out[ni]]`); the party keeps only the genuinely per-party
+/// pieces (Π′ snapshots, flags, slot cursor) plus the precomputed link
+/// ids so the phase loops never search the adjacency. Per-neighbor flags
+/// are [`NbrSet`] bitsets.
 struct SimParty {
     node: NodeId,
     neighbors: Vec<NodeId>,
@@ -1284,14 +1429,8 @@ struct SimParty {
     lid_out: Vec<LinkId>,
     /// `lid_in[ni]` = LinkId of `neighbors[ni] → node`.
     lid_in: Vec<LinkId>,
-    /// `edge[ni]` = undirected edge id to `neighbors[ni]`.
-    edge: Vec<EdgeId>,
     /// `snapshots[i]` = Π′-state after simulating `i` chunks.
     snapshots: Vec<ChunkedParty>,
-    t: Vec<LinkTranscript>,
-    mp: Vec<MpState>,
-    mp_out: Vec<MpMessage>,
-    mp_in: Vec<Vec<Option<bool>>>,
     status: bool,
     fp_agg: bool,
     net_correct: bool,
@@ -1304,10 +1443,6 @@ struct SimParty {
     /// data itself is borrowed from the protocol, not copied per
     /// iteration; positions come from [`protocol::PartyPlan`]).
     pslot_cursor: usize,
-    /// Reused per-chunk symbol buffers, one per neighbor.
-    inprog: Vec<Vec<Sym>>,
-    /// Which neighbors have an active `inprog` this chunk.
-    inprog_active: NbrSet,
     already_rewound: NbrSet,
 }
 
@@ -1428,6 +1563,7 @@ impl<'a> StepCtx<'a> {
 struct OracleView<'a, 'w> {
     sim: &'a Simulation<'w>,
     parties: &'a [SimParty],
+    lanes: &'a [LinkLane],
     sources: &'a Sources,
     ctx: StepCtx<'a>,
 }
@@ -1438,31 +1574,27 @@ impl OracleView<'_, '_> {
         self.sim.cfg.adversary_class == AdversaryClass::PhaseAware
     }
 
-    /// One endpoint's [`MpSideView`] (party `u`, neighbor index `ni`).
-    fn mp_side(&self, u: NodeId, ni: usize) -> MpSideView {
-        let p = &self.parties[u];
+    /// One endpoint's [`MpSideView`] (the lane of its outgoing link).
+    fn mp_side(&self, lid: LinkId) -> MpSideView {
+        let lane = &self.lanes[lid];
         MpSideView {
-            k: p.mp[ni].k,
-            e: p.mp[ni].e,
-            in_meeting_points: p.mp[ni].status == LinkStatus::MeetingPoints,
-            mpc1: p.mp_out[ni].mpc1,
-            mpc2: p.mp_out[ni].mpc2,
-            chunks: p.t[ni].chunks(),
+            k: lane.mp.k,
+            e: lane.mp.e,
+            in_meeting_points: lane.mp.status == LinkStatus::MeetingPoints,
+            mpc1: lane.mp_out.mpc1,
+            mpc2: lane.mp_out.mpc2,
+            chunks: lane.t.chunks(),
         }
     }
 }
 
 impl AdaptiveView for OracleView<'_, '_> {
     fn diverged(&self, edge: EdgeId) -> bool {
-        let (u, v) = self.sim.graph.endpoints(edge);
-        let tu = &self.parties[u].t[self.sim.graph.link_src_nbr(2 * edge)];
-        let tv = &self.parties[v].t[self.sim.graph.link_dst_nbr(2 * edge)];
-        !tu.same_as(tv)
+        !self.lanes[2 * edge].t.same_as(&self.lanes[2 * edge + 1].t)
     }
 
     fn transcript_chunks(&self, edge: EdgeId) -> usize {
-        let (u, _) = self.sim.graph.endpoints(edge);
-        self.parties[u].t[self.sim.graph.link_src_nbr(2 * edge)].chunks()
+        self.lanes[2 * edge].t.chunks()
     }
 
     fn collision_corruption(&self, edge: EdgeId, sends: &RoundFrame) -> Option<Corruption> {
@@ -1480,6 +1612,7 @@ impl AdaptiveView for OracleView<'_, '_> {
         }
         let (u, v) = self.sim.graph.endpoints(edge);
         let (pu, pv) = (&self.parties[u], &self.parties[v]);
+        let (lu, lv) = (&self.lanes[2 * edge], &self.lanes[2 * edge + 1]);
         let niu = self.sim.graph.link_src_nbr(2 * edge);
         let niv = self.sim.graph.link_dst_nbr(2 * edge);
         // Both endpoints must be cleanly simulating the same chunk with
@@ -1489,8 +1622,8 @@ impl AdaptiveView for OracleView<'_, '_> {
             || pu.excluded.contains(niu)
             || pv.excluded.contains(niv)
             || pu.sim_chunk != pv.sim_chunk
-            || pu.mp[niu].k != pv.mp[niv].k
-            || !pu.t[niu].same_as(&pv.t[niv])
+            || lu.mp.k != lv.mp.k
+            || !lu.t.same_as(&lv.t)
         {
             return None;
         }
@@ -1519,7 +1652,7 @@ impl AdaptiveView for OracleView<'_, '_> {
                 .proto
                 .party_plan(receiver.sim_chunk, slot.link.to)
                 .pos_in_idx(rni, jr);
-            let t_recv = &receiver.t[rni];
+            let t_recv = &self.lanes[slot.lid ^ 1].t;
             let bit_pos = t_recv.bits().len() + 32 + 2 * idx;
             let honest_sym = Sym::from_bit(honest);
             for output in [Some(!honest), None] {
@@ -1548,10 +1681,9 @@ impl AdaptiveView for OracleView<'_, '_> {
         if !self.phase_visible() {
             return None;
         }
-        let (u, v) = self.sim.graph.endpoints(edge);
         Some(EdgeMpView {
-            lo: self.mp_side(u, self.sim.graph.link_src_nbr(2 * edge)),
-            hi: self.mp_side(v, self.sim.graph.link_dst_nbr(2 * edge)),
+            lo: self.mp_side(2 * edge),
+            hi: self.mp_side(2 * edge + 1),
         })
     }
 

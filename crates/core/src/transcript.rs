@@ -18,7 +18,7 @@
 //! reference ([`TranscriptHasher::reference`]) that produces bit-identical
 //! digests, used to cross-check the incremental machinery.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use protocol::{ChunkRecord, Sym};
 use smallbias::{sketch_prefix, BitString, PrefixHasher, SeedLabel, SeedSource};
@@ -42,7 +42,7 @@ pub enum TranscriptHasher {
     /// every query. Bit-identical digests, `O(|T|)` per query.
     Reference {
         /// Seed source shared by the link's endpoints.
-        src: Rc<dyn SeedSource>,
+        src: Arc<dyn SeedSource>,
         /// Label of the link's persistent sketch seed.
         label: SeedLabel,
     },
@@ -50,12 +50,12 @@ pub enum TranscriptHasher {
 
 impl TranscriptHasher {
     /// The incremental backend over `src`/`label`.
-    pub fn incremental(src: Rc<dyn SeedSource>, label: SeedLabel) -> Self {
+    pub fn incremental(src: Arc<dyn SeedSource>, label: SeedLabel) -> Self {
         TranscriptHasher::Incremental(PrefixHasher::new(src, label, SKETCH_BITS))
     }
 
     /// The recompute-from-scratch reference backend over `src`/`label`.
-    pub fn reference(src: Rc<dyn SeedSource>, label: SeedLabel) -> Self {
+    pub fn reference(src: Arc<dyn SeedSource>, label: SeedLabel) -> Self {
         TranscriptHasher::Reference { src, label }
     }
 }
@@ -362,14 +362,17 @@ mod tests {
 
     #[test]
     fn incremental_and_reference_sketches_agree() {
-        let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(99));
+        let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(99));
         let mut inc = LinkTranscript::new();
         inc.attach_hasher(TranscriptHasher::incremental(
-            Rc::clone(&src),
+            Arc::clone(&src),
             sketch_label(),
         ));
         let mut reference = LinkTranscript::new();
-        reference.attach_hasher(TranscriptHasher::reference(Rc::clone(&src), sketch_label()));
+        reference.attach_hasher(TranscriptHasher::reference(
+            Arc::clone(&src),
+            sketch_label(),
+        ));
         let syms = [Sym::Zero, Sym::One, Sym::Star, Sym::One];
         for c in 0..5u64 {
             inc.push(rec(c, &syms));
@@ -394,19 +397,19 @@ mod tests {
 
     #[test]
     fn late_attachment_syncs_existing_chunks() {
-        let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(7));
+        let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(7));
         let mut t = LinkTranscript::new();
         for c in 0..3u64 {
             t.push(rec(c, &[Sym::One, Sym::Zero]));
         }
         let mut late = t.clone();
         late.attach_hasher(TranscriptHasher::incremental(
-            Rc::clone(&src),
+            Arc::clone(&src),
             sketch_label(),
         ));
         let mut early = LinkTranscript::new();
         early.attach_hasher(TranscriptHasher::incremental(
-            Rc::clone(&src),
+            Arc::clone(&src),
             sketch_label(),
         ));
         for c in 0..3u64 {

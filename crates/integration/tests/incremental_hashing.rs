@@ -15,7 +15,7 @@
 //!   noise) produce byte-identical `SimOutcome`s under
 //!   `HashingMode::Incremental` and `HashingMode::Reference`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mpic::{HashingMode, RunOptions, SchemeConfig, Simulation};
 use netsim::attacks::{IidNoise, NoNoise, SingleError};
@@ -46,8 +46,8 @@ proptest! {
         slot in 0u32..4,
         master in 0u64..1000,
     ) {
-        let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(master));
-        let mut h = PrefixHasher::new(Rc::clone(&src), label(slot), tau);
+        let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(master));
+        let mut h = PrefixHasher::new(Arc::clone(&src), label(slot), tau);
         let mut bits = BitString::new();
         for &s in &syms {
             h.push_bits(s, 2);
@@ -68,8 +68,8 @@ proptest! {
         tau in 1u32..65,
         master in 0u64..1000,
     ) {
-        let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(master));
-        let mut h = PrefixHasher::new(Rc::clone(&src), label(2), tau);
+        let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(master));
+        let mut h = PrefixHasher::new(Arc::clone(&src), label(2), tau);
         let mut boundaries = vec![0usize];
         let mut bits = BitString::new();
         let push = |h: &mut PrefixHasher, bits: &mut BitString, chunk: &[u64], id: u64| {
@@ -112,9 +112,9 @@ proptest! {
         slot in 0u32..4,
         master in 0u64..1000,
     ) {
-        let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(master ^ 0xABCD));
+        let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(master ^ 0xABCD));
         let bits: BitString = (0..n_bits).map(|i| (master >> (i % 64)) & 1 == 1).collect();
-        let mut h = PrefixHasher::new(Rc::clone(&src), label(slot), tau);
+        let mut h = PrefixHasher::new(Arc::clone(&src), label(slot), tau);
         for i in 0..n_bits {
             h.push_bit(bits.bit(i));
         }

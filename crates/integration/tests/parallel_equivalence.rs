@@ -1,0 +1,258 @@
+//! Intra-trial parallelism byte-equivalence: `Parallelism::Threads(n)`
+//! must produce **byte-identical** `SimOutcome`s to `Parallelism::Serial`
+//! for every scheme × adversary × `WireMode` × `HashingMode` combination.
+//!
+//! The parallel path shards the meeting-points hash preparation and the
+//! per-chunk transcript commits across worker threads by contiguous
+//! `LinkId` range; because every lane owns its state and its seed streams
+//! are addressed (not consumed in sequence), which thread runs a lane
+//! must be unobservable. These tests are the cross-check: engine stats,
+//! success verdict, agreement floor/ceiling, and the full instrumentation
+//! counter set all compared bit for bit, under the same five adaptive
+//! attack families as the `adaptive_equivalence` suite (including the
+//! phase-aware ones).
+//!
+//! The suite doubles as CI's `parallel-equivalence` step, which runs it
+//! under `SIM_THREADS=2` and `SIM_THREADS=$(nproc)`.
+
+use mpic::{
+    AdversaryClass, HashingMode, Parallelism, RunOptions, SchemeConfig, SimOutcome, Simulation,
+    WireMode,
+};
+use netgraph::Graph;
+use netsim::attacks::{
+    BurstLink, CrossIterationHunter, FlagFlipper, IidNoise, MeetingPointSplitter, NoNoise, Pair,
+    RewindSuppressor, ScriptedAdversary,
+};
+use netsim::{Adversary, PhaseKind};
+use proptest::prelude::*;
+use protocol::workloads::{Gossip, TokenRing};
+use protocol::Workload;
+
+fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome, ctx: &str) {
+    assert_eq!(a.stats, b.stats, "{ctx}: NetStats diverged");
+    assert_eq!(a.success, b.success, "{ctx}");
+    assert_eq!(a.transcripts_ok, b.transcripts_ok, "{ctx}");
+    assert_eq!(a.outputs_ok, b.outputs_ok, "{ctx}");
+    assert_eq!(a.payload_cc, b.payload_cc, "{ctx}");
+    assert_eq!(a.padded_cc, b.padded_cc, "{ctx}");
+    assert_eq!(a.blowup.to_bits(), b.blowup.to_bits(), "{ctx}");
+    assert_eq!(a.iterations, b.iterations, "{ctx}");
+    assert_eq!(a.g_star, b.g_star, "{ctx}");
+    assert_eq!(a.b_star, b.b_star, "{ctx}");
+    let (ia, ib) = (&a.instrumentation, &b.instrumentation);
+    assert_eq!(ia.hash_collisions, ib.hash_collisions, "{ctx}");
+    assert_eq!(ia.bad_rollbacks, ib.bad_rollbacks, "{ctx}");
+    assert_eq!(ia.mp_resets, ib.mp_resets, "{ctx}");
+    assert_eq!(ia.mp_truncations, ib.mp_truncations, "{ctx}");
+    assert_eq!(ia.stalled_iterations, ib.stalled_iterations, "{ctx}");
+    assert_eq!(ia.rewind_truncations, ib.rewind_truncations, "{ctx}");
+    assert_eq!(ia.rewind_wave_depth, ib.rewind_wave_depth, "{ctx}");
+}
+
+/// The parallelism settings every combination is checked across. The
+/// thread counts deliberately straddle the lane count of the small test
+/// topologies (more workers than lanes, odd counts, and whatever
+/// `SIM_THREADS`/the machine resolves `Auto` to).
+fn parallelism_axis() -> [Parallelism; 4] {
+    [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Threads(5),
+        Parallelism::Auto,
+    ]
+}
+
+/// Same five attack families as `adaptive_equivalence`.
+fn build_attack(
+    family: usize,
+    g: &Graph,
+    sim: &Simulation,
+    tau: u32,
+    seed: u64,
+) -> Box<dyn Adversary> {
+    let geo = sim.geometry();
+    match family {
+        0 => Box::new(MeetingPointSplitter::new(g, tau, 1 + seed % 3)),
+        1 => Box::new(FlagFlipper::new(g, 1 + seed % 2)),
+        2 => {
+            let start = geo.phase_start(1 + seed % 2, PhaseKind::Simulation);
+            let link = g.links()[seed as usize % g.link_count()];
+            Box::new(Pair(
+                Box::new(BurstLink::new(g, link, start, 4 + seed % 6)),
+                Box::new(RewindSuppressor::new(g, 2 + seed % 4)),
+            ))
+        }
+        3 => Box::new(CrossIterationHunter::new(
+            g.edge_count(),
+            1 + seed % 2,
+            4 + seed % 8,
+        )),
+        _ => {
+            let rounds = geo.setup + sim.iterations() as u64 * geo.iteration_rounds();
+            Box::new(ScriptedAdversary::random(
+                g,
+                rounds,
+                (seed % 40) as usize,
+                seed,
+            ))
+        }
+    }
+}
+
+/// Runs one (workload, cfg, attack family, seed) tuple under the full
+/// wire × hashing × parallelism cube and asserts byte-identical outcomes.
+fn assert_cube_identical<W: Workload>(w: &W, base: SchemeConfig, family: usize, seed: u64) {
+    let g = w.graph().clone();
+    let budget = 8 + seed % 40;
+    let mut outs: Vec<(SimOutcome, String)> = Vec::new();
+    for wire in [WireMode::Batched, WireMode::Reference] {
+        for hashing in [HashingMode::Incremental, HashingMode::Reference] {
+            for par in parallelism_axis() {
+                let mut cfg = base.clone();
+                cfg.wire = wire;
+                cfg.hashing = hashing;
+                cfg.parallelism = par;
+                let sim = Simulation::new(w, cfg, seed);
+                let adv = build_attack(family, &g, &sim, base.hash_bits, seed);
+                let out = sim.run(
+                    adv,
+                    RunOptions {
+                        noise_budget: budget,
+                        ..Default::default()
+                    },
+                );
+                outs.push((
+                    out,
+                    format!("family {family} seed {seed} {wire:?}/{hashing:?}/{par:?}"),
+                ));
+            }
+        }
+    }
+    for (o, ctx) in &outs[1..] {
+        assert_outcomes_identical(&outs[0].0, o, ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random members of every adaptive family over the full
+    /// wire × hashing × parallelism cube, CRS scheme on a gossip ring.
+    #[test]
+    fn parallel_cube_identical_alg_a(seed in 0u64..10_000) {
+        let w = Gossip::new(netgraph::topology::ring(5), 5, 17);
+        let base = SchemeConfig::algorithm_a(w.graph(), 23);
+        for family in 0..5 {
+            assert_cube_identical(&w, base.clone(), family, seed);
+        }
+    }
+
+    /// Algorithm B's randomness-exchange prologue plus the cube: the
+    /// exchanged seeds must land in the same lane streams regardless of
+    /// which thread prepared the lane.
+    #[test]
+    fn parallel_cube_identical_alg_b(seed in 0u64..10_000, family in 0usize..5) {
+        let w = TokenRing::new(4, 3, 31);
+        let base = SchemeConfig::algorithm_b(w.graph(), 6);
+        assert_cube_identical(&w, base, family, seed);
+    }
+
+    /// Satellite regression, promoted from the PR-5 pin to a property:
+    /// chunks *shorter* than the phase's reserved round count (the dummy
+    /// heartbeat shape past the protocol's real chunks) must neither read
+    /// out of bounds in the seed-aware collision oracle nor perturb
+    /// byte-identity, across τ, adversary class, and every
+    /// [`Parallelism`] mode. The hunter family interrogates the oracle on
+    /// every chunk round, so each case drives `layout.rounds.get(jr)`
+    /// through the short-chunk window; extra iterations guarantee the
+    /// run actually reaches heartbeat chunks.
+    #[test]
+    fn short_chunk_oracle_identical_across_parallelism(
+        seed in 0u64..10_000,
+        tau in 2u32..10,
+        class in 0usize..2,
+    ) {
+        let w = TokenRing::new(3, 1, 5);
+        let mut base = SchemeConfig::algorithm_a(w.graph(), 31);
+        base.hash_bits = tau;
+        base.adversary_class = if class == 0 {
+            AdversaryClass::SeedAware
+        } else {
+            AdversaryClass::PhaseAware
+        };
+        let g = w.graph().clone();
+        let mut outs: Vec<(SimOutcome, String)> = Vec::new();
+        for par in parallelism_axis() {
+            let mut cfg = base.clone();
+            cfg.parallelism = par;
+            let sim = Simulation::new(&w, cfg, seed);
+            let adv = Box::new(CrossIterationHunter::new(
+                g.edge_count(),
+                1 + seed % 2,
+                2 + seed % 6,
+            ));
+            let out = sim.run(
+                adv,
+                RunOptions {
+                    noise_budget: 16,
+                    ..Default::default()
+                },
+            );
+            outs.push((out, format!("tau {tau} class {class} seed {seed} {par:?}")));
+        }
+        for (o, ctx) in &outs[1..] {
+            assert_outcomes_identical(&outs[0].0, o, ctx);
+        }
+    }
+}
+
+/// Deterministic pin: a parallel run under real noise matches serial on a
+/// topology large enough that the lane vector actually shards (ring(24):
+/// 48 lanes across up to 8 workers).
+#[test]
+fn sharded_ring_identical_under_noise() {
+    let w = Gossip::new(netgraph::topology::ring(24), 3, 11);
+    let base = SchemeConfig::algorithm_a(w.graph(), 77);
+    for seed in 0..2u64 {
+        let mut outs: Vec<(SimOutcome, String)> = Vec::new();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Threads(4),
+            Parallelism::Threads(8),
+        ] {
+            let mut cfg = base.clone();
+            cfg.parallelism = par;
+            let sim = Simulation::new(&w, cfg, seed);
+            let adv = Box::new(IidNoise::new(w.graph(), 0.001, seed));
+            outs.push((
+                sim.run(adv, RunOptions::default()),
+                format!("seed {seed} {par:?}"),
+            ));
+        }
+        for (o, ctx) in &outs[1..] {
+            assert_outcomes_identical(&outs[0].0, o, ctx);
+        }
+    }
+}
+
+/// `Parallelism::Auto` resolves from `SIM_THREADS` when set and never
+/// below one thread; `Threads(0)` saturates to one.
+#[test]
+fn parallelism_resolution_rules() {
+    assert_eq!(Parallelism::Serial.resolve(), 1);
+    assert_eq!(Parallelism::Threads(0).resolve(), 1);
+    assert_eq!(Parallelism::Threads(6).resolve(), 6);
+    assert!(Parallelism::Auto.resolve() >= 1);
+    // A noiseless sanity run under Auto (whatever it resolves to here)
+    // still matches Serial.
+    let w = TokenRing::new(4, 2, 7);
+    let base = SchemeConfig::algorithm_a(w.graph(), 3);
+    let mut cfg_serial = base.clone();
+    cfg_serial.parallelism = Parallelism::Serial;
+    let mut cfg_auto = base;
+    cfg_auto.parallelism = Parallelism::Auto;
+    let a = Simulation::new(&w, cfg_serial, 1).run(Box::new(NoNoise), RunOptions::default());
+    let b = Simulation::new(&w, cfg_auto, 1).run(Box::new(NoNoise), RunOptions::default());
+    assert_outcomes_identical(&a, &b, "auto vs serial");
+}

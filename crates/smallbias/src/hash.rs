@@ -358,10 +358,10 @@ pub fn sketch_column_pair(pos: usize, tau: u32, seed: &mut dyn SeedBits) -> (u64
 ///
 /// ```
 /// use smallbias::{sketch_prefix, BitString, CrsSource, PrefixHasher, SeedLabel, SeedSource};
-/// use std::rc::Rc;
-/// let src: Rc<dyn SeedSource> = Rc::new(CrsSource::new(7));
+/// use std::sync::Arc;
+/// let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(7));
 /// let label = SeedLabel { iteration: 0, channel: 0, slot: 2 };
-/// let mut h = PrefixHasher::new(Rc::clone(&src), label, 64);
+/// let mut h = PrefixHasher::new(Arc::clone(&src), label, 64);
 /// let bits: BitString = (0..100).map(|i| i % 3 == 0).collect();
 /// for i in 0..bits.len() {
 ///     h.push_bit(bits.bit(i));
@@ -369,7 +369,7 @@ pub fn sketch_column_pair(pos: usize, tau: u32, seed: &mut dyn SeedBits) -> (u64
 /// assert_eq!(h.digest(), sketch_prefix(&bits, 100, 64, &mut *src.stream(label)));
 /// ```
 pub struct PrefixHasher {
-    src: std::rc::Rc<dyn crate::seed::SeedSource>,
+    src: std::sync::Arc<dyn crate::seed::SeedSource>,
     label: crate::seed::SeedLabel,
     tau: u32,
     /// Open seed stream, positioned after `seed.len()` words. `None`
@@ -401,7 +401,7 @@ impl PrefixHasher {
     ///
     /// Panics if `tau` is not in `1..=64`.
     pub fn new(
-        src: std::rc::Rc<dyn crate::seed::SeedSource>,
+        src: std::sync::Arc<dyn crate::seed::SeedSource>,
         label: crate::seed::SeedLabel,
         tau: u32,
     ) -> Self {
@@ -546,7 +546,7 @@ impl PrefixHasher {
 impl Clone for PrefixHasher {
     fn clone(&self) -> Self {
         PrefixHasher {
-            src: std::rc::Rc::clone(&self.src),
+            src: std::sync::Arc::clone(&self.src),
             label: self.label,
             tau: self.tau,
             stream: None,
@@ -737,11 +737,11 @@ mod tests {
 
     #[test]
     fn prefix_hasher_matches_reference_at_every_prefix() {
-        let src: std::rc::Rc<dyn SeedSource> = std::rc::Rc::new(CrsSource::new(91));
+        let src: std::sync::Arc<dyn SeedSource> = std::sync::Arc::new(CrsSource::new(91));
         let bits: BitString = (0..300).map(|i| i % 5 < 2).collect();
         for tau in [1u32, 7, 64] {
             let l = label(tau);
-            let mut h = PrefixHasher::new(std::rc::Rc::clone(&src), l, tau);
+            let mut h = PrefixHasher::new(std::sync::Arc::clone(&src), l, tau);
             for i in 0..=bits.len() {
                 assert_eq!(
                     h.digest(),
@@ -757,10 +757,10 @@ mod tests {
 
     #[test]
     fn prefix_hasher_marks_and_truncation() {
-        let src: std::rc::Rc<dyn SeedSource> = std::rc::Rc::new(CrsSource::new(17));
+        let src: std::sync::Arc<dyn SeedSource> = std::sync::Arc::new(CrsSource::new(17));
         let l = label(0);
         let bits: BitString = (0..190).map(|i| i % 3 != 0).collect();
-        let mut h = PrefixHasher::new(std::rc::Rc::clone(&src), l, 64);
+        let mut h = PrefixHasher::new(std::sync::Arc::clone(&src), l, 64);
         let mut boundaries = Vec::new();
         for i in 0..bits.len() {
             h.push_bit(bits.bit(i));
@@ -803,9 +803,9 @@ mod tests {
 
     #[test]
     fn prefix_hasher_clone_reopens_stream() {
-        let src: std::rc::Rc<dyn SeedSource> = std::rc::Rc::new(CrsSource::new(29));
+        let src: std::sync::Arc<dyn SeedSource> = std::sync::Arc::new(CrsSource::new(29));
         let l = label(3);
-        let mut h = PrefixHasher::new(std::rc::Rc::clone(&src), l, 32);
+        let mut h = PrefixHasher::new(std::sync::Arc::clone(&src), l, 32);
         for i in 0..100 {
             h.push_bit(i % 4 == 1);
         }

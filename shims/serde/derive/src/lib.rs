@@ -1,10 +1,14 @@
-//! `#[derive(Serialize)]` for the offline serde shim.
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim.
 //!
 //! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
-//! which are unavailable offline). Supports exactly what the workspace
-//! derives on: non-generic structs with named fields and non-generic
-//! enums with unit, tuple, and struct variants, using serde's default
-//! externally-tagged representation.
+//! which are unavailable offline). `Serialize` supports exactly what the
+//! workspace derives on: non-generic structs with named fields and
+//! non-generic enums with unit, tuple, and struct variants, using
+//! serde's default externally-tagged representation. `Deserialize`
+//! covers the flat named-field structs the tooling reads back (bench
+//! result rows); missing keys read as `null`, so `Option` fields default
+//! to `None` and required fields produce a named error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -38,6 +42,58 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     };
     out.parse()
         .expect("serde shim derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+    if kind != "struct" {
+        panic!(
+            "serde shim derive(Deserialize) supports only structs (deriving on `{kind} {name}`)"
+        );
+    }
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (deriving on `{name}`)");
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        t => panic!("expected `{{ ... }}` body for `{name}`, found {t:?}"),
+    };
+    let fields: Vec<String> = named_fields(body)
+        .into_iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_json(\
+                 __v.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| ::serde::DeError(\
+                 ::std::format!(\"field `{f}`: {{e}}\")))?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_json(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         \t\t::std::result::Result::Ok({name} {{\n\
+         \t\t\t{}\n\
+         \t\t}})\n\
+         \t}}\n\
+         }}",
+        fields.join("\n\t\t\t")
+    )
+    .parse()
+    .expect("serde shim derive generated invalid Rust")
 }
 
 /// Advances past any `#[...]` attributes and a `pub` / `pub(...)`

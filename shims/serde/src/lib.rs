@@ -2,18 +2,20 @@
 //!
 //! The build is hermetic (no registry access), so instead of the real
 //! `serde` data model this crate exposes a single-method [`Serialize`]
-//! trait that renders straight into an owned JSON [`Value`]. The
-//! `#[derive(Serialize)]` macro (re-exported from the sibling
-//! `serde_derive` shim) generates field-by-field impls with the same
-//! externally-tagged enum representation real serde defaults to, so the
-//! JSON emitted by `bench`/`experiments` keeps its shape if the shim is
-//! ever swapped for the real crate.
+//! trait that renders straight into an owned JSON [`Value`], and a
+//! mirror-image [`Deserialize`] trait that reads one back out. The
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros (re-exported
+//! from the sibling `serde_derive` shim) generate field-by-field impls
+//! with the same externally-tagged representation real serde defaults
+//! to, so JSON emitted and consumed by `bench`/`experiments` keeps its
+//! shape — swapping in the real crates is a `Cargo.toml` change, not a
+//! code change.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// An owned JSON document.
 ///
@@ -46,6 +48,17 @@ pub enum Number {
     F64(f64),
 }
 
+impl Value {
+    /// Looks up `key` in an object value; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can render themselves as JSON.
 ///
 /// This is the shim's stand-in for `serde::Serialize`; derive it with
@@ -53,6 +66,119 @@ pub enum Number {
 pub trait Serialize {
     /// Renders `self` as a JSON value.
     fn to_json(&self) -> Value;
+}
+
+/// Deserialization failure: a message naming the offending field or the
+/// shape mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can reconstruct themselves from a JSON [`Value`].
+///
+/// The shim's stand-in for `serde::Deserialize`; derive it with
+/// `#[derive(Deserialize)]` (named-field structs) and drive it from text
+/// with `serde_json::from_str`.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a JSON value.
+    fn from_json(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {other}"))),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Number(Number::U64(n)) => *n,
+                    Value::Number(Number::I64(n)) if *n >= 0 => *n as u64,
+                    other => return Err(DeError(format!("expected unsigned integer, found {other}"))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+macro_rules! impl_de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Number(Number::I64(n)) => *n,
+                    Value::Number(Number::U64(n)) if *n <= i64::MAX as u64 => *n as i64,
+                    other => return Err(DeError(format!("expected integer, found {other}"))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_unsigned!(u8, u16, u32, u64, usize);
+impl_de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(Number::F64(x)) => Ok(*x),
+            Value::Number(Number::U64(n)) => Ok(*n as f64),
+            Value::Number(Number::I64(n)) => Ok(*n as f64),
+            other => Err(DeError(format!("expected number, found {other}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        f64::from_json(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {other}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(DeError(format!("expected array, found {other}"))),
+        }
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {

@@ -1,6 +1,7 @@
 //! Offline shim for the slice of `serde_json` this workspace uses:
-//! [`Value`] (owned by the `serde` shim), [`to_value`]/[`to_string`], and
-//! a [`json!`] macro covering object/array/scalar literals.
+//! [`Value`] (owned by the `serde` shim), [`to_value`]/[`to_string`],
+//! [`from_str`]/[`from_value`] over a small recursive-descent JSON
+//! parser, and a [`json!`] macro covering object/array/scalar literals.
 
 #![forbid(unsafe_code)]
 
@@ -8,19 +9,25 @@ use std::fmt;
 
 pub use serde::{Number, Value};
 
-/// Serialization error. The shim's rendering is infallible, so this type
-/// is never constructed; it exists so call sites can keep the
-/// `Result`-based serde_json signatures.
+/// Serialization/deserialization error carrying a short message.
+/// Rendering is infallible (the serialize-side functions never construct
+/// one); parse and decode failures name the offending position or field.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json shim error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
 
 /// Renders any [`serde::Serialize`] type as a [`Value`].
 pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
@@ -30,6 +37,232 @@ pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
 /// Renders any [`serde::Serialize`] type as a compact JSON string.
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     Ok(value.to_json().to_string())
+}
+
+/// Decodes a [`serde::Deserialize`] type out of an already-parsed value.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_json(value)?)
+}
+
+/// Parses JSON text and decodes it into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    from_value(&v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| Value::Null),
+            Some(b't') => self.eat("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // {
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:`"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected `\"`"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                self.pos += 1;
+                                self.eat("\\u")
+                                    .map_err(|_| self.err("expected low surrogate"))?;
+                                self.pos -= 1;
+                                let lo = self.hex4()?;
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads the 4 hex digits after the cursor's `u`, leaving the cursor
+    /// on the last digit.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end - 1;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n = if float {
+            Number::F64(
+                text.parse::<f64>()
+                    .map_err(|_| self.err("invalid number"))?,
+            )
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            // `-0` and friends still parse as integers.
+            let mag: i64 = stripped
+                .parse::<i64>()
+                .map_err(|_| self.err("integer out of range"))?;
+            Number::I64(-mag)
+        } else {
+            Number::U64(text.parse().map_err(|_| self.err("integer out of range"))?)
+        };
+        Ok(Value::Number(n))
+    }
 }
 
 /// Builds a [`Value`] from a JSON-shaped literal.
@@ -52,6 +285,8 @@ macro_rules! json {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn json_macro_objects() {
         let v = json!({"a": 1u32, "b": "s", "c": Option::<u64>::None, "d": 1.5f64});
@@ -63,5 +298,46 @@ mod tests {
         assert_eq!(json!(null).to_string(), "null");
         assert_eq!(json!([1u8, 2u8]).to_string(), "[1,2]");
         assert_eq!(json!(true).to_string(), "true");
+    }
+
+    #[test]
+    fn parse_round_trips_values() {
+        for text in [
+            "null",
+            "true",
+            "[1,2,3]",
+            r#"{"a":3,"b":"x\"y\n","c":[null,true],"d":-7,"e":0.25}"#,
+            r#"{"nested":{"k":[{"deep":1}]},"f":1.5e3}"#,
+        ] {
+            let v: Value = from_str(text).unwrap();
+            let back: Value = from_str(&v.to_string()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_numbers_keep_kind() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert!(from_str::<u64>("-1").is_err());
+        assert!(from_str::<u64>("1.5").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let s: String = from_str(r#""aA\n\t\\\" é""#).unwrap();
+        assert_eq!(s, "aA\n\t\\\" é");
+        let pair: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(pair, "😀");
     }
 }
