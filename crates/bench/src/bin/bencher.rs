@@ -1,0 +1,436 @@
+//! Open-loop load driver for the `serve` crate's [`serve::SimService`].
+//!
+//! Submits [`bench::SimRequest`]s at a configured arrival rate (open loop: the
+//! schedule `t_i = i / rate` does not wait for replies, so queueing delay
+//! shows up in the measured latency instead of silently throttling the
+//! offered load), records end-to-end / queue / execution latency in
+//! HDR-style histograms, and prints p50/p90/p99/max plus throughput.
+//! Machine-readable rows append to `BENCH_serve.json` (JSONL).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bencher -- \
+//!     [--rate R] [--requests N] [--workers W] [--mix small|schemes|mixed]
+//!     [--backpressure block|reject] [--seed S] [--out PATH]
+//!     [--compare-raw] [--quick]
+//! ```
+//!
+//! `--quick` runs a small smoke load and **exits nonzero** unless
+//! throughput is nonzero and no request failed (rejected, cancelled, or
+//! lost) — CI's `serve-smoke` step relies on this self-gating.
+//!
+//! `--compare-raw` additionally runs the same trial population
+//! closed-loop through the service and through `run_many`, asserts the
+//! result rows are byte-identical, and reports the wall-clock ratio.
+//! Numbers from the single-core CI container are a floor, not a ceiling.
+
+use bench::{
+    derive_trial_seed, run_many, sim_service, AttackSpec, Scheme, SimRequest, TopoSpec,
+    TrialResult, WorkloadSpec,
+};
+use serde_json::json;
+use serve::{Backpressure, LatencyHistogram, Priority, ServiceConfig, SubmitError, Ticket};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    rate: f64,
+    requests: usize,
+    workers: usize,
+    mix: String,
+    reject: bool,
+    seed: u64,
+    out: String,
+    compare_raw: bool,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        rate: 200.0,
+        requests: 400,
+        workers: 0,
+        mix: "mixed".into(),
+        reject: false,
+        seed: 42,
+        out: "BENCH_serve.json".into(),
+        compare_raw: false,
+        quick: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value after {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rate" => a.rate = value(&mut i).parse().expect("--rate wants a number"),
+            "--requests" => a.requests = value(&mut i).parse().expect("--requests wants a count"),
+            "--workers" => a.workers = value(&mut i).parse().expect("--workers wants a count"),
+            "--mix" => a.mix = value(&mut i),
+            "--backpressure" => {
+                a.reject = match value(&mut i).as_str() {
+                    "reject" => true,
+                    "block" => false,
+                    other => {
+                        eprintln!("unknown backpressure {other}; use block|reject");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => a.seed = value(&mut i).parse().expect("--seed wants a u64"),
+            "--out" => a.out = value(&mut i),
+            "--compare-raw" => a.compare_raw = true,
+            "--quick" => a.quick = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if a.quick {
+        a.requests = a.requests.min(80);
+        a.rate = a.rate.min(400.0);
+    }
+    a
+}
+
+/// The request population of a mix: small workloads so a load test
+/// measures the service, not one giant simulation. Every 8th request in
+/// `mixed` rides the high-priority lane.
+fn mix_requests(mix: &str, n: usize, base_seed: u64) -> Vec<(SimRequest, Priority)> {
+    let ring = WorkloadSpec::Gossip {
+        topo: TopoSpec::Ring(4),
+        rounds: 5,
+    };
+    let token = WorkloadSpec::TokenRing { n: 4, laps: 2 };
+    let rotation: Vec<(WorkloadSpec, Scheme, AttackSpec)> = match mix {
+        "small" => vec![(token, Scheme::A, AttackSpec::None)],
+        "schemes" => vec![
+            (ring, Scheme::A, AttackSpec::None),
+            (ring, Scheme::B, AttackSpec::None),
+            (ring, Scheme::C, AttackSpec::None),
+        ],
+        "mixed" => vec![
+            (ring, Scheme::A, AttackSpec::None),
+            (token, Scheme::A, AttackSpec::Iid { fraction: 0.002 }),
+            (ring, Scheme::B, AttackSpec::None),
+            (token, Scheme::C, AttackSpec::None),
+            (ring, Scheme::NoCoding, AttackSpec::None),
+        ],
+        other => {
+            eprintln!("unknown mix {other}; use small|schemes|mixed");
+            std::process::exit(2);
+        }
+    };
+    (0..n)
+        .map(|i| {
+            let (workload, scheme, attack) = rotation[i % rotation.len()];
+            let pri = if mix == "mixed" && i % 8 == 7 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            (
+                SimRequest {
+                    workload,
+                    scheme,
+                    attack,
+                    seed: derive_trial_seed(base_seed, i),
+                },
+                pri,
+            )
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct LoadReport {
+    e2e: LatencyHistogram,
+    queue: LatencyHistogram,
+    exec: LatencyHistogram,
+    served: u64,
+    cache_hits: u64,
+    rejected: u64,
+    cancelled: u64,
+    lost: u64,
+    elapsed: Duration,
+}
+
+impl LoadReport {
+    fn failed(&self) -> u64 {
+        self.rejected + self.cancelled + self.lost
+    }
+
+    fn throughput(&self) -> f64 {
+        self.served as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drives the population open-loop: request `i` is submitted at
+/// `start + i/rate`; a collector thread awaits replies so submission
+/// never blocks on completed work.
+fn drive_open_loop(args: &Args, population: Vec<(SimRequest, Priority)>) -> LoadReport {
+    let svc = sim_service(ServiceConfig {
+        workers: args.workers,
+        queue_capacity: population.len().max(16),
+        backpressure: if args.reject {
+            Backpressure::Reject {
+                retry_after: Duration::from_millis(2),
+            }
+        } else {
+            Backpressure::Block
+        },
+        ..ServiceConfig::default()
+    });
+    let client = svc.client();
+    let (tickets_tx, tickets_rx) =
+        crossbeam::channel::bounded::<(Instant, Ticket<TrialResult>)>(population.len().max(1));
+
+    let mut report = LoadReport::default();
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / args.rate.max(1e-3));
+    let collector = std::thread::spawn(move || {
+        let mut r = LoadReport::default();
+        while let Ok((submitted, ticket)) = tickets_rx.recv() {
+            match ticket.wait() {
+                Ok(resp) => {
+                    r.e2e.record(submitted.elapsed().as_nanos() as u64);
+                    r.queue.record(resp.queue_ns);
+                    r.exec.record(resp.exec_ns);
+                    match resp.outcome {
+                        serve::Outcome::Done(row) => {
+                            r.served += 1;
+                            r.cache_hits += resp.cache_hit as u64;
+                            // A failed simulation under a no-noise mix
+                            // would be a correctness bug, but noisy mixes
+                            // legitimately produce unsuccessful trials;
+                            // either way the *request* succeeded.
+                            let _ = row;
+                        }
+                        serve::Outcome::Cancelled => r.cancelled += 1,
+                    }
+                }
+                Err(_) => r.lost += 1,
+            }
+        }
+        r
+    });
+
+    for (i, (req, pri)) in population.into_iter().enumerate() {
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        match client.submit(req, pri) {
+            Ok(t) => tickets_tx
+                .send((Instant::now(), t))
+                .expect("collector gone"),
+            Err(SubmitError::Overloaded { .. }) => report.rejected += 1,
+            Err(SubmitError::ShuttingDown) => report.lost += 1,
+        }
+    }
+    drop(tickets_tx);
+    let collected = collector.join().expect("collector panicked");
+    let stats = svc.shutdown();
+    report.e2e = collected.e2e;
+    report.queue = collected.queue;
+    report.exec = collected.exec;
+    report.served = collected.served;
+    report.cache_hits = collected.cache_hits;
+    report.cancelled = collected.cancelled;
+    report.lost += collected.lost;
+    report.elapsed = start.elapsed();
+    assert_eq!(
+        stats.served, report.served,
+        "service and collector disagree on served count"
+    );
+    report
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+fn print_histogram(name: &str, h: &LatencyHistogram) {
+    println!(
+        "{:<8} p50 {:>9.1}us  p90 {:>9.1}us  p99 {:>9.1}us  max {:>9.1}us",
+        name,
+        us(h.quantile(0.5)),
+        us(h.quantile(0.9)),
+        us(h.quantile(0.99)),
+        us(h.max()),
+    );
+}
+
+/// Closed-loop comparison: the same trial population through the service
+/// (saturated submission) and through `run_many`, with byte-identical
+/// rows asserted on every repetition. Both sides run three times and the
+/// fastest repetition counts — the populations are identical work, so
+/// min-of-reps compares the engines rather than the scheduler's mood.
+/// Returns (service_secs, raw_secs).
+fn compare_raw(args: &Args) -> (f64, f64) {
+    let workload = WorkloadSpec::TokenRing { n: 4, laps: 2 };
+    let scheme = Scheme::A;
+    let attack = AttackSpec::Iid { fraction: 0.002 };
+    let trials = if args.quick { 24 } else { 200 };
+    let reps = 3;
+
+    let svc = sim_service(ServiceConfig {
+        workers: args.workers,
+        queue_capacity: trials,
+        backpressure: Backpressure::Block,
+        ..ServiceConfig::default()
+    });
+    let mut service_s = f64::INFINITY;
+    let mut raw_s = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let tickets: Vec<Ticket<TrialResult>> = (0..trials)
+            .map(|i| {
+                svc.submit(
+                    SimRequest {
+                        workload,
+                        scheme,
+                        attack,
+                        seed: derive_trial_seed(args.seed, i),
+                    },
+                    Priority::Normal,
+                )
+                .expect("blocking submit cannot fail while the service runs")
+            })
+            .collect();
+        // Collect newest-first: each reply channel buffers its response,
+        // so waiting on the (FIFO-)last ticket first sleeps once for the
+        // whole batch instead of context-switching per reply — on a
+        // single core that per-reply ping-pong would bill scheduler
+        // overhead to the service that run_many never pays.
+        let mut service_rows: Vec<TrialResult> = tickets
+            .into_iter()
+            .rev()
+            .map(|t| {
+                t.wait()
+                    .expect("reply lost")
+                    .outcome
+                    .done()
+                    .expect("no cancellations in compare-raw")
+            })
+            .collect();
+        service_rows.reverse();
+        service_s = service_s.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let (_, raw_rows) = run_many(workload, scheme, attack, trials, args.seed);
+        raw_s = raw_s.min(t1.elapsed().as_secs_f64());
+
+        assert_eq!(
+            service_rows, raw_rows,
+            "service results diverged from run_many on the same seeds"
+        );
+    }
+    svc.shutdown();
+    (service_s, raw_s)
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "bencher: mix={} rate={}req/s requests={} workers={} backpressure={}",
+        args.mix,
+        args.rate,
+        args.requests,
+        if args.workers == 0 {
+            "auto".into()
+        } else {
+            args.workers.to_string()
+        },
+        if args.reject { "reject" } else { "block" },
+    );
+
+    let population = mix_requests(&args.mix, args.requests, args.seed);
+    let report = drive_open_loop(&args, population);
+
+    println!(
+        "served {} / {} in {:.2}s  ({:.1} req/s), {} rejected, {} cancelled, {} lost, cache hit rate {:.3}",
+        report.served,
+        args.requests,
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+        report.rejected,
+        report.cancelled,
+        report.lost,
+        report.cache_hits as f64 / report.served.max(1) as f64,
+    );
+    print_histogram("e2e", &report.e2e);
+    print_histogram("queue", &report.queue);
+    print_histogram("exec", &report.exec);
+
+    let mut rows = vec![json!({
+        "id": format!("serve/{}/r{}", args.mix, args.rate as u64),
+        "requests": args.requests,
+        "served": report.served,
+        "rejected": report.rejected,
+        "cancelled": report.cancelled,
+        "lost": report.lost,
+        "throughput_rps": report.throughput(),
+        "cache_hit_rate": report.cache_hits as f64 / report.served.max(1) as f64,
+        "e2e_p50_us": us(report.e2e.quantile(0.5)),
+        "e2e_p90_us": us(report.e2e.quantile(0.9)),
+        "e2e_p99_us": us(report.e2e.quantile(0.99)),
+        "e2e_max_us": us(report.e2e.max()),
+        "queue_p99_us": us(report.queue.quantile(0.99)),
+        "exec_p50_us": us(report.exec.quantile(0.5)),
+        "exec_p99_us": us(report.exec.quantile(0.99)),
+        "workers": args.workers,
+        "quick": args.quick,
+    })];
+
+    if args.compare_raw {
+        let (service_s, raw_s) = compare_raw(&args);
+        let ratio = service_s / raw_s.max(1e-9);
+        println!(
+            "compare-raw: service {:.3}s vs run_many {:.3}s (ratio {:.3}, rows byte-identical)",
+            service_s, raw_s, ratio
+        );
+        rows.push(json!({
+            "id": "serve/compare_raw/tokenring_a_iid",
+            "service_s": service_s,
+            "raw_s": raw_s,
+            "ratio": ratio,
+            "quick": args.quick,
+        }));
+    }
+
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&args.out)
+    {
+        for row in &rows {
+            let _ = writeln!(f, "{row}");
+        }
+        println!("appended {} row(s) to {}", rows.len(), args.out);
+    } else {
+        eprintln!("could not open {} for appending", args.out);
+    }
+
+    if args.quick {
+        let ok = report.served > 0 && report.failed() == 0;
+        if !ok {
+            eprintln!(
+                "QUICK GATE FAILED: served={} failed={}",
+                report.served,
+                report.failed()
+            );
+            std::process::exit(1);
+        }
+        println!("quick gate ok: nonzero throughput, zero failed requests");
+    }
+}

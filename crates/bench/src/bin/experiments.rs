@@ -1,6 +1,6 @@
 //! Regenerates every table/figure of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|all] [--quick]`
+//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|serve|all] [--quick]`
 //!
 //! Each experiment prints a table to stdout and appends JSON rows to
 //! `results/<id>.jsonl`.
@@ -35,6 +35,7 @@ fn main() {
         "large" => large(quick),
         "adaptive" => adaptive(quick),
         "parallel" => parallel(quick),
+        "serve" => serve_exp(quick),
         "all" => {
             t1(quick);
             f1(quick);
@@ -49,10 +50,11 @@ fn main() {
             large(quick);
             adaptive(quick);
             parallel(quick);
+            serve_exp(quick);
         }
         other => {
             eprintln!(
-                "unknown experiment {other}; use t1|f1..f9|large|adaptive|parallel|all [--quick]"
+                "unknown experiment {other}; use t1|f1..f9|large|adaptive|parallel|serve|all [--quick]"
             );
             std::process::exit(2);
         }
@@ -891,4 +893,101 @@ fn parallel(quick: bool) {
             );
         }
     }
+}
+
+/// SERVE — the simulation service end to end: a request batch through
+/// `SimService` (priorities, shared artifact cache, per-request
+/// queue/exec timings), with every row asserted byte-identical to a
+/// direct `run_trial` on the same seed. Rows land in
+/// `results/serve.jsonl`; the open-loop load numbers live in
+/// `BENCH_serve.json` (see the `bencher` bin).
+fn serve_exp(quick: bool) {
+    use bench::{derive_trial_seed, run_trial, SimRequest};
+    use serve::{Priority, ServiceConfig};
+
+    header(
+        "SERVE",
+        "Simulation-as-a-service — batch through SimService, identity vs run_trial",
+    );
+    let requests = if quick { 24 } else { 120 };
+    let svc = bench::sim_service(ServiceConfig {
+        queue_capacity: requests,
+        ..ServiceConfig::default()
+    });
+    let specs: Vec<(&str, WorkloadSpec, Scheme, AttackSpec)> = vec![
+        (
+            "ring4/A/none",
+            WorkloadSpec::Gossip {
+                topo: TopoSpec::Ring(4),
+                rounds: 5,
+            },
+            Scheme::A,
+            AttackSpec::None,
+        ),
+        (
+            "token4/A/iid",
+            WorkloadSpec::TokenRing { n: 4, laps: 2 },
+            Scheme::A,
+            AttackSpec::Iid { fraction: 0.002 },
+        ),
+        (
+            "ring4/B/none",
+            WorkloadSpec::Gossip {
+                topo: TopoSpec::Ring(4),
+                rounds: 5,
+            },
+            Scheme::B,
+            AttackSpec::None,
+        ),
+    ];
+    let t0 = std::time::Instant::now();
+    let tickets: Vec<_> = (0..requests)
+        .map(|i| {
+            let (_, workload, scheme, attack) = specs[i % specs.len()];
+            let pri = if i % 10 == 9 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            let req = SimRequest {
+                workload,
+                scheme,
+                attack,
+                seed: derive_trial_seed(777, i),
+            };
+            (req, svc.submit(req, pri).expect("service accepting"))
+        })
+        .collect();
+    let mut queue_ns = 0u64;
+    let mut exec_ns = 0u64;
+    for (req, t) in tickets {
+        let resp = t.wait().expect("reply lost");
+        queue_ns += resp.queue_ns;
+        exec_ns += resp.exec_ns;
+        let row = resp.outcome.done().expect("no cancellations here");
+        let direct = run_trial(req.workload, req.scheme, req.attack, req.seed);
+        assert_eq!(row, direct, "service diverged from run_trial on {req:?}");
+    }
+    let wall = t0.elapsed();
+    let stats = svc.shutdown();
+    println!(
+        "{requests} requests in {wall:.2?}: served {}, cache {} hits / {} misses ({} entries), queue highwater {}",
+        stats.served, stats.cache_hits, stats.cache_misses, stats.cache_entries, stats.queue_depth_highwater
+    );
+    println!(
+        "mean queue {:.1}us, mean exec {:.1}us — every row byte-identical to run_trial",
+        queue_ns as f64 / requests as f64 / 1e3,
+        exec_ns as f64 / requests as f64 / 1e3,
+    );
+    assert_eq!(stats.served, requests as u64);
+    emit(
+        "serve",
+        json!({"requests": requests,
+               "wall_ns": wall.as_nanos() as u64,
+               "served": stats.served,
+               "cache_hits": stats.cache_hits,
+               "cache_misses": stats.cache_misses,
+               "queue_depth_highwater": stats.queue_depth_highwater,
+               "identity_ok": true}),
+    );
 }

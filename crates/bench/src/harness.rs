@@ -2,14 +2,13 @@
 
 use crate::spec::{AttackSpec, Scheme, WorkloadSpec};
 use mpic::baseline::{run_no_coding, run_repetition};
-use mpic::{Parallelism, RunOptions, RunScratch, Simulation};
+use mpic::{ArtifactCache, Parallelism, RunOptions, RunScratch, Simulation};
 use parking_lot::Mutex;
-use protocol::ChunkedProtocol;
 use serde::Serialize;
 use smallbias::splitmix64;
 
 /// One trial's result row.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct TrialResult {
     /// Did the simulation reproduce the noiseless computation?
     pub success: bool,
@@ -93,13 +92,53 @@ pub fn run_trial_with_scratch(
         trial_seed,
         scratch,
         Parallelism::Serial,
+        None,
+    )
+    .0
+}
+
+/// [`run_trial`] as a service worker runs it: reusing a caller-owned
+/// scratch, an intra-trial thread budget, and a shared [`ArtifactCache`]
+/// of precompiled structural artifacts. Returns the trial row plus
+/// whether **every** artifact lookup hit the cache (schemes B and C look
+/// up two entries: the 5m chunk-count hint and their own larger chunking).
+///
+/// Outcomes are byte-identical to [`run_trial`] with the same seed —
+/// cached statics compile deterministically from structure alone, and
+/// parallelism is a pure wall-clock knob.
+pub fn run_trial_serviced(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    trial_seed: u64,
+    scratch: &mut RunScratch,
+    parallelism: Parallelism,
+    cache: &ArtifactCache,
+) -> (TrialResult, bool) {
+    run_trial_inner(
+        workload,
+        scheme,
+        attack,
+        trial_seed,
+        scratch,
+        parallelism,
+        Some(cache),
     )
 }
 
+/// Per-trial seed of `run_many(base_seed, …)`'s trial `i` (public so load
+/// drivers can replay the exact same trial population through a service).
+pub fn derive_trial_seed(base_seed: u64, i: usize) -> u64 {
+    trial_seed(base_seed, i)
+}
+
 /// The full trial pipeline, with the scheme's intra-trial [`Parallelism`]
-/// chosen by the caller. Byte-identical outcomes across all settings (the
-/// parallel hash paths shard deterministically), so this is a pure
-/// wall-clock knob.
+/// chosen by the caller and an optional shared [`ArtifactCache`].
+/// Byte-identical outcomes across all settings: the parallel hash paths
+/// shard deterministically, and cached statics are interchangeable with
+/// freshly compiled ones. Returns the row plus the all-lookups-hit flag
+/// (always `false` without a cache).
+#[allow(clippy::too_many_arguments)]
 fn run_trial_inner(
     workload: WorkloadSpec,
     scheme: Scheme,
@@ -107,12 +146,24 @@ fn run_trial_inner(
     trial_seed: u64,
     scratch: &mut RunScratch,
     parallelism: Parallelism,
-) -> TrialResult {
+    cache: Option<&ArtifactCache>,
+) -> (TrialResult, bool) {
     let w = workload.build(trial_seed.wrapping_mul(0x9e37_79b9) | 1);
+    // Without a shared cache, compile into a private one — identical
+    // artifacts (compilation is deterministic), no reuse.
+    let private;
+    let (cache, shared) = match cache {
+        Some(c) => (c, true),
+        None => {
+            private = ArtifactCache::new();
+            (&private, false)
+        }
+    };
     match scheme {
         Scheme::NoCoding | Scheme::Repetition(_) => {
             let g = w.graph().clone();
-            let proto = ChunkedProtocol::new(&*w, 5 * g.edge_count());
+            let (statics, hit) = cache.get_or_compile(&*w, 5 * g.edge_count());
+            let proto = &statics.proto;
             // Baselines execute exactly the real chunks.
             let rounds: u64 = (0..proto.real_chunks())
                 .map(|c| proto.layout(c).round_count() as u64)
@@ -133,11 +184,11 @@ fn run_trial_inner(
             let budget = attack_budget(&attack, cc_predict);
             let adversary = attack.build(&g, geometry, cc_predict, rounds * rep as u64, trial_seed);
             let out = match scheme {
-                Scheme::NoCoding => run_no_coding(&*w, &proto, adversary, budget),
-                Scheme::Repetition(r) => run_repetition(&*w, &proto, adversary, budget, r),
+                Scheme::NoCoding => run_no_coding(&*w, proto, adversary, budget),
+                Scheme::Repetition(r) => run_repetition(&*w, proto, adversary, budget, r),
                 _ => unreachable!(),
             };
-            TrialResult {
+            let row = TrialResult {
                 success: out.success,
                 cc: out.stats.cc,
                 payload_cc: out.payload_cc,
@@ -146,14 +197,24 @@ fn run_trial_inner(
                 blowup: out.blowup,
                 hash_collisions: 0,
                 rounds: out.stats.rounds,
-            }
+            };
+            (row, shared && hit)
         }
         _ => {
             let g = w.graph().clone();
-            let hint = ChunkedProtocol::new(&*w, 5 * g.edge_count()).real_chunks();
+            // The chunk-count hint protocol (always 5m bits) and the
+            // scheme's own statics (5·k_param bits — larger for B/C) are
+            // separate cache entries; for Algorithm A they coincide.
+            let (hint_statics, hint_hit) = cache.get_or_compile(&*w, 5 * g.edge_count());
+            let hint = hint_statics.proto.real_chunks();
             let mut cfg = scheme.config(&g, hint, 0xc0de ^ trial_seed);
             cfg.parallelism = parallelism;
-            let sim = Simulation::new(&*w, cfg, trial_seed);
+            let (statics, statics_hit) = if cfg.chunk_bits() == 5 * g.edge_count() {
+                (hint_statics, hint_hit)
+            } else {
+                cache.get_or_compile(&*w, cfg.chunk_bits())
+            };
+            let sim = Simulation::with_statics(&*w, cfg, trial_seed, statics);
             let geometry = sim.geometry();
             let predicted_cc = sim.predicted_cc();
             let predicted_rounds =
@@ -166,7 +227,7 @@ fn run_trial_inner(
                 expose_view: true,
             };
             let out = sim.run_with_scratch(adversary, opts, scratch);
-            TrialResult {
+            let row = TrialResult {
                 success: out.success,
                 cc: out.stats.cc,
                 payload_cc: out.payload_cc,
@@ -175,7 +236,8 @@ fn run_trial_inner(
                 blowup: out.blowup,
                 hash_collisions: out.instrumentation.hash_collisions,
                 rounds: out.stats.rounds,
-            }
+            };
+            (row, shared && hint_hit && statics_hit)
         }
     }
 }
@@ -259,6 +321,10 @@ pub fn run_many(
     let threads = budget.min(trials.max(1));
     let intra = Parallelism::Threads((budget / threads.max(1)).max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // One artifact cache for the whole run: structural compilation
+    // (chunk layouts, spanning tree, flag schedules) happens once per
+    // distinct (workload structure, chunking), not once per trial.
+    let cache = ArtifactCache::new();
     crossbeam::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| {
@@ -270,13 +336,14 @@ pub fn run_many(
                     if i >= trials {
                         break;
                     }
-                    let r = run_trial_inner(
+                    let (r, _) = run_trial_inner(
                         workload,
                         scheme,
                         attack,
                         trial_seed(base_seed, i),
                         &mut scratch,
                         intra,
+                        Some(&cache),
                     );
                     results.lock()[i] = Some(r);
                 }

@@ -4,12 +4,19 @@
 //!
 //! Everything is driven by plain-data specs ([`WorkloadSpec`], [`Scheme`],
 //! [`AttackSpec`]) so that each worker thread can rebuild its own
-//! simulation deterministically from `(spec, trial_seed)`.
+//! simulation deterministically from `(spec, trial_seed)` — which is also
+//! what makes a trial a self-contained [`SimRequest`] servable by the
+//! `serve` crate's worker pool (see [`service`]).
 
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod service;
 pub mod spec;
 
-pub use harness::{run_many, run_trial, run_trial_with_scratch, Summary, TrialResult};
+pub use harness::{
+    derive_trial_seed, run_many, run_trial, run_trial_serviced, run_trial_with_scratch, Summary,
+    TrialResult,
+};
+pub use service::{sim_service, SimRequest};
 pub use spec::{AttackSpec, Scheme, TopoSpec, WorkloadSpec};

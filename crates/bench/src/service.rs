@@ -1,0 +1,53 @@
+//! The concrete simulation job served by the `serve` crate's
+//! [`SimService`]: a plain-data [`SimRequest`] (spec + seed) whose
+//! execution is [`crate::run_trial_serviced`] against the worker's pooled
+//! [`mpic::RunScratch`] and the service-wide [`mpic::ArtifactCache`].
+//!
+//! Determinism contract: a request's [`TrialResult`] is byte-identical to
+//! a direct [`crate::run_trial`] with the same `(specs, seed)`, whichever
+//! worker runs it and whatever the cache holds — the `serve_identity`
+//! integration suite pins this across the scheme × adversary ×
+//! parallelism matrix.
+
+use crate::harness::{run_trial_serviced, TrialResult};
+use crate::spec::{AttackSpec, Scheme, WorkloadSpec};
+use serde::Serialize;
+use serve::{Job, JobCtx, ServiceConfig, SimService};
+
+/// One self-contained simulation request: everything a worker needs to
+/// rebuild and run the trial deterministically.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SimRequest {
+    /// The noiseless protocol Π to compile and simulate.
+    pub workload: WorkloadSpec,
+    /// Coding scheme (or baseline) to run Π under.
+    pub scheme: Scheme,
+    /// Adversary specification.
+    pub attack: AttackSpec,
+    /// Trial seed; use [`crate::derive_trial_seed`] to replicate a
+    /// `run_many` population.
+    pub seed: u64,
+}
+
+impl Job for SimRequest {
+    type Out = TrialResult;
+
+    fn run(&self, ctx: &mut JobCtx<'_>) -> TrialResult {
+        let (row, hit) = run_trial_serviced(
+            self.workload,
+            self.scheme,
+            self.attack,
+            self.seed,
+            ctx.scratch,
+            ctx.parallelism,
+            ctx.cache,
+        );
+        ctx.cache_hit = hit;
+        row
+    }
+}
+
+/// Starts a [`SimService`] serving [`SimRequest`]s.
+pub fn sim_service(cfg: ServiceConfig) -> SimService<SimRequest> {
+    SimService::start(cfg)
+}

@@ -1,0 +1,278 @@
+//! Precompiled simulation artifacts, shareable across runs.
+//!
+//! Compiling a [`crate::Simulation`] does two kinds of work: *structural*
+//! compilation that depends only on the workload's graph and speaking
+//! schedule (chunk layouts and per-party slot/position tables, the BFS
+//! spanning tree, the flag-passing plan and its precompiled round
+//! schedule), and *per-run* work that depends on the trial seed (party
+//! inputs, the noiseless reference run, exchanged/CRS seed material).
+//! The structural part — [`SimStatics`] — is by far the more expensive
+//! half for short trials, and it is byte-for-byte deterministic in
+//! `(graph, schedule, chunk_bits)`. That makes it safe to compile once
+//! and share: two workloads with the same structure but different
+//! payloads (e.g. the same `TokenRing` topology under different input
+//! seeds) produce *identical* statics, so a serving layer can key a
+//! cache by [`ArtifactFingerprint`] and hand every request an
+//! [`Arc<SimStatics>`] without touching the outcome. The
+//! `serve_identity` integration suite pins this: a cache-warm request is
+//! byte-identical to a cold direct run.
+
+use crate::flags::{FlagPlan, FlagSchedule};
+use netgraph::{Graph, SpanningTree};
+use protocol::{ChunkedProtocol, Workload};
+use smallbias::splitmix64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// 128-bit structural fingerprint of `(graph, schedule, chunk_bits)`.
+///
+/// Two independently-mixed 64-bit streams over the same word sequence;
+/// collisions would require both streams to collide simultaneously, so
+/// accidental aliasing of distinct structures in an [`ArtifactCache`] is
+/// not a practical concern (the cache trusts the fingerprint and does
+/// not re-verify structure on hit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl ArtifactFingerprint {
+    /// The fingerprint as a printable 32-hex-digit token (stable across
+    /// runs; used in logs and machine-readable bench output).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Incremental two-stream mixer behind [`ArtifactFingerprint`].
+struct FingerprintHasher {
+    a: u64,
+    b: u64,
+}
+
+impl FingerprintHasher {
+    fn new() -> Self {
+        // Distinct nothing-up-my-sleeve offsets so the streams decorrelate
+        // from the first word.
+        FingerprintHasher {
+            a: 0x6a09_e667_f3bc_c908,
+            b: 0xbb67_ae85_84ca_a73b,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.a ^= w;
+        splitmix64(&mut self.a);
+        self.b = self.b.rotate_left(17) ^ w.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        splitmix64(&mut self.b);
+    }
+
+    fn finish(mut self) -> ArtifactFingerprint {
+        self.word(0x5be0_cd19_137e_2179);
+        ArtifactFingerprint {
+            hi: self.a,
+            lo: self.b,
+        }
+    }
+}
+
+/// Fingerprints the structure a [`SimStatics`] is compiled from: the
+/// graph's node count and directed-link list, the schedule's per-round
+/// speaking links, and the chunk size. Payload content (party inputs,
+/// logic state) is deliberately excluded — statics do not depend on it.
+pub fn statics_fingerprint(w: &dyn Workload, chunk_bits: usize) -> ArtifactFingerprint {
+    let mut h = FingerprintHasher::new();
+    let g = w.graph();
+    h.word(g.node_count() as u64);
+    h.word(g.link_count() as u64);
+    for link in g.links() {
+        h.word(((link.from as u64) << 32) | link.to as u64);
+    }
+    h.word(chunk_bits as u64);
+    let sched = w.schedule();
+    h.word(sched.round_count() as u64);
+    for r in 0..sched.round_count() {
+        let links = sched.links_at(r);
+        h.word(links.len() as u64);
+        for link in links {
+            h.word(((link.from as u64) << 32) | link.to as u64);
+        }
+    }
+    h.finish()
+}
+
+/// The seed-independent compiled half of a simulation: everything
+/// [`crate::Simulation::new`] derives from the workload's *structure*.
+///
+/// Immutable once compiled; share freely across threads and runs via
+/// [`Arc`]. See the module docs for the determinism argument.
+pub struct SimStatics {
+    /// The workload's communication graph (with its dense link index).
+    pub graph: Graph,
+    /// The chunked protocol Π′: layouts, per-party slot tables, shape-
+    /// deduplicated position plans.
+    pub proto: ChunkedProtocol,
+    /// BFS spanning tree rooted at node 0 (flag passing).
+    pub tree: SpanningTree,
+    /// Up/down sweep timetable over the tree.
+    pub plan: FlagPlan,
+    /// The plan precompiled into per-round send/receive tables.
+    pub flag_sched: FlagSchedule,
+    /// Fingerprint of the structure this was compiled from.
+    pub fingerprint: ArtifactFingerprint,
+}
+
+impl SimStatics {
+    /// Compiles the structural artifacts for `w` at the given chunk size.
+    /// Deterministic: equal `(graph, schedule, chunk_bits)` structures
+    /// yield byte-identical statics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bits < 4m` (see [`ChunkedProtocol::new`]).
+    pub fn compile(w: &dyn Workload, chunk_bits: usize) -> SimStatics {
+        let graph = w.graph().clone();
+        let proto = ChunkedProtocol::new(w, chunk_bits);
+        let tree = SpanningTree::bfs(&graph, 0);
+        let plan = FlagPlan::new(&tree);
+        let flag_sched = FlagSchedule::new(&graph, &tree, &plan);
+        let fingerprint = statics_fingerprint(w, chunk_bits);
+        SimStatics {
+            graph,
+            proto,
+            tree,
+            plan,
+            flag_sched,
+            fingerprint,
+        }
+    }
+}
+
+/// Concurrency-safe cache of [`SimStatics`] keyed by
+/// [`ArtifactFingerprint`], with hit/miss counters.
+///
+/// Shared by a serving layer's workers (and `bench::run_many`'s trial
+/// workers): the first request for a structure compiles it, every later
+/// request clones an [`Arc`]. Compilation happens *outside* the map
+/// lock, so a slow compile never blocks hits on other keys; two racing
+/// misses on the same key may both compile, and the loser adopts the
+/// winner's entry (identical bytes either way, so sharing stays
+/// maximal and outcomes are unaffected).
+#[derive(Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<ArtifactFingerprint, Arc<SimStatics>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// Returns the statics for `(w, chunk_bits)`, compiling on miss.
+    /// The boolean is `true` on a cache hit.
+    pub fn get_or_compile(&self, w: &dyn Workload, chunk_bits: usize) -> (Arc<SimStatics>, bool) {
+        let fp = statics_fingerprint(w, chunk_bits);
+        if let Some(hit) = self.map.lock().unwrap().get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(SimStatics::compile(w, chunk_bits));
+        let mut map = self.map.lock().unwrap();
+        let entry = map.entry(fp).or_insert_with(|| Arc::clone(&compiled));
+        (Arc::clone(entry), false)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compilations requested) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct structures currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocol::workloads::{Gossip, TokenRing};
+
+    fn _statics_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimStatics>();
+        assert_send_sync::<ArtifactCache>();
+    }
+
+    #[test]
+    fn fingerprint_ignores_payload_seed() {
+        // Same structure, different input seeds → same fingerprint.
+        let a = TokenRing::new(5, 2, 1);
+        let b = TokenRing::new(5, 2, 999);
+        assert_eq!(statics_fingerprint(&a, 40), statics_fingerprint(&b, 40));
+    }
+
+    #[test]
+    fn fingerprint_separates_structures() {
+        let a = TokenRing::new(5, 2, 1);
+        let b = TokenRing::new(5, 3, 1); // extra lap → longer schedule
+        let c = TokenRing::new(6, 2, 1); // bigger ring → different graph
+        let fa = statics_fingerprint(&a, 40);
+        assert_ne!(fa, statics_fingerprint(&b, 40));
+        assert_ne!(fa, statics_fingerprint(&c, 40));
+        // Chunk size is part of the key.
+        assert_ne!(fa, statics_fingerprint(&a, 60));
+        assert_eq!(fa.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn cache_hits_share_one_arc() {
+        let cache = ArtifactCache::new();
+        let w = Gossip::new(netgraph::topology::ring(4), 3, 7);
+        let (first, hit1) = cache.get_or_compile(&w, 5 * w.graph().edge_count());
+        let (second, hit2) = cache.get_or_compile(&w, 5 * w.graph().edge_count());
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // A different chunk size is a different artifact.
+        let (_third, hit3) = cache.get_or_compile(&w, 10 * w.graph().edge_count());
+        assert!(!hit3);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn compiled_statics_match_fingerprint() {
+        let w = TokenRing::new(4, 2, 3);
+        let s = SimStatics::compile(&w, 5 * w.graph().edge_count());
+        assert_eq!(
+            s.fingerprint,
+            statics_fingerprint(&w, 5 * w.graph().edge_count())
+        );
+        assert_eq!(s.graph.node_count(), 4);
+        assert!(s.proto.real_chunks() > 0);
+    }
+}

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 pub mod baseline;
 mod config;
 mod flags;
@@ -48,6 +49,7 @@ mod meeting;
 mod runner;
 mod transcript;
 
+pub use artifact::{statics_fingerprint, ArtifactCache, ArtifactFingerprint, SimStatics};
 pub use config::{
     sim_threads_env, AdversaryClass, HashingMode, Parallelism, RandomnessMode, SchemeConfig,
     SeedExpansion, WireMode,

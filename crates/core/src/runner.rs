@@ -44,14 +44,15 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crate::artifact::SimStatics;
 use crate::config::{
     AdversaryClass, HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode,
 };
-use crate::flags::{FlagPlan, FlagSchedule};
+
 use crate::instrument::{Instrumentation, IterationSample};
 use crate::meeting::{transcript_hash, LinkStatus, MpMessage, MpState, RecvMpMessage};
 use crate::transcript::{sym_delta, LinkTranscript, TranscriptHasher, SKETCH_BITS};
-use netgraph::{DirectedLink, EdgeId, Graph, LinkId, NodeId, SpanningTree};
+use netgraph::{DirectedLink, EdgeId, Graph, LinkId, NodeId};
 use netsim::{
     AdaptiveView, Adversary, Corruption, EdgeMpView, FlagView, FrameBatch, MpSideView, NetStats,
     Network, PhaseGeometry, PhasePos, RoundFrame,
@@ -224,12 +225,8 @@ struct Arena {
 pub struct Simulation<'w> {
     workload: &'w dyn Workload,
     cfg: SchemeConfig,
-    proto: ChunkedProtocol,
+    statics: Arc<SimStatics>,
     reference: ReferenceRun,
-    graph: Graph,
-    tree: SpanningTree,
-    plan: FlagPlan,
-    flag_sched: FlagSchedule,
     geometry: PhaseGeometry,
     iterations: usize,
     trial_seed: u64,
@@ -245,14 +242,37 @@ impl<'w> Simulation<'w> {
     ///
     /// Panics if `cfg` is invalid for the workload's graph.
     pub fn new(workload: &'w dyn Workload, cfg: SchemeConfig, trial_seed: u64) -> Self {
-        let graph = workload.graph().clone();
-        cfg.validate(&graph);
-        let proto = ChunkedProtocol::new(workload, cfg.chunk_bits());
-        let reference = run_reference(workload, &proto);
-        let tree = SpanningTree::bfs(&graph, 0);
-        let plan = FlagPlan::new(&tree);
-        let flag_sched = FlagSchedule::new(&graph, &tree, &plan);
-        let iterations = cfg.iterations(proto.real_chunks());
+        cfg.validate(workload.graph());
+        let statics = Arc::new(SimStatics::compile(workload, cfg.chunk_bits()));
+        Simulation::with_statics(workload, cfg, trial_seed, statics)
+    }
+
+    /// [`Simulation::new`] with the structural artifacts supplied by the
+    /// caller — typically an [`crate::ArtifactCache`] entry shared across
+    /// requests. Because [`SimStatics::compile`] is deterministic in the
+    /// workload's structure, running with cached statics is byte-identical
+    /// to compiling fresh; only the compile cost changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid for the workload's graph. In debug
+    /// builds, also asserts that `statics` fingerprints to exactly what
+    /// `(workload, cfg.chunk_bits())` would compile to — handing in
+    /// statics for a different structure is a caller bug.
+    pub fn with_statics(
+        workload: &'w dyn Workload,
+        cfg: SchemeConfig,
+        trial_seed: u64,
+        statics: Arc<SimStatics>,
+    ) -> Self {
+        cfg.validate(workload.graph());
+        debug_assert_eq!(
+            statics.fingerprint,
+            crate::artifact::statics_fingerprint(workload, cfg.chunk_bits()),
+            "statics compiled for a different (graph, schedule, chunk_bits)"
+        );
+        let reference = run_reference(workload, &statics.proto);
+        let iterations = cfg.iterations(statics.proto.real_chunks());
         let exchange_bits = match &cfg.randomness {
             RandomnessMode::Crs { .. } => 0,
             RandomnessMode::Exchanged {
@@ -265,20 +285,16 @@ impl<'w> Simulation<'w> {
         let geometry = PhaseGeometry {
             setup: exchange_bits as u64,
             meeting_points: 4 * cfg.hash_bits as u64,
-            flag_passing: plan.rounds() as u64,
-            simulation: 1 + proto.max_rounds_per_chunk() as u64,
+            flag_passing: statics.plan.rounds() as u64,
+            simulation: 1 + statics.proto.max_rounds_per_chunk() as u64,
             rewind: cfg.rewind_rounds as u64,
         };
-        let max_link_syms = max_link_syms(&proto, &graph);
+        let max_link_syms = max_link_syms(&statics.proto, &statics.graph);
         Simulation {
             workload,
             cfg,
-            proto,
+            statics,
             reference,
-            graph,
-            tree,
-            plan,
-            flag_sched,
             geometry,
             iterations,
             trial_seed,
@@ -294,7 +310,7 @@ impl<'w> Simulation<'w> {
 
     /// The chunked protocol Π′.
     pub fn proto(&self) -> &ChunkedProtocol {
-        &self.proto
+        &self.statics.proto
     }
 
     /// The noiseless reference run.
@@ -311,9 +327,9 @@ impl<'w> Simulation<'w> {
     /// before running: metadata plus one chunk per iteration plus the
     /// exchange.
     pub fn predicted_cc(&self) -> u64 {
-        let m = self.graph.edge_count() as u64;
+        let m = self.statics.graph.edge_count() as u64;
         let per_iter = 2 * m * 4 * self.cfg.hash_bits as u64  // meeting points
-            + 2 * (self.graph.node_count() as u64 - 1)        // flag passing
+            + 2 * (self.statics.graph.node_count() as u64 - 1)        // flag passing
             + self.cfg.chunk_bits() as u64; // simulated chunk
         self.exchange_bits as u64 * m + self.iterations as u64 * per_iter
     }
@@ -333,7 +349,7 @@ impl<'w> Simulation<'w> {
         opts: RunOptions,
         scratch: &mut RunScratch,
     ) -> SimOutcome {
-        let mut net = Network::new(self.graph.clone(), adversary, opts.noise_budget);
+        let mut net = Network::new(self.statics.graph.clone(), adversary, opts.noise_budget);
         let (mut parties, mut lanes) = self.init_state();
         // Resolved once per run so `Parallelism::Auto` reads the
         // environment once, not per phase; the pool persists across runs
@@ -342,7 +358,7 @@ impl<'w> Simulation<'w> {
         if scratch.pool.as_ref().map(crossbeam::WorkerPool::threads) != Some(threads) {
             scratch.pool = Some(crossbeam::WorkerPool::new(threads));
         }
-        scratch.frames_for(&self.graph);
+        scratch.frames_for(&self.statics.graph);
         let RunScratch {
             frames,
             arena,
@@ -431,15 +447,16 @@ impl<'w> Simulation<'w> {
     /// Panics if `(from, to)` is not an edge of the topology.
     #[inline]
     fn lid(&self, from: NodeId, to: NodeId) -> LinkId {
-        self.graph
+        self.statics
+            .graph
             .link_id(DirectedLink { from, to })
             .expect("send on non-edge")
     }
 
     fn init_state(&self) -> (Vec<SimParty>, Vec<LinkLane>) {
-        let parties = (0..self.graph.node_count())
+        let parties = (0..self.statics.graph.node_count())
             .map(|u| {
-                let neighbors: Vec<NodeId> = self.graph.neighbors(u).to_vec();
+                let neighbors: Vec<NodeId> = self.statics.graph.neighbors(u).to_vec();
                 let deg = neighbors.len();
                 let lid_out: Vec<LinkId> = neighbors.iter().map(|&v| self.lid(u, v)).collect();
                 let lid_in: Vec<LinkId> = neighbors.iter().map(|&v| self.lid(v, u)).collect();
@@ -461,7 +478,7 @@ impl<'w> Simulation<'w> {
                 }
             })
             .collect();
-        let lanes = (0..self.graph.link_count())
+        let lanes = (0..self.statics.graph.link_count())
             .map(|_| LinkLane::new())
             .collect();
         (parties, lanes)
@@ -501,6 +518,7 @@ impl<'w> Simulation<'w> {
                 let src: Arc<dyn SeedSource> = Arc::new(CrsSource::new(*master));
                 Sources {
                     by_link: self
+                        .statics
                         .graph
                         .links()
                         .iter()
@@ -514,14 +532,14 @@ impl<'w> Simulation<'w> {
             } => {
                 let reps = (*code_repetitions).max(1);
                 let code = BinaryCode::rate_one_third();
-                let m = self.graph.edge_count();
+                let m = self.statics.graph.edge_count();
                 let rounds = self.exchange_bits;
                 let lane_words = rounds.div_ceil(64).max(1);
                 // Per edge: the lower endpoint samples and transmits a
                 // 128-bit seed, RS-coded and repeated, packed into a lane.
                 let mut true_seeds: Vec<(u64, u64)> = Vec::with_capacity(m);
                 let mut lanes: Vec<u64> = vec![0; m * lane_words];
-                for (e, _, _) in self.graph.edges() {
+                for (e, _, _) in self.statics.graph.edges() {
                     let mut rng =
                         Xoshiro256::seeded(self.trial_seed ^ splitmix64(&mut (e as u64 + 1)));
                     let (x, y) = (rng.next_u64(), rng.next_u64());
@@ -542,12 +560,16 @@ impl<'w> Simulation<'w> {
                     }
                 }
                 // Transmit, one bit per edge per round (sender = lower id).
-                let elids: Vec<LinkId> =
-                    self.graph.edges().map(|(_, u, v)| self.lid(u, v)).collect();
+                let elids: Vec<LinkId> = self
+                    .statics
+                    .graph
+                    .edges()
+                    .map(|(_, u, v)| self.lid(u, v))
+                    .collect();
                 let mut received: Vec<Vec<Option<bool>>> = vec![vec![None; rounds]; m];
                 match self.cfg.wire {
                     WireMode::Batched => {
-                        let b = batches_for(batches, self.graph.link_count(), rounds);
+                        let b = batches_for(batches, self.statics.graph.link_count(), rounds);
                         b.tx.clear_all();
                         for e in 0..m {
                             b.tx.set_bits(
@@ -586,8 +608,8 @@ impl<'w> Simulation<'w> {
                 // dense LinkId index (links are edge-major: lid(u → v) =
                 // 2e for u < v, 2e + 1 the other way).
                 let mut by_link: Vec<Arc<dyn SeedSource>> =
-                    Vec::with_capacity(self.graph.link_count());
-                for (e, _, _) in self.graph.edges() {
+                    Vec::with_capacity(self.statics.graph.link_count());
+                for (e, _, _) in self.statics.graph.edges() {
                     let (x, y) = true_seeds[e];
                     by_link.push(self.expand_seed(*expansion, x, y));
                     let (dx, dy) = decode_seed(&code, &received[e], reps);
@@ -605,7 +627,7 @@ impl<'w> Simulation<'w> {
                 Arc::new(CrsSource::new(splitmix64(&mut s) ^ y.rotate_left(17)))
             }
             SeedExpansion::Aghp => {
-                let m = self.graph.edge_count() as u64;
+                let m = self.statics.graph.edge_count() as u64;
                 Arc::new(DeltaBiasedSource::new(
                     x,
                     y,
@@ -682,7 +704,7 @@ impl<'w> Simulation<'w> {
         // lane is overwritten; no clear needed.)
         if batched {
             let nbits = 4 * tau as usize;
-            let b = batches_for(batches, self.graph.link_count(), nbits);
+            let b = batches_for(batches, self.statics.graph.link_count(), nbits);
             let mut words = [0u64; 4];
             for (lid, lane) in lanes.iter().enumerate() {
                 let n = lane.mp_out.to_words(tau, &mut words);
@@ -752,7 +774,7 @@ impl<'w> Simulation<'w> {
             }
         }
         // Instrumentation: true full-hash collisions (global knowledge).
-        for (e, _, _) in self.graph.edges() {
+        for (e, _, _) in self.statics.graph.edges() {
             let lu = &lanes[2 * e];
             let lv = &lanes[2 * e + 1];
             if lu.mp_out.h_full == lv.mp_out.h_full && !lu.t.same_as(&lv.t) {
@@ -798,13 +820,13 @@ impl<'w> Simulation<'w> {
         // bit-serially in both wire modes — but each round touches only
         // its precompiled schedule entries instead of scanning all n
         // parties ([`FlagSchedule`]).
-        let root = self.tree.root();
-        for o in 0..self.plan.rounds() {
+        let root = self.statics.tree.root();
+        for o in 0..self.statics.plan.rounds() {
             fr.tx.clear_all();
-            for &(u, lid) in &self.flag_sched.up_sends[o] {
+            for &(u, lid) in &self.statics.flag_sched.up_sends[o] {
                 fr.tx.set(lid, parties[u].fp_agg);
             }
-            for &(u, lid) in &self.flag_sched.down_sends[o] {
+            for &(u, lid) in &self.statics.flag_sched.down_sends[o] {
                 let flag = if u == root {
                     parties[u].fp_agg
                 } else {
@@ -821,12 +843,12 @@ impl<'w> Simulation<'w> {
                 StepCtx::plain(0, memory),
                 opts,
             );
-            for &(u, lid) in &self.flag_sched.up_recvs[o] {
+            for &(u, lid) in &self.statics.flag_sched.up_recvs[o] {
                 // Deleted flag reads as stop (false).
                 let bit = fr.rx.get(lid).unwrap_or(false);
                 parties[u].fp_agg &= bit;
             }
-            for &(u, lid) in &self.flag_sched.down_recvs[o] {
+            for &(u, lid) in &self.statics.flag_sched.down_recvs[o] {
                 let bit = fr.rx.get(lid).unwrap_or(false);
                 parties[u].net_correct = bit && parties[u].status;
             }
@@ -915,7 +937,7 @@ impl<'w> Simulation<'w> {
             // Per-neighbor symbol positions come from the chunk shape's
             // precompiled [`protocol::PartyPlan`] — the per-iteration
             // layout walk this loop used to do.
-            let plan = self.proto.party_plan(c, u);
+            let plan = self.statics.proto.party_plan(c, u);
             for ni in 0..p.neighbors.len() {
                 if plan.pair_syms[ni] > 0 && !p.excluded.contains(ni) {
                     let lane = &mut lanes[p.lid_out[ni]];
@@ -934,15 +956,15 @@ impl<'w> Simulation<'w> {
             }
         }
         // Chunk rounds.
-        let max_rounds = self.proto.max_rounds_per_chunk();
+        let max_rounds = self.statics.proto.max_rounds_per_chunk();
         for jr in 0..max_rounds {
             fr.tx.clear_all();
             for p in parties.iter_mut() {
                 if !p.sim_active {
                     continue;
                 }
-                let pslots = self.proto.party_slots_cached(p.sim_chunk, p.node);
-                let plan = self.proto.party_plan(p.sim_chunk, p.node);
+                let pslots = self.statics.proto.party_slots_cached(p.sim_chunk, p.node);
+                let plan = self.statics.proto.party_plan(p.sim_chunk, p.node);
                 while p.pslot_cursor < pslots.len() {
                     let slot = pslots[p.pslot_cursor];
                     if slot.round_in_chunk != jr || !slot.is_send {
@@ -950,7 +972,7 @@ impl<'w> Simulation<'w> {
                     }
                     p.pslot_cursor += 1;
                     let bit = p.work.as_mut().unwrap().send(&slot);
-                    let ni = self.graph.link_src_nbr(slot.lid);
+                    let ni = self.statics.graph.link_src_nbr(slot.lid);
                     if !p.excluded.contains(ni) {
                         fr.tx.set(slot.lid, bit);
                         // Own sent bits are part of T_{u,v}.
@@ -972,8 +994,8 @@ impl<'w> Simulation<'w> {
                 if !p.sim_active {
                     continue;
                 }
-                let pslots = self.proto.party_slots_cached(p.sim_chunk, p.node);
-                let plan = self.proto.party_plan(p.sim_chunk, p.node);
+                let pslots = self.statics.proto.party_slots_cached(p.sim_chunk, p.node);
+                let plan = self.statics.proto.party_plan(p.sim_chunk, p.node);
                 while p.pslot_cursor < pslots.len() {
                     let slot = pslots[p.pslot_cursor];
                     if slot.round_in_chunk != jr {
@@ -981,7 +1003,7 @@ impl<'w> Simulation<'w> {
                     }
                     debug_assert!(!slot.is_send);
                     p.pslot_cursor += 1;
-                    let ni = self.graph.link_dst_nbr(slot.lid);
+                    let ni = self.statics.graph.link_dst_nbr(slot.lid);
                     if p.excluded.contains(ni) {
                         // Not simulating with that neighbor: feed the
                         // default, record nothing.
@@ -1057,7 +1079,11 @@ impl<'w> Simulation<'w> {
             // independent and the batched mode pushes them through one
             // engine call.
             if self.cfg.wire == WireMode::Batched {
-                let b = batches_for(batches, self.graph.link_count(), self.cfg.rewind_rounds);
+                let b = batches_for(
+                    batches,
+                    self.statics.graph.link_count(),
+                    self.cfg.rewind_rounds,
+                );
                 b.tx.clear_all();
                 self.step_batch(
                     net,
@@ -1144,8 +1170,8 @@ impl<'w> Simulation<'w> {
                 opts,
             );
             for (lid, _) in fr.rx.iter_set() {
-                let u = self.graph.link(lid).to;
-                let ni = self.graph.link_dst_nbr(lid);
+                let u = self.statics.graph.link(lid).to;
+                let ni = self.statics.graph.link_dst_nbr(lid);
                 let p = &mut parties[u];
                 let lane = &mut lanes[lid ^ 1];
                 let ok = lane.mp.status != LinkStatus::MeetingPoints
@@ -1244,7 +1270,7 @@ impl<'w> Simulation<'w> {
         let mut h_star = 0usize;
         let mut sum_g = 0usize;
         let mut sum_b = 0usize;
-        for (e, _, _) in self.graph.edges() {
+        for (e, _, _) in self.statics.graph.edges() {
             let tu = &lanes[2 * e].t;
             let tv = &lanes[2 * e + 1].t;
             let g = tu.common_prefix_chunks(tv);
@@ -1271,7 +1297,7 @@ impl<'w> Simulation<'w> {
             corruptions: stats.corruptions,
             potential_proxy: Instrumentation::proxy(
                 self.cfg.k_param,
-                self.graph.edge_count(),
+                self.statics.graph.edge_count(),
                 sum_g,
                 sum_b,
                 h_star - g_star,
@@ -1287,11 +1313,11 @@ impl<'w> Simulation<'w> {
         net: &Network,
         inst: Instrumentation,
     ) -> SimOutcome {
-        let real = self.proto.real_chunks();
+        let real = self.statics.proto.real_chunks();
         let mut transcripts_ok = true;
         let mut g_star = usize::MAX;
         let mut h_star = 0usize;
-        for (e, _, _) in self.graph.edges() {
+        for (e, _, _) in self.statics.graph.edges() {
             let reference = &self.reference.edge_transcripts[e];
             let tu = &lanes[2 * e].t;
             let tv = &lanes[2 * e + 1].t;
@@ -1319,7 +1345,7 @@ impl<'w> Simulation<'w> {
             outputs_ok,
             stats,
             payload_cc,
-            padded_cc: (real * self.proto.chunk_bits()) as u64,
+            padded_cc: (real * self.statics.proto.chunk_bits()) as u64,
             blowup: stats.cc as f64 / payload_cc.max(1) as f64,
             iterations: self.iterations,
             g_star,
@@ -1610,11 +1636,11 @@ impl AdaptiveView for OracleView<'_, '_> {
         if self.ctx.iteration + 1 >= self.sim.iterations as u64 {
             return None;
         }
-        let (u, v) = self.sim.graph.endpoints(edge);
+        let (u, v) = self.sim.statics.graph.endpoints(edge);
         let (pu, pv) = (&self.parties[u], &self.parties[v]);
         let (lu, lv) = (&self.lanes[2 * edge], &self.lanes[2 * edge + 1]);
-        let niu = self.sim.graph.link_src_nbr(2 * edge);
-        let niv = self.sim.graph.link_dst_nbr(2 * edge);
+        let niu = self.sim.statics.graph.link_src_nbr(2 * edge);
+        let niv = self.sim.statics.graph.link_dst_nbr(2 * edge);
         // Both endpoints must be cleanly simulating the same chunk with
         // synchronized meeting-point counters for the prediction to hold.
         if !pu.sim_active
@@ -1632,7 +1658,7 @@ impl AdaptiveView for OracleView<'_, '_> {
         // Candidate corruptions: this round's sends on this edge, padding
         // slots only (their content never feeds Π, so the damage is
         // exactly a 2-bit transcript delta).
-        let layout = self.sim.proto.layout(c);
+        let layout = self.sim.statics.proto.layout(c);
         // Chunks shorter than the phase's reserved round count (e.g. the
         // dummy heartbeat) have no slots in the trailing rounds.
         let round_slots = layout.rounds.get(jr)?;
@@ -1646,9 +1672,10 @@ impl AdaptiveView for OracleView<'_, '_> {
                 continue;
             };
             let receiver = &self.parties[slot.link.to];
-            let rni = self.sim.graph.link_dst_nbr(slot.lid);
+            let rni = self.sim.statics.graph.link_dst_nbr(slot.lid);
             let idx = self
                 .sim
+                .statics
                 .proto
                 .party_plan(receiver.sim_chunk, slot.link.to)
                 .pos_in_idx(rni, jr);

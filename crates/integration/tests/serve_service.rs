@@ -1,0 +1,173 @@
+//! Service behavior under real simulation load: graceful shutdown with
+//! in-flight requests, cancellation before/after dispatch, backpressure
+//! on a full queue, and counter accounting. (The deterministic
+//! gate-job versions of these live in the serve crate's unit tests;
+//! here the jobs are genuine [`SimRequest`] simulations.)
+
+use bench::{run_trial, sim_service, AttackSpec, Scheme, SimRequest, TopoSpec, WorkloadSpec};
+use serve::{Backpressure, Outcome, Priority, ServiceConfig, SubmitError};
+use std::time::Duration;
+
+/// A fast request (sub-millisecond even in debug builds).
+fn small(seed: u64) -> SimRequest {
+    SimRequest {
+        workload: WorkloadSpec::TokenRing { n: 4, laps: 2 },
+        scheme: Scheme::A,
+        attack: AttackSpec::None,
+        seed,
+    }
+}
+
+/// A request long enough (tens of milliseconds) that operations issued
+/// microseconds after its dispatch land while it is still executing.
+fn long(seed: u64) -> SimRequest {
+    SimRequest {
+        workload: WorkloadSpec::Gossip {
+            topo: TopoSpec::Ring(16),
+            rounds: 4,
+        },
+        scheme: Scheme::A,
+        attack: AttackSpec::None,
+        seed,
+    }
+}
+
+/// Graceful shutdown serves everything already accepted: every ticket
+/// resolves `Done` with the right row, nothing is dropped.
+#[test]
+fn shutdown_completes_in_flight_requests() {
+    let svc = sim_service(ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<_> = (0..10)
+        .map(|i| svc.submit(small(i), Priority::Normal).unwrap())
+        .collect();
+    // Shut down while most of those are still queued or executing.
+    let stats = svc.shutdown();
+    assert_eq!(stats.served, 10);
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(stats.queue_depth, 0);
+    for (i, t) in tickets.into_iter().enumerate() {
+        let resp = t.wait().expect("graceful shutdown must deliver replies");
+        let row = resp.outcome.done().expect("drained, not cancelled");
+        let req = small(i as u64);
+        assert_eq!(
+            row,
+            run_trial(req.workload, req.scheme, req.attack, req.seed)
+        );
+    }
+}
+
+/// Cancelling a still-queued request skips its execution entirely.
+#[test]
+fn cancel_before_dispatch() {
+    let svc = sim_service(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    let blocker = svc.submit(long(1), Priority::Normal).unwrap();
+    // Wait until the single worker has picked the blocker up, then queue
+    // victims behind it; they cannot be dispatched until it finishes,
+    // and the cancellations below land microseconds later.
+    while svc.stats().queue_depth > 0 {
+        std::thread::yield_now();
+    }
+    let victims: Vec<_> = (0..3)
+        .map(|i| svc.submit(small(10 + i), Priority::Normal).unwrap())
+        .collect();
+    for v in &victims {
+        v.cancel();
+    }
+    for v in victims {
+        let resp = v.wait().unwrap();
+        assert_eq!(resp.outcome, Outcome::Cancelled);
+        assert_eq!(resp.exec_ns, 0, "cancelled request must not execute");
+    }
+    assert!(blocker.wait().unwrap().outcome.done().is_some());
+    let stats = svc.shutdown();
+    assert_eq!(stats.cancelled, 3);
+    assert_eq!(stats.served, 1);
+}
+
+/// Cancelling after dispatch is best-effort: the simulation completes
+/// and the reply is the full result.
+#[test]
+fn cancel_after_dispatch_returns_done() {
+    let svc = sim_service(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    let req = long(2);
+    let want = run_trial(req.workload, req.scheme, req.attack, req.seed);
+    let t = svc.submit(req, Priority::Normal).unwrap();
+    while svc.stats().queue_depth > 0 {
+        std::thread::yield_now();
+    }
+    t.cancel(); // already executing
+    let resp = t.wait().unwrap();
+    assert_eq!(resp.outcome.done().expect("dispatched before cancel"), want);
+    let stats = svc.shutdown();
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(stats.served, 1);
+}
+
+/// A full queue under `Reject` refuses with a retry-after hint and
+/// counts the rejection; the accepted requests still complete.
+#[test]
+fn backpressure_rejects_when_full() {
+    let retry = Duration::from_millis(3);
+    let svc = sim_service(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        backpressure: Backpressure::Reject { retry_after: retry },
+        ..ServiceConfig::default()
+    });
+    let blocker = svc.submit(long(3), Priority::Normal).unwrap();
+    while svc.stats().queue_depth > 0 {
+        std::thread::yield_now();
+    }
+    let queued = svc.submit(small(30), Priority::Normal).unwrap();
+    let refused = svc.submit(small(31), Priority::Normal);
+    assert_eq!(
+        refused.unwrap_err(),
+        SubmitError::Overloaded { retry_after: retry }
+    );
+    // The high lane has separate capacity, so urgent work still lands.
+    let urgent = svc.submit(small(32), Priority::High).unwrap();
+    for t in [blocker, queued, urgent] {
+        assert!(t.wait().unwrap().outcome.done().is_some());
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.submitted, 3);
+}
+
+/// Counter accounting: submitted = served + cancelled, rejected requests
+/// never enter the queue, and the high-water mark sees the backlog.
+#[test]
+fn counters_add_up() {
+    let svc = sim_service(ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<_> = (0..20)
+        .map(|i| svc.submit(small(i), Priority::Normal).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.submitted, 20);
+    assert_eq!(stats.submitted, stats.served + stats.cancelled);
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.queue_depth_highwater >= 1);
+    assert_eq!(stats.queue_depth, 0);
+    // 20 identical-structure requests: one compile, the rest hit.
+    assert!(stats.cache_hits >= stats.cache_misses);
+}

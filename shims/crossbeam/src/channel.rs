@@ -1,0 +1,584 @@
+//! Offline shim for `crossbeam::channel`: a bounded MPMC channel plus a
+//! minimal [`Select`] for waiting on several receivers at once.
+//!
+//! Implements exactly the API subset the workspace uses —
+//! [`bounded`], `send`/`try_send`, `recv`/`try_recv`/`recv_timeout`, and
+//! `Select::{new, recv, ready_timeout}` — with the real crate's
+//! semantics:
+//!
+//! * **MPMC**: both [`Sender`] and [`Receiver`] are `Clone`; any number
+//!   of threads may send and receive on the same channel.
+//! * **Bounded**: [`Sender::send`] blocks while the queue is full;
+//!   [`Sender::try_send`] returns [`TrySendError::Full`] instead.
+//! * **Disconnection**: a channel disconnects when every `Sender` *or*
+//!   every `Receiver` is dropped. Receivers drain buffered messages
+//!   before reporting [`TryRecvError::Disconnected`]; senders fail fast.
+//! * **Readiness, not completion**: [`Select::ready_timeout`] reports an
+//!   operation index that was ready at some point — the caller performs
+//!   the actual `try_recv` and must tolerate losing the race.
+//!
+//! Like the rest of this shim crate, swapping in the real
+//! `crossbeam`/`crossbeam-channel` is a one-line `Cargo.toml` change.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`]: every receiver was dropped. The
+/// unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver was dropped; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and every
+/// sender was dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now.
+    Empty,
+    /// Empty and every sender was dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline elapsed with nothing to receive.
+    Timeout,
+    /// Empty and every sender was dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Select::ready_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct ReadyTimeoutError;
+
+/// A watcher registered by a [`Select`]: one flag + condvar pair shared
+/// across all the receivers the select waits on. Senders (and
+/// disconnecting handles) set the flag and notify.
+struct Waker {
+    fired: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    fn wake(&self) {
+        *self.fired.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    /// Select watchers to wake on message arrival or disconnection.
+    watchers: Vec<Arc<Waker>>,
+}
+
+struct Chan<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    /// Receivers (and selects) wait here for messages.
+    not_empty: Condvar,
+    /// Blocked senders wait here for space.
+    not_full: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn wake_watchers(inner: &mut Inner<T>) {
+        for w in &inner.watchers {
+            w.wake();
+        }
+    }
+}
+
+/// The sending half of a [`bounded`] channel. Cloneable (MPMC).
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a [`bounded`] channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` messages.
+///
+/// # Panics
+///
+/// Panics if `cap == 0` (rendezvous channels are not part of this shim's
+/// subset — the workspace always buffers).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity channels are not supported");
+    let chan = Arc::new(Chan {
+        cap,
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(cap),
+            senders: 1,
+            receivers: 1,
+            watchers: Vec::new(),
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Receivers blocked in recv and selects must observe the
+            // disconnection.
+            Chan::wake_watchers(&mut inner);
+            drop(inner);
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().receivers += 1;
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            drop(inner);
+            // Blocked senders must observe the disconnection.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends, blocking while the queue is full. Fails only when every
+    /// receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if inner.queue.len() < self.chan.cap {
+                inner.queue.push_back(msg);
+                Chan::wake_watchers(&mut inner);
+                drop(inner);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.chan.not_full.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking send: [`TrySendError::Full`] when at capacity.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.queue.len() >= self.chan.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        Chan::wake_watchers(&mut inner);
+        drop(inner);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives, blocking while the queue is empty. Fails only when the
+    /// queue is empty *and* every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.chan.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.chan.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receives, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self
+                .chan
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+            if res.timed_out() && inner.queue.is_empty() {
+                return if inner.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.chan.inner.lock().unwrap().queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when this receiver is ready: a message is buffered or the
+    /// channel is disconnected (so `try_recv` would not return `Empty`).
+    fn is_ready(&self) -> bool {
+        let inner = self.chan.inner.lock().unwrap();
+        !inner.queue.is_empty() || inner.senders == 0
+    }
+
+    fn watch(&self, w: &Arc<Waker>) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.watchers.push(Arc::clone(w));
+    }
+
+    fn unwatch(&self, w: &Arc<Waker>) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.watchers.retain(|x| !Arc::ptr_eq(x, w));
+    }
+}
+
+/// Type-erased readiness handle: what [`Select`] needs from a receiver.
+trait Watchable {
+    fn ready(&self) -> bool;
+    fn watch(&self, w: &Arc<Waker>);
+    fn unwatch(&self, w: &Arc<Waker>);
+}
+
+impl<T> Watchable for Receiver<T> {
+    fn ready(&self) -> bool {
+        self.is_ready()
+    }
+    fn watch(&self, w: &Arc<Waker>) {
+        Receiver::watch(self, w)
+    }
+    fn unwatch(&self, w: &Arc<Waker>) {
+        Receiver::unwatch(self, w)
+    }
+}
+
+/// Waits for any of several receivers to become ready.
+///
+/// Usage matches the real crate's readiness API: register each receiver
+/// with [`Select::recv`] (which returns that operation's index), then
+/// call [`Select::ready_timeout`]; it blocks until some registered
+/// receiver has a buffered message or is disconnected, and returns the
+/// index. Readiness is advisory — another consumer may win the race, so
+/// follow up with `try_recv` and retry on `Empty`.
+pub struct Select<'a> {
+    ops: Vec<&'a dyn Watchable>,
+}
+
+impl<'a> Select<'a> {
+    /// An empty select.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Select { ops: Vec::new() }
+    }
+
+    /// Registers a receive operation; returns its operation index.
+    pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+        self.ops.push(r);
+        self.ops.len() - 1
+    }
+
+    /// Blocks until a registered operation is ready, at most `timeout`.
+    /// Returns the lowest ready operation index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operation was registered.
+    pub fn ready_timeout(&mut self, timeout: Duration) -> Result<usize, ReadyTimeoutError> {
+        assert!(!self.ops.is_empty(), "select with no operations");
+        let deadline = Instant::now() + timeout;
+        let waker = Arc::new(Waker {
+            fired: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        for op in &self.ops {
+            op.watch(&waker);
+        }
+        // Ensure deregistration on every exit path.
+        struct Unwatch<'s, 'a> {
+            ops: &'s [&'a dyn Watchable],
+            waker: &'s Arc<Waker>,
+        }
+        impl Drop for Unwatch<'_, '_> {
+            fn drop(&mut self) {
+                for op in self.ops {
+                    op.unwatch(self.waker);
+                }
+            }
+        }
+        let _guard = Unwatch {
+            ops: &self.ops,
+            waker: &waker,
+        };
+        loop {
+            if let Some(i) = self.ops.iter().position(|op| op.ready()) {
+                return Ok(i);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ReadyTimeoutError);
+            }
+            let fired = waker.fired.lock().unwrap();
+            // Re-check readiness under the waker lock? Not needed: a wake
+            // that raced ahead of this lock left `fired = true`, so the
+            // wait below returns immediately.
+            let (mut fired, _) = waker.cv.wait_timeout(fired, deadline - now).unwrap();
+            *fired = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn drained_after_sender_drop_then_disconnected() {
+        let (tx, rx) = bounded(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        // Buffered messages survive sender disconnection.
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            // Full: blocks until the main thread receives.
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_visits_every_item_exactly_once() {
+        const ITEMS: usize = 200;
+        let (tx, rx) = bounded::<usize>(8);
+        let seen: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            let seen = Arc::clone(&seen);
+            consumers.push(std::thread::spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    seen[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        drop(rx);
+        let mut producers = Vec::new();
+        for p in 0..2 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in (p..ITEMS).step_by(2) {
+                    tx.send(i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        for t in producers {
+            t.join().unwrap();
+        }
+        for t in consumers {
+            t.join().unwrap();
+        }
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn select_reports_ready_lane() {
+        let (tx_a, rx_a) = bounded::<u8>(1);
+        let (tx_b, rx_b) = bounded::<u8>(1);
+        let mut sel = Select::new();
+        let ia = sel.recv(&rx_a);
+        let ib = sel.recv(&rx_b);
+        assert_eq!(
+            sel.ready_timeout(Duration::from_millis(5)),
+            Err(ReadyTimeoutError)
+        );
+        tx_b.send(1).unwrap();
+        assert_eq!(sel.ready_timeout(Duration::from_secs(1)), Ok(ib));
+        assert_eq!(rx_b.try_recv(), Ok(1));
+        tx_a.send(2).unwrap();
+        assert_eq!(sel.ready_timeout(Duration::from_secs(1)), Ok(ia));
+        assert_eq!(rx_a.try_recv(), Ok(2));
+    }
+
+    #[test]
+    fn select_wakes_on_cross_thread_send() {
+        let (tx, rx) = bounded::<u8>(1);
+        let (_tx2, rx2) = bounded::<u8>(1);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(9).unwrap();
+        });
+        let mut sel = Select::new();
+        let i0 = sel.recv(&rx);
+        let _i1 = sel.recv(&rx2);
+        assert_eq!(sel.ready_timeout(Duration::from_secs(5)), Ok(i0));
+        assert_eq!(rx.try_recv(), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn select_wakes_on_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            drop(tx);
+        });
+        let mut sel = Select::new();
+        let i0 = sel.recv(&rx);
+        assert_eq!(sel.ready_timeout(Duration::from_secs(5)), Ok(i0));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn watchers_are_deregistered() {
+        let (tx, rx) = bounded::<u8>(1);
+        {
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            let _ = sel.ready_timeout(Duration::from_millis(1));
+        }
+        assert_eq!(rx.chan.inner.lock().unwrap().watchers.len(), 0);
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+}

@@ -1,12 +1,15 @@
 //! Offline shim for `crossbeam::scope`, implemented over
 //! `std::thread::scope`, plus a small fork-join pool ([`par_chunks_mut`])
-//! for the simulation engine's intra-trial link sharding.
+//! for the simulation engine's intra-trial link sharding, plus a bounded
+//! MPMC [`channel`] (with [`channel::Select`]) for the serving layer.
 //!
 //! Matches crossbeam's call shape — `scope(|s| { s.spawn(|_| ...); })`
 //! returning `Err` if any scoped thread panicked — with one restriction:
 //! the argument handed to a spawned closure is an inert [`NestedScope`]
 //! token, so *nested* spawning from inside a worker is not supported (the
 //! workspace never does this; closures take `|_|`).
+
+pub mod channel;
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
