@@ -187,8 +187,11 @@ pub struct Response<T> {
 }
 
 /// Error returned by [`Ticket::wait`]: the service dropped the request
-/// without replying (only possible if the service was torn down
-/// non-gracefully around the submission race window).
+/// without replying. Graceful shutdown never produces this — accepted
+/// requests (including ones whose submitter was blocked in a full
+/// lane's `send`) are served or resolve [`Outcome::Cancelled`]. It can
+/// only arise if the job panicked on a worker (the reply sender drops
+/// during unwinding) or the service value was leaked.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Lost;
 
@@ -247,9 +250,14 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Distinct artifacts currently cached.
     pub cache_entries: u64,
-    /// Requests currently queued (submitted, not yet dispatched).
+    /// Requests accepted but not yet dispatched. Counts submitters
+    /// currently blocked in a full lane's `send` under
+    /// [`Backpressure::Block`] as well as messages sitting in a queue —
+    /// i.e. demand waiting on the service, which can transiently exceed
+    /// the configured queue capacities.
     pub queue_depth: u64,
-    /// High-water mark of the total queued-request count.
+    /// High-water mark of [`queue_depth`](Self::queue_depth) (same
+    /// semantics: includes blocked submitters).
     pub queue_depth_highwater: u64,
 }
 
@@ -261,6 +269,11 @@ struct Counters {
     rejected: AtomicU64,
     depth: AtomicU64,
     depth_highwater: AtomicU64,
+    /// Submitters currently inside `submit` (possibly blocked in a full
+    /// lane's `send`). Shutdown waits for this to reach zero *before*
+    /// telling workers to drain, so a blocked submitter can never
+    /// enqueue behind the final sweep and strand its envelope.
+    inflight: AtomicU64,
 }
 
 struct Shared {
@@ -302,6 +315,20 @@ impl<J: Job> Client<J> {
     /// Submits a job on the given priority lane. Returns a [`Ticket`]
     /// for the reply, or fails per the configured [`Backpressure`].
     pub fn submit(&self, job: J, priority: Priority) -> Result<Ticket<J::Out>, SubmitError> {
+        // Register as in-flight *before* the accepting check (and
+        // deregister on every exit): shutdown stores `accepting = false`
+        // and then waits for `inflight == 0`, so with both sides SeqCst
+        // either this submit observes the store and bails, or shutdown
+        // observes the registration and waits for the enqueue to land
+        // while workers are still draining.
+        let inflight = &self.shared.counters.inflight;
+        inflight.fetch_add(1, Ordering::SeqCst);
+        let res = self.submit_inner(job, priority);
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        res
+    }
+
+    fn submit_inner(&self, job: J, priority: Priority) -> Result<Ticket<J::Out>, SubmitError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -439,10 +466,11 @@ impl<J: Job> SimService<J> {
         }
     }
 
-    /// Graceful shutdown: stop accepting, serve everything already
-    /// queued (in-flight requests complete and their replies are
-    /// delivered), join the workers, and cancel any request that raced
-    /// into the queue during teardown. Returns the final stats.
+    /// Graceful shutdown: stop accepting, wait for in-flight submits
+    /// (including ones blocked on a full lane) to land, serve everything
+    /// queued, and join the workers. Every accepted request's ticket
+    /// resolves — [`Outcome::Done`] or [`Outcome::Cancelled`], never
+    /// [`Lost`]. Returns the final stats.
     pub fn shutdown(mut self) -> ServiceStats {
         self.shutdown_inner();
         let stats = self.stats();
@@ -457,13 +485,21 @@ impl<J: Job> SimService<J> {
         self.shut = true;
         let shared = &self.client.shared;
         shared.accepting.store(false, Ordering::SeqCst);
+        // Wait for every in-flight submit — including ones blocked in a
+        // full lane's `send` under Backpressure::Block — to finish while
+        // the workers are still serving (so blocked senders make
+        // progress). Afterwards nothing can enqueue: new submits fail
+        // the accepting check before touching a lane.
+        while shared.counters.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
         shared.draining.store(true, Ordering::SeqCst);
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        // Post-join sweep: a submit that passed the `accepting` check
-        // before the store above may have enqueued after the workers'
-        // final empty check. Deliver Cancelled so its ticket resolves.
+        // Post-join sweep (defense in depth): with the inflight wait
+        // above the lanes should already be empty, but deliver Cancelled
+        // to anything found so no ticket is ever left unresolved.
         for rx in [&self.high_rx, &self.normal_rx] {
             while let Ok(env) = rx.try_recv() {
                 shared.counters.depth.fetch_sub(1, Ordering::Relaxed);
@@ -504,25 +540,32 @@ fn worker_loop<J: Job>(
     sel.recv(normal);
     loop {
         // Strict priority: drain the high lane before touching normal.
-        let env = match high.try_recv() {
-            Ok(e) => Some(e),
-            Err(_) => normal.try_recv().ok(),
-        };
-        let Some(env) = env else {
-            // Both lanes empty right now. Exit when draining, or when
-            // both lanes are disconnected (all submitters gone).
-            if shared.draining.load(Ordering::SeqCst) {
-                break;
+        // The recv errors double as the disconnect probe — never probe
+        // with a second try_recv, which could consume (and then drop) an
+        // envelope that raced in between the calls.
+        let high_err = match high.try_recv() {
+            Ok(env) => {
+                serve_one(worker, env, &mut scratch, shared, parallelism);
+                continue;
             }
-            let both_dead = matches!(high.try_recv(), Err(TryRecvError::Disconnected))
-                && matches!(normal.try_recv(), Err(TryRecvError::Disconnected));
-            if both_dead {
-                break;
-            }
-            let _ = sel.ready_timeout(IDLE_POLL);
-            continue;
+            Err(e) => e,
         };
-        serve_one(worker, env, &mut scratch, shared, parallelism);
+        let normal_err = match normal.try_recv() {
+            Ok(env) => {
+                serve_one(worker, env, &mut scratch, shared, parallelism);
+                continue;
+            }
+            Err(e) => e,
+        };
+        // Both lanes empty right now. Exit when draining, or when both
+        // lanes are disconnected (all submitters gone).
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        if high_err == TryRecvError::Disconnected && normal_err == TryRecvError::Disconnected {
+            break;
+        }
+        let _ = sel.ready_timeout(IDLE_POLL);
     }
 }
 
@@ -805,6 +848,57 @@ mod tests {
     }
 
     #[test]
+    fn blocked_submitter_resolves_on_shutdown() {
+        // A Block-mode submitter stuck in a full lane's send while the
+        // service shuts down must still get a reply (Done or Cancelled,
+        // never Lost): shutdown waits for in-flight submits to land
+        // before the workers drain.
+        let svc: SimService<TestJob> = SimService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let (gate_tx, gate_rx) = ch::bounded(1);
+        let blocker = svc
+            .submit(
+                TestJob {
+                    id: 0,
+                    gate: Some(gate_rx),
+                    done: None,
+                },
+                Priority::Normal,
+            )
+            .unwrap();
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        // Fill the single normal-lane slot, then block a third submit.
+        let queued = svc.submit(TestJob::plain(1), Priority::Normal).unwrap();
+        let client = svc.client();
+        let submitter =
+            std::thread::spawn(move || client.submit(TestJob::plain(2), Priority::Normal));
+        // Give the submitter time to block in send, start the shutdown
+        // (which blocks waiting for it), then release the worker.
+        std::thread::sleep(Duration::from_millis(20));
+        let shut = std::thread::spawn(move || svc.shutdown());
+        std::thread::sleep(Duration::from_millis(10));
+        gate_tx.send(()).unwrap();
+        let stats = shut.join().unwrap();
+        match submitter.join().unwrap() {
+            Ok(t) => {
+                // Accepted: the ticket must resolve, not report Lost.
+                t.wait().expect("blocked submitter's ticket resolved Lost");
+            }
+            Err(e) => assert_eq!(e, SubmitError::ShuttingDown),
+        }
+        for t in [blocker, queued] {
+            assert!(matches!(t.wait().unwrap().outcome, Outcome::Done(_)));
+        }
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.served + stats.cancelled, stats.submitted);
+    }
+
+    #[test]
     fn submit_after_shutdown_fails() {
         let svc = single_worker();
         let client = svc.client();
@@ -815,6 +909,30 @@ mod tests {
                 .unwrap_err(),
             SubmitError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn idle_workers_never_drop_racing_submissions() {
+        // Each submission lands while the workers are idling in the
+        // disconnect-probe path; a consuming probe there (the original
+        // bug) would drop envelopes and leave tickets Lost.
+        let svc: SimService<TestJob> = SimService::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        for i in 0..200 {
+            let pri = if i % 8 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            let t = svc.submit(TestJob::plain(i), pri).unwrap();
+            assert_eq!(t.wait().unwrap().outcome, Outcome::Done(i));
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.served, 200);
+        assert_eq!(stats.queue_depth, 0);
     }
 
     #[test]

@@ -400,11 +400,14 @@ impl<'a> Select<'a> {
             if now >= deadline {
                 return Err(ReadyTimeoutError);
             }
-            let fired = waker.fired.lock().unwrap();
-            // Re-check readiness under the waker lock? Not needed: a wake
-            // that raced ahead of this lock left `fired = true`, so the
-            // wait below returns immediately.
-            let (mut fired, _) = waker.cv.wait_timeout(fired, deadline - now).unwrap();
+            let mut fired = waker.fired.lock().unwrap();
+            // A wake that raced ahead of this lock (between the readiness
+            // scan above and here) left `fired = true`; the condvar alone
+            // would not remember it, so only wait while the flag is clear.
+            if !*fired {
+                let (guard, _) = waker.cv.wait_timeout(fired, deadline - now).unwrap();
+                fired = guard;
+            }
             *fired = false;
         }
     }
@@ -567,6 +570,27 @@ mod tests {
         assert_eq!(sel.ready_timeout(Duration::from_secs(5)), Ok(i0));
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn ready_timeout_keeps_wake_racing_the_scan() {
+        // Regression: a wake landing between the readiness scan and the
+        // condvar wait sets `fired`; the selector must consult the flag
+        // before waiting, or the wake is lost and the select blocks for
+        // the full timeout despite a ready message.
+        let (tx, rx) = bounded::<u8>(4);
+        let start = Instant::now();
+        for i in 0..100u8 {
+            let tx = tx.clone();
+            let t = std::thread::spawn(move || tx.send(i).unwrap());
+            let mut sel = Select::new();
+            let idx = sel.recv(&rx);
+            assert_eq!(sel.ready_timeout(Duration::from_secs(10)), Ok(idx));
+            assert_eq!(rx.recv(), Ok(i));
+            t.join().unwrap();
+        }
+        // Any lost wake would have cost a full 10 s timeout.
+        assert!(start.elapsed() < Duration::from_secs(10));
     }
 
     #[test]
