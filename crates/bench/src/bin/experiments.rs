@@ -1,9 +1,11 @@
-//! Regenerates every table/figure of EXPERIMENTS.md.
+//! Per-figure/table experiment generators — the deep-dive companion to
+//! the tiered `repro` pipeline (see EXPERIMENTS.md for the claim →
+//! invocation map).
 //!
 //! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|serve|all] [--quick]`
 //!
 //! Each experiment prints a table to stdout and appends JSON rows to
-//! `results/<id>.jsonl`.
+//! `results/<id>.jsonl` (gitignored scratch, one file per subcommand).
 
 use bench::{run_many, AttackSpec, Scheme, TopoSpec, WorkloadSpec};
 use mpic::{RunOptions, SchemeConfig, Simulation};

@@ -1,0 +1,815 @@
+//! Tiered reproduction driver: one command that regenerates the repo's
+//! figure-style results as a **versioned artifact** (the ruler artifact's
+//! `kick-tires`/`lite`/`full` tiering, with the ingest→process→render
+//! pipeline documented in EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- run --quick        # CI-sized, < 60 s
+//! cargo run --release -p bench --bin repro -- run --lite        # minutes
+//! cargo run --release -p bench --bin repro -- run --full        # hours
+//! cargo run --release -p bench --bin repro -- diff              # fresh --quick vs expected/
+//! cargo run --release -p bench --bin repro -- accept            # bless fresh run into expected/
+//! ```
+//!
+//! `run` executes four sweeps — noise-rate vs. decode success, topology
+//! scaling serial vs. threads, the adversary leaderboard (the four PR 5
+//! phase-aware attacks vs. their oblivious counterparts), and serve
+//! latency/throughput — and writes `out/<tier>-<git-sha>/` containing
+//! `manifest.json` (tier, seed, `SIM_THREADS`, core count, shim
+//! versions), one `<sweep>.jsonl` per sweep, and a rendered `report.md`.
+//!
+//! `diff` compares the newest `out/quick-*` run against the committed
+//! expectations under `expected/` and exits nonzero on drift: **outcome**
+//! values (success rates, corruption counts, blow-ups — deterministic in
+//! the seeds) must match exactly, **timing** values only within
+//! `--tolerance` (default 1000×, i.e. effectively a sanity check across
+//! hardware classes). CI's `repro-quick` job runs `run --quick` followed
+//! by `diff` as a cheap end-to-end honesty check beyond the bench gate.
+//!
+//! Flags: `run [--quick|--lite|--full] [--seed S] [--out DIR]`,
+//! `diff/accept [--fresh DIR] [--expected DIR] [--tolerance X]`.
+
+use bench::report::{diff_dirs, Manifest, RunWriter, Table};
+use bench::{
+    derive_trial_seed, run_many, run_trial, sim_service, AttackSpec, Scheme, SimRequest, TopoSpec,
+    WorkloadSpec,
+};
+use mpic::{Parallelism, RunOptions, RunScratch, SchemeConfig, Simulation};
+use netsim::PhaseKind;
+use serde_json::{json, Value};
+use serve::{LatencyHistogram, Priority, ServiceConfig, Ticket};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Knobs of one tier. Outcome rows depend only on the seeds, so the same
+/// tier reproduces the same outcomes on any machine; the tiers differ in
+/// how much statistical and scaling depth they buy with wall clock.
+struct Tier {
+    name: &'static str,
+    noise_trials: usize,
+    noise_multipliers: &'static [f64],
+    scaling_topos: &'static [TopoSpec],
+    scaling_threads: &'static [usize],
+    serve_requests: usize,
+    serve_rate: f64,
+    full_leaderboard: bool,
+}
+
+/// CI-sized: everything in well under a minute on one core.
+const QUICK: Tier = Tier {
+    name: "quick",
+    noise_trials: 4,
+    noise_multipliers: &[0.0, 0.02, 0.1, 0.5],
+    scaling_topos: &[
+        TopoSpec::Ring(64),
+        TopoSpec::Ring(256),
+        TopoSpec::Grid(16, 16),
+    ],
+    scaling_threads: &[2],
+    serve_requests: 80,
+    serve_rate: 400.0,
+    full_leaderboard: false,
+};
+
+/// Minutes-sized: real sweep resolution, mid-size topologies.
+const LITE: Tier = Tier {
+    name: "lite",
+    noise_trials: 24,
+    noise_multipliers: &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5],
+    scaling_topos: &[
+        TopoSpec::Ring(256),
+        TopoSpec::Ring(1024),
+        TopoSpec::Grid(32, 32),
+    ],
+    scaling_threads: &[2, 4],
+    serve_requests: 2000,
+    serve_rate: 500.0,
+    full_leaderboard: true,
+};
+
+/// Hours-sized: publication-strength trial counts and the largest
+/// topologies the ROADMAP names.
+const FULL: Tier = Tier {
+    name: "full",
+    noise_trials: 96,
+    noise_multipliers: &[0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.1, 0.2, 0.35, 0.5],
+    scaling_topos: &[
+        TopoSpec::Ring(1024),
+        TopoSpec::Ring(4096),
+        TopoSpec::Grid(64, 64),
+    ],
+    scaling_threads: &[2, 4, 8],
+    serve_requests: 20_000,
+    serve_rate: 800.0,
+    full_leaderboard: true,
+};
+
+struct Args {
+    mode: String,
+    tier: &'static Tier,
+    seed: u64,
+    out_root: String,
+    fresh: Option<String>,
+    expected: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        mode: "run".into(),
+        tier: &QUICK,
+        seed: 2024,
+        out_root: "out".into(),
+        fresh: None,
+        expected: "expected".into(),
+        tolerance: 1000.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value after {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "run" | "diff" | "accept" => a.mode = argv[i].clone(),
+            "--quick" => a.tier = &QUICK,
+            "--lite" => a.tier = &LITE,
+            "--full" => a.tier = &FULL,
+            "--seed" => a.seed = value(&mut i).parse().expect("--seed wants a u64"),
+            "--out" => a.out_root = value(&mut i),
+            "--fresh" => a.fresh = Some(value(&mut i)),
+            "--expected" => a.expected = value(&mut i),
+            "--tolerance" => {
+                a.tolerance = value(&mut i).parse().expect("--tolerance wants a number");
+                assert!(a.tolerance > 1.0, "--tolerance must exceed 1.0");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: repro [run|diff|accept] \
+                     [--quick|--lite|--full] [--seed S] [--out DIR] \
+                     [--fresh DIR] [--expected DIR] [--tolerance X]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "nogit".into())
+}
+
+/// Versions of the offline shims linked into this driver, baked in at
+/// compile time from their manifests.
+fn shim_versions() -> Vec<String> {
+    fn entry(name: &str, toml: &str) -> String {
+        let version = toml
+            .lines()
+            .find_map(|l| l.strip_prefix("version"))
+            .and_then(|l| l.split('"').nth(1))
+            .unwrap_or("?");
+        format!("{name} {version}")
+    }
+    vec![
+        entry("serde", include_str!("../../../../shims/serde/Cargo.toml")),
+        entry(
+            "serde_json",
+            include_str!("../../../../shims/serde_json/Cargo.toml"),
+        ),
+        entry(
+            "crossbeam",
+            include_str!("../../../../shims/crossbeam/Cargo.toml"),
+        ),
+        entry(
+            "parking_lot",
+            include_str!("../../../../shims/parking_lot/Cargo.toml"),
+        ),
+        entry(
+            "proptest",
+            include_str!("../../../../shims/proptest/Cargo.toml"),
+        ),
+        entry(
+            "criterion",
+            include_str!("../../../../shims/criterion/Cargo.toml"),
+        ),
+    ]
+}
+
+/// Sweep 1 — noise-rate vs. decode success for the three schemes, each
+/// in its theorem's own noise units (Thm 1.1: ε/m; Thm 1.2: ε/(m log m);
+/// App. B: ε/(m log log m)). The `repro` analog of `experiments f1/f2/f8`.
+fn noise_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
+    let topo = TopoSpec::Ring(6);
+    let m = topo.build(1).edge_count() as f64;
+    let w = WorkloadSpec::Gossip { topo, rounds: 8 };
+    let schemes: [(Scheme, f64, &str); 3] = [
+        (Scheme::A, m, "1/m"),
+        (Scheme::B, m * m.log2(), "1/(m log m)"),
+        (Scheme::C, m * m.log2().log2().max(1.0), "1/(m log log m)"),
+    ];
+    let mut table = Table::new(
+        "Noise-rate vs. decode success — ring(6) gossip, per-theorem units",
+        &[
+            "scheme",
+            "units",
+            "multiplier",
+            "fraction",
+            "ok",
+            "blowup",
+            "achieved_f",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (si, (scheme, denom, units)) in schemes.iter().enumerate() {
+        for (mi, &c) in tier.noise_multipliers.iter().enumerate() {
+            let fraction = c / denom;
+            let attack = if c == 0.0 {
+                AttackSpec::None
+            } else {
+                AttackSpec::Iid { fraction }
+            };
+            let base = seed
+                .wrapping_add(1_000 * si as u64)
+                .wrapping_add(10 * mi as u64);
+            let (s, _) = run_many(w, *scheme, attack, tier.noise_trials, base);
+            table.push_row(vec![
+                scheme.label(),
+                units.to_string(),
+                format!("{c:.3}"),
+                format!("{fraction:.6}"),
+                format!("{:.2}", s.success_rate),
+                format!("{:.1}", s.mean_blowup),
+                format!("{:.6}", s.mean_noise_fraction),
+            ]);
+            rows.push(json!({
+                "scheme": scheme.label(), "units": units, "multiplier": c,
+                "fraction": fraction, "trials": tier.noise_trials,
+                "success": s.success_rate, "blowup": s.mean_blowup,
+                "achieved_fraction": s.mean_noise_fraction,
+                "collisions": s.mean_collisions,
+            }));
+        }
+    }
+    (table, rows)
+}
+
+/// Sweep 2 — topology scaling, serial vs. `Parallelism::Threads(t)` on
+/// the word-batched wire path. Outcomes are asserted byte-identical
+/// across thread counts (the `parallel_equivalence` contract); the
+/// timing columns record this machine's wall clock and are diffed only
+/// within tolerance. Thread counts are pinned per tier (not `nproc`) so
+/// the row set is machine-independent.
+fn scaling_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
+    use netsim::attacks::NoNoise;
+    let mut table = Table::new(
+        "Topology scaling — serial vs. threads (byte-identical outcomes)",
+        &[
+            "topology", "n", "m", "threads", "serial", "threaded", "speedup", "ok",
+        ],
+    );
+    let mut rows = Vec::new();
+    for topo in tier.scaling_topos {
+        let g = topo.build(1);
+        let w = protocol::workloads::Gossip::new(g.clone(), 2, 41);
+        let base = SchemeConfig::algorithm_a(protocol::Workload::graph(&w), seed);
+        let mut scratch = RunScratch::new();
+        // Warm-up run per configuration: the timed run measures the
+        // engine, not the first arena allocation.
+        let timed = |par: Parallelism, scratch: &mut RunScratch| {
+            let mut cfg = base.clone();
+            cfg.parallelism = par;
+            let sim = Simulation::new(&w, cfg, 1);
+            sim.run_with_scratch(Box::new(NoNoise), RunOptions::default(), scratch);
+            let t = Instant::now();
+            let out = sim.run_with_scratch(Box::new(NoNoise), RunOptions::default(), scratch);
+            (t.elapsed(), out)
+        };
+        let (serial_t, serial_out) = timed(Parallelism::Serial, &mut scratch);
+        for &t in tier.scaling_threads {
+            let (par_t, par_out) = timed(Parallelism::Threads(t), &mut scratch);
+            assert_eq!(
+                serial_out.stats,
+                par_out.stats,
+                "{}: outcome diverged",
+                topo.label()
+            );
+            assert_eq!(serial_out.success, par_out.success, "{}", topo.label());
+            let speedup = serial_t.as_secs_f64() / par_t.as_secs_f64().max(f64::MIN_POSITIVE);
+            table.push_row(vec![
+                topo.label(),
+                g.node_count().to_string(),
+                g.edge_count().to_string(),
+                t.to_string(),
+                format!("{serial_t:.2?}"),
+                format!("{par_t:.2?}"),
+                format!("{speedup:.2}x"),
+                serial_out.success.to_string(),
+            ]);
+            rows.push(json!({
+                "topology": topo.label(), "n": g.node_count(), "m": g.edge_count(),
+                "threads": t, "success": serial_out.success,
+                "rounds": serial_out.stats.rounds, "cc": serial_out.stats.cc,
+                "serial_ns": serial_t.as_nanos() as u64,
+                "threads_ns": par_t.as_nanos() as u64,
+                "speedup": speedup, "outcome_identical": true,
+            }));
+        }
+    }
+    (table, rows)
+}
+
+/// Sweep 3 — the adversary leaderboard: each PR 5 phase-aware attack
+/// beside its closest oblivious counterpart at equal corruption budget,
+/// scored on the instrumented damage metric it targets. All rows are
+/// deterministic in the seed.
+fn leaderboard_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
+    use netsim::attacks::{
+        BurstLink, CrossIterationHunter, FlagFlipper, IidNoise, MeetingPointSplitter, Pair,
+        PhaseTargeted, RewindSuppressor,
+    };
+    use netsim::Adversary;
+
+    let w = protocol::workloads::Gossip::new(netgraph::topology::ring(5), 6, 17);
+    let g = protocol::Workload::graph(&w).clone();
+    let cfg = SchemeConfig::algorithm_a(&g, seed.wrapping_add(23));
+    let sim = Simulation::new(&w, cfg.clone(), 1);
+    let geo = sim.geometry();
+    let start = geo.phase_start(1, PhaseKind::Simulation);
+    let burst = |g: &netgraph::Graph| -> Box<dyn Adversary> {
+        Box::new(BurstLink::new(
+            g,
+            netgraph::DirectedLink { from: 1, to: 2 },
+            start,
+            8,
+        ))
+    };
+    let mut entries: Vec<(&str, &str, Box<dyn Adversary>, u64)> = vec![
+        (
+            "mp_splitter",
+            "adaptive",
+            Box::new(MeetingPointSplitter::new(&g, cfg.hash_bits, 2)),
+            40,
+        ),
+        (
+            "phase_mp",
+            "oblivious",
+            Box::new(PhaseTargeted::new(
+                &g,
+                geo,
+                PhaseKind::MeetingPoints,
+                0.02,
+                7,
+            )),
+            40,
+        ),
+        (
+            "flag_flipper",
+            "adaptive",
+            Box::new(FlagFlipper::new(&g, 1)),
+            6,
+        ),
+        (
+            "phase_fp",
+            "oblivious",
+            Box::new(PhaseTargeted::new(&g, geo, PhaseKind::FlagPassing, 0.05, 7)),
+            6,
+        ),
+        (
+            "burst+rw_suppressor",
+            "adaptive",
+            Box::new(Pair(burst(&g), Box::new(RewindSuppressor::new(&g, 4)))),
+            11,
+        ),
+        (
+            "burst+phase_rw",
+            "oblivious",
+            Box::new(Pair(
+                burst(&g),
+                Box::new(PhaseTargeted::new(&g, geo, PhaseKind::Rewind, 0.02, 7)),
+            )),
+            11,
+        ),
+        ("burst_alone", "oblivious", burst(&g), 11),
+    ];
+
+    let mut table = Table::new(
+        "Adversary leaderboard — phase-aware attacks vs. oblivious counterparts",
+        &[
+            "attack", "family", "budget", "corr", "coll", "mp_trunc", "stalled", "rw_trunc", "ok",
+        ],
+    );
+    let mut rows = Vec::new();
+    let push = |label: &str,
+                family: &str,
+                out: &mpic::SimOutcome,
+                budget: u64,
+                table: &mut Table,
+                rows: &mut Vec<Value>| {
+        let b = if budget == u64::MAX {
+            "inf".into()
+        } else {
+            budget.to_string()
+        };
+        table.push_row(vec![
+            label.to_string(),
+            family.to_string(),
+            b,
+            out.stats.corruptions.to_string(),
+            out.instrumentation.hash_collisions.to_string(),
+            out.instrumentation.mp_truncations.to_string(),
+            out.instrumentation.stalled_iterations.to_string(),
+            out.instrumentation.rewind_truncations.to_string(),
+            out.success.to_string(),
+        ]);
+        rows.push(json!({
+            "attack": label, "family": family,
+            "budget": if budget == u64::MAX { 0u64 } else { budget },
+            "corruptions": out.stats.corruptions,
+            "collisions": out.instrumentation.hash_collisions,
+            "mp_truncations": out.instrumentation.mp_truncations,
+            "stalled_iterations": out.instrumentation.stalled_iterations,
+            "rewind_truncations": out.instrumentation.rewind_truncations,
+            "success": out.success,
+        }));
+    };
+    for (label, family, adv, budget) in entries.drain(..) {
+        let out = sim.run(
+            adv,
+            RunOptions {
+                noise_budget: budget,
+                record_trace: false,
+                expose_view: true,
+            },
+        );
+        push(label, family, &out, budget, &mut table, &mut rows);
+    }
+
+    // The §6.1 cross-iteration hunter against its prey (τ = 4) and, on
+    // the deeper tiers, against τ = Θ(log m).
+    let wc = protocol::workloads::Gossip::new(netgraph::topology::clique(6), 6, 51);
+    let gc = protocol::Workload::graph(&wc).clone();
+    let mut weak = SchemeConfig::algorithm_a(&gc, seed.wrapping_add(61));
+    weak.hash_bits = 4;
+    let simc = Simulation::new(&wc, weak, 6);
+    let out = simc.run(
+        Box::new(CrossIterationHunter::new(gc.edge_count(), 1, 8)),
+        RunOptions::default(),
+    );
+    push(
+        "hunter_tau4",
+        "adaptive",
+        &out,
+        u64::MAX,
+        &mut table,
+        &mut rows,
+    );
+    let out = simc.run(
+        Box::new(IidNoise::new(&gc, 0.001, 3)),
+        RunOptions::default(),
+    );
+    push(
+        "iid_tau4",
+        "oblivious",
+        &out,
+        u64::MAX,
+        &mut table,
+        &mut rows,
+    );
+    if tier.full_leaderboard {
+        let mut strong = SchemeConfig::algorithm_a(&gc, seed.wrapping_add(61));
+        strong.hash_bits = (3.0 * (gc.edge_count() as f64).log2()).ceil() as u32;
+        let sims = Simulation::new(&wc, strong, 6);
+        let out = sims.run(
+            Box::new(CrossIterationHunter::new(gc.edge_count(), 1, 8)),
+            RunOptions::default(),
+        );
+        push(
+            "hunter_tau_strong",
+            "adaptive",
+            &out,
+            u64::MAX,
+            &mut table,
+            &mut rows,
+        );
+    }
+    (table, rows)
+}
+
+/// Sweep 4 — serve latency/throughput: the PR 7 open-loop load pattern
+/// (arrivals at `t_i = i/rate`, so queueing shows up as latency) against
+/// `SimService`, plus a closed-loop identity spot-check of served rows
+/// against direct `run_trial`. Served/failed counts are outcomes; the
+/// latency and throughput columns are this machine's wall clock.
+fn serve_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
+    let ring = WorkloadSpec::Gossip {
+        topo: TopoSpec::Ring(4),
+        rounds: 5,
+    };
+    let token = WorkloadSpec::TokenRing { n: 4, laps: 2 };
+    let rotation: [(WorkloadSpec, Scheme, AttackSpec); 5] = [
+        (ring, Scheme::A, AttackSpec::None),
+        (token, Scheme::A, AttackSpec::Iid { fraction: 0.002 }),
+        (ring, Scheme::B, AttackSpec::None),
+        (token, Scheme::C, AttackSpec::None),
+        (ring, Scheme::NoCoding, AttackSpec::None),
+    ];
+    let request = |i: usize| -> (SimRequest, Priority) {
+        let (workload, scheme, attack) = rotation[i % rotation.len()];
+        let pri = if i % 8 == 7 {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
+        (
+            SimRequest {
+                workload,
+                scheme,
+                attack,
+                seed: derive_trial_seed(seed, i),
+            },
+            pri,
+        )
+    };
+
+    let svc = sim_service(ServiceConfig {
+        queue_capacity: tier.serve_requests.max(16),
+        ..ServiceConfig::default()
+    });
+    let client = svc.client();
+    let n = tier.serve_requests;
+    let (tx, rx) = crossbeam::channel::bounded::<(Instant, Ticket<bench::TrialResult>)>(n.max(1));
+    let collector = std::thread::spawn(move || {
+        let mut e2e = LatencyHistogram::default();
+        let mut queue = LatencyHistogram::default();
+        let mut exec = LatencyHistogram::default();
+        let mut served = 0u64;
+        let mut failed = 0u64;
+        while let Ok((submitted, ticket)) = rx.recv() {
+            match ticket.wait() {
+                Ok(resp) => {
+                    e2e.record(submitted.elapsed().as_nanos() as u64);
+                    queue.record(resp.queue_ns);
+                    exec.record(resp.exec_ns);
+                    match resp.outcome {
+                        serve::Outcome::Done(_) => served += 1,
+                        serve::Outcome::Cancelled => failed += 1,
+                    }
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        (e2e, queue, exec, served, failed)
+    });
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / tier.serve_rate.max(1e-3));
+    for i in 0..n {
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let (req, pri) = request(i);
+        let ticket = client
+            .submit(req, pri)
+            .expect("Block backpressure: submit cannot fail while the service runs");
+        tx.send((Instant::now(), ticket)).expect("collector gone");
+    }
+    drop(tx);
+    let (e2e, queue, exec, served, failed) = collector.join().expect("collector panicked");
+    let elapsed = start.elapsed();
+    let throughput = served as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    // Identity spot-check: the first 12 population seeds, served closed
+    // loop, must be byte-identical to direct `run_trial` rows.
+    let checks = 12.min(n);
+    for i in 0..checks {
+        let (req, pri) = request(i);
+        let row = svc
+            .submit(req, pri)
+            .expect("service accepting")
+            .wait()
+            .expect("reply lost")
+            .outcome
+            .done()
+            .expect("no cancellations here");
+        let direct = run_trial(req.workload, req.scheme, req.attack, req.seed);
+        assert_eq!(row, direct, "service diverged from run_trial on {req:?}");
+    }
+    svc.shutdown();
+    assert_eq!(served as usize, n, "open-loop run lost requests");
+    assert_eq!(failed, 0, "open-loop run had failed requests");
+
+    let us = |ns: u64| ns as f64 / 1e3;
+    let mut table = Table::new(
+        "Serve — open-loop load through SimService (mixed workloads)",
+        &[
+            "requests",
+            "rate",
+            "served",
+            "failed",
+            "rps",
+            "e2e_p50",
+            "e2e_p99",
+            "queue_p99",
+            "exec_p50",
+        ],
+    );
+    table.push_row(vec![
+        n.to_string(),
+        format!("{:.0}/s", tier.serve_rate),
+        served.to_string(),
+        failed.to_string(),
+        format!("{throughput:.0}"),
+        format!("{:.0}us", us(e2e.quantile(0.5))),
+        format!("{:.0}us", us(e2e.quantile(0.99))),
+        format!("{:.0}us", us(queue.quantile(0.99))),
+        format!("{:.0}us", us(exec.quantile(0.5))),
+    ]);
+    let rows = vec![
+        json!({
+            "row": "load", "mix": "mixed", "requests": n, "served": served,
+            "failed": failed, "offered_rps": tier.serve_rate,
+            "throughput_rps": throughput,
+            "e2e_p50_us": us(e2e.quantile(0.5)), "e2e_p90_us": us(e2e.quantile(0.9)),
+            "e2e_p99_us": us(e2e.quantile(0.99)), "e2e_max_us": us(e2e.max()),
+            "queue_p99_us": us(queue.quantile(0.99)),
+            "exec_p50_us": us(exec.quantile(0.5)), "exec_p99_us": us(exec.quantile(0.99)),
+        }),
+        json!({"row": "identity", "requests": checks, "identical": true}),
+    ];
+    (table, rows)
+}
+
+fn run_tier(args: &Args) -> std::io::Result<()> {
+    let tier = args.tier;
+    let sha = git_short_sha();
+    let t0 = Instant::now();
+    println!("repro: tier={} sha={} seed={}", tier.name, sha, args.seed);
+    let mut writer = RunWriter::create(Path::new(&args.out_root), tier.name, &sha)?;
+    type Sweep = fn(&Tier, u64) -> (Table, Vec<Value>);
+    let sweeps: [(&str, Sweep); 4] = [
+        ("noise", noise_sweep),
+        ("scaling", scaling_sweep),
+        ("leaderboard", leaderboard_sweep),
+        ("serve", serve_sweep),
+    ];
+    for (id, sweep) in sweeps {
+        let t = Instant::now();
+        let (table, rows) = sweep(tier, args.seed);
+        println!("\n{}", table.to_markdown());
+        println!("[{id}: {} row(s) in {:.1?}]", rows.len(), t.elapsed());
+        writer.add_sweep(id, table, &rows)?;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let manifest = Manifest {
+        tier: tier.name.into(),
+        git_sha: sha,
+        seed: args.seed,
+        sim_threads: mpic::sim_threads_env().map(|t| t as u64),
+        nproc: std::thread::available_parallelism()
+            .map(|p| p.get() as u64)
+            .unwrap_or(1),
+        unix_time: SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        wall_s,
+        workspace_version: env!("CARGO_PKG_VERSION").into(),
+        shims: shim_versions(),
+        sweeps: writer.sweeps().to_vec(),
+    };
+    let dir = writer.finish(&manifest)?;
+    println!("\nartifacts in {} ({wall_s:.1}s)", dir.display());
+    if tier.name == "quick" && wall_s > 60.0 {
+        eprintln!("warning: --quick took {wall_s:.0}s, over the 60 s CI budget");
+    }
+    Ok(())
+}
+
+/// The newest `quick-*` run directory under the out root (expectations
+/// are quick-tier artifacts, so `diff`/`accept` default to it).
+fn latest_quick_run(root: &str) -> PathBuf {
+    let mut candidates: Vec<PathBuf> = std::fs::read_dir(root)
+        .unwrap_or_else(|e| {
+            eprintln!("no run directory {root}: {e}; run `repro run --quick` first");
+            std::process::exit(2);
+        })
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("quick-"))
+        })
+        .collect();
+    candidates.sort_by_key(|p| {
+        std::fs::metadata(p)
+            .and_then(|m| m.modified())
+            .unwrap_or(SystemTime::UNIX_EPOCH)
+    });
+    candidates.pop().unwrap_or_else(|| {
+        eprintln!("no quick-* run under {root}; run `repro run --quick` first");
+        std::process::exit(2);
+    })
+}
+
+fn diff_mode(args: &Args) -> i32 {
+    let fresh = args
+        .fresh
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| latest_quick_run(&args.out_root));
+    println!(
+        "repro diff: {} vs expectations in {} (tolerance {}x on timing keys)",
+        fresh.display(),
+        args.expected,
+        args.tolerance
+    );
+    match diff_dirs(Path::new(&args.expected), &fresh, args.tolerance) {
+        Ok(report) => {
+            for extra in &report.extra {
+                println!("  new sweep {extra} (no expectation; informational)");
+            }
+            if report.drifts.is_empty() {
+                println!(
+                    "ok: {} file(s), {} row(s), outcome-exact, timings within tolerance",
+                    report.files, report.rows
+                );
+                0
+            } else {
+                for d in &report.drifts {
+                    eprintln!("DRIFT {d}");
+                }
+                eprintln!(
+                    "{} drift(s) across {} file(s); if intentional, re-bless with `repro accept`",
+                    report.drifts.len(),
+                    report.files
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("repro diff: {e}");
+            2
+        }
+    }
+}
+
+fn accept_mode(args: &Args) -> i32 {
+    let fresh = args
+        .fresh
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| latest_quick_run(&args.out_root));
+    let expected = Path::new(&args.expected);
+    std::fs::create_dir_all(expected).expect("cannot create expectation dir");
+    let mut copied = 0usize;
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&fresh)
+        .expect("cannot read fresh run dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    for f in files {
+        let name = f.file_name().expect("file entry has a name");
+        std::fs::copy(&f, expected.join(name)).expect("copy expectation");
+        copied += 1;
+    }
+    println!(
+        "blessed {copied} sweep file(s) from {} into {}",
+        fresh.display(),
+        expected.display()
+    );
+    if copied == 0 {
+        2
+    } else {
+        0
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.mode.as_str() {
+        "run" => run_tier(&args).unwrap_or_else(|e| {
+            eprintln!("repro run failed: {e}");
+            std::process::exit(1);
+        }),
+        "diff" => std::process::exit(diff_mode(&args)),
+        "accept" => std::process::exit(accept_mode(&args)),
+        _ => unreachable!("parse_args validates the mode"),
+    }
+}

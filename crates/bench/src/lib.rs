@@ -2,15 +2,35 @@
 //! (crossbeam-parallel), and the generators behind every table/figure in
 //! EXPERIMENTS.md.
 //!
-//! Everything is driven by plain-data specs ([`WorkloadSpec`], [`Scheme`],
-//! [`AttackSpec`]) so that each worker thread can rebuild its own
-//! simulation deterministically from `(spec, trial_seed)` — which is also
-//! what makes a trial a self-contained [`SimRequest`] servable by the
-//! `serve` crate's worker pool (see [`service`]).
+//! The crate's vocabulary, bottom-up:
+//!
+//! - A **spec** ([`WorkloadSpec`], [`Scheme`], [`AttackSpec`]) is plain
+//!   data naming a topology+protocol, a coding scheme, and an adversary.
+//!   Specs are `Copy`, serializable, and sufficient — together with one
+//!   `u64` seed — to rebuild a simulation bit-for-bit anywhere.
+//! - A **trial** ([`run_trial`]) is one seeded simulation of a spec
+//!   triple, returning a [`TrialResult`] outcome row. A **job** is a
+//!   batch of trials ([`run_many`]) fanned across crossbeam scoped
+//!   workers, each worker deriving its own seed stream via
+//!   [`derive_trial_seed`]; results fold into a [`Summary`].
+//! - A **service request** ([`SimRequest`]) is the same spec triple
+//!   shipped to the `serve` crate's resident worker pool instead of run
+//!   inline — [`sim_service`] wires the two crates together, and
+//!   [`run_trial_serviced`] round-trips one trial through it.
+//! - A **report** ([`report`]) is the artifact layer: markdown tables,
+//!   the `out/<tier>-<sha>/manifest.json` provenance record, and the
+//!   outcome-exact / timing-tolerant expectation diffing behind
+//!   `repro diff`.
+//!
+//! Binaries: `experiments` (per-figure generators), `bencher` (open-loop
+//! load against the service), `benchcmp` (A/B gate over bench JSON), and
+//! `repro` (tiered one-command reproduction pipeline; see
+//! EXPERIMENTS.md).
 
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod report;
 pub mod service;
 pub mod spec;
 

@@ -1,0 +1,565 @@
+//! Report rendering, versioned run artifacts, and expectation diffing
+//! for the `repro` reproduction pipeline (the `repro` bin is the driver;
+//! this module is the machinery it shares with tests).
+//!
+//! Vocabulary:
+//!
+//! * A **run** is one invocation of a tier (`quick`/`lite`/`full`). Its
+//!   artifacts land in a versioned directory `out/<tier>-<git-sha>/`.
+//! * A **sweep** is one experiment family inside a run (noise-rate vs.
+//!   decode success, topology scaling, the adversary leaderboard, serve
+//!   load). Each sweep contributes one rendered markdown [`Table`] and
+//!   one machine-readable `<sweep>.jsonl` file of row objects.
+//! * The [`Manifest`] records how the run was produced (tier, seeds,
+//!   `SIM_THREADS`, core count, shim versions) so a stranger reading the
+//!   artifact knows what hardware and configuration it reflects.
+//! * [`diff_dirs`] compares a fresh run against committed expectations:
+//!   **outcome** keys (success rates, corruption counts, blow-ups — all
+//!   deterministic in the seeds) must match exactly, while **volatile**
+//!   keys (wall-clock timings, throughput, cache-hit counts — see
+//!   [`is_volatile_key`]) only need to stay within a multiplicative
+//!   tolerance, so the honesty check survives hardware changes.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One human-readable table of a run report: a title, a header row, and
+/// string cells. Rendered as column-aligned GitHub markdown by
+/// [`Table::to_markdown`] (golden-file tested).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Section title (markdown `###` heading).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells; each row must have `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: &str, columns: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the column count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table `{}`: row width mismatch",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as column-aligned GitHub markdown, ending in a
+    /// single trailing newline.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, " {:<w$} |", cell, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.columns, &mut out);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Provenance record of one `repro` run, written as
+/// `out/<tier>-<sha>/manifest.json`. Round-trips through the serde shim
+/// (`serde_json::to_string` / `from_str`) field-for-field.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Tier that produced the run (`quick`, `lite`, or `full`).
+    pub tier: String,
+    /// Short git commit hash of the working tree (or `nogit`).
+    pub git_sha: String,
+    /// Base seed every sweep derives its trial seeds from.
+    pub seed: u64,
+    /// The `SIM_THREADS` override in effect, if any.
+    pub sim_threads: Option<u64>,
+    /// The machine's available parallelism when the run started.
+    pub nproc: u64,
+    /// Seconds since the unix epoch when the run finished.
+    pub unix_time: u64,
+    /// Total wall-clock seconds of the run (volatile; recorded for the
+    /// tier-budget bookkeeping, never diffed exactly).
+    pub wall_s: f64,
+    /// Workspace crate version the driver was built from.
+    pub workspace_version: String,
+    /// Offline shim crates linked into the driver, as `name version`
+    /// strings (the hermetic stand-ins for the real dependencies).
+    pub shims: Vec<String>,
+    /// Sweep ids the run emitted, in execution order; each has a
+    /// matching `<id>.jsonl` in the run directory.
+    pub sweeps: Vec<String>,
+}
+
+impl Manifest {
+    /// Serializes into `<dir>/manifest.json`.
+    pub fn write(&self, dir: &Path) -> std::io::Result<()> {
+        let text = serde_json::to_string(self).expect("manifest serialization is infallible");
+        std::fs::write(dir.join("manifest.json"), text + "\n")
+    }
+
+    /// Reads a manifest back from `<dir>/manifest.json`.
+    pub fn read(dir: &Path) -> Result<Manifest, String> {
+        let path = dir.join("manifest.json");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Accumulates one run's artifacts: JSONL sweep files as they complete,
+/// rendered tables for `report.md`, and finally the manifest.
+pub struct RunWriter {
+    dir: PathBuf,
+    tables: Vec<Table>,
+    sweeps: Vec<String>,
+}
+
+impl RunWriter {
+    /// Creates (or truncates) the run directory `<root>/<tier>-<sha>/`.
+    pub fn create(root: &Path, tier: &str, sha: &str) -> std::io::Result<RunWriter> {
+        let dir = root.join(format!("{tier}-{sha}"));
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunWriter {
+            dir,
+            tables: Vec::new(),
+            sweeps: Vec::new(),
+        })
+    }
+
+    /// The run directory this writer fills.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes one sweep's rows to `<dir>/<id>.jsonl` (truncating any
+    /// previous run's file of the same name) and records the table for
+    /// the final `report.md`.
+    pub fn add_sweep(&mut self, id: &str, table: Table, rows: &[Value]) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(self.dir.join(format!("{id}.jsonl")))?;
+        for row in rows {
+            writeln!(f, "{row}")?;
+        }
+        self.sweeps.push(id.to_string());
+        self.tables.push(table);
+        Ok(())
+    }
+
+    /// Sweep ids written so far, in order.
+    pub fn sweeps(&self) -> &[String] {
+        &self.sweeps
+    }
+
+    /// Writes `report.md` (all tables) and `manifest.json`, consuming
+    /// the writer. Returns the run directory.
+    pub fn finish(self, manifest: &Manifest) -> std::io::Result<PathBuf> {
+        let mut md = format!(
+            "# repro report — tier `{}` @ `{}`\n\nSeed {}, {} worker core(s){}. \
+             Outcome columns are deterministic in the seed; timing columns are\n\
+             this machine's wall clock (see EXPERIMENTS.md for the caveats).\n\n",
+            manifest.tier,
+            manifest.git_sha,
+            manifest.seed,
+            manifest.nproc,
+            match manifest.sim_threads {
+                Some(t) => format!(", SIM_THREADS={t}"),
+                None => String::new(),
+            },
+        );
+        for t in &self.tables {
+            md.push_str(&t.to_markdown());
+            md.push('\n');
+        }
+        std::fs::write(self.dir.join("report.md"), md)?;
+        manifest.write(&self.dir)?;
+        Ok(self.dir)
+    }
+}
+
+/// Loads one JSONL file of row objects through the serde shim's parser.
+pub fn load_rows(path: &Path) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut rows = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), ln + 1))?;
+        rows.push(v);
+    }
+    Ok(rows)
+}
+
+/// Is this row key **volatile** — a wall-clock, throughput, or
+/// scheduling-dependent quantity that legitimately differs between
+/// machines and runs? Volatile values are compared within a
+/// multiplicative tolerance; everything else is an **outcome** key and
+/// must match exactly (outcomes are deterministic in the seeds).
+pub fn is_volatile_key(key: &str) -> bool {
+    // Cache and queue counters depend on worker scheduling (which worker
+    // compiles first), not on outcomes — the serve_identity suite pins
+    // that the *rows* stay byte-identical regardless.
+    const VOLATILE: &[&str] = &[
+        "speedup",
+        "ratio",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+        "queue_depth_highwater",
+    ];
+    VOLATILE.contains(&key)
+        || key.ends_with("_ns")
+        || key.ends_with("_us")
+        || key.ends_with("_ms")
+        || key.ends_with("_s")
+        || key.ends_with("_rps")
+}
+
+/// Numeric view of a JSON value (integers coerce to `f64`; every number
+/// the pipeline emits is well below the 2^53 exactness bound).
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Number(serde::Number::F64(x)) => Some(*x),
+        Value::Number(serde::Number::U64(n)) => Some(*n as f64),
+        Value::Number(serde::Number::I64(n)) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn object_keys(v: &Value) -> Vec<&str> {
+    match v {
+        Value::Object(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compares one sweep's fresh rows against its expectation. Returns
+/// human-readable drift messages (empty = no drift). Row order is part
+/// of the contract: sweeps emit rows in a deterministic order.
+pub fn diff_rows(id: &str, expected: &[Value], fresh: &[Value], tolerance: f64) -> Vec<String> {
+    let mut drifts = Vec::new();
+    if expected.len() != fresh.len() {
+        drifts.push(format!(
+            "{id}: row count changed: expected {}, fresh {}",
+            expected.len(),
+            fresh.len()
+        ));
+        return drifts;
+    }
+    for (i, (e, f)) in expected.iter().zip(fresh).enumerate() {
+        for key in object_keys(e) {
+            let ev = e.get(key).expect("key from this object");
+            let Some(fv) = f.get(key) else {
+                drifts.push(format!("{id}[{i}].{key}: missing in fresh run"));
+                continue;
+            };
+            if is_volatile_key(key) {
+                match (as_f64(ev), as_f64(fv)) {
+                    (Some(ex), Some(fx)) => {
+                        if !fx.is_finite() || fx < 0.0 {
+                            drifts.push(format!("{id}[{i}].{key}: fresh value {fx} not sane"));
+                        } else if ex > 0.0 && (fx > ex * tolerance || fx < ex / tolerance) {
+                            drifts.push(format!(
+                                "{id}[{i}].{key}: timing drift beyond {tolerance}x: \
+                                 expected {ex}, fresh {fx}"
+                            ));
+                        }
+                        // ex <= 0: nothing meaningful to ratio against;
+                        // the sanity check above is the whole contract.
+                    }
+                    _ => drifts.push(format!("{id}[{i}].{key}: volatile key must be numeric")),
+                }
+            } else {
+                let equal = match (as_f64(ev), as_f64(fv)) {
+                    (Some(ex), Some(fx)) => ex == fx,
+                    _ => ev == fv,
+                };
+                if !equal {
+                    drifts.push(format!(
+                        "{id}[{i}].{key}: outcome drift: expected {ev}, fresh {fv}"
+                    ));
+                }
+            }
+        }
+        for key in object_keys(f) {
+            if e.get(key).is_none() {
+                drifts.push(format!(
+                    "{id}[{i}].{key}: new key absent from expectation (run `repro accept`)"
+                ));
+            }
+        }
+    }
+    drifts
+}
+
+/// Result of diffing a fresh run directory against an expectation
+/// directory.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Sweep files compared.
+    pub files: usize,
+    /// Rows compared across all files.
+    pub rows: usize,
+    /// Drift messages; empty means the run reproduces the expectations.
+    pub drifts: Vec<String>,
+    /// Fresh sweep files with no committed expectation (informational,
+    /// never a failure — mirrors `benchcmp`'s new-id rule).
+    pub extra: Vec<String>,
+}
+
+/// Compares every `*.jsonl` under `expected_dir` against the same file
+/// in `fresh_dir`. Outcome keys exact, volatile keys within `tolerance`.
+pub fn diff_dirs(
+    expected_dir: &Path,
+    fresh_dir: &Path,
+    tolerance: f64,
+) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    let mut expected_files: Vec<PathBuf> = std::fs::read_dir(expected_dir)
+        .map_err(|e| format!("cannot read {}: {e}", expected_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    expected_files.sort();
+    if expected_files.is_empty() {
+        return Err(format!(
+            "no *.jsonl expectations under {}",
+            expected_dir.display()
+        ));
+    }
+    for exp_path in expected_files {
+        let id = exp_path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("sweep")
+            .to_string();
+        let fresh_path = fresh_dir.join(format!("{id}.jsonl"));
+        if !fresh_path.exists() {
+            report.drifts.push(format!(
+                "{id}: expected sweep missing from fresh run {}",
+                fresh_dir.display()
+            ));
+            continue;
+        }
+        let expected = load_rows(&exp_path)?;
+        let fresh = load_rows(&fresh_path)?;
+        report.files += 1;
+        report.rows += expected.len();
+        report
+            .drifts
+            .extend(diff_rows(&id, &expected, &fresh, tolerance));
+    }
+    if let Ok(dir) = std::fs::read_dir(fresh_dir) {
+        for entry in dir.filter_map(Result::ok) {
+            let p = entry.path();
+            if p.extension().is_some_and(|x| x == "jsonl")
+                && !expected_dir
+                    .join(p.file_name().expect("file entry has a name"))
+                    .exists()
+            {
+                report
+                    .extra
+                    .push(p.file_name().unwrap().to_string_lossy().into_owned());
+            }
+        }
+    }
+    report.extra.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sample_tables() -> (Table, Table) {
+        let mut noise = Table::new(
+            "Noise sweep — Algorithm A on ring(6)",
+            &["multiplier", "fraction", "ok", "blowup"],
+        );
+        noise.push_row(vec![
+            "0.00".into(),
+            "0.000000".into(),
+            "1.00".into(),
+            "150.9".into(),
+        ]);
+        noise.push_row(vec![
+            "0.50".into(),
+            "0.041667".into(),
+            "0.25".into(),
+            "152.3".into(),
+        ]);
+        let mut lb = Table::new("Leaderboard", &["attack", "metric"]);
+        lb.push_row(vec!["mp_splitter".into(), "10".into()]);
+        lb.push_row(vec!["flag_flipper".into(), "6".into()]);
+        (noise, lb)
+    }
+
+    /// Golden-file pin of the markdown renderer: any formatting change
+    /// must be intentional (regenerate `testdata/golden_report.md`).
+    #[test]
+    fn markdown_rendering_matches_golden_file() {
+        let (noise, lb) = sample_tables();
+        let rendered = format!("{}\n{}", noise.to_markdown(), lb.to_markdown());
+        let golden = include_str!("../testdata/golden_report.md");
+        assert_eq!(rendered, golden, "markdown drifted from the golden file");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    /// The manifest round-trips through the serde shim field-for-field,
+    /// including the `Option` and `Vec` fields.
+    #[test]
+    fn manifest_round_trips_through_shim() {
+        let m = Manifest {
+            tier: "quick".into(),
+            git_sha: "abc1234".into(),
+            seed: 2024,
+            sim_threads: Some(2),
+            nproc: 8,
+            unix_time: 1_754_500_000,
+            wall_s: 12.5,
+            workspace_version: "0.1.0".into(),
+            shims: vec!["serde 1.0.0".into(), "crossbeam 0.8.0".into()],
+            sweeps: vec!["noise".into(), "scaling".into()],
+        };
+        let text = serde_json::to_string(&m).unwrap();
+        let back: Manifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+
+        let none = Manifest {
+            sim_threads: None,
+            ..m
+        };
+        let back: Manifest = serde_json::from_str(&serde_json::to_string(&none).unwrap()).unwrap();
+        assert_eq!(back, none);
+    }
+
+    #[test]
+    fn manifest_write_read_round_trip() {
+        let dir = std::env::temp_dir().join(format!("repro-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Manifest {
+            tier: "quick".into(),
+            git_sha: "deadbee".into(),
+            seed: 7,
+            sim_threads: None,
+            nproc: 1,
+            unix_time: 0,
+            wall_s: 0.5,
+            workspace_version: "0.1.0".into(),
+            shims: vec![],
+            sweeps: vec!["noise".into()],
+        };
+        m.write(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn volatile_key_classification() {
+        for k in [
+            "serial_ns",
+            "e2e_p99_us",
+            "wall_s",
+            "throughput_rps",
+            "speedup",
+            "cache_hits",
+        ] {
+            assert!(is_volatile_key(k), "{k} should be volatile");
+        }
+        for k in [
+            "success",
+            "trials",
+            "corruptions",
+            "blowup",
+            "requests",
+            "served",
+            "stalled_iterations",
+        ] {
+            assert!(!is_volatile_key(k), "{k} should be an outcome key");
+        }
+    }
+
+    /// The diff is exact on outcome keys: an injected outcome drift is
+    /// reported, while a (tolerated) timing drift is not.
+    #[test]
+    fn diff_detects_injected_outcome_drift() {
+        let expected = vec![
+            json!({"scheme": "alg_a", "success": 1.0, "corruptions": 12u64, "serial_ns": 1000u64}),
+            json!({"scheme": "alg_b", "success": 0.75, "corruptions": 30u64, "serial_ns": 2000u64}),
+        ];
+        // Same outcomes, wildly different timing: no drift.
+        let mut fresh = expected.clone();
+        if let Value::Object(fields) = &mut fresh[0] {
+            fields.iter_mut().find(|(k, _)| k == "serial_ns").unwrap().1 = json!(900_000u64);
+        }
+        assert!(diff_rows("s", &expected, &fresh, 1e6).is_empty());
+        // Timing drift beyond the tolerance is reported.
+        let drifts = diff_rows("s", &expected, &fresh, 10.0);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].contains("timing drift"), "{drifts:?}");
+        // An injected outcome drift always fails, whatever the tolerance.
+        if let Value::Object(fields) = &mut fresh[1] {
+            fields.iter_mut().find(|(k, _)| k == "success").unwrap().1 = json!(0.5f64);
+        }
+        let drifts = diff_rows("s", &expected, &fresh, 1e6);
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].contains("outcome drift"), "{drifts:?}");
+        assert!(drifts[0].contains("s[1].success"), "{drifts:?}");
+    }
+
+    #[test]
+    fn diff_reports_shape_changes() {
+        let expected = vec![json!({"a": 1u64, "b": 2u64})];
+        // Row count change.
+        assert_eq!(diff_rows("s", &expected, &[], 2.0).len(), 1);
+        // Missing and new keys.
+        let fresh = vec![json!({"a": 1u64, "c": 3u64})];
+        let drifts = diff_rows("s", &expected, &fresh, 2.0);
+        assert_eq!(drifts.len(), 2, "{drifts:?}");
+        assert!(drifts.iter().any(|d| d.contains("missing in fresh")));
+        assert!(drifts.iter().any(|d| d.contains("new key")));
+        // Integer/float representations of the same outcome agree.
+        let fresh = vec![json!({"a": 1.0f64, "b": 2u64})];
+        assert!(diff_rows("s", &expected, &fresh, 2.0).is_empty());
+    }
+}

@@ -31,6 +31,27 @@
 //! [`Backpressure::Block`] makes `submit` wait for space and
 //! [`Backpressure::Reject`] fails fast with a retry-after hint — the
 //! open-loop `bencher` uses both modes to measure saturation behavior.
+//!
+//! ## Request lifecycle, in vocabulary order
+//!
+//! 1. A client handle ([`SimService::client`], cheap to clone) calls
+//!    [`SimService::submit`], which enqueues the [`Job`] and returns a
+//!    [`Ticket`] — a one-shot future for this request's reply.
+//! 2. A worker dequeues it (high lane first), stamps the queue delay,
+//!    runs it against its pooled [`JobCtx`], and sends back a
+//!    [`Response`] carrying the [`Outcome`] plus per-request telemetry
+//!    (`queue_ns`, `exec_ns`, serving worker, cache hit).
+//! 3. [`Ticket::wait`] / [`Ticket::try_wait`] deliver the response;
+//!    [`Ticket::cancel`] revokes a not-yet-started request, which
+//!    surfaces as [`Outcome::Cancelled`].
+//! 4. [`SimService::shutdown`] drains in-flight work and folds worker
+//!    counters into [`ServiceStats`].
+//!
+//! Latency measurement lives beside, not inside, the service: callers
+//! record ticket round-trips into [`LatencyHistogram`]s, as the `bench`
+//! crate's `bencher` (ad-hoc load exploration) and `repro` (the serve
+//! sweep of the tiered reproduction pipeline, see EXPERIMENTS.md) both
+//! do.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
