@@ -26,7 +26,7 @@
 //! Numbers from the single-core CI container are a floor, not a ceiling.
 
 use bench::{
-    derive_trial_seed, run_many, sim_service, AttackSpec, Scheme, SimRequest, TopoSpec,
+    derive_trial_seed, run_many, sim_service, AttackSpec, FaultSpec, Scheme, SimRequest, TopoSpec,
     TrialResult, WorkloadSpec,
 };
 use serde_json::json;
@@ -142,6 +142,7 @@ fn mix_requests(mix: &str, n: usize, base_seed: u64) -> Vec<(SimRequest, Priorit
                     workload,
                     scheme,
                     attack,
+                    fault: FaultSpec::None,
                     seed: derive_trial_seed(base_seed, i),
                 },
                 pri,
@@ -215,6 +216,10 @@ fn drive_open_loop(args: &Args, population: Vec<(SimRequest, Priority)>) -> Load
                             let _ = row;
                         }
                         serve::Outcome::Cancelled => r.cancelled += 1,
+                        // Failed (contained panic) and TimedOut replies
+                        // both resolved the ticket; count them with the
+                        // lost requests for the load report's purposes.
+                        serve::Outcome::Failed { .. } | serve::Outcome::TimedOut => r.lost += 1,
                     }
                 }
                 Err(_) => r.lost += 1,
@@ -300,6 +305,7 @@ fn compare_raw(args: &Args) -> (f64, f64) {
                         workload,
                         scheme,
                         attack,
+                        fault: FaultSpec::None,
                         seed: derive_trial_seed(args.seed, i),
                     },
                     Priority::Normal,

@@ -2,7 +2,7 @@
 //! the tiered `repro` pipeline (see EXPERIMENTS.md for the claim →
 //! invocation map).
 //!
-//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|serve|all] [--quick]`
+//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|serve|churn|all] [--quick]`
 //!
 //! Each experiment prints a table to stdout and appends JSON rows to
 //! `results/<id>.jsonl` (gitignored scratch, one file per subcommand).
@@ -38,6 +38,7 @@ fn main() {
         "adaptive" => adaptive(quick),
         "parallel" => parallel(quick),
         "serve" => serve_exp(quick),
+        "churn" => churn(quick),
         "all" => {
             t1(quick);
             f1(quick);
@@ -53,10 +54,11 @@ fn main() {
             adaptive(quick);
             parallel(quick);
             serve_exp(quick);
+            churn(quick);
         }
         other => {
             eprintln!(
-                "unknown experiment {other}; use t1|f1..f9|large|adaptive|parallel|serve|all [--quick]"
+                "unknown experiment {other}; use t1|f1..f9|large|adaptive|parallel|serve|churn|all [--quick]"
             );
             std::process::exit(2);
         }
@@ -904,7 +906,7 @@ fn parallel(quick: bool) {
 /// `results/serve.jsonl`; the open-loop load numbers live in
 /// `BENCH_serve.json` (see the `bencher` bin).
 fn serve_exp(quick: bool) {
-    use bench::{derive_trial_seed, run_trial, SimRequest};
+    use bench::{derive_trial_seed, run_trial, FaultSpec, SimRequest};
     use serve::{Priority, ServiceConfig};
 
     header(
@@ -955,6 +957,7 @@ fn serve_exp(quick: bool) {
                 workload,
                 scheme,
                 attack,
+                fault: FaultSpec::None,
                 seed: derive_trial_seed(777, i),
             };
             (req, svc.submit(req, pri).expect("service accepting"))
@@ -992,4 +995,109 @@ fn serve_exp(quick: bool) {
                "queue_depth_highwater": stats.queue_depth_highwater,
                "identity_ok": true}),
     );
+}
+
+/// CHURN — robustness under injected wire faults: a grid of fault
+/// schedules (link churn, party crashes, burst outages) × schemes, every
+/// run ending in an **explicit** verdict. The table reports the decoded
+/// fraction, how much of the failure mass is blamed on fault churn, and
+/// the fault/resync counters; rows land in `results/churn.jsonl`.
+fn churn(quick: bool) {
+    use bench::{run_many_faulted, FaultSpec};
+
+    header(
+        "CHURN",
+        "Fault injection — decode-or-degrade under link/party churn",
+    );
+    let trials = if quick { 8 } else { 48 };
+    let faults: [(&str, FaultSpec); 5] = [
+        ("none", FaultSpec::None),
+        (
+            "churn-lo",
+            FaultSpec::Churn {
+                link_rate: 0.15,
+                crash_rate: 0.0,
+                outage_frac: 0.04,
+            },
+        ),
+        (
+            "churn-hi",
+            FaultSpec::Churn {
+                link_rate: 0.5,
+                crash_rate: 0.25,
+                outage_frac: 0.08,
+            },
+        ),
+        (
+            "crash",
+            FaultSpec::Churn {
+                link_rate: 0.0,
+                crash_rate: 0.5,
+                outage_frac: 0.1,
+            },
+        ),
+        (
+            "outage",
+            FaultSpec::Burst {
+                start_frac: 0.3,
+                len_frac: 0.1,
+                fraction: 0.5,
+            },
+        ),
+    ];
+    let w = WorkloadSpec::Gossip {
+        topo: TopoSpec::Ring(5),
+        rounds: 6,
+    };
+    println!(
+        "{:<10} {:<8} {:>8} {:>9} {:>9} {:>11} {:>12} {:>13}",
+        "fault",
+        "scheme",
+        "decoded",
+        "deg:fault",
+        "deg:noise",
+        "links_down",
+        "crash_rounds",
+        "resync_rewinds"
+    );
+    for (label, fault) in faults {
+        for scheme in [Scheme::A, Scheme::B] {
+            let attack = AttackSpec::Iid { fraction: 0.001 };
+            let (summary, rows) = run_many_faulted(w, scheme, attack, fault, trials, 4242);
+            let decoded = rows.iter().filter(|r| r.degraded == 0).count();
+            let deg_fault = rows.iter().filter(|r| r.degraded == 2).count();
+            let deg_noise = rows.iter().filter(|r| r.degraded == 1).count();
+            // Explicit degradation semantics: the three verdict buckets
+            // partition the population, and success ⇔ decoded.
+            assert_eq!(decoded + deg_fault + deg_noise, rows.len());
+            assert_eq!(decoded, rows.iter().filter(|r| r.success).count());
+            let links_down: u64 = rows.iter().map(|r| r.links_downed).sum();
+            let crash_rounds: u64 = rows.iter().map(|r| r.crash_rounds).sum();
+            let resyncs: u64 = rows.iter().map(|r| r.resync_rewinds).sum();
+            println!(
+                "{:<10} {:<8} {:>7.0}% {:>9} {:>9} {:>11} {:>12} {:>13}",
+                label,
+                format!("{scheme:?}"),
+                100.0 * decoded as f64 / rows.len() as f64,
+                deg_fault,
+                deg_noise,
+                links_down,
+                crash_rounds,
+                resyncs,
+            );
+            emit(
+                "churn",
+                json!({"fault": label, "scheme": format!("{scheme:?}"),
+                       "trials": trials,
+                       "decoded": decoded,
+                       "degraded_fault": deg_fault,
+                       "degraded_noise": deg_noise,
+                       "links_downed": links_down,
+                       "crash_rounds": crash_rounds,
+                       "resync_rewinds": resyncs,
+                       "mean_blowup": summary.mean_blowup,
+                       "mean_rounds": summary.mean_rounds}),
+            );
+        }
+    }
 }

@@ -11,10 +11,12 @@
 //! cargo run --release -p bench --bin repro -- accept            # bless fresh run into expected/
 //! ```
 //!
-//! `run` executes four sweeps — noise-rate vs. decode success, topology
+//! `run` executes five sweeps — noise-rate vs. decode success, topology
 //! scaling serial vs. threads, the adversary leaderboard (the four PR 5
-//! phase-aware attacks vs. their oblivious counterparts), and serve
-//! latency/throughput — and writes `out/<tier>-<git-sha>/` containing
+//! phase-aware attacks vs. their oblivious counterparts), serve
+//! latency/throughput, and fault churn (injected link/party faults vs.
+//! explicit decode-or-degrade verdicts) — and writes
+//! `out/<tier>-<git-sha>/` containing
 //! `manifest.json` (tier, seed, `SIM_THREADS`, core count, shim
 //! versions), one `<sweep>.jsonl` per sweep, and a rendered `report.md`.
 //!
@@ -31,8 +33,8 @@
 
 use bench::report::{diff_dirs, Manifest, RunWriter, Table};
 use bench::{
-    derive_trial_seed, run_many, run_trial, sim_service, AttackSpec, Scheme, SimRequest, TopoSpec,
-    WorkloadSpec,
+    derive_trial_seed, run_many, run_trial, sim_service, AttackSpec, FaultSpec, Scheme, SimRequest,
+    TopoSpec, WorkloadSpec,
 };
 use mpic::{Parallelism, RunOptions, RunScratch, SchemeConfig, Simulation};
 use netsim::PhaseKind;
@@ -53,6 +55,7 @@ struct Tier {
     serve_requests: usize,
     serve_rate: f64,
     full_leaderboard: bool,
+    churn_trials: usize,
 }
 
 /// CI-sized: everything in well under a minute on one core.
@@ -69,6 +72,7 @@ const QUICK: Tier = Tier {
     serve_requests: 80,
     serve_rate: 400.0,
     full_leaderboard: false,
+    churn_trials: 6,
 };
 
 /// Minutes-sized: real sweep resolution, mid-size topologies.
@@ -85,6 +89,7 @@ const LITE: Tier = Tier {
     serve_requests: 2000,
     serve_rate: 500.0,
     full_leaderboard: true,
+    churn_trials: 24,
 };
 
 /// Hours-sized: publication-strength trial counts and the largest
@@ -102,6 +107,7 @@ const FULL: Tier = Tier {
     serve_requests: 20_000,
     serve_rate: 800.0,
     full_leaderboard: true,
+    churn_trials: 96,
 };
 
 struct Args {
@@ -539,6 +545,7 @@ fn serve_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
                 workload,
                 scheme,
                 attack,
+                fault: FaultSpec::None,
                 seed: derive_trial_seed(seed, i),
             },
             pri,
@@ -566,7 +573,9 @@ fn serve_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
                     exec.record(resp.exec_ns);
                     match resp.outcome {
                         serve::Outcome::Done(_) => served += 1,
-                        serve::Outcome::Cancelled => failed += 1,
+                        serve::Outcome::Cancelled
+                        | serve::Outcome::Failed { .. }
+                        | serve::Outcome::TimedOut => failed += 1,
                     }
                 }
                 Err(_) => failed += 1,
@@ -654,6 +663,108 @@ fn serve_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
     (table, rows)
 }
 
+/// Sweep 5 — fault churn: injected link/party fault schedules against
+/// Algorithms A and B, pinning the **explicit degradation semantics**
+/// (every trial decodes correctly or reports `Degraded` with a reason —
+/// never silently wrong) and the fault/resync counters. All keys are
+/// outcome-exact: the schedules, seeds and counters are deterministic,
+/// so there is nothing timing-shaped to tolerate.
+fn churn_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
+    use bench::run_many_faulted;
+    let faults: [(&str, FaultSpec); 4] = [
+        ("none", FaultSpec::None),
+        (
+            "churn-lo",
+            FaultSpec::Churn {
+                link_rate: 0.15,
+                crash_rate: 0.0,
+                outage_frac: 0.04,
+            },
+        ),
+        (
+            "churn-hi",
+            FaultSpec::Churn {
+                link_rate: 0.5,
+                crash_rate: 0.25,
+                outage_frac: 0.08,
+            },
+        ),
+        (
+            "outage",
+            FaultSpec::Burst {
+                start_frac: 0.3,
+                len_frac: 0.1,
+                fraction: 0.5,
+            },
+        ),
+    ];
+    let w = WorkloadSpec::Gossip {
+        topo: TopoSpec::Ring(5),
+        rounds: 6,
+    };
+    let mut table = Table::new(
+        "Fault churn — decode-or-degrade under injected link/party faults",
+        &[
+            "fault",
+            "scheme",
+            "decoded",
+            "deg:fault",
+            "deg:noise",
+            "links_down",
+            "crash_rounds",
+            "resyncs",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (fi, (label, fault)) in faults.iter().enumerate() {
+        for (si, scheme) in [Scheme::A, Scheme::B].into_iter().enumerate() {
+            let attack = AttackSpec::Iid { fraction: 0.001 };
+            let base = seed
+                .wrapping_add(7_000 * fi as u64)
+                .wrapping_add(70 * si as u64);
+            let (_, trial_rows) =
+                run_many_faulted(w, scheme, attack, *fault, tier.churn_trials, base);
+            let decoded = trial_rows.iter().filter(|r| r.degraded == 0).count();
+            let deg_fault = trial_rows.iter().filter(|r| r.degraded == 2).count();
+            let deg_noise = trial_rows.iter().filter(|r| r.degraded == 1).count();
+            // Never silently wrong: the verdict buckets partition the
+            // population and success ⇔ decoded, in every tier.
+            assert_eq!(decoded + deg_fault + deg_noise, trial_rows.len());
+            assert_eq!(decoded, trial_rows.iter().filter(|r| r.success).count());
+            let links_down: u64 = trial_rows.iter().map(|r| r.links_downed).sum();
+            let crash_rounds: u64 = trial_rows.iter().map(|r| r.crash_rounds).sum();
+            let resyncs: u64 = trial_rows.iter().map(|r| r.resync_rewinds).sum();
+            let corruptions: u64 = trial_rows.iter().map(|r| r.corruptions).sum();
+            let cc: u64 = trial_rows.iter().map(|r| r.cc).sum();
+            let rounds: u64 = trial_rows.iter().map(|r| r.rounds).sum();
+            table.push_row(vec![
+                label.to_string(),
+                scheme.label(),
+                decoded.to_string(),
+                deg_fault.to_string(),
+                deg_noise.to_string(),
+                links_down.to_string(),
+                crash_rounds.to_string(),
+                resyncs.to_string(),
+            ]);
+            rows.push(json!({
+                "fault": label, "scheme": scheme.label(),
+                "trials": tier.churn_trials,
+                "decoded": decoded,
+                "degraded_fault": deg_fault,
+                "degraded_noise": deg_noise,
+                "links_downed": links_down,
+                "crash_rounds": crash_rounds,
+                "resync_rewinds": resyncs,
+                "corruptions": corruptions,
+                "cc": cc,
+                "rounds": rounds,
+            }));
+        }
+    }
+    (table, rows)
+}
+
 fn run_tier(args: &Args) -> std::io::Result<()> {
     let tier = args.tier;
     let sha = git_short_sha();
@@ -661,11 +772,12 @@ fn run_tier(args: &Args) -> std::io::Result<()> {
     println!("repro: tier={} sha={} seed={}", tier.name, sha, args.seed);
     let mut writer = RunWriter::create(Path::new(&args.out_root), tier.name, &sha)?;
     type Sweep = fn(&Tier, u64) -> (Table, Vec<Value>);
-    let sweeps: [(&str, Sweep); 4] = [
+    let sweeps: [(&str, Sweep); 5] = [
         ("noise", noise_sweep),
         ("scaling", scaling_sweep),
         ("leaderboard", leaderboard_sweep),
         ("serve", serve_sweep),
+        ("churn", churn_sweep),
     ];
     for (id, sweep) in sweeps {
         let t = Instant::now();

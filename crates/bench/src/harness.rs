@@ -1,6 +1,6 @@
 //! Monte-Carlo trial runner.
 
-use crate::spec::{AttackSpec, Scheme, WorkloadSpec};
+use crate::spec::{AttackSpec, FaultSpec, Scheme, WorkloadSpec};
 use mpic::baseline::{run_no_coding, run_repetition};
 use mpic::{ArtifactCache, Parallelism, RunOptions, RunScratch, Simulation};
 use parking_lot::Mutex;
@@ -26,6 +26,16 @@ pub struct TrialResult {
     pub hash_collisions: u64,
     /// Rounds consumed.
     pub rounds: u64,
+    /// Numeric [`mpic::Verdict`] code (0 = decoded correct, 1 = noise
+    /// overwhelmed, 2 = fault churn). For baselines: 0 on success, 1
+    /// otherwise.
+    pub degraded: u8,
+    /// Scheduled link outage transitions applied (coding schemes only).
+    pub links_downed: u64,
+    /// Party-rounds spent crashed (coding schemes only).
+    pub crash_rounds: u64,
+    /// Rewind-wave truncations attributable to fault resync.
+    pub resync_rewinds: u64,
 }
 
 /// Aggregate over trials.
@@ -75,6 +85,24 @@ pub fn run_trial(
     run_trial_with_scratch(workload, scheme, attack, trial_seed, &mut RunScratch::new())
 }
 
+/// [`run_trial`] with a fault schedule injected alongside the attack.
+pub fn run_trial_faulted(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    fault: FaultSpec,
+    trial_seed: u64,
+) -> TrialResult {
+    run_trial_faulted_with_scratch(
+        workload,
+        scheme,
+        attack,
+        fault,
+        trial_seed,
+        &mut RunScratch::new(),
+    )
+}
+
 /// [`run_trial`] reusing a caller-owned [`RunScratch`], so a worker
 /// running many trials pays the per-chunk buffers once instead of per
 /// trial. Outcomes are identical to `run_trial`.
@@ -85,10 +113,30 @@ pub fn run_trial_with_scratch(
     trial_seed: u64,
     scratch: &mut RunScratch,
 ) -> TrialResult {
+    run_trial_faulted_with_scratch(
+        workload,
+        scheme,
+        attack,
+        FaultSpec::None,
+        trial_seed,
+        scratch,
+    )
+}
+
+/// [`run_trial_faulted`] reusing a caller-owned [`RunScratch`].
+pub fn run_trial_faulted_with_scratch(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    fault: FaultSpec,
+    trial_seed: u64,
+    scratch: &mut RunScratch,
+) -> TrialResult {
     run_trial_inner(
         workload,
         scheme,
         attack,
+        fault,
         trial_seed,
         scratch,
         Parallelism::Serial,
@@ -106,10 +154,12 @@ pub fn run_trial_with_scratch(
 /// Outcomes are byte-identical to [`run_trial`] with the same seed —
 /// cached statics compile deterministically from structure alone, and
 /// parallelism is a pure wall-clock knob.
+#[allow(clippy::too_many_arguments)]
 pub fn run_trial_serviced(
     workload: WorkloadSpec,
     scheme: Scheme,
     attack: AttackSpec,
+    fault: FaultSpec,
     trial_seed: u64,
     scratch: &mut RunScratch,
     parallelism: Parallelism,
@@ -119,6 +169,7 @@ pub fn run_trial_serviced(
         workload,
         scheme,
         attack,
+        fault,
         trial_seed,
         scratch,
         parallelism,
@@ -143,6 +194,7 @@ fn run_trial_inner(
     workload: WorkloadSpec,
     scheme: Scheme,
     attack: AttackSpec,
+    fault: FaultSpec,
     trial_seed: u64,
     scratch: &mut RunScratch,
     parallelism: Parallelism,
@@ -188,6 +240,9 @@ fn run_trial_inner(
                 Scheme::Repetition(r) => run_repetition(&*w, proto, adversary, budget, r),
                 _ => unreachable!(),
             };
+            // Baselines have no meeting-point/rewind machinery to resync
+            // through, so fault schedules are not modeled for them; a
+            // failed baseline run reports degraded = 1 (noise).
             let row = TrialResult {
                 success: out.success,
                 cc: out.stats.cc,
@@ -197,6 +252,10 @@ fn run_trial_inner(
                 blowup: out.blowup,
                 hash_collisions: 0,
                 rounds: out.stats.rounds,
+                degraded: u8::from(!out.success),
+                links_downed: 0,
+                crash_rounds: 0,
+                resync_rewinds: 0,
             };
             (row, shared && hit)
         }
@@ -214,11 +273,17 @@ fn run_trial_inner(
             } else {
                 cache.get_or_compile(&*w, cfg.chunk_bits())
             };
-            let sim = Simulation::with_statics(&*w, cfg, trial_seed, statics);
+            let mut sim = Simulation::with_statics(&*w, cfg, trial_seed, statics);
             let geometry = sim.geometry();
             let predicted_cc = sim.predicted_cc();
             let predicted_rounds =
                 geometry.setup + sim.iterations() as u64 * geometry.iteration_rounds();
+            // Fault plans scale to the predicted round horizon, which
+            // needs the compiled geometry — hence the post-construction
+            // setter rather than cfg.faults up front.
+            if !matches!(fault, FaultSpec::None) {
+                sim.set_fault_plan(fault.build(&g, predicted_rounds, trial_seed));
+            }
             let budget = attack_budget(&attack, predicted_cc);
             let adversary = attack.build(&g, geometry, predicted_cc, predicted_rounds, trial_seed);
             let opts = RunOptions {
@@ -236,6 +301,10 @@ fn run_trial_inner(
                 blowup: out.blowup,
                 hash_collisions: out.instrumentation.hash_collisions,
                 rounds: out.stats.rounds,
+                degraded: out.verdict.code(),
+                links_downed: out.instrumentation.links_downed,
+                crash_rounds: out.instrumentation.crash_rounds,
+                resync_rewinds: out.instrumentation.resync_rewinds,
             };
             (row, shared && hint_hit && statics_hit)
         }
@@ -316,6 +385,20 @@ pub fn run_many(
     trials: usize,
     base_seed: u64,
 ) -> (Summary, Vec<TrialResult>) {
+    run_many_faulted(workload, scheme, attack, FaultSpec::None, trials, base_seed)
+}
+
+/// [`run_many`] with a fault schedule injected into every trial (each
+/// trial's concrete plan is drawn from its own trial seed, so replicas
+/// see independent churn).
+pub fn run_many_faulted(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    attack: AttackSpec,
+    fault: FaultSpec,
+    trials: usize,
+    base_seed: u64,
+) -> (Summary, Vec<TrialResult>) {
     let results = Mutex::new(vec![None; trials]);
     let budget = thread_budget();
     let threads = budget.min(trials.max(1));
@@ -340,6 +423,7 @@ pub fn run_many(
                         workload,
                         scheme,
                         attack,
+                        fault,
                         trial_seed(base_seed, i),
                         &mut scratch,
                         intra,
@@ -417,6 +501,38 @@ mod tests {
             "base seeds 1000/1001 share trial seeds: {:?}",
             a.intersection(&b).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn faulted_trial_is_never_silently_wrong() {
+        let w = WorkloadSpec::Gossip {
+            topo: TopoSpec::Ring(4),
+            rounds: 5,
+        };
+        let fault = FaultSpec::Churn {
+            link_rate: 0.5,
+            crash_rate: 0.25,
+            outage_frac: 0.02,
+        };
+        let r = run_trial_faulted(w, Scheme::A, AttackSpec::None, fault, 11);
+        // The verdict is explicit either way; success ⇔ degraded == 0.
+        assert_eq!(r.success, r.degraded == 0);
+        if !r.success {
+            assert_eq!(r.degraded, 2, "faulted failures blame churn");
+        }
+        // Determinism: same spec + seed → identical row.
+        assert_eq!(
+            r,
+            run_trial_faulted(w, Scheme::A, AttackSpec::None, fault, 11)
+        );
+        // The empty spec matches the unfaulted path exactly.
+        assert_eq!(
+            run_trial_faulted(w, Scheme::A, AttackSpec::None, FaultSpec::None, 11),
+            run_trial(w, Scheme::A, AttackSpec::None, 11),
+        );
+        // Baselines document-ignore fault schedules.
+        let b = run_trial_faulted(w, Scheme::NoCoding, AttackSpec::None, fault, 11);
+        assert_eq!((b.links_downed, b.crash_rounds), (0, 0));
     }
 
     #[test]

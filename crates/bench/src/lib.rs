@@ -35,8 +35,9 @@ pub mod service;
 pub mod spec;
 
 pub use harness::{
-    derive_trial_seed, run_many, run_trial, run_trial_serviced, run_trial_with_scratch, Summary,
+    derive_trial_seed, run_many, run_many_faulted, run_trial, run_trial_faulted,
+    run_trial_faulted_with_scratch, run_trial_serviced, run_trial_with_scratch, Summary,
     TrialResult,
 };
 pub use service::{sim_service, SimRequest};
-pub use spec::{AttackSpec, Scheme, TopoSpec, WorkloadSpec};
+pub use spec::{AttackSpec, FaultSpec, Scheme, TopoSpec, WorkloadSpec};

@@ -10,7 +10,7 @@
 //! parallelism matrix.
 
 use crate::harness::{run_trial_serviced, TrialResult};
-use crate::spec::{AttackSpec, Scheme, WorkloadSpec};
+use crate::spec::{AttackSpec, FaultSpec, Scheme, WorkloadSpec};
 use serde::Serialize;
 use serve::{Job, JobCtx, ServiceConfig, SimService};
 
@@ -24,6 +24,9 @@ pub struct SimRequest {
     pub scheme: Scheme,
     /// Adversary specification.
     pub attack: AttackSpec,
+    /// Fault schedule injected alongside the attack
+    /// ([`FaultSpec::None`] for a static network).
+    pub fault: FaultSpec,
     /// Trial seed; use [`crate::derive_trial_seed`] to replicate a
     /// `run_many` population.
     pub seed: u64,
@@ -37,6 +40,7 @@ impl Job for SimRequest {
             self.workload,
             self.scheme,
             self.attack,
+            self.fault,
             self.seed,
             ctx.scratch,
             ctx.parallelism,

@@ -1,7 +1,8 @@
-//! Plain-data specifications for topologies, workloads, schemes and
-//! attacks — the vocabulary of the experiment definitions.
+//! Plain-data specifications for topologies, workloads, schemes,
+//! attacks and fault schedules — the vocabulary of the experiment
+//! definitions.
 
-use mpic::SchemeConfig;
+use mpic::{BurstOutage, FaultPlan, SchemeConfig};
 use netgraph::{topology, DirectedLink, Graph};
 use netsim::attacks::{
     BurstLink, IidNoise, NoNoise, PhaseTargeted, SeedAwareCollision, SingleError,
@@ -278,9 +279,135 @@ impl AttackSpec {
     }
 }
 
+/// Fault-schedule families, resolved into a concrete [`FaultPlan`] once
+/// the graph and the predicted round horizon are known.
+///
+/// Rates and fractions are sanitized through [`FaultPlan::clamped_rate`]
+/// at build time (the same clamping contract as [`AttackSpec::Iid`]), so
+/// NaN/negative/out-of-range specs degrade to sane plans instead of
+/// nonsense schedules.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub enum FaultSpec {
+    /// No faults (the empty plan; zero engine overhead).
+    None,
+    /// Seeded churn: each edge suffers one outage with probability
+    /// `link_rate`, each party crashes once with probability
+    /// `crash_rate`, outages lasting `outage_frac` of the predicted
+    /// round horizon.
+    Churn {
+        /// Per-edge outage probability.
+        link_rate: f64,
+        /// Per-party crash probability.
+        crash_rate: f64,
+        /// Outage length as a fraction of the predicted rounds.
+        outage_frac: f64,
+    },
+    /// A timed burst outage downing `fraction` of all edges together.
+    Burst {
+        /// Outage start, as a fraction of the predicted rounds.
+        start_frac: f64,
+        /// Outage length, as a fraction of the predicted rounds.
+        len_frac: f64,
+        /// Fraction of edges downed.
+        fraction: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Builds the concrete plan for a run predicted to last
+    /// `predicted_rounds` wire rounds.
+    pub fn build(&self, graph: &Graph, predicted_rounds: u64, seed: u64) -> FaultPlan {
+        let horizon = predicted_rounds.max(1);
+        let frac_rounds = |f: f64| ((FaultPlan::clamped_rate(f) * horizon as f64) as u64).max(1);
+        match *self {
+            FaultSpec::None => FaultPlan::none(),
+            FaultSpec::Churn {
+                link_rate,
+                crash_rate,
+                outage_frac,
+            } => FaultPlan::churn(
+                graph.edge_count(),
+                graph.node_count(),
+                FaultPlan::clamped_rate(link_rate),
+                FaultPlan::clamped_rate(crash_rate),
+                frac_rounds(outage_frac),
+                horizon,
+                seed,
+            ),
+            FaultSpec::Burst {
+                start_frac,
+                len_frac,
+                fraction,
+            } => FaultPlan {
+                events: Vec::new(),
+                bursts: vec![BurstOutage {
+                    start: (FaultPlan::clamped_rate(start_frac) * horizon as f64) as u64,
+                    rounds: frac_rounds(len_frac),
+                    fraction: FaultPlan::clamped_rate(fraction),
+                }],
+                seed,
+            },
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            FaultSpec::None => "none".into(),
+            FaultSpec::Churn {
+                link_rate,
+                crash_rate,
+                ..
+            } => format!("churn{link_rate:.2}-{crash_rate:.2}"),
+            FaultSpec::Burst { fraction, .. } => format!("outage{fraction:.2}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_specs_resolve_and_clamp() {
+        let g = TopoSpec::Ring(5).build(1);
+        assert!(FaultSpec::None.build(&g, 100, 7).is_empty());
+        let churn = FaultSpec::Churn {
+            link_rate: 1.0,
+            crash_rate: 1.0,
+            outage_frac: 0.1,
+        }
+        .build(&g, 100, 7);
+        assert!(!churn.is_empty());
+        assert_eq!(churn, {
+            // Deterministic in (graph, horizon, seed).
+            FaultSpec::Churn {
+                link_rate: 1.0,
+                crash_rate: 1.0,
+                outage_frac: 0.1,
+            }
+            .build(&g, 100, 7)
+        });
+        // Nonsense rates clamp instead of exploding.
+        let clamped = FaultSpec::Churn {
+            link_rate: f64::NAN,
+            crash_rate: -3.0,
+            outage_frac: 9.0,
+        }
+        .build(&g, 100, 7);
+        assert!(clamped.is_empty());
+        let burst = FaultSpec::Burst {
+            start_frac: 2.0,
+            len_frac: f64::NAN,
+            fraction: 0.5,
+        }
+        .build(&g, 100, 7);
+        assert_eq!(burst.bursts.len(), 1);
+        assert_eq!(burst.bursts[0].start, 100, "start_frac clamps to 1.0");
+        assert_eq!(burst.bursts[0].rounds, 1, "NaN length clamps to 1 round");
+        assert!(!FaultSpec::None.label().is_empty());
+        assert!(!churn.events.is_empty());
+    }
 
     #[test]
     fn topo_labels_and_builds() {

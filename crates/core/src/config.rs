@@ -1,5 +1,6 @@
 //! Scheme configurations: Algorithms A, B and C as parameter presets.
 
+use crate::fault::FaultPlan;
 use netgraph::Graph;
 
 /// Where the hash seeds come from.
@@ -191,6 +192,10 @@ pub struct SchemeConfig {
     /// Intra-trial thread budget for the link-sharded phases (byte-
     /// identical outcomes in every mode; wall-clock only).
     pub parallelism: Parallelism,
+    /// Deterministic link/party fault schedule injected at the wire level
+    /// (empty by default — zero engine overhead when no faults are
+    /// scheduled). See [`FaultPlan`] for the degradation semantics.
+    pub faults: FaultPlan,
 }
 
 impl SchemeConfig {
@@ -214,6 +219,7 @@ impl SchemeConfig {
             wire: WireMode::default(),
             adversary_class: AdversaryClass::default(),
             parallelism: Parallelism::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -239,6 +245,7 @@ impl SchemeConfig {
             wire: WireMode::default(),
             adversary_class: AdversaryClass::default(),
             parallelism: Parallelism::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -264,6 +271,7 @@ impl SchemeConfig {
             wire: WireMode::default(),
             adversary_class: AdversaryClass::default(),
             parallelism: Parallelism::default(),
+            faults: FaultPlan::default(),
         }
     }
 

@@ -74,6 +74,23 @@ pub struct Instrumentation {
     /// one truncation happened. ≥ 2 means a *multi-level* rewind — a
     /// request propagated and triggered further rollbacks downstream.
     pub rewind_wave_depth: u64,
+    /// Scheduled link outage transitions applied by the fault layer
+    /// (down-transitions only; crash isolation is counted separately).
+    pub links_downed: u64,
+    /// Σ over wire rounds of the number of crashed parties — the total
+    /// party-round downtime the run absorbed.
+    pub crash_rounds: u64,
+    /// Symbols (honest or adversarial) silently dropped by downed links
+    /// and crash isolation.
+    pub masked_symbols: u64,
+    /// Rewind-wave truncations performed at or after the first scheduled
+    /// fault round — the repair work attributable to fault resync rather
+    /// than ordinary noise recovery.
+    pub resync_rewinds: u64,
+    /// Numeric [`crate::Verdict`] code (0 = decoded correct, 1 = noise
+    /// overwhelmed, 2 = fault churn); mirrors `SimOutcome::verdict` for
+    /// serialization.
+    pub degraded_reason: u8,
 }
 
 impl Instrumentation {

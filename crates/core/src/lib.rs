@@ -43,6 +43,7 @@
 mod artifact;
 pub mod baseline;
 mod config;
+mod fault;
 mod flags;
 mod instrument;
 mod meeting;
@@ -54,10 +55,11 @@ pub use config::{
     sim_threads_env, AdversaryClass, HashingMode, Parallelism, RandomnessMode, SchemeConfig,
     SeedExpansion, WireMode,
 };
+pub use fault::{BurstOutage, FaultEvent, FaultPlan};
 pub use flags::{FlagPlan, FlagSchedule};
 pub use instrument::{Instrumentation, IterationSample};
 pub use meeting::{transcript_hash, LinkStatus, MpDecision, MpMessage, MpState, RecvMpMessage};
-pub use runner::{RunOptions, RunScratch, SimOutcome, Simulation};
+pub use runner::{DegradeReason, RunOptions, RunScratch, SimOutcome, Simulation, Verdict};
 pub use transcript::{
     sym_delta, symbol_bit_position, LinkTranscript, TranscriptHasher, SKETCH_BITS,
 };

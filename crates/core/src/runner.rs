@@ -49,6 +49,7 @@ use crate::config::{
     AdversaryClass, HashingMode, RandomnessMode, SchemeConfig, SeedExpansion, WireMode,
 };
 
+use crate::fault::FaultPlan;
 use crate::instrument::{Instrumentation, IterationSample};
 use crate::meeting::{transcript_hash, LinkStatus, MpMessage, MpState, RecvMpMessage};
 use crate::transcript::{sym_delta, LinkTranscript, TranscriptHasher, SKETCH_BITS};
@@ -84,6 +85,59 @@ fn sketch_label(edge: EdgeId) -> SeedLabel {
     }
 }
 
+/// Why a run degraded instead of decoding correctly.
+///
+/// The taxonomy is deliberately coarse: it answers "was the adversary or
+/// the fault schedule to blame?", which is what the churn experiments
+/// aggregate over. Finer attribution lives in the fault counters of
+/// [`Instrumentation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// No faults were injected: the corruption load alone exceeded what
+    /// the iteration budget could repair.
+    NoiseOverwhelmed,
+    /// At least one scheduled fault fired (link outage or party crash):
+    /// the churn plus any noise exceeded the repair budget.
+    FaultChurn,
+}
+
+/// The explicit terminal verdict of a run: decoded correctly, or degraded
+/// with a stated reason. A run is **never silently wrong** — `Degraded`
+/// is an explicit outcome, pinned by the invariant suite to coincide
+/// exactly with `success == false`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Transcripts and outputs both match the noiseless reference.
+    DecodedCorrect,
+    /// The run terminated with incorrect transcripts or outputs, and says
+    /// so explicitly.
+    Degraded {
+        /// Coarse blame attribution.
+        reason: DegradeReason,
+    },
+}
+
+impl Verdict {
+    /// Stable numeric code for serialized rows: 0 = decoded correct,
+    /// 1 = noise overwhelmed, 2 = fault churn.
+    pub fn code(&self) -> u8 {
+        match self {
+            Verdict::DecodedCorrect => 0,
+            Verdict::Degraded {
+                reason: DegradeReason::NoiseOverwhelmed,
+            } => 1,
+            Verdict::Degraded {
+                reason: DegradeReason::FaultChurn,
+            } => 2,
+        }
+    }
+
+    /// Whether the verdict is [`Verdict::DecodedCorrect`].
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::DecodedCorrect)
+    }
+}
+
 /// Result of one noisy simulation.
 #[derive(Clone, Debug)]
 pub struct SimOutcome {
@@ -110,6 +164,9 @@ pub struct SimOutcome {
     pub b_star: usize,
     /// Collected instrumentation.
     pub instrumentation: Instrumentation,
+    /// Explicit terminal verdict: [`Verdict::DecodedCorrect`] or
+    /// [`Verdict::Degraded`] with a reason — never silently wrong.
+    pub verdict: Verdict,
 }
 
 /// Options for [`Simulation::run`].
@@ -308,6 +365,17 @@ impl<'w> Simulation<'w> {
         self.geometry
     }
 
+    /// Replaces the run's fault schedule after construction.
+    ///
+    /// The plan normally travels inside [`SchemeConfig::faults`], but
+    /// trial drivers often need the compiled geometry (predicted rounds)
+    /// to *build* the plan, which they only have once the simulation
+    /// exists — this setter closes that ordering loop without recompiling
+    /// statics.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cfg.faults = plan;
+    }
+
     /// The chunked protocol Π′.
     pub fn proto(&self) -> &ChunkedProtocol {
         &self.statics.proto
@@ -350,6 +418,14 @@ impl<'w> Simulation<'w> {
         scratch: &mut RunScratch,
     ) -> SimOutcome {
         let mut net = Network::new(self.statics.graph.clone(), adversary, opts.noise_budget);
+        // Wire-level fault injection: compiled once per run, applied by
+        // the engine on both the serial and batched step paths. The empty
+        // plan installs nothing, keeping the no-fault fast path (and all
+        // existing byte-identity fixtures) untouched.
+        let first_fault = self.cfg.faults.first_round();
+        if !self.cfg.faults.is_empty() {
+            net.install_faults(self.cfg.faults.compile(&self.statics.graph));
+        }
         let (mut parties, mut lanes) = self.init_state();
         // Resolved once per run so `Parallelism::Auto` reads the
         // environment once, not per phase; the pool persists across runs
@@ -412,6 +488,7 @@ impl<'w> Simulation<'w> {
                 &memory,
                 opts,
             );
+            let rewinds_before = inst.rewind_truncations;
             self.rewind_phase(
                 &mut net,
                 &mut parties,
@@ -424,6 +501,13 @@ impl<'w> Simulation<'w> {
                 &memory,
                 opts,
             );
+            // Attribute rewind-wave repair work performed at or after the
+            // first scheduled fault to resync (the documented recovery
+            // rule: crashed/partitioned neighborhoods re-converge through
+            // the ordinary meeting-point + rewind machinery).
+            if first_fault.is_some_and(|f| net.stats().rounds > f) {
+                inst.resync_rewinds += inst.rewind_truncations - rewinds_before;
+            }
             if opts.record_trace {
                 self.sample(&lanes, &net, iter as u64, &mut inst);
             }
@@ -1311,7 +1395,7 @@ impl<'w> Simulation<'w> {
         parties: &[SimParty],
         lanes: &[LinkLane],
         net: &Network,
-        inst: Instrumentation,
+        mut inst: Instrumentation,
     ) -> SimOutcome {
         let real = self.statics.proto.real_chunks();
         let mut transcripts_ok = true;
@@ -1339,8 +1423,26 @@ impl<'w> Simulation<'w> {
         }
         let stats = net.stats();
         let payload_cc = self.workload.schedule().cc_bits() as u64;
+        let faults = net.fault_stats();
+        inst.links_downed = faults.links_downed;
+        inst.crash_rounds = faults.crash_rounds;
+        inst.masked_symbols = faults.masked_symbols;
+        let success = transcripts_ok && outputs_ok;
+        let faulted = faults.links_downed > 0 || faults.crash_rounds > 0;
+        let verdict = if success {
+            Verdict::DecodedCorrect
+        } else {
+            Verdict::Degraded {
+                reason: if faulted {
+                    DegradeReason::FaultChurn
+                } else {
+                    DegradeReason::NoiseOverwhelmed
+                },
+            }
+        };
+        inst.degraded_reason = verdict.code();
         SimOutcome {
-            success: transcripts_ok && outputs_ok,
+            success,
             transcripts_ok,
             outputs_ok,
             stats,
@@ -1351,6 +1453,7 @@ impl<'w> Simulation<'w> {
             g_star,
             b_star: h_star - g_star,
             instrumentation: inst,
+            verdict,
         }
     }
 }

@@ -1,0 +1,281 @@
+//! Fault-injection byte-equivalence: a fault schedule masks receptions as
+//! a pure function of the absolute round, so a faulted run's outcome —
+//! verdict, fault counters, engine stats, everything — must be
+//! **byte-identical** across `WireMode` × `HashingMode` × [`Parallelism`],
+//! the same cube `parallel_equivalence` pins for the fault-free engine.
+//! The serve layer is held to the same bar: a faulted [`SimRequest`]
+//! answered by the worker-pool service equals the direct
+//! [`run_trial_faulted`] row, whatever worker ran it.
+
+use bench::{
+    run_trial_faulted, sim_service, AttackSpec, FaultSpec, Scheme, SimRequest, TopoSpec,
+    TrialResult, WorkloadSpec,
+};
+use mpic::{
+    BurstOutage, FaultEvent, FaultPlan, HashingMode, Parallelism, RunOptions, SchemeConfig,
+    SimOutcome, Simulation, WireMode,
+};
+use netgraph::Graph;
+use netsim::attacks::{IidNoise, MeetingPointSplitter, NoNoise};
+use netsim::Adversary;
+use proptest::prelude::*;
+use protocol::workloads::Gossip;
+use protocol::Workload;
+use serve::{Priority, ServiceConfig};
+
+/// Full-outcome comparison, including the fault counters and verdict
+/// (the superset of `parallel_equivalence`'s check).
+fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome, ctx: &str) {
+    assert_eq!(a.stats, b.stats, "{ctx}: NetStats diverged");
+    assert_eq!(a.success, b.success, "{ctx}");
+    assert_eq!(a.transcripts_ok, b.transcripts_ok, "{ctx}");
+    assert_eq!(a.outputs_ok, b.outputs_ok, "{ctx}");
+    assert_eq!(a.payload_cc, b.payload_cc, "{ctx}");
+    assert_eq!(a.padded_cc, b.padded_cc, "{ctx}");
+    assert_eq!(a.blowup.to_bits(), b.blowup.to_bits(), "{ctx}");
+    assert_eq!(a.iterations, b.iterations, "{ctx}");
+    assert_eq!(a.g_star, b.g_star, "{ctx}");
+    assert_eq!(a.b_star, b.b_star, "{ctx}");
+    assert_eq!(a.verdict, b.verdict, "{ctx}: verdict diverged");
+    let (ia, ib) = (&a.instrumentation, &b.instrumentation);
+    assert_eq!(ia.hash_collisions, ib.hash_collisions, "{ctx}");
+    assert_eq!(ia.bad_rollbacks, ib.bad_rollbacks, "{ctx}");
+    assert_eq!(ia.mp_resets, ib.mp_resets, "{ctx}");
+    assert_eq!(ia.mp_truncations, ib.mp_truncations, "{ctx}");
+    assert_eq!(ia.stalled_iterations, ib.stalled_iterations, "{ctx}");
+    assert_eq!(ia.rewind_truncations, ib.rewind_truncations, "{ctx}");
+    assert_eq!(ia.rewind_wave_depth, ib.rewind_wave_depth, "{ctx}");
+    assert_eq!(ia.links_downed, ib.links_downed, "{ctx}");
+    assert_eq!(ia.crash_rounds, ib.crash_rounds, "{ctx}");
+    assert_eq!(ia.masked_symbols, ib.masked_symbols, "{ctx}");
+    assert_eq!(ia.resync_rewinds, ib.resync_rewinds, "{ctx}");
+    assert_eq!(ia.degraded_reason, ib.degraded_reason, "{ctx}");
+}
+
+/// Three fault shapes: seeded churn, a burst outage window, and a
+/// hand-written crash-with-recovery script.
+fn build_fault_plan(kind: usize, g: &Graph, horizon: u64, seed: u64) -> FaultPlan {
+    match kind {
+        0 => FaultPlan::churn(
+            g.edge_count(),
+            g.node_count(),
+            0.4,
+            0.25,
+            2 + seed % 4,
+            horizon,
+            seed,
+        ),
+        1 => FaultPlan {
+            bursts: vec![BurstOutage {
+                start: horizon / 4,
+                rounds: 2 + seed % 5,
+                fraction: 0.5,
+            }],
+            seed,
+            ..FaultPlan::default()
+        },
+        _ => FaultPlan {
+            events: vec![
+                FaultEvent::PartyCrash {
+                    round: horizon / 5,
+                    party: (seed as usize) % g.node_count(),
+                },
+                FaultEvent::PartyRecover {
+                    round: horizon / 3,
+                    party: (seed as usize) % g.node_count(),
+                },
+                FaultEvent::LinkDown {
+                    round: horizon / 2,
+                    edge: (seed as usize) % g.edge_count(),
+                },
+                FaultEvent::LinkUp {
+                    round: horizon / 2 + 3,
+                    edge: (seed as usize) % g.edge_count(),
+                },
+            ],
+            ..FaultPlan::default()
+        },
+    }
+}
+
+fn parallelism_axis() -> [Parallelism; 4] {
+    [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Threads(5),
+        Parallelism::Auto,
+    ]
+}
+
+/// Runs one (fault kind, adversary, seed) tuple under the full
+/// wire × hashing × parallelism cube and asserts byte-identical outcomes
+/// plus explicit-verdict consistency.
+fn assert_fault_cube_identical(kind: usize, adversarial: bool, seed: u64) {
+    let w = Gossip::new(netgraph::topology::ring(5), 4, seed);
+    let g = w.graph().clone();
+    let base = SchemeConfig::algorithm_a(&g, seed ^ 0xFA_017);
+    let mut outs: Vec<(SimOutcome, String)> = Vec::new();
+    for wire in [WireMode::Batched, WireMode::Reference] {
+        for hashing in [HashingMode::Incremental, HashingMode::Reference] {
+            for par in parallelism_axis() {
+                let mut cfg = base.clone();
+                cfg.wire = wire;
+                cfg.hashing = hashing;
+                cfg.parallelism = par;
+                let mut sim = Simulation::new(&w, cfg, seed);
+                let geo = sim.geometry();
+                let horizon = geo.setup + sim.iterations() as u64 * geo.iteration_rounds();
+                sim.set_fault_plan(build_fault_plan(kind, &g, horizon, seed));
+                let adv: Box<dyn Adversary> = if adversarial {
+                    Box::new(MeetingPointSplitter::new(&g, base.hash_bits, 1 + seed % 3))
+                } else {
+                    Box::new(IidNoise::new(&g, 0.002, seed))
+                };
+                let out = sim.run(
+                    adv,
+                    RunOptions {
+                        noise_budget: 24,
+                        ..Default::default()
+                    },
+                );
+                outs.push((
+                    out,
+                    format!(
+                        "fault {kind} adv {adversarial} seed {seed} {wire:?}/{hashing:?}/{par:?}"
+                    ),
+                ));
+            }
+        }
+    }
+    for (o, ctx) in &outs {
+        // Explicit degradation: never silently wrong, in any cube cell.
+        assert_eq!(o.success, o.verdict.is_correct(), "{ctx}");
+        assert_eq!(o.instrumentation.degraded_reason, o.verdict.code(), "{ctx}");
+    }
+    for (o, ctx) in &outs[1..] {
+        assert_outcomes_identical(&outs[0].0, o, ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Every fault shape under i.i.d. noise, over the full cube.
+    #[test]
+    fn fault_cube_identical_under_noise(seed in 0u64..10_000, kind in 0usize..3) {
+        assert_fault_cube_identical(kind, false, seed);
+    }
+
+    /// Every fault shape under an adaptive meeting-point attack, over the
+    /// full cube: faults mask adversarial insertions too, and that
+    /// masking must be mode-invariant.
+    #[test]
+    fn fault_cube_identical_under_attack(seed in 0u64..10_000, kind in 0usize..3) {
+        assert_fault_cube_identical(kind, true, seed);
+    }
+}
+
+/// Deterministic pin: a crash mid-run with a fault-free tail still decodes
+/// (the resync rule — rewind waves pull the rejoined party back) and the
+/// verdict is identical across the cube. No noise, so any failure here
+/// would have to blame `FaultChurn`.
+#[test]
+fn crash_and_recover_resyncs_across_cube() {
+    let w = Gossip::new(netgraph::topology::ring(5), 4, 7);
+    let g = w.graph().clone();
+    let base = SchemeConfig::algorithm_a(&g, 7);
+    let mut outs: Vec<(SimOutcome, String)> = Vec::new();
+    for par in parallelism_axis() {
+        for wire in [WireMode::Batched, WireMode::Reference] {
+            let mut cfg = base.clone();
+            cfg.wire = wire;
+            cfg.parallelism = par;
+            let mut sim = Simulation::new(&w, cfg, 7);
+            let geo = sim.geometry();
+            sim.set_fault_plan(FaultPlan {
+                events: vec![
+                    FaultEvent::PartyCrash {
+                        round: geo.setup + 2,
+                        party: 2,
+                    },
+                    FaultEvent::PartyRecover {
+                        round: geo.setup + 2 + geo.iteration_rounds(),
+                        party: 2,
+                    },
+                ],
+                ..FaultPlan::default()
+            });
+            let out = sim.run(Box::new(NoNoise), RunOptions::default());
+            assert!(
+                out.instrumentation.crash_rounds > 0,
+                "{par:?}/{wire:?}: the crash window must be inside the run"
+            );
+            assert!(
+                out.success,
+                "{par:?}/{wire:?}: a bounded crash with a clean tail must resync (got {:?})",
+                out.verdict
+            );
+            outs.push((out, format!("{par:?}/{wire:?}")));
+        }
+    }
+    for (o, ctx) in &outs[1..] {
+        assert_outcomes_identical(&outs[0].0, o, ctx);
+    }
+}
+
+/// The serve layer is fault-transparent: a faulted request through the
+/// service (any worker, cold or warm cache, either service parallelism)
+/// is byte-identical to the direct `run_trial_faulted` row.
+#[test]
+fn faulted_requests_identical_through_service() {
+    let faults = [
+        FaultSpec::Churn {
+            link_rate: 0.3,
+            crash_rate: 0.2,
+            outage_frac: 0.05,
+        },
+        FaultSpec::Burst {
+            start_frac: 0.25,
+            len_frac: 0.1,
+            fraction: 0.5,
+        },
+        FaultSpec::None,
+    ];
+    for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+        let svc = sim_service(ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            parallelism,
+            ..ServiceConfig::default()
+        });
+        for pass in 0..2 {
+            let mut expected: Vec<(SimRequest, TrialResult)> = Vec::new();
+            let mut tickets = Vec::new();
+            for (i, fault) in faults.into_iter().enumerate() {
+                let req = SimRequest {
+                    workload: WorkloadSpec::Gossip {
+                        topo: TopoSpec::Ring(4),
+                        rounds: 4,
+                    },
+                    scheme: Scheme::A,
+                    attack: AttackSpec::Iid { fraction: 0.002 },
+                    fault,
+                    seed: 100 + i as u64,
+                };
+                expected.push((
+                    req,
+                    run_trial_faulted(req.workload, req.scheme, req.attack, req.fault, req.seed),
+                ));
+                tickets.push(svc.submit(req, Priority::Normal).unwrap());
+            }
+            for ((req, want), t) in expected.into_iter().zip(tickets) {
+                let got = t.wait().unwrap().outcome.done().expect("reply lost");
+                assert_eq!(
+                    got, want,
+                    "pass {pass}, {parallelism:?}: service diverged on {req:?}"
+                );
+            }
+        }
+        svc.shutdown();
+    }
+}

@@ -2,7 +2,10 @@
 //! (any rate, any placement) the simulation must uphold its structural
 //! invariants — it may fail to simulate Π, but it must fail safe.
 
-use mpic::{RunOptions, SchemeConfig, Simulation};
+use mpic::{
+    AdversaryClass, DegradeReason, FaultPlan, Parallelism, RunOptions, SchemeConfig, Simulation,
+    Verdict,
+};
 use netsim::attacks::{
     CrossIterationHunter, FlagFlipper, IidNoise, MeetingPointSplitter, RewindSuppressor,
     ScriptedAdversary,
@@ -24,6 +27,23 @@ fn check_invariants(out: &mpic::SimOutcome, budget: u64) {
     );
     // Success definition is internally consistent.
     assert_eq!(out.success, out.transcripts_ok && out.outputs_ok);
+    // Degradation semantics: every run ends with an explicit verdict —
+    // `DecodedCorrect` exactly when success, otherwise a `Degraded`
+    // reason mirrored into the instrumentation counter. Never silent.
+    assert_eq!(out.success, out.verdict.is_correct());
+    assert_eq!(out.instrumentation.degraded_reason, out.verdict.code());
+    let faulted = out.instrumentation.links_downed > 0 || out.instrumentation.crash_rounds > 0;
+    match out.verdict {
+        Verdict::DecodedCorrect => {}
+        Verdict::Degraded { reason } => {
+            let want = if faulted {
+                DegradeReason::FaultChurn
+            } else {
+                DegradeReason::NoiseOverwhelmed
+            };
+            assert_eq!(reason, want, "degradation blamed the wrong cause");
+        }
+    }
     // Trace invariants.
     let mut prev_cc = 0;
     for s in &out.instrumentation.samples {
@@ -188,6 +208,54 @@ proptest! {
             _ => Box::new(CrossIterationHunter::new(g.edge_count(), 1, 4 + seed % 8)),
         };
         let out = sim.run(adv, RunOptions {
+            noise_budget: budget,
+            record_trace: true,
+            expose_view: true,
+        });
+        check_invariants(&out, budget);
+    }
+
+    /// Injected faults (random churn schedules) across every adversary
+    /// class and `Parallelism` mode: the run may degrade, but the verdict
+    /// is always explicit — success ⇔ `DecodedCorrect`, a failed faulted
+    /// run blames `FaultChurn`, and a failed fault-free run blames noise
+    /// (all checked inside `check_invariants`).
+    #[test]
+    fn faulted_runs_never_silently_wrong(
+        seed in 0u64..10_000,
+        link_rate in 0.0f64..0.6,
+        crash_rate in 0.0f64..0.4,
+        class in 0usize..3,
+        par in 0usize..3,
+    ) {
+        let w = Gossip::new(netgraph::topology::ring(4), 4, seed);
+        let g = w.graph().clone();
+        let mut cfg = SchemeConfig::algorithm_a(&g, seed ^ 0xFA17);
+        cfg.adversary_class = [
+            AdversaryClass::Oblivious,
+            AdversaryClass::SeedAware,
+            AdversaryClass::PhaseAware,
+        ][class];
+        cfg.parallelism = [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Auto,
+        ][par];
+        let mut sim = Simulation::new(&w, cfg, seed);
+        let geo = sim.geometry();
+        let horizon = geo.setup + sim.iterations() as u64 * geo.iteration_rounds();
+        sim.set_fault_plan(FaultPlan::churn(
+            g.edge_count(),
+            g.node_count(),
+            link_rate,
+            crash_rate,
+            2,
+            horizon,
+            seed,
+        ));
+        let atk = IidNoise::new(&g, 0.002, seed);
+        let budget = 64;
+        let out = sim.run(Box::new(atk), RunOptions {
             noise_budget: budget,
             record_trace: true,
             expose_view: true,

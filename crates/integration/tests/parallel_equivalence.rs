@@ -48,6 +48,12 @@ fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome, ctx: &str) {
     assert_eq!(ia.stalled_iterations, ib.stalled_iterations, "{ctx}");
     assert_eq!(ia.rewind_truncations, ib.rewind_truncations, "{ctx}");
     assert_eq!(ia.rewind_wave_depth, ib.rewind_wave_depth, "{ctx}");
+    assert_eq!(ia.links_downed, ib.links_downed, "{ctx}");
+    assert_eq!(ia.crash_rounds, ib.crash_rounds, "{ctx}");
+    assert_eq!(ia.masked_symbols, ib.masked_symbols, "{ctx}");
+    assert_eq!(ia.resync_rewinds, ib.resync_rewinds, "{ctx}");
+    assert_eq!(ia.degraded_reason, ib.degraded_reason, "{ctx}");
+    assert_eq!(a.verdict, b.verdict, "{ctx}: verdict diverged");
 }
 
 /// The parallelism settings every combination is checked across. The

@@ -1,6 +1,6 @@
 //! Pins the committed `expected/` quick-tier fixtures that back
 //! `repro diff` (and CI's `repro-quick` job): the files must stay
-//! parseable through the serde_json shim, cover all four sweeps, agree
+//! parseable through the serde_json shim, cover all five sweeps, agree
 //! with themselves under the diff machinery, and the machinery must
 //! still flag an injected outcome drift against them.
 
@@ -12,7 +12,7 @@ fn expected_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../expected")
 }
 
-const SWEEPS: [&str; 4] = ["noise", "scaling", "leaderboard", "serve"];
+const SWEEPS: [&str; 5] = ["noise", "scaling", "leaderboard", "serve", "churn"];
 
 #[test]
 fn committed_fixtures_cover_all_sweeps_and_parse() {
@@ -110,6 +110,16 @@ fn volatile_classification_matches_fixture_schema() {
         "served",
         "failed",
         "identical",
+        // churn sweep: fault schedules are round-deterministic, so every
+        // fault/verdict counter is outcome-exact.
+        "decoded",
+        "degraded_fault",
+        "degraded_noise",
+        "links_downed",
+        "crash_rounds",
+        "resync_rewinds",
+        "cc",
+        "rounds",
     ];
     for k in volatile {
         assert!(is_volatile_key(k), "{k} should be tolerance-checked");

@@ -6,8 +6,8 @@
 //! caching and pooling are pure wall-clock optimizations.
 
 use bench::{
-    derive_trial_seed, run_many, run_trial, sim_service, AttackSpec, Scheme, SimRequest, TopoSpec,
-    TrialResult, WorkloadSpec,
+    derive_trial_seed, run_many, run_trial, sim_service, AttackSpec, FaultSpec, Scheme, SimRequest,
+    TopoSpec, TrialResult, WorkloadSpec,
 };
 use mpic::Parallelism;
 use netsim::PhaseKind;
@@ -56,6 +56,7 @@ fn matrix_byte_identity_cold_and_warm() {
                         workload: workload(),
                         scheme,
                         attack,
+                        fault: FaultSpec::None,
                         seed: 31 * (i as u64 + 1) + j as u64,
                     };
                     expected.push((req, run_trial(req.workload, scheme, attack, req.seed)));
@@ -115,6 +116,7 @@ fn baselines_byte_identity() {
                 workload: WorkloadSpec::TokenRing { n: 4, laps: 2 },
                 scheme,
                 attack,
+                fault: FaultSpec::None,
                 seed: 99,
             };
             let want = run_trial(req.workload, scheme, attack, req.seed);
@@ -155,6 +157,7 @@ fn run_many_population_through_service() {
                     workload,
                     scheme,
                     attack,
+                    fault: FaultSpec::None,
                     seed: derive_trial_seed(2024, i),
                 },
                 Priority::Normal,
@@ -189,6 +192,7 @@ fn random_topology_per_seed_entries() {
             workload,
             scheme: Scheme::A,
             attack: AttackSpec::None,
+            fault: FaultSpec::None,
             seed,
         };
         let want = run_trial(req.workload, req.scheme, req.attack, seed);

@@ -4,7 +4,9 @@
 //! gate-job versions of these live in the serve crate's unit tests;
 //! here the jobs are genuine [`SimRequest`] simulations.)
 
-use bench::{run_trial, sim_service, AttackSpec, Scheme, SimRequest, TopoSpec, WorkloadSpec};
+use bench::{
+    run_trial, sim_service, AttackSpec, FaultSpec, Scheme, SimRequest, TopoSpec, WorkloadSpec,
+};
 use serve::{Backpressure, Outcome, Priority, ServiceConfig, SubmitError};
 use std::time::Duration;
 
@@ -14,6 +16,7 @@ fn small(seed: u64) -> SimRequest {
         workload: WorkloadSpec::TokenRing { n: 4, laps: 2 },
         scheme: Scheme::A,
         attack: AttackSpec::None,
+        fault: FaultSpec::None,
         seed,
     }
 }
@@ -28,6 +31,7 @@ fn long(seed: u64) -> SimRequest {
         },
         scheme: Scheme::A,
         attack: AttackSpec::None,
+        fault: FaultSpec::None,
         seed,
     }
 }
@@ -144,7 +148,11 @@ fn backpressure_rejects_when_full() {
     let stats = svc.shutdown();
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.served, 3);
-    assert_eq!(stats.submitted, 3);
+    // Rejections count as submitted so the lifecycle equation balances.
+    assert_eq!(
+        stats.submitted,
+        stats.served + stats.cancelled + stats.rejected + stats.timed_out
+    );
 }
 
 /// Counter accounting: submitted = served + cancelled, rejected requests

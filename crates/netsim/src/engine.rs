@@ -1,5 +1,6 @@
 //! The round-driven network engine.
 
+use crate::fault::{FaultSchedule, FaultState, FaultStats};
 use crate::frame::{FrameBatch, RoundFrame, Wire};
 use crate::phase::PhasePos;
 use netgraph::{DirectedLink, EdgeId, Graph, NodeId};
@@ -258,6 +259,8 @@ pub struct Network {
     /// Scratch frames of [`Network::step_rounds_into`]'s per-round
     /// fallback path, allocated on first use and reused across batches.
     fallback_frames: Option<(RoundFrame, RoundFrame)>,
+    /// Installed wire-fault schedule, if any (see [`FaultSchedule`]).
+    faults: Option<FaultState>,
 }
 
 impl Network {
@@ -270,7 +273,31 @@ impl Network {
             budget,
             stats: NetStats::default(),
             fallback_frames: None,
+            faults: None,
         }
+    }
+
+    /// Installs a wire-fault schedule (link outages, party crashes).
+    /// Masking is applied identically on the bit-serial and the batched
+    /// paths, *after* the adversary and budget accounting — see the
+    /// [`FaultSchedule`] docs for the exact semantics. Installing
+    /// an empty schedule clears faults. Call before the first step:
+    /// transitions scheduled at already-elapsed rounds apply on the next
+    /// step, which is almost never what a caller wants.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        self.faults = if schedule.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(schedule, self.graph.link_count()))
+        };
+    }
+
+    /// Fault accounting so far (all zero when no schedule is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultState::stats)
+            .unwrap_or_default()
     }
 
     /// The topology.
@@ -332,6 +359,9 @@ impl Network {
                 None => rx.clear(id),
             }
         }
+        if let Some(f) = &mut self.faults {
+            f.mask_frame(self.stats.rounds - 1, rx);
+        }
     }
 
     /// Executes a whole batch of **independent** synchronous rounds in one
@@ -392,6 +422,13 @@ impl Network {
                 match rc.corruption.output {
                     Some(bit) => rx.set(id, rc.round, bit),
                     None => rx.clear(id, rc.round),
+                }
+            }
+            // Masking applies per round in round order — byte-identical
+            // to the sequential path, which masks each round as it steps.
+            if let Some(f) = &mut self.faults {
+                for r in 0..rounds {
+                    f.mask_batch_round(first_round + r as u64, rx, r);
                 }
             }
         } else {
@@ -531,6 +568,96 @@ mod tests {
         let mut sends = Wire::new();
         sends.insert(dl(0, 2), true);
         net.step(&sends, None);
+    }
+
+    #[test]
+    fn downed_link_drops_symbols_and_insertions() {
+        let g = topology::line(3);
+        let id01 = g.link_id(dl(0, 1)).unwrap();
+        let id12 = g.link_id(dl(1, 2)).unwrap();
+        // BurstLink inserts on silence; the outage must drop that too.
+        let atk = BurstLink::new(&g, dl(0, 1), 0, 1);
+        let mut net = Network::new(g.clone(), Box::new(atk), 100);
+        let mut sched = FaultSchedule::new();
+        sched.link_down(0, id01);
+        sched.link_up(2, id01);
+        net.install_faults(sched);
+        let mut sends = RoundFrame::for_graph(&g);
+        let mut rx = RoundFrame::for_graph(&g);
+        // Round 0: nothing sent on 0→1; adversary inserts; outage masks it.
+        sends.set(id12, true);
+        net.step_into(&sends, None, &mut rx);
+        assert_eq!(rx.get(id01), None, "insertion on a downed link dropped");
+        assert_eq!(rx.get(id12), Some(true), "other links unaffected");
+        assert_eq!(net.stats().corruptions, 1, "adversary still pays budget");
+        // Round 1: honest symbol on the downed link is dropped; cc still
+        // counts the attempted transmission.
+        sends.clear_all();
+        sends.set(id01, true);
+        net.step_into(&sends, None, &mut rx);
+        assert_eq!(rx.get(id01), None);
+        assert_eq!(net.stats().cc, 2);
+        // Round 2: link is back up.
+        sends.clear_all();
+        sends.set(id01, false);
+        net.step_into(&sends, None, &mut rx);
+        assert_eq!(rx.get(id01), Some(false));
+        let f = net.fault_stats();
+        assert_eq!(f.links_downed, 1);
+        assert_eq!(f.masked_symbols, 2);
+        assert_eq!(f.crash_rounds, 0);
+    }
+
+    #[test]
+    fn batched_and_serial_fault_paths_identical() {
+        let g = topology::ring(4);
+        let rounds = 7usize;
+        let build_net = || {
+            let mut net = Network::new(g.clone(), Box::new(NoNoise), 0);
+            let mut sched = FaultSchedule::new();
+            sched.link_down(1, 0);
+            sched.link_up(4, 0);
+            let incident: Vec<_> = g
+                .neighbors(2)
+                .iter()
+                .flat_map(|&v| [g.link_id(dl(2, v)).unwrap(), g.link_id(dl(v, 2)).unwrap()])
+                .collect();
+            sched.crash_party(2, &incident);
+            sched.recover_party(5, &incident);
+            net.install_faults(sched);
+            net
+        };
+        let mut batch_tx = FrameBatch::for_graph(&g, rounds);
+        for r in 0..rounds {
+            for lid in 0..g.link_count() {
+                if (r + lid) % 3 != 0 {
+                    batch_tx.set(lid, r, (r ^ lid) % 2 == 0);
+                }
+            }
+        }
+        // Batched path.
+        let mut net_b = build_net();
+        let mut batch_rx = FrameBatch::for_graph(&g, rounds);
+        net_b.step_rounds_into(&batch_tx, None, &mut batch_rx);
+        // Bit-serial path over the same rounds.
+        let mut net_s = build_net();
+        let mut tx = RoundFrame::for_graph(&g);
+        let mut rx = RoundFrame::for_graph(&g);
+        for r in 0..rounds {
+            batch_tx.round_into(r, &mut tx);
+            net_s.step_into(&tx, None, &mut rx);
+            for lid in 0..g.link_count() {
+                assert_eq!(
+                    batch_rx.get(lid, r),
+                    rx.get(lid),
+                    "round {r} link {lid} diverged"
+                );
+            }
+        }
+        assert_eq!(net_b.stats(), net_s.stats());
+        assert_eq!(net_b.fault_stats(), net_s.fault_stats());
+        assert!(net_b.fault_stats().masked_symbols > 0);
+        assert_eq!(net_b.fault_stats().crash_rounds, 3);
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Deterministic wire-level fault schedules: link outages and party
+//! crashes applied by the [`crate::Network`] engine.
+//!
+//! A [`FaultSchedule`] is a compiled, engine-ready list of transitions
+//! keyed by the **absolute wire round** (the engine's
+//! [`crate::NetStats::rounds`] counter, which both the bit-serial and the
+//! batched paths advance identically — that is what makes fault outcomes
+//! byte-identical across `WireMode`s). The schedule is built by the
+//! coding-scheme layer (`mpic::FaultPlan::compile`), which owns the
+//! seedable, validated plan vocabulary; this module owns only the wire
+//! semantics:
+//!
+//! * a **downed link** silently drops every symbol it would deliver —
+//!   honest transmissions *and* adversarial insertions. The sender still
+//!   pays the communication (`cc` counts attempted transmissions) and the
+//!   adversary still pays budget for corruptions it lands on the link:
+//!   the outage masks the *reception*, exactly like the paper's deletion
+//!   noise, so the meeting-point/rewind machinery sees ordinary silence;
+//! * a **crashed party** is fail-silent at its network interface: every
+//!   incident directed link (both directions) is masked, so the party
+//!   sends nothing anyone hears and hears nothing anyone sends. Its
+//!   local state machine keeps running against silence and resynchronizes
+//!   after recovery through the standard meeting-point comparison and
+//!   rewind wave (see the README's fault-model section for the resync
+//!   rule).
+//!
+//! Masking happens *after* the adversary and the budget accounting, so
+//! [`crate::NetStats`] is unchanged by faults; the fault-only accounting
+//! lands in [`FaultStats`].
+
+use crate::frame::{FrameBatch, RoundFrame};
+use netgraph::LinkId;
+
+/// Accounting of the faults a run actually applied. Deterministic given
+/// the schedule and the traffic; byte-identical across the engine's wire
+/// paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Scheduled link-outage `down` transitions applied (crash-induced
+    /// isolation is *not* counted here — see
+    /// [`FaultStats::crash_rounds`]).
+    pub links_downed: u64,
+    /// Sum over rounds of the number of parties crashed in that round.
+    pub crash_rounds: u64,
+    /// Symbols (honest or inserted) silently dropped by downed links and
+    /// crashed parties.
+    pub masked_symbols: u64,
+}
+
+/// One compiled link transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct LinkTransition {
+    round: u64,
+    lid: LinkId,
+    /// `true` downs the link (reference-counted), `false` releases one
+    /// hold on it.
+    down: bool,
+    /// Crash-induced transitions are excluded from
+    /// [`FaultStats::links_downed`].
+    from_crash: bool,
+}
+
+/// One compiled party-crash counter transition (used only for
+/// [`FaultStats::crash_rounds`]; the wire effect of a crash is carried by
+/// the per-link transitions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PartyTransition {
+    round: u64,
+    crash: bool,
+}
+
+/// A compiled schedule of wire faults, addressed by absolute round.
+///
+/// Transitions take effect at the *start* of their round: a link downed
+/// at round `r` drops round `r`'s symbols. Down/up pairs on the same
+/// link nest by reference counting, so a link crushed by both a
+/// scheduled outage and a neighboring crash stays down until both lift.
+/// An `up` for a link that is already up is a no-op (stray releases are
+/// clamped, never underflow).
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    links: Vec<LinkTransition>,
+    parties: Vec<PartyTransition>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Whether the schedule contains no transitions at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.parties.is_empty()
+    }
+
+    /// Downs directed link `lid` from round `round` (counted in
+    /// [`FaultStats::links_downed`] when applied).
+    pub fn link_down(&mut self, round: u64, lid: LinkId) {
+        self.links.push(LinkTransition {
+            round,
+            lid,
+            down: true,
+            from_crash: false,
+        });
+    }
+
+    /// Releases one hold on directed link `lid` from round `round`.
+    pub fn link_up(&mut self, round: u64, lid: LinkId) {
+        self.links.push(LinkTransition {
+            round,
+            lid,
+            down: false,
+            from_crash: false,
+        });
+    }
+
+    /// Crashes a party from round `round`: masks all its incident
+    /// directed links (callers pass both directions) and starts counting
+    /// [`FaultStats::crash_rounds`].
+    pub fn crash_party(&mut self, round: u64, incident: &[LinkId]) {
+        for &lid in incident {
+            self.links.push(LinkTransition {
+                round,
+                lid,
+                down: true,
+                from_crash: true,
+            });
+        }
+        self.parties.push(PartyTransition { round, crash: true });
+    }
+
+    /// Recovers a party crashed with the same `incident` set.
+    pub fn recover_party(&mut self, round: u64, incident: &[LinkId]) {
+        for &lid in incident {
+            self.links.push(LinkTransition {
+                round,
+                lid,
+                down: false,
+                from_crash: true,
+            });
+        }
+        self.parties.push(PartyTransition {
+            round,
+            crash: false,
+        });
+    }
+
+    /// Sorts transitions into application order (stable, so same-round
+    /// transitions apply in insertion order — deterministic for any
+    /// plan).
+    fn finalize(&mut self) {
+        self.links.sort_by_key(|t| t.round);
+        self.parties.sort_by_key(|t| t.round);
+    }
+}
+
+/// The engine's live fault state: the schedule plus the current down-set,
+/// advanced monotonically by round.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    schedule: FaultSchedule,
+    link_cursor: usize,
+    party_cursor: usize,
+    /// Reference count of holds on each directed link.
+    down_count: Vec<u32>,
+    /// Sorted cache of the links with `down_count > 0`.
+    active: Vec<LinkId>,
+    /// Parties currently crashed.
+    crashed: u64,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Compiles `schedule` against a graph with `link_count` directed
+    /// links. Transitions naming out-of-range links are dropped (the
+    /// plan layer validates and clamps before compiling; this is the
+    /// engine's last-resort guard).
+    pub(crate) fn new(mut schedule: FaultSchedule, link_count: usize) -> Self {
+        schedule.links.retain(|t| t.lid < link_count);
+        schedule.finalize();
+        FaultState {
+            schedule,
+            link_cursor: 0,
+            party_cursor: 0,
+            down_count: vec![0; link_count],
+            active: Vec::new(),
+            crashed: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Applies every transition scheduled at or before `round`. Rounds
+    /// are monotone in the engine, so the cursors only move forward.
+    fn advance_to(&mut self, round: u64) {
+        while let Some(t) = self.schedule.links.get(self.link_cursor) {
+            if t.round > round {
+                break;
+            }
+            let t = *t;
+            self.link_cursor += 1;
+            if t.down {
+                if self.down_count[t.lid] == 0 {
+                    let pos = self.active.binary_search(&t.lid).unwrap_err();
+                    self.active.insert(pos, t.lid);
+                }
+                self.down_count[t.lid] += 1;
+                if !t.from_crash {
+                    self.stats.links_downed += 1;
+                }
+            } else if self.down_count[t.lid] > 0 {
+                self.down_count[t.lid] -= 1;
+                if self.down_count[t.lid] == 0 {
+                    if let Ok(pos) = self.active.binary_search(&t.lid) {
+                        self.active.remove(pos);
+                    }
+                }
+            }
+            // A release on an already-up link is a clamped no-op.
+        }
+        while let Some(t) = self.schedule.parties.get(self.party_cursor) {
+            if t.round > round {
+                break;
+            }
+            if t.crash {
+                self.crashed += 1;
+            } else {
+                self.crashed = self.crashed.saturating_sub(1);
+            }
+            self.party_cursor += 1;
+        }
+    }
+
+    /// Masks one round's receptions in a [`RoundFrame`]: advances the
+    /// schedule to `round`, silences every downed link, and accounts the
+    /// crash round.
+    pub(crate) fn mask_frame(&mut self, round: u64, rx: &mut RoundFrame) {
+        self.advance_to(round);
+        for &lid in &self.active {
+            if rx.get(lid).is_some() {
+                self.stats.masked_symbols += 1;
+                rx.clear(lid);
+            }
+        }
+        self.stats.crash_rounds += self.crashed;
+    }
+
+    /// Batch-round analogue of [`FaultState::mask_frame`]: masks batch
+    /// offset `offset` (absolute round `round`) of `rx`.
+    pub(crate) fn mask_batch_round(&mut self, round: u64, rx: &mut FrameBatch, offset: usize) {
+        self.advance_to(round);
+        for &lid in &self.active {
+            if rx.get(lid, offset).is_some() {
+                self.stats.masked_symbols += 1;
+                rx.clear(lid, offset);
+            }
+        }
+        self.stats.crash_rounds += self.crashed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        assert!(FaultSchedule::new().is_empty());
+        let mut s = FaultSchedule::new();
+        s.link_down(3, 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn down_up_toggles_masking() {
+        let mut s = FaultSchedule::new();
+        s.link_down(1, 0);
+        s.link_up(3, 0);
+        let mut st = FaultState::new(s, 2);
+        let mut fr = RoundFrame::new(2);
+        for round in 0..5 {
+            fr.clear_all();
+            fr.set(0, true);
+            fr.set(1, false);
+            st.mask_frame(round, &mut fr);
+            let expect_masked = (1..3).contains(&round);
+            assert_eq!(fr.get(0).is_none(), expect_masked, "round {round}");
+            assert_eq!(
+                fr.get(1),
+                Some(false),
+                "round {round}: other link untouched"
+            );
+        }
+        assert_eq!(st.stats().links_downed, 1);
+        assert_eq!(st.stats().masked_symbols, 2);
+    }
+
+    #[test]
+    fn crash_masks_and_counts_rounds() {
+        let mut s = FaultSchedule::new();
+        s.crash_party(2, &[0, 1]);
+        s.recover_party(4, &[0, 1]);
+        let mut st = FaultState::new(s, 4);
+        let mut fr = RoundFrame::new(4);
+        for round in 0..6 {
+            fr.clear_all();
+            fr.set(0, true);
+            fr.set(1, true);
+            fr.set(2, true);
+            st.mask_frame(round, &mut fr);
+            let down = (2..4).contains(&round);
+            assert_eq!(fr.get(0).is_none(), down);
+            assert_eq!(fr.get(1).is_none(), down);
+            assert_eq!(fr.get(2), Some(true));
+        }
+        // Crash isolation does not count as a scheduled link outage.
+        assert_eq!(st.stats().links_downed, 0);
+        assert_eq!(st.stats().crash_rounds, 2);
+        assert_eq!(st.stats().masked_symbols, 4);
+    }
+
+    #[test]
+    fn overlapping_holds_refcount() {
+        let mut s = FaultSchedule::new();
+        s.link_down(0, 0);
+        s.crash_party(1, &[0]);
+        s.link_up(2, 0); // outage lifts, crash still holds the link
+        s.recover_party(4, &[0]);
+        let mut st = FaultState::new(s, 1);
+        let mut fr = RoundFrame::new(1);
+        for round in 0..6 {
+            fr.clear_all();
+            fr.set(0, true);
+            st.mask_frame(round, &mut fr);
+            assert_eq!(fr.get(0).is_none(), round < 4, "round {round}");
+        }
+    }
+
+    #[test]
+    fn stray_release_is_clamped() {
+        let mut s = FaultSchedule::new();
+        s.link_up(0, 0); // nothing to release
+        s.link_down(1, 0);
+        let mut st = FaultState::new(s, 1);
+        let mut fr = RoundFrame::new(1);
+        fr.set(0, true);
+        st.mask_frame(0, &mut fr);
+        assert_eq!(
+            fr.get(0),
+            Some(true),
+            "stray release must not down the link"
+        );
+        fr.clear_all();
+        fr.set(0, true);
+        st.mask_frame(1, &mut fr);
+        assert!(fr.get(0).is_none(), "later down still applies");
+    }
+
+    #[test]
+    fn out_of_range_links_dropped() {
+        let mut s = FaultSchedule::new();
+        s.link_down(0, 99);
+        let mut st = FaultState::new(s, 2);
+        let mut fr = RoundFrame::new(2);
+        fr.set(0, true);
+        st.mask_frame(0, &mut fr);
+        assert_eq!(fr.get(0), Some(true));
+        assert_eq!(st.stats().links_downed, 0);
+    }
+}

@@ -72,6 +72,7 @@
 
 pub mod attacks;
 mod engine;
+mod fault;
 mod frame;
 mod phase;
 
@@ -79,5 +80,6 @@ pub use engine::{
     AdaptiveView, Adversary, Corruption, EdgeMpView, FlagView, MpSideView, NetStats, Network,
     RoundCorruption,
 };
+pub use fault::{FaultSchedule, FaultStats};
 pub use frame::{FrameBatch, RoundFrame, Wire};
 pub use phase::{PhaseGeometry, PhaseKind, PhasePos};

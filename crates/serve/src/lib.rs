@@ -47,6 +47,30 @@
 //! 4. [`SimService::shutdown`] drains in-flight work and folds worker
 //!    counters into [`ServiceStats`].
 //!
+//! ## Robustness
+//!
+//! The serving path never strands a ticket:
+//!
+//! * **Panic containment** — a job that panics on a worker is caught
+//!   ([`std::panic::catch_unwind`]); the caller receives
+//!   [`Outcome::Failed`] carrying the panic message, the worker replaces
+//!   its scratch (whose state the unwind may have corrupted) and keeps
+//!   serving.
+//! * **Deadlines** — [`Client::submit_with`] attaches a per-request
+//!   deadline ([`SubmitOpts::deadline`], measured from submission); a
+//!   request still queued when it expires resolves [`Outcome::TimedOut`]
+//!   without executing. Dispatch is the commit point: once a worker
+//!   starts a job it runs to completion.
+//! * **Bounded retry** — [`Client::submit_retry`] retries
+//!   [`SubmitError::Overloaded`] rejections with exponential backoff
+//!   (respecting the service's `retry_after` hint) up to
+//!   [`RetryPolicy::attempts`].
+//!
+//! The counters balance exactly:
+//! `submitted = served + cancelled + rejected + timed_out` once all
+//! tickets resolve (panicked requests count as served, with a separate
+//! [`ServiceStats::panicked`] sub-counter).
+//!
 //! Latency measurement lives beside, not inside, the service: callers
 //! record ticket round-trips into [`LatencyHistogram`]s, as the `bench`
 //! crate's `bencher` (ad-hoc load exploration) and `repro` (the serve
@@ -62,6 +86,7 @@ pub use hist::LatencyHistogram;
 
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TryRecvError, TrySendError};
 use mpic::{ArtifactCache, Parallelism, RunScratch};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -179,6 +204,16 @@ pub enum Outcome<T> {
     /// The request was cancelled before a worker started executing it
     /// (cancellation after dispatch is best-effort: the job completes).
     Cancelled,
+    /// The job panicked on a worker. The panic was contained
+    /// ([`std::panic::catch_unwind`]): the worker survives with a fresh
+    /// scratch and the reply channel is never stranded.
+    Failed {
+        /// The panic payload, stringified when it was a `&str`/`String`.
+        panic: String,
+    },
+    /// The request's [`SubmitOpts::deadline`] expired while it was still
+    /// queued; the job never executed.
+    TimedOut,
 }
 
 impl<T> Outcome<T> {
@@ -186,7 +221,7 @@ impl<T> Outcome<T> {
     pub fn done(self) -> Option<T> {
         match self {
             Outcome::Done(t) => Some(t),
-            Outcome::Cancelled => None,
+            Outcome::Cancelled | Outcome::Failed { .. } | Outcome::TimedOut => None,
         }
     }
 }
@@ -210,9 +245,10 @@ pub struct Response<T> {
 /// Error returned by [`Ticket::wait`]: the service dropped the request
 /// without replying. Graceful shutdown never produces this — accepted
 /// requests (including ones whose submitter was blocked in a full
-/// lane's `send`) are served or resolve [`Outcome::Cancelled`]. It can
-/// only arise if the job panicked on a worker (the reply sender drops
-/// during unwinding) or the service value was leaked.
+/// lane's `send`) are served or resolve [`Outcome::Cancelled`] — and
+/// worker panics don't either (they're contained and reply
+/// [`Outcome::Failed`]). It can only arise if the service value was
+/// leaked.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Lost;
 
@@ -255,16 +291,32 @@ impl<T> Ticket<T> {
 
 /// Monotonic counters of one service instance. Snapshot via
 /// [`SimService::stats`]; all counters are cumulative since start.
+///
+/// Once every ticket has resolved, the lifecycle counters balance:
+/// `submitted = served + cancelled + rejected + timed_out` (a shutdown
+/// race surfacing as [`SubmitError::ShuttingDown`] is the one path that
+/// counts nothing).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Requests accepted into a queue.
+    /// Requests offered to the service: accepted into a queue **or**
+    /// rejected by [`Backpressure::Reject`] on a full lane.
     pub submitted: u64,
-    /// Requests whose job ran to completion.
+    /// Requests whose job ran on a worker — including jobs that
+    /// panicked there (see [`ServiceStats::panicked`]).
     pub served: u64,
     /// Requests cancelled before dispatch.
     pub cancelled: u64,
     /// Requests rejected by [`Backpressure::Reject`] on a full queue.
     pub rejected: u64,
+    /// Requests whose deadline expired while queued (resolved
+    /// [`Outcome::TimedOut`], never executed).
+    pub timed_out: u64,
+    /// Sub-count of [`ServiceStats::served`]: jobs that panicked on a
+    /// worker and were contained ([`Outcome::Failed`]).
+    pub panicked: u64,
+    /// Overload rejections retried internally by
+    /// [`Client::submit_retry`] (each backoff-and-resubmit counts one).
+    pub retried: u64,
     /// Artifact-cache hits across all workers.
     pub cache_hits: u64,
     /// Artifact-cache misses (compilations) across all workers.
@@ -288,6 +340,9 @@ struct Counters {
     served: AtomicU64,
     cancelled: AtomicU64,
     rejected: AtomicU64,
+    timed_out: AtomicU64,
+    panicked: AtomicU64,
+    retried: AtomicU64,
     depth: AtomicU64,
     depth_highwater: AtomicU64,
     /// Submitters currently inside `submit` (possibly blocked in a full
@@ -311,6 +366,48 @@ struct Envelope<J: Job> {
     cancel: Arc<AtomicBool>,
     reply: Sender<Response<J::Out>>,
     submitted: Instant,
+    /// Absolute expiry; a worker dequeueing past it replies
+    /// [`Outcome::TimedOut`] instead of executing.
+    deadline: Option<Instant>,
+}
+
+/// Per-request submission options ([`Client::submit_with`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOpts {
+    /// Queue lane.
+    pub priority: Priority,
+    /// Time the request may spend queued, measured from submission. A
+    /// request still undispatched when it expires resolves
+    /// [`Outcome::TimedOut`] without executing; once dispatched, a job
+    /// always runs to completion. `None` waits indefinitely.
+    pub deadline: Option<Duration>,
+}
+
+/// Bounded retry-with-backoff policy for [`Client::submit_retry`].
+///
+/// Only [`SubmitError::Overloaded`] is retried; [`SubmitError::ShuttingDown`]
+/// is permanent and returned immediately. Each retry sleeps the larger of
+/// the service's `retry_after` hint and the current backoff, then doubles
+/// the backoff up to [`RetryPolicy::max_backoff`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total submission attempts (≥ 1; clamped). `attempts = 1` means no
+    /// retry at all.
+    pub attempts: u32,
+    /// First retry's backoff floor.
+    pub base_backoff: Duration,
+    /// Backoff ceiling for the exponential doubling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
 }
 
 /// A cloneable submission handle to a running [`SimService`].
@@ -336,6 +433,18 @@ impl<J: Job> Client<J> {
     /// Submits a job on the given priority lane. Returns a [`Ticket`]
     /// for the reply, or fails per the configured [`Backpressure`].
     pub fn submit(&self, job: J, priority: Priority) -> Result<Ticket<J::Out>, SubmitError> {
+        self.submit_with(
+            job,
+            SubmitOpts {
+                priority,
+                deadline: None,
+            },
+        )
+    }
+
+    /// Submits a job with explicit [`SubmitOpts`] (lane + optional queue
+    /// deadline).
+    pub fn submit_with(&self, job: J, opts: SubmitOpts) -> Result<Ticket<J::Out>, SubmitError> {
         // Register as in-flight *before* the accepting check (and
         // deregister on every exit): shutdown stores `accepting = false`
         // and then waits for `inflight == 0`, so with both sides SeqCst
@@ -344,24 +453,55 @@ impl<J: Job> Client<J> {
         // while workers are still draining.
         let inflight = &self.shared.counters.inflight;
         inflight.fetch_add(1, Ordering::SeqCst);
-        let res = self.submit_inner(job, priority);
+        let res = self.submit_inner(job, opts);
         inflight.fetch_sub(1, Ordering::SeqCst);
         res
     }
 
-    fn submit_inner(&self, job: J, priority: Priority) -> Result<Ticket<J::Out>, SubmitError> {
+    /// [`Client::submit_with`] plus bounded retry on overload: an
+    /// [`SubmitError::Overloaded`] rejection sleeps (the larger of the
+    /// backoff and the service's `retry_after` hint) and resubmits, up
+    /// to `policy.attempts` total attempts. Requires `J: Clone` because
+    /// a rejected submission consumes the job.
+    pub fn submit_retry(
+        &self,
+        job: J,
+        opts: SubmitOpts,
+        policy: RetryPolicy,
+    ) -> Result<Ticket<J::Out>, SubmitError>
+    where
+        J: Clone,
+    {
+        let attempts = policy.attempts.max(1);
+        let mut backoff = policy.base_backoff;
+        for attempt in 1..=attempts {
+            match self.submit_with(job.clone(), opts) {
+                Err(SubmitError::Overloaded { retry_after }) if attempt < attempts => {
+                    self.shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff.max(retry_after));
+                    backoff = (backoff * 2).min(policy.max_backoff.max(policy.base_backoff));
+                }
+                res => return res,
+            }
+        }
+        unreachable!("loop returns on the final attempt")
+    }
+
+    fn submit_inner(&self, job: J, opts: SubmitOpts) -> Result<Ticket<J::Out>, SubmitError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
         let (reply_tx, reply_rx) = bounded(1);
         let cancel = Arc::new(AtomicBool::new(false));
+        let now = Instant::now();
         let env = Envelope {
             job,
             cancel: Arc::clone(&cancel),
             reply: reply_tx,
-            submitted: Instant::now(),
+            submitted: now,
+            deadline: opts.deadline.map(|d| now + d),
         };
-        let lane = match priority {
+        let lane = match opts.priority {
             Priority::High => &self.high,
             Priority::Normal => &self.normal,
         };
@@ -381,6 +521,10 @@ impl<J: Job> Client<J> {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
                     c.depth.fetch_sub(1, Ordering::SeqCst);
+                    // A rejection still counts as submitted so the
+                    // lifecycle equation (submitted = served + cancelled
+                    // + rejected + timed_out) balances.
+                    c.submitted.fetch_add(1, Ordering::Relaxed);
                     c.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(SubmitError::Overloaded { retry_after });
                 }
@@ -479,6 +623,9 @@ impl<J: Job> SimService<J> {
             served: c.served.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
             cache_hits: shared.cache.hits(),
             cache_misses: shared.cache.misses(),
             cache_entries: shared.cache.len() as u64,
@@ -610,26 +757,70 @@ fn serve_one<J: Job>(
         });
         return;
     }
-    let mut ctx = JobCtx {
-        scratch,
-        cache: &shared.cache,
-        parallelism,
-        worker,
-        cache_hit: false,
-    };
+    // Dispatch is the deadline's commit point: expire here (the request
+    // spent its budget queued) or run to completion.
+    if env.deadline.is_some_and(|d| Instant::now() >= d) {
+        shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+        let _ = env.reply.send(Response {
+            outcome: Outcome::TimedOut,
+            queue_ns,
+            exec_ns: 0,
+            worker,
+            cache_hit: false,
+        });
+        return;
+    }
     let t0 = Instant::now();
-    let out = env.job.run(&mut ctx);
+    // Contain job panics: the unwind may leave the worker's scratch (and
+    // its embedded thread pool) in an arbitrary state, so on a panic the
+    // scratch is replaced wholesale and the worker keeps serving. The
+    // closure returns the job output together with the ctx fields read
+    // after the run, so nothing borrows `scratch` past the unwind edge.
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = JobCtx {
+            scratch,
+            cache: &shared.cache,
+            parallelism,
+            worker,
+            cache_hit: false,
+        };
+        let out = env.job.run(&mut ctx);
+        (out, ctx.cache_hit)
+    }));
     let exec_ns = t0.elapsed().as_nanos() as u64;
-    let cache_hit = ctx.cache_hit;
     shared.counters.served.fetch_add(1, Ordering::Relaxed);
+    let (outcome, cache_hit) = match run {
+        Ok((out, cache_hit)) => (Outcome::Done(out), cache_hit),
+        Err(payload) => {
+            *scratch = RunScratch::new();
+            shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            (
+                Outcome::Failed {
+                    panic: panic_message(payload),
+                },
+                false,
+            )
+        }
+    };
     // A dropped ticket is fine — the client walked away.
     let _ = env.reply.send(Response {
-        outcome: Outcome::Done(out),
+        outcome,
         queue_ns,
         exec_ns,
         worker,
         cache_hit,
     });
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -639,6 +830,7 @@ mod tests {
 
     /// A job that returns its payload, optionally blocking on a gate
     /// channel first (lets tests hold a worker busy deterministically).
+    #[derive(Clone)]
     struct TestJob {
         id: u64,
         gate: Option<ch::Receiver<()>>,
@@ -954,6 +1146,218 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.served, 200);
         assert_eq!(stats.queue_depth, 0);
+    }
+
+    /// A job that panics when `boom` is set (regression surface for the
+    /// stranded-reply-channel bug: a panicking job used to drop the
+    /// reply sender mid-unwind and leave the ticket `Lost`).
+    #[derive(Clone)]
+    struct MaybePanic {
+        id: u64,
+        boom: bool,
+    }
+
+    impl Job for MaybePanic {
+        type Out = u64;
+        fn run(&self, _ctx: &mut JobCtx<'_>) -> u64 {
+            if self.boom {
+                panic!("boom {}", self.id);
+            }
+            self.id
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_worker_survives() {
+        let svc: SimService<MaybePanic> = SimService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
+        });
+        let bomb = svc
+            .submit(MaybePanic { id: 9, boom: true }, Priority::Normal)
+            .unwrap();
+        let r = bomb.wait().expect("panic must not strand the ticket");
+        match r.outcome {
+            Outcome::Failed { panic } => assert!(panic.contains("boom 9"), "got {panic:?}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The single worker survived the panic and keeps serving with a
+        // fresh scratch.
+        let after = svc
+            .submit(
+                MaybePanic {
+                    id: 10,
+                    boom: false,
+                },
+                Priority::Normal,
+            )
+            .unwrap();
+        assert_eq!(after.wait().unwrap().outcome, Outcome::Done(10));
+        let stats = svc.shutdown();
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.cancelled + stats.rejected + stats.timed_out
+        );
+    }
+
+    #[test]
+    fn expired_deadline_times_out_without_executing() {
+        let svc = single_worker();
+        let (gate_tx, gate_rx) = ch::bounded(1);
+        let (done_tx, done_rx) = ch::bounded(8);
+        let blocker = svc
+            .submit(
+                TestJob {
+                    id: 0,
+                    gate: Some(gate_rx),
+                    done: None,
+                },
+                Priority::Normal,
+            )
+            .unwrap();
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        // Queued behind the blocker with a deadline it cannot make.
+        let doomed = svc
+            .client()
+            .submit_with(
+                TestJob {
+                    id: 1,
+                    gate: None,
+                    done: Some(done_tx),
+                },
+                SubmitOpts {
+                    priority: Priority::Normal,
+                    deadline: Some(Duration::from_millis(1)),
+                },
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        gate_tx.send(()).unwrap();
+        let r = doomed.wait().unwrap();
+        assert_eq!(r.outcome, Outcome::TimedOut);
+        assert_eq!(r.exec_ns, 0);
+        assert!(done_rx.try_recv().is_err(), "timed-out job must not run");
+        assert!(matches!(blocker.wait().unwrap().outcome, Outcome::Done(0)));
+        let stats = svc.shutdown();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.served, 1);
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.cancelled + stats.rejected + stats.timed_out
+        );
+    }
+
+    #[test]
+    fn submit_retry_rides_out_transient_overload() {
+        let svc: SimService<TestJob> = SimService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            backpressure: Backpressure::Reject {
+                retry_after: Duration::from_millis(1),
+            },
+            ..ServiceConfig::default()
+        });
+        let (gate_tx, gate_rx) = ch::bounded(1);
+        // Occupy the worker, then fill the single lane slot, so the
+        // retry below deterministically starts against a full lane.
+        let blocker = svc
+            .submit(
+                TestJob {
+                    id: 0,
+                    gate: Some(gate_rx),
+                    done: None,
+                },
+                Priority::Normal,
+            )
+            .unwrap();
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        let queued = svc.submit(TestJob::plain(1), Priority::Normal).unwrap();
+        let client = svc.client();
+        let retrier = std::thread::spawn(move || {
+            client.submit_retry(
+                TestJob::plain(2),
+                SubmitOpts::default(),
+                RetryPolicy {
+                    attempts: 500,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(5),
+                },
+            )
+        });
+        // Let it bounce off the full lane at least once, then unblock.
+        while svc.stats().rejected == 0 {
+            std::thread::yield_now();
+        }
+        gate_tx.send(()).unwrap();
+        let c = retrier.join().unwrap().expect("retry must eventually land");
+        for (t, want) in [(blocker, 0), (queued, 1), (c, 2)] {
+            assert_eq!(t.wait().unwrap().outcome, Outcome::Done(want));
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.served, 3);
+        assert!(stats.retried >= 1);
+        assert_eq!(stats.rejected, stats.retried);
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.cancelled + stats.rejected + stats.timed_out
+        );
+    }
+
+    #[test]
+    fn submit_retry_exhaustion_reports_overloaded() {
+        let svc: SimService<TestJob> = SimService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            backpressure: Backpressure::Reject {
+                retry_after: Duration::from_millis(1),
+            },
+            ..ServiceConfig::default()
+        });
+        let (gate_tx, gate_rx) = ch::bounded(1);
+        // Occupy the worker, then fill the single normal-lane slot, so
+        // every retry below hits a deterministically full lane.
+        let blocker = svc
+            .submit(
+                TestJob {
+                    id: 0,
+                    gate: Some(gate_rx),
+                    done: None,
+                },
+                Priority::Normal,
+            )
+            .unwrap();
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        let queued = svc.submit(TestJob::plain(1), Priority::Normal).unwrap();
+        let res = svc.client().submit_retry(
+            TestJob::plain(2),
+            SubmitOpts::default(),
+            RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+        );
+        assert!(matches!(res, Err(SubmitError::Overloaded { .. })));
+        gate_tx.send(()).unwrap();
+        for t in [blocker, queued] {
+            assert!(matches!(t.wait().unwrap().outcome, Outcome::Done(_)));
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.retried, 2, "attempts 3 = 1 try + 2 retries");
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.cancelled + stats.rejected + stats.timed_out
+        );
     }
 
     #[test]
