@@ -131,7 +131,8 @@ fn mix_requests(mix: &str, n: usize, base_seed: u64) -> Vec<(SimRequest, Priorit
     };
     (0..n)
         .map(|i| {
-            let (workload, scheme, attack) = rotation[i % rotation.len()];
+            let (workload, scheme, ref attack) = rotation[i % rotation.len()];
+            let attack = attack.clone();
             let pri = if mix == "mixed" && i % 8 == 7 {
                 Priority::High
             } else {
@@ -304,7 +305,7 @@ fn compare_raw(args: &Args) -> (f64, f64) {
                     SimRequest {
                         workload,
                         scheme,
-                        attack,
+                        attack: attack.clone(),
                         fault: FaultSpec::None,
                         seed: derive_trial_seed(args.seed, i),
                     },
@@ -333,7 +334,7 @@ fn compare_raw(args: &Args) -> (f64, f64) {
         service_s = service_s.min(t0.elapsed().as_secs_f64());
 
         let t1 = Instant::now();
-        let (_, raw_rows) = run_many(workload, scheme, attack, trials, args.seed);
+        let (_, raw_rows) = run_many(workload, scheme, attack.clone(), trials, args.seed);
         raw_s = raw_s.min(t1.elapsed().as_secs_f64());
 
         assert_eq!(

@@ -2,7 +2,7 @@
 //! the tiered `repro` pipeline (see EXPERIMENTS.md for the claim →
 //! invocation map).
 //!
-//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|serve|churn|all] [--quick]`
+//! Usage: `cargo run --release -p bench --bin experiments -- [t1|f1|...|f9|large|adaptive|parallel|serve|churn|adversary-search|all] [--quick]`
 //!
 //! Each experiment prints a table to stdout and appends JSON rows to
 //! `results/<id>.jsonl` (gitignored scratch, one file per subcommand).
@@ -39,6 +39,7 @@ fn main() {
         "parallel" => parallel(quick),
         "serve" => serve_exp(quick),
         "churn" => churn(quick),
+        "adversary-search" => adversary_search(quick),
         "all" => {
             t1(quick);
             f1(quick);
@@ -55,10 +56,11 @@ fn main() {
             parallel(quick);
             serve_exp(quick);
             churn(quick);
+            adversary_search(quick);
         }
         other => {
             eprintln!(
-                "unknown experiment {other}; use t1|f1..f9|large|adaptive|parallel|serve|churn|all [--quick]"
+                "unknown experiment {other}; use t1|f1..f9|large|adaptive|parallel|serve|churn|adversary-search|all [--quick]"
             );
             std::process::exit(2);
         }
@@ -947,7 +949,8 @@ fn serve_exp(quick: bool) {
     let t0 = std::time::Instant::now();
     let tickets: Vec<_> = (0..requests)
         .map(|i| {
-            let (_, workload, scheme, attack) = specs[i % specs.len()];
+            let (_, workload, scheme, ref attack) = specs[i % specs.len()];
+            let attack = attack.clone();
             let pri = if i % 10 == 9 {
                 Priority::High
             } else {
@@ -960,7 +963,10 @@ fn serve_exp(quick: bool) {
                 fault: FaultSpec::None,
                 seed: derive_trial_seed(777, i),
             };
-            (req, svc.submit(req, pri).expect("service accepting"))
+            (
+                req.clone(),
+                svc.submit(req, pri).expect("service accepting"),
+            )
         })
         .collect();
     let mut queue_ns = 0u64;
@@ -970,7 +976,7 @@ fn serve_exp(quick: bool) {
         queue_ns += resp.queue_ns;
         exec_ns += resp.exec_ns;
         let row = resp.outcome.done().expect("no cancellations here");
-        let direct = run_trial(req.workload, req.scheme, req.attack, req.seed);
+        let direct = run_trial(req.workload, req.scheme, req.attack.clone(), req.seed);
         assert_eq!(row, direct, "service diverged from run_trial on {req:?}");
     }
     let wall = t0.elapsed();
@@ -1100,4 +1106,50 @@ fn churn(quick: bool) {
             );
         }
     }
+}
+
+/// Adversary search — evolve corruption scripts against the four
+/// hand-built leaderboard attacks and verify each is matched or beaten
+/// on its own instrumented metric at equal budget. Exits nonzero on a
+/// shortfall, so CI's `adversary-search-smoke` step can gate on it.
+fn adversary_search(quick: bool) {
+    header(
+        "SEARCH",
+        "Adversary search — evolved scripts vs. hand-built attacks",
+    );
+    let cfg = if quick {
+        bench::SearchConfig::quick(4242)
+    } else {
+        bench::SearchConfig::full(4242)
+    };
+    let reports = bench::run_search(&cfg);
+    println!(
+        "{:<22} {:<20} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>8}",
+        "attack", "metric", "hand", "best", "h_steps", "b_steps", "fitness", "evaluated", "matched"
+    );
+    let mut all_matched = true;
+    for r in &reports {
+        all_matched &= r.matched;
+        println!(
+            "{:<22} {:<20} {:>6} {:>6} {:>7} {:>7} {:>9.3} {:>9} {:>8}",
+            r.name,
+            r.metric,
+            r.hand_metric,
+            r.best_metric,
+            r.hand_corruptions,
+            r.best_steps,
+            r.best_fitness,
+            r.evaluated,
+            r.matched,
+        );
+        emit(
+            "adversary_search",
+            serde_json::to_value(r).expect("report serializes"),
+        );
+    }
+    assert!(
+        all_matched,
+        "adversary search fell below a hand-built seed attack"
+    );
+    println!("every hand-built attack matched or beaten at equal budget");
 }

@@ -11,11 +11,12 @@
 //! cargo run --release -p bench --bin repro -- accept            # bless fresh run into expected/
 //! ```
 //!
-//! `run` executes five sweeps — noise-rate vs. decode success, topology
+//! `run` executes six sweeps — noise-rate vs. decode success, topology
 //! scaling serial vs. threads, the adversary leaderboard (the four PR 5
 //! phase-aware attacks vs. their oblivious counterparts), serve
-//! latency/throughput, and fault churn (injected link/party faults vs.
-//! explicit decode-or-degrade verdicts) — and writes
+//! latency/throughput, fault churn (injected link/party faults vs.
+//! explicit decode-or-degrade verdicts), and the adversary search
+//! (evolved corruption scripts vs. the hand-built seeds) — and writes
 //! `out/<tier>-<git-sha>/` containing
 //! `manifest.json` (tier, seed, `SIM_THREADS`, core count, shim
 //! versions), one `<sweep>.jsonl` per sweep, and a rendered `report.md`.
@@ -56,6 +57,7 @@ struct Tier {
     serve_rate: f64,
     full_leaderboard: bool,
     churn_trials: usize,
+    full_search: bool,
 }
 
 /// CI-sized: everything in well under a minute on one core.
@@ -73,6 +75,7 @@ const QUICK: Tier = Tier {
     serve_rate: 400.0,
     full_leaderboard: false,
     churn_trials: 6,
+    full_search: false,
 };
 
 /// Minutes-sized: real sweep resolution, mid-size topologies.
@@ -90,6 +93,7 @@ const LITE: Tier = Tier {
     serve_rate: 500.0,
     full_leaderboard: true,
     churn_trials: 24,
+    full_search: true,
 };
 
 /// Hours-sized: publication-strength trial counts and the largest
@@ -108,6 +112,7 @@ const FULL: Tier = Tier {
     serve_rate: 800.0,
     full_leaderboard: true,
     churn_trials: 96,
+    full_search: true,
 };
 
 struct Args {
@@ -534,7 +539,8 @@ fn serve_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
         (ring, Scheme::NoCoding, AttackSpec::None),
     ];
     let request = |i: usize| -> (SimRequest, Priority) {
-        let (workload, scheme, attack) = rotation[i % rotation.len()];
+        let (workload, scheme, ref attack) = rotation[i % rotation.len()];
+        let attack = attack.clone();
         let pri = if i % 8 == 7 {
             Priority::High
         } else {
@@ -608,14 +614,14 @@ fn serve_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
     for i in 0..checks {
         let (req, pri) = request(i);
         let row = svc
-            .submit(req, pri)
+            .submit(req.clone(), pri)
             .expect("service accepting")
             .wait()
             .expect("reply lost")
             .outcome
             .done()
             .expect("no cancellations here");
-        let direct = run_trial(req.workload, req.scheme, req.attack, req.seed);
+        let direct = run_trial(req.workload, req.scheme, req.attack.clone(), req.seed);
         assert_eq!(row, direct, "service diverged from run_trial on {req:?}");
     }
     svc.shutdown();
@@ -765,6 +771,67 @@ fn churn_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
     (table, rows)
 }
 
+/// Sweep 6 — adversary search: the evolutionary outer loop over
+/// scripted-attack genomes, seeded from recordings of the leaderboard's
+/// hand-built attacks and scored on instrumented damage per budget unit.
+/// Every key is an outcome: the search derives entirely from the seed
+/// and fans out through the service, whose rows are byte-identical for
+/// every worker count and `SIM_THREADS` — so rows diff exactly.
+fn search_sweep(tier: &Tier, seed: u64) -> (Table, Vec<Value>) {
+    let cfg = if tier.full_search {
+        bench::SearchConfig::full(seed)
+    } else {
+        bench::SearchConfig::quick(seed)
+    };
+    let reports = bench::run_search(&cfg);
+    let mut table = Table::new(
+        "Adversary search — evolved scripts vs. hand-built seed attacks",
+        &[
+            "attack",
+            "metric",
+            "hand",
+            "best",
+            "hand_corr",
+            "best_steps",
+            "evaluated",
+            "matched",
+        ],
+    );
+    let mut rows = Vec::new();
+    for r in &reports {
+        // The gen-0 seeding makes this structurally true; a failure here
+        // means recording/replay parity broke, not that search got
+        // unlucky.
+        assert!(
+            r.matched,
+            "search fell below the hand-built {} on {}",
+            r.name, r.metric
+        );
+        table.push_row(vec![
+            r.name.clone(),
+            r.metric.clone(),
+            r.hand_metric.to_string(),
+            r.best_metric.to_string(),
+            r.hand_corruptions.to_string(),
+            r.best_steps.to_string(),
+            r.evaluated.to_string(),
+            r.matched.to_string(),
+        ]);
+        rows.push(json!({
+            "attack": r.name, "metric": r.metric,
+            "hand_metric": r.hand_metric,
+            "hand_corruptions": r.hand_corruptions,
+            "best_metric": r.best_metric,
+            "best_steps": r.best_steps,
+            "best_fitness": r.best_fitness,
+            "evaluated": r.evaluated,
+            "matched": r.matched,
+            "best_script": serde_json::to_value(&r.best_script).expect("script serializes"),
+        }));
+    }
+    (table, rows)
+}
+
 fn run_tier(args: &Args) -> std::io::Result<()> {
     let tier = args.tier;
     let sha = git_short_sha();
@@ -772,12 +839,13 @@ fn run_tier(args: &Args) -> std::io::Result<()> {
     println!("repro: tier={} sha={} seed={}", tier.name, sha, args.seed);
     let mut writer = RunWriter::create(Path::new(&args.out_root), tier.name, &sha)?;
     type Sweep = fn(&Tier, u64) -> (Table, Vec<Value>);
-    let sweeps: [(&str, Sweep); 5] = [
+    let sweeps: [(&str, Sweep); 6] = [
         ("noise", noise_sweep),
         ("scaling", scaling_sweep),
         ("leaderboard", leaderboard_sweep),
         ("serve", serve_sweep),
         ("churn", churn_sweep),
+        ("search", search_sweep),
     ];
     for (id, sweep) in sweeps {
         let t = Instant::now();

@@ -2,7 +2,10 @@
 
 use crate::spec::{AttackSpec, FaultSpec, Scheme, WorkloadSpec};
 use mpic::baseline::{run_no_coding, run_repetition};
-use mpic::{ArtifactCache, Parallelism, RunOptions, RunScratch, Simulation};
+use mpic::{ArtifactCache, Parallelism, RunOptions, RunScratch, SchemeConfig, Simulation};
+use netgraph::Graph;
+use netsim::attacks::{ScriptRecorder, ScriptStep};
+use netsim::{Adversary, PhaseGeometry};
 use parking_lot::Mutex;
 use serde::Serialize;
 use smallbias::splitmix64;
@@ -36,6 +39,24 @@ pub struct TrialResult {
     pub crash_rounds: u64,
     /// Rewind-wave truncations attributable to fault resync.
     pub resync_rewinds: u64,
+    /// Meeting-points `k, E` resets (coding schemes only) — the repair
+    /// restarts an attack inflicted; a term of the search fitness.
+    pub mp_resets: u64,
+    /// Iterations stalled by a poisoned flag wave (coding schemes only);
+    /// a term of the search fitness.
+    pub stalled_iterations: u64,
+    /// Deepest rewind cascade observed (coding schemes only); a term of
+    /// the search fitness.
+    pub rewind_wave_depth: u64,
+}
+
+impl TrialResult {
+    /// The adversary-search fitness numerator carried by this row:
+    /// `mp_resets + stalled_iterations + rewind_wave_depth` (see
+    /// [`mpic::Instrumentation::attack_damage`]).
+    pub fn attack_damage(&self) -> u64 {
+        self.mp_resets + self.stalled_iterations + self.rewind_wave_depth
+    }
 }
 
 /// Aggregate over trials.
@@ -135,7 +156,7 @@ pub fn run_trial_faulted_with_scratch(
     run_trial_inner(
         workload,
         scheme,
-        attack,
+        &attack,
         fault,
         trial_seed,
         scratch,
@@ -168,7 +189,7 @@ pub fn run_trial_serviced(
     run_trial_inner(
         workload,
         scheme,
-        attack,
+        &attack,
         fault,
         trial_seed,
         scratch,
@@ -193,7 +214,7 @@ pub fn derive_trial_seed(base_seed: u64, i: usize) -> u64 {
 fn run_trial_inner(
     workload: WorkloadSpec,
     scheme: Scheme,
-    attack: AttackSpec,
+    attack: &AttackSpec,
     fault: FaultSpec,
     trial_seed: u64,
     scratch: &mut RunScratch,
@@ -233,7 +254,7 @@ fn run_trial_inner(
                 simulation: rounds.max(1) * rep as u64,
                 rewind: 1,
             };
-            let budget = attack_budget(&attack, cc_predict);
+            let budget = attack_budget(attack, cc_predict);
             let adversary = attack.build(&g, geometry, cc_predict, rounds * rep as u64, trial_seed);
             let out = match scheme {
                 Scheme::NoCoding => run_no_coding(&*w, proto, adversary, budget),
@@ -256,6 +277,9 @@ fn run_trial_inner(
                 links_downed: 0,
                 crash_rounds: 0,
                 resync_rewinds: 0,
+                mp_resets: 0,
+                stalled_iterations: 0,
+                rewind_wave_depth: 0,
             };
             (row, shared && hit)
         }
@@ -284,7 +308,7 @@ fn run_trial_inner(
             if !matches!(fault, FaultSpec::None) {
                 sim.set_fault_plan(fault.build(&g, predicted_rounds, trial_seed));
             }
-            let budget = attack_budget(&attack, predicted_cc);
+            let budget = attack_budget(attack, predicted_cc);
             let adversary = attack.build(&g, geometry, predicted_cc, predicted_rounds, trial_seed);
             let opts = RunOptions {
                 noise_budget: budget,
@@ -305,9 +329,103 @@ fn run_trial_inner(
                 links_downed: out.instrumentation.links_downed,
                 crash_rounds: out.instrumentation.crash_rounds,
                 resync_rewinds: out.instrumentation.resync_rewinds,
+                mp_resets: out.instrumentation.mp_resets,
+                stalled_iterations: out.instrumentation.stalled_iterations,
+                rewind_wave_depth: out.instrumentation.rewind_wave_depth,
             };
             (row, shared && hint_hit && statics_hit)
         }
+    }
+}
+
+/// One recorded trial: the outcome row of a hand-built (non-spec)
+/// adversary plus the corruption script the engine actually applied and
+/// the genome bounds of the run, for seeding the adversary search.
+#[derive(Clone, Debug)]
+pub struct RecordedTrial {
+    /// The trial's outcome row.
+    pub row: TrialResult,
+    /// Exactly the corruptions the engine applied, as replayable steps;
+    /// an [`AttackSpec::Scripted`] over them at the same seed reproduces
+    /// `row` byte-for-byte (minus the budget ledger, which tightens to
+    /// the script length).
+    pub script: Vec<ScriptStep>,
+    /// Predicted wire-round horizon of the compiled simulation — the
+    /// genome's round bound.
+    pub predicted_rounds: u64,
+    /// Directed-link count — the genome's link-id bound.
+    pub links: usize,
+}
+
+/// Runs one coding-scheme trial under a custom, hand-built adversary
+/// (one not expressible as an [`AttackSpec`]), transcribing the
+/// corruptions the engine applies into a replayable script.
+///
+/// This is the adversary-search seeding path: the returned script is a
+/// [`crate::spec::AttackSpec::Scripted`] genome whose replay at
+/// `trial_seed` inflicts the same instrumented damage as the hand-built
+/// attack, so generation 0 of the search starts at parity with it.
+///
+/// Must run serially: the recorder's script sink is not `Send`.
+/// Panics on baseline schemes (there is nothing phase-aware to record).
+pub fn run_trial_recording<F>(
+    workload: WorkloadSpec,
+    scheme: Scheme,
+    budget: u64,
+    trial_seed: u64,
+    build: F,
+) -> RecordedTrial
+where
+    F: FnOnce(&Graph, PhaseGeometry, &SchemeConfig) -> Box<dyn Adversary>,
+{
+    assert!(
+        !matches!(scheme, Scheme::NoCoding | Scheme::Repetition(_)),
+        "recording needs a coding scheme"
+    );
+    let w = workload.build(trial_seed.wrapping_mul(0x9e37_79b9) | 1);
+    let g = w.graph().clone();
+    let cache = ArtifactCache::new();
+    let (hint_statics, _) = cache.get_or_compile(&*w, 5 * g.edge_count());
+    let hint = hint_statics.proto.real_chunks();
+    let cfg = scheme.config(&g, hint, 0xc0de ^ trial_seed);
+    let statics = if cfg.chunk_bits() == 5 * g.edge_count() {
+        hint_statics
+    } else {
+        cache.get_or_compile(&*w, cfg.chunk_bits()).0
+    };
+    let sim = Simulation::with_statics(&*w, cfg.clone(), trial_seed, statics);
+    let geometry = sim.geometry();
+    let predicted_rounds = geometry.setup + sim.iterations() as u64 * geometry.iteration_rounds();
+    let (recorder, sink) = ScriptRecorder::new(&g, build(&g, geometry, &cfg));
+    let opts = RunOptions {
+        noise_budget: budget,
+        record_trace: false,
+        expose_view: true,
+    };
+    let out = sim.run_with_scratch(Box::new(recorder), opts, &mut RunScratch::new());
+    let row = TrialResult {
+        success: out.success,
+        cc: out.stats.cc,
+        payload_cc: out.payload_cc,
+        corruptions: out.stats.corruptions,
+        noise_fraction: out.stats.noise_fraction(),
+        blowup: out.blowup,
+        hash_collisions: out.instrumentation.hash_collisions,
+        rounds: out.stats.rounds,
+        degraded: out.verdict.code(),
+        links_downed: out.instrumentation.links_downed,
+        crash_rounds: out.instrumentation.crash_rounds,
+        resync_rewinds: out.instrumentation.resync_rewinds,
+        mp_resets: out.instrumentation.mp_resets,
+        stalled_iterations: out.instrumentation.stalled_iterations,
+        rewind_wave_depth: out.instrumentation.rewind_wave_depth,
+    };
+    let script = sink.borrow().clone();
+    RecordedTrial {
+        row,
+        script,
+        predicted_rounds,
+        links: g.links().len(),
     }
 }
 
@@ -337,6 +455,10 @@ fn attack_budget(attack: &AttackSpec, predicted_cc: u64) -> u64 {
             );
             ((clamped_fraction(*fraction) * 1.5) * predicted_cc as f64).ceil() as u64
         }
+        // A script's budget is its length: every step that fires costs
+        // exactly one corruption, so the engine ledger and the fitness
+        // denominator agree by construction.
+        AttackSpec::Scripted { steps } => steps.len() as u64,
         _ => u64::MAX,
     }
 }
@@ -422,7 +544,7 @@ pub fn run_many_faulted(
                     let (r, _) = run_trial_inner(
                         workload,
                         scheme,
-                        attack,
+                        &attack,
                         fault,
                         trial_seed(base_seed, i),
                         &mut scratch,

@@ -6,8 +6,10 @@
 //!
 //! - A **spec** ([`WorkloadSpec`], [`Scheme`], [`AttackSpec`]) is plain
 //!   data naming a topology+protocol, a coding scheme, and an adversary.
-//!   Specs are `Copy`, serializable, and sufficient — together with one
-//!   `u64` seed — to rebuild a simulation bit-for-bit anywhere.
+//!   Specs are cloneable plain data (all `Copy` except [`AttackSpec`],
+//!   which may carry a corruption script), serializable, and sufficient
+//!   — together with one `u64` seed — to rebuild a simulation
+//!   bit-for-bit anywhere.
 //! - A **trial** ([`run_trial`]) is one seeded simulation of a spec
 //!   triple, returning a [`TrialResult`] outcome row. A **job** is a
 //!   batch of trials ([`run_many`]) fanned across crossbeam scoped
@@ -31,13 +33,17 @@
 
 pub mod harness;
 pub mod report;
+pub mod search;
 pub mod service;
 pub mod spec;
 
 pub use harness::{
     derive_trial_seed, run_many, run_many_faulted, run_trial, run_trial_faulted,
-    run_trial_faulted_with_scratch, run_trial_serviced, run_trial_with_scratch, Summary,
-    TrialResult,
+    run_trial_faulted_with_scratch, run_trial_recording, run_trial_serviced,
+    run_trial_with_scratch, RecordedTrial, Summary, TrialResult,
+};
+pub use search::{
+    record_seed, run_search, targets, SearchConfig, SearchMetric, SearchTarget, TargetReport,
 };
 pub use service::{sim_service, SimRequest};
 pub use spec::{AttackSpec, FaultSpec, Scheme, TopoSpec, WorkloadSpec};

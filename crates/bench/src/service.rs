@@ -16,7 +16,9 @@ use serve::{Job, JobCtx, ServiceConfig, SimService};
 
 /// One self-contained simulation request: everything a worker needs to
 /// rebuild and run the trial deterministically.
-#[derive(Clone, Copy, Debug, Serialize)]
+///
+/// Not `Copy`: the attack spec may carry a corruption script.
+#[derive(Clone, Debug, Serialize)]
 pub struct SimRequest {
     /// The noiseless protocol Π to compile and simulate.
     pub workload: WorkloadSpec,
@@ -39,7 +41,7 @@ impl Job for SimRequest {
         let (row, hit) = run_trial_serviced(
             self.workload,
             self.scheme,
-            self.attack,
+            self.attack.clone(),
             self.fault,
             self.seed,
             ctx.scratch,

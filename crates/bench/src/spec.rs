@@ -5,7 +5,8 @@
 use mpic::{BurstOutage, FaultPlan, SchemeConfig};
 use netgraph::{topology, DirectedLink, Graph};
 use netsim::attacks::{
-    BurstLink, IidNoise, NoNoise, PhaseTargeted, SeedAwareCollision, SingleError,
+    BurstLink, IidNoise, NoNoise, PhaseTargeted, ScriptStep, ScriptedAdversary, SeedAwareCollision,
+    SingleError,
 };
 use netsim::{Adversary, PhaseGeometry, PhaseKind};
 use protocol::workloads::{Gossip, LinePipeline, PointerChase, SumTree, TokenRing};
@@ -183,7 +184,10 @@ impl Scheme {
 
 /// Attack families, resolved into concrete adversaries once the phase
 /// geometry of the compiled simulation is known.
-#[derive(Clone, Copy, Debug, Serialize)]
+///
+/// Not `Copy` (unlike the other spec enums): [`AttackSpec::Scripted`]
+/// carries the script it replays.
+#[derive(Clone, Debug, Serialize)]
 pub enum AttackSpec {
     /// No noise.
     None,
@@ -217,6 +221,15 @@ pub enum AttackSpec {
     SeedAware {
         /// Corruption budget per iteration.
         per_iteration: u64,
+    },
+    /// A fixed, pre-committed corruption script — the adversary-search
+    /// genome, replayed verbatim through [`ScriptedAdversary`]. The
+    /// engine budget of a scripted run is the script length (every step
+    /// that fires costs exactly one corruption), so fitness per budget
+    /// unit is damage / steps.
+    Scripted {
+        /// The steps (sorted and slot-deduped at construction).
+        steps: Vec<ScriptStep>,
     },
 }
 
@@ -263,6 +276,9 @@ impl AttackSpec {
                 graph.edge_count(),
                 per_iteration,
             )),
+            AttackSpec::Scripted { ref steps } => {
+                Box::new(ScriptedAdversary::new(graph, steps.clone()))
+            }
         }
     }
 
@@ -275,6 +291,7 @@ impl AttackSpec {
             AttackSpec::SingleEarly => "single".into(),
             AttackSpec::Phase { phase, .. } => format!("phase_{phase:?}"),
             AttackSpec::SeedAware { .. } => "seed_aware".into(),
+            AttackSpec::Scripted { ref steps } => format!("scripted{}", steps.len()),
         }
     }
 }

@@ -100,4 +100,26 @@ impl Instrumentation {
         (k / m as f64) * sum_g as f64 - 2.0 * k * sum_b as f64 - 3.0 * k * b_star as f64
             + 10.0 * k * ehc as f64
     }
+
+    /// The adversary-search fitness numerator: total instrumented damage
+    /// an attack inflicted — repair-loop restarts (`mp_resets`), burnt
+    /// phase round-trips (`stalled_iterations`) and the deepest rewind
+    /// cascade (`rewind_wave_depth`). Each term is a unit of progress
+    /// the simulation lost and has to buy back.
+    pub fn attack_damage(&self) -> u64 {
+        self.mp_resets + self.stalled_iterations + self.rewind_wave_depth
+    }
+
+    /// [`Instrumentation::attack_damage`] per corruption-budget unit —
+    /// the fitness the adversary search maximizes. A `budget` of 0 (or
+    /// `u64::MAX`, the unbounded sentinel) scores as damage per single
+    /// corruption so budgetless runs stay comparable.
+    pub fn damage_per_budget(&self, budget: u64) -> f64 {
+        let units = if budget == 0 || budget == u64::MAX {
+            1
+        } else {
+            budget
+        };
+        self.attack_damage() as f64 / units as f64
+    }
 }

@@ -263,8 +263,14 @@ fn faulted_requests_identical_through_service() {
                     seed: 100 + i as u64,
                 };
                 expected.push((
-                    req,
-                    run_trial_faulted(req.workload, req.scheme, req.attack, req.fault, req.seed),
+                    req.clone(),
+                    run_trial_faulted(
+                        req.workload,
+                        req.scheme,
+                        req.attack.clone(),
+                        req.fault,
+                        req.seed,
+                    ),
                 ));
                 tickets.push(svc.submit(req, Priority::Normal).unwrap());
             }

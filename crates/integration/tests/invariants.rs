@@ -263,6 +263,62 @@ proptest! {
         check_invariants(&out, budget);
     }
 
+    /// Genome operators never leave the script universe: whatever the
+    /// parents (random scripts at any length, even out-of-bounds before
+    /// repair), mutation and crossover outputs are budget-respecting,
+    /// strictly sorted by `(round, lid)` with no duplicate slots,
+    /// in-bounds in round/link/error, and deterministic in their seed —
+    /// so every candidate the adversary search breeds is a valid
+    /// engine-ready script without further checking.
+    #[test]
+    fn genome_operators_preserve_budget_and_order(
+        seed in 0u64..100_000,
+        len_a in 0usize..48,
+        len_b in 0usize..48,
+        budget in 1u64..24,
+        max_round in 1u64..300,
+    ) {
+        use netsim::attacks::{
+            crossover_scripts, mutate_script, repair_script, ScriptBounds, ScriptStep,
+        };
+        let g = netgraph::topology::ring(4);
+        let links = g.links().len();
+        let bounds = ScriptBounds { max_round, links, budget };
+        fn well_formed(s: &[ScriptStep], bounds: ScriptBounds, links: usize) -> Result<(), TestCaseError> {
+            prop_assert!(s.len() as u64 <= bounds.budget, "over budget: {}", s.len());
+            for w in s.windows(2) {
+                prop_assert!(
+                    (w[0].round, w[0].lid) < (w[1].round, w[1].lid),
+                    "unsorted or duplicate slot: {w:?}"
+                );
+            }
+            for st in s {
+                prop_assert!(st.round < bounds.max_round, "round {} out of range", st.round);
+                prop_assert!(st.lid < links, "lid {} out of range", st.lid);
+                prop_assert!(st.e == 1 || st.e == 2, "error pattern {} not in {{1, 2}}", st.e);
+            }
+            Ok(())
+        }
+        let a = repair_script(
+            ScriptedAdversary::random(&g, max_round, len_a, seed).script().to_vec(),
+            bounds,
+        );
+        let b = repair_script(
+            ScriptedAdversary::random(&g, max_round, len_b, seed ^ 0xB00B5).script().to_vec(),
+            bounds,
+        );
+        well_formed(&a, bounds, links)?;
+        well_formed(&b, bounds, links)?;
+        let m = mutate_script(&a, bounds, seed);
+        well_formed(&m, bounds, links)?;
+        prop_assert_eq!(&m, &mutate_script(&a, bounds, seed), "mutation not deterministic");
+        let c = crossover_scripts(&a, &b, bounds, seed);
+        well_formed(&c, bounds, links)?;
+        prop_assert_eq!(&c, &crossover_scripts(&a, &b, bounds, seed), "crossover not deterministic");
+        // Repair is idempotent: a repaired script survives repair intact.
+        prop_assert_eq!(&m, &repair_script(m.clone(), bounds));
+    }
+
     /// Synthetic protocols also repair a single random-phase corruption.
     #[test]
     fn synthetic_protocols_repair_one_error(

@@ -242,6 +242,59 @@ fn sharded_ring_identical_under_noise() {
     }
 }
 
+/// Searched-script pin: the adversary search's recorded seeds *and* its
+/// evolved champions replay to byte-identical `TrialResult` rows whether
+/// the trial runs serially or with intra-trial worker threads — so the
+/// fitness the search maximizes cannot depend on `SIM_THREADS` or on the
+/// service's worker count.
+#[test]
+fn searched_scripts_identical_across_parallelism() {
+    use bench::{
+        derive_trial_seed, record_seed, run_search, run_trial, run_trial_serviced, targets,
+        AttackSpec, FaultSpec, SearchConfig,
+    };
+    use mpic::{ArtifactCache, RunScratch};
+
+    let cfg = SearchConfig {
+        master_seed: 77,
+        generations: 1,
+        population: 3,
+        triage_keep: 2,
+        survivors: 1,
+        eval_seeds: 1,
+        workers: 0,
+    };
+    let reports = run_search(&cfg);
+    let cache = ArtifactCache::new();
+    for (ti, (t, r)) in targets().iter().zip(&reports).enumerate() {
+        let anchor = derive_trial_seed(cfg.master_seed, ti);
+        let recorded = record_seed(t, anchor);
+        for (label, steps) in [("seed", &recorded.script), ("champion", &r.best_script)] {
+            let attack = AttackSpec::Scripted {
+                steps: steps.clone(),
+            };
+            let serial = run_trial(t.workload, t.scheme, attack.clone(), anchor);
+            for threads in [2, 5] {
+                let (threaded, _) = run_trial_serviced(
+                    t.workload,
+                    t.scheme,
+                    attack.clone(),
+                    FaultSpec::None,
+                    anchor,
+                    &mut RunScratch::new(),
+                    Parallelism::Threads(threads),
+                    &cache,
+                );
+                assert_eq!(
+                    serial, threaded,
+                    "{}/{label}: scripted row diverged under Threads({threads})",
+                    r.name
+                );
+            }
+        }
+    }
+}
+
 /// `Parallelism::Auto` resolves from `SIM_THREADS` when set and never
 /// below one thread; `Threads(0)` saturates to one.
 #[test]

@@ -1,6 +1,6 @@
 //! Pins the committed `expected/` quick-tier fixtures that back
 //! `repro diff` (and CI's `repro-quick` job): the files must stay
-//! parseable through the serde_json shim, cover all five sweeps, agree
+//! parseable through the serde_json shim, cover all six sweeps, agree
 //! with themselves under the diff machinery, and the machinery must
 //! still flag an injected outcome drift against them.
 
@@ -12,7 +12,14 @@ fn expected_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../expected")
 }
 
-const SWEEPS: [&str; 5] = ["noise", "scaling", "leaderboard", "serve", "churn"];
+const SWEEPS: [&str; 6] = [
+    "noise",
+    "scaling",
+    "leaderboard",
+    "serve",
+    "churn",
+    "search",
+];
 
 #[test]
 fn committed_fixtures_cover_all_sweeps_and_parse() {
@@ -120,6 +127,19 @@ fn volatile_classification_matches_fixture_schema() {
         "resync_rewinds",
         "cc",
         "rounds",
+        // search sweep: the evolved scripts are deterministic in the
+        // master seed, so every column — including the script itself —
+        // is outcome-exact.
+        "attack",
+        "metric",
+        "hand_metric",
+        "hand_corruptions",
+        "best_metric",
+        "best_steps",
+        "best_fitness",
+        "evaluated",
+        "matched",
+        "best_script",
     ];
     for k in volatile {
         assert!(is_volatile_key(k), "{k} should be tolerance-checked");

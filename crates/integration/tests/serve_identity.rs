@@ -59,7 +59,8 @@ fn matrix_byte_identity_cold_and_warm() {
                         fault: FaultSpec::None,
                         seed: 31 * (i as u64 + 1) + j as u64,
                     };
-                    expected.push((req, run_trial(req.workload, scheme, attack, req.seed)));
+                    let want = run_trial(req.workload, scheme, req.attack.clone(), req.seed);
+                    expected.push((req.clone(), want));
                     tickets.push(svc.submit(req, Priority::Normal).unwrap());
                 }
             }
@@ -115,11 +116,11 @@ fn baselines_byte_identity() {
             let req = SimRequest {
                 workload: WorkloadSpec::TokenRing { n: 4, laps: 2 },
                 scheme,
-                attack,
+                attack: attack.clone(),
                 fault: FaultSpec::None,
                 seed: 99,
             };
-            let want = run_trial(req.workload, scheme, attack, req.seed);
+            let want = run_trial(req.workload, scheme, attack.clone(), req.seed);
             let got = svc
                 .submit(req, Priority::Normal)
                 .unwrap()
@@ -143,7 +144,7 @@ fn run_many_population_through_service() {
     let scheme = Scheme::A;
     let attack = AttackSpec::Iid { fraction: 0.002 };
     let trials = 12;
-    let (_, raw_rows) = run_many(workload, scheme, attack, trials, 2024);
+    let (_, raw_rows) = run_many(workload, scheme, attack.clone(), trials, 2024);
 
     let svc = sim_service(ServiceConfig {
         workers: 3,
@@ -156,7 +157,7 @@ fn run_many_population_through_service() {
                 SimRequest {
                     workload,
                     scheme,
-                    attack,
+                    attack: attack.clone(),
                     fault: FaultSpec::None,
                     seed: derive_trial_seed(2024, i),
                 },
@@ -195,7 +196,7 @@ fn random_topology_per_seed_entries() {
             fault: FaultSpec::None,
             seed,
         };
-        let want = run_trial(req.workload, req.scheme, req.attack, seed);
+        let want = run_trial(req.workload, req.scheme, req.attack.clone(), seed);
         let got = svc
             .submit(req, Priority::Normal)
             .unwrap()

@@ -106,7 +106,7 @@ fn cancel_after_dispatch_returns_done() {
         ..ServiceConfig::default()
     });
     let req = long(2);
-    let want = run_trial(req.workload, req.scheme, req.attack, req.seed);
+    let want = run_trial(req.workload, req.scheme, req.attack.clone(), req.seed);
     let t = svc.submit(req, Priority::Normal).unwrap();
     while svc.stats().queue_depth > 0 {
         std::thread::yield_now();

@@ -15,6 +15,9 @@ use crate::frame::{FrameBatch, RoundFrame};
 use crate::phase::{PhaseGeometry, PhaseKind};
 use netgraph::{DirectedLink, Graph, LinkId};
 use smallbias::Xoshiro256;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
 
 /// Ternary additive noise (§2.1): symbols are {0, 1, *}≅{0, 1, 2} and the
 /// adversary adds `e ∈ {1, 2}` mod 3 to the channel.
@@ -1076,7 +1079,7 @@ impl Adversary for CrossIterationHunter {
 
 /// One step of a [`ScriptedAdversary`]: an additive error `e ∈ {1, 2}`
 /// on the directed link with dense id `lid`, at absolute round `round`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct ScriptStep {
     /// Absolute engine round the corruption lands in.
     pub round: u64,
@@ -1101,8 +1104,13 @@ pub struct ScriptedAdversary {
 
 impl ScriptedAdversary {
     /// An adversary replaying `script` (sorted internally by round).
+    ///
+    /// Steps sharing a `(round, lid)` slot would double-corrupt one link
+    /// — two budget charges for one wire effect — so duplicates are
+    /// collapsed here, keeping the first in sorted order.
     pub fn new(graph: &Graph, mut script: Vec<ScriptStep>) -> Self {
         script.sort_by_key(|s| (s.round, s.lid));
+        script.dedup_by_key(|s| (s.round, s.lid));
         ScriptedAdversary {
             links: graph.links().to_vec(),
             script,
@@ -1113,17 +1121,26 @@ impl ScriptedAdversary {
     /// A deterministic random script of `len` steps over rounds
     /// `[0, max_round)`, derived from `seed` — the reusable generator of
     /// the invariant fuzz suites (proptest draws `(seed, len)` and the
-    /// script follows).
+    /// script follows). Draws are rejected until the script holds `len`
+    /// *distinct* `(round, lid)` slots (capped at the slot universe), so
+    /// the generated script never double-corrupts a link.
     pub fn random(graph: &Graph, max_round: u64, len: usize, seed: u64) -> Self {
         let mut rng = Xoshiro256::seeded(seed ^ 0x5c21_97ed_ab1e_5007);
         let links = graph.link_count() as u64;
-        let script = (0..len)
-            .map(|_| ScriptStep {
-                round: rng.next_u64() % max_round.max(1),
+        let rounds = max_round.max(1);
+        let target = (len as u64).min(rounds.saturating_mul(links)) as usize;
+        let mut seen = BTreeSet::new();
+        let mut script = Vec::with_capacity(target);
+        while script.len() < target {
+            let step = ScriptStep {
+                round: rng.next_u64() % rounds,
                 lid: (rng.next_u64() % links) as LinkId,
                 e: 1 + (rng.next_u64() % 2) as u8,
-            })
-            .collect();
+            };
+            if seen.insert((step.round, step.lid)) {
+                script.push(step);
+            }
+        }
         ScriptedAdversary::new(graph, script)
     }
 
@@ -1138,7 +1155,7 @@ impl Adversary for ScriptedAdversary {
         &mut self,
         round: u64,
         sends: &RoundFrame,
-        _budget: u64,
+        remaining_budget: u64,
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<Corruption> {
         let mut out = Vec::new();
@@ -1147,11 +1164,16 @@ impl Adversary for ScriptedAdversary {
         }
         while self.cursor < self.script.len() && self.script[self.cursor].round == round {
             let s = self.script[self.cursor];
+            // Steps past the budget are consumed, not deferred: the
+            // engine's budget only ever shrinks, so a step suppressed
+            // here could never legally fire in a later round either.
             self.cursor += 1;
-            out.push(Corruption {
-                link: self.links[s.lid],
-                output: additive(sends.get(s.lid), s.e),
-            });
+            if (out.len() as u64) < remaining_budget {
+                out.push(Corruption {
+                    link: self.links[s.lid],
+                    output: additive(sends.get(s.lid), s.e),
+                });
+            }
         }
         out
     }
@@ -1164,7 +1186,7 @@ impl Adversary for ScriptedAdversary {
         &mut self,
         first_round: u64,
         sends: &FrameBatch,
-        _budget: u64,
+        remaining_budget: u64,
         _view: Option<&dyn AdaptiveView>,
     ) -> Vec<RoundCorruption> {
         let end = first_round + sends.rounds() as u64;
@@ -1172,23 +1194,246 @@ impl Adversary for ScriptedAdversary {
         while self.cursor < self.script.len() && self.script[self.cursor].round < first_round {
             self.cursor += 1;
         }
+        // Every emitted step lands (additive errors never no-op and the
+        // lid is always an edge), so one shared draw-down across the
+        // batch replays the sequential per-round accounting exactly.
         while self.cursor < self.script.len() && self.script[self.cursor].round < end {
             let s = self.script[self.cursor];
             self.cursor += 1;
-            let r = (s.round - first_round) as usize;
-            out.push(RoundCorruption {
-                round: r,
-                corruption: Corruption {
-                    link: self.links[s.lid],
-                    output: additive(sends.get(s.lid, r), s.e),
-                },
-            });
+            if (out.len() as u64) < remaining_budget {
+                let r = (s.round - first_round) as usize;
+                out.push(RoundCorruption {
+                    round: r,
+                    corruption: Corruption {
+                        link: self.links[s.lid],
+                        output: additive(sends.get(s.lid, r), s.e),
+                    },
+                });
+            }
         }
         out
     }
 
     fn name(&self) -> &'static str {
         "scripted"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Script genomes (PR 10): the adversary-search outer loop treats a
+// corruption script as a genome. The operators below are pure, seeded
+// functions — same inputs, same child — and every child goes through
+// `repair_script`, so offspring are budget-respecting, sorted by
+// `(round, lid)` and free of double-corrupted slots by construction.
+// ---------------------------------------------------------------------
+
+/// The universe a script genome lives in: rounds `[0, max_round)`, link
+/// ids `[0, links)`, at most `budget` steps (one corruption each).
+#[derive(Clone, Copy, Debug)]
+pub struct ScriptBounds {
+    /// Exclusive upper bound on step rounds.
+    pub max_round: u64,
+    /// Size of the dense [`LinkId`] universe.
+    pub links: usize,
+    /// Maximum script length (= the engine corruption budget).
+    pub budget: u64,
+}
+
+/// Clamps, sorts and dedupes a raw script into `bounds`: rounds and lids
+/// clamped into range, errors forced into {1, 2}, steps sorted by
+/// `(round, lid)`, duplicate slots collapsed (first wins), and the tail
+/// truncated to `bounds.budget`. Idempotent; every genome operator runs
+/// its output through here.
+pub fn repair_script(mut script: Vec<ScriptStep>, bounds: ScriptBounds) -> Vec<ScriptStep> {
+    let max_round = bounds.max_round.max(1);
+    let links = bounds.links.max(1);
+    for s in &mut script {
+        s.round = s.round.min(max_round - 1);
+        s.lid = s.lid.min(links - 1);
+        if !(1..=2).contains(&s.e) {
+            s.e = 1 + s.e % 2;
+        }
+    }
+    script.sort_by_key(|s| (s.round, s.lid));
+    script.dedup_by_key(|s| (s.round, s.lid));
+    script.truncate(bounds.budget.min(usize::MAX as u64) as usize);
+    script
+}
+
+/// Seeded point mutation: each step independently gets its round
+/// jittered (±`max_round`/16), its link re-targeted, its error pattern
+/// flipped, or is dropped; with spare budget a fresh random step is
+/// spliced in. Deterministic in `(script, bounds, seed)`.
+pub fn mutate_script(script: &[ScriptStep], bounds: ScriptBounds, seed: u64) -> Vec<ScriptStep> {
+    let mut rng = Xoshiro256::seeded(seed ^ 0x6d75_7461_7465_aa01);
+    let max_round = bounds.max_round.max(1);
+    let links = bounds.links.max(1) as u64;
+    let window = (max_round / 16).max(1);
+    let mut child = Vec::with_capacity(script.len() + 1);
+    for &s in script {
+        let mut s = s;
+        match rng.next_u64() % 8 {
+            // Round jitter: slide the step by a signed delta in
+            // [-window, window], saturating at the genome's bounds.
+            0..=2 => {
+                let delta = (rng.next_u64() % (2 * window + 1)) as i128 - window as i128;
+                let r = (s.round as i128 + delta).clamp(0, (max_round - 1) as i128);
+                s.round = r as u64;
+            }
+            // Link re-target.
+            3 | 4 => s.lid = (rng.next_u64() % links) as LinkId,
+            // Error-pattern flip (1 ↔ 2).
+            5 => s.e = 3 - s.e,
+            // Drop.
+            6 => continue,
+            // Keep.
+            _ => {}
+        }
+        child.push(s);
+    }
+    if (child.len() as u64) < bounds.budget && rng.next_u64() % 2 == 0 {
+        child.push(ScriptStep {
+            round: rng.next_u64() % max_round,
+            lid: (rng.next_u64() % links) as LinkId,
+            e: 1 + (rng.next_u64() % 2) as u8,
+        });
+    }
+    repair_script(child, bounds)
+}
+
+/// Seeded splice crossover: picks a pivot round and concatenates `a`'s
+/// steps before it with `b`'s steps from it on — the child inherits one
+/// parent's opening and the other's endgame. Deterministic in
+/// `(a, b, bounds, seed)`.
+pub fn crossover_scripts(
+    a: &[ScriptStep],
+    b: &[ScriptStep],
+    bounds: ScriptBounds,
+    seed: u64,
+) -> Vec<ScriptStep> {
+    let mut rng = Xoshiro256::seeded(seed ^ 0x6372_6f73_735f_bb02);
+    let pivot = rng.next_u64() % bounds.max_round.max(1);
+    let child = a
+        .iter()
+        .filter(|s| s.round < pivot)
+        .chain(b.iter().filter(|s| s.round >= pivot))
+        .copied()
+        .collect();
+    repair_script(child, bounds)
+}
+
+/// Wraps any adversary and transcribes the corruptions the engine will
+/// actually *apply* into a [`ScriptStep`] sink — the bridge that renders
+/// the hand-built adaptive attacks as scripts to seed the search
+/// population. The wrapper is transparent (it forwards every emitted
+/// corruption unchanged), so a wrapped run is byte-identical to an
+/// unwrapped one; it mirrors the engine's application filter (non-edges
+/// and no-ops skipped, budget draw-down) so the recorded script replays
+/// to the same wire effects *and* the same budget accounting. By
+/// determinism, replaying the sink through a [`ScriptedAdversary`]
+/// against the same trial seed reproduces the recorded run exactly.
+///
+/// None of the shipped attacks targets one `(round, link)` slot twice,
+/// so the recording is slot-unique in practice; a hypothetical
+/// double-hit would be collapsed by `ScriptedAdversary::new` on replay.
+pub struct ScriptRecorder {
+    inner: Box<dyn Adversary>,
+    graph: Graph,
+    sink: Rc<RefCell<Vec<ScriptStep>>>,
+}
+
+/// {0, 1, *} → {0, 1, 2}, the mod-3 symbol encoding of §2.1.
+fn sym(x: Option<bool>) -> u8 {
+    match x {
+        Some(false) => 0,
+        Some(true) => 1,
+        None => 2,
+    }
+}
+
+impl ScriptRecorder {
+    /// Wraps `inner`, returning the recorder and a shared handle to the
+    /// growing script (read it after the run).
+    pub fn new(graph: &Graph, inner: Box<dyn Adversary>) -> (Self, Rc<RefCell<Vec<ScriptStep>>>) {
+        let sink = Rc::new(RefCell::new(Vec::new()));
+        (
+            ScriptRecorder {
+                inner,
+                graph: graph.clone(),
+                sink: Rc::clone(&sink),
+            },
+            sink,
+        )
+    }
+}
+
+impl Adversary for ScriptRecorder {
+    fn corrupt(
+        &mut self,
+        round: u64,
+        sends: &RoundFrame,
+        remaining_budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<Corruption> {
+        let out = self.inner.corrupt(round, sends, remaining_budget, view);
+        let mut sink = self.sink.borrow_mut();
+        let mut applied = 0u64;
+        for c in &out {
+            let Some(lid) = self.graph.link_id(c.link) else {
+                continue; // the engine ignores non-edges
+            };
+            let honest = sends.get(lid);
+            if honest == c.output || applied >= remaining_budget {
+                continue; // no-op / over budget: the engine won't apply it
+            }
+            applied += 1;
+            let e = (sym(c.output) + 3 - sym(honest)) % 3;
+            sink.push(ScriptStep { round, lid, e });
+        }
+        out
+    }
+
+    fn batch_aware(&self) -> bool {
+        self.inner.batch_aware()
+    }
+
+    fn corrupt_batch(
+        &mut self,
+        first_round: u64,
+        sends: &FrameBatch,
+        remaining_budget: u64,
+        view: Option<&dyn AdaptiveView>,
+    ) -> Vec<RoundCorruption> {
+        let out = self
+            .inner
+            .corrupt_batch(first_round, sends, remaining_budget, view);
+        let mut sink = self.sink.borrow_mut();
+        let mut applied = 0u64;
+        for rc in &out {
+            let Some(lid) = self.graph.link_id(rc.corruption.link) else {
+                continue;
+            };
+            let honest = sends.get(lid, rc.round);
+            if honest == rc.corruption.output || applied >= remaining_budget {
+                continue;
+            }
+            applied += 1;
+            let e = (sym(rc.corruption.output) + 3 - sym(honest)) % 3;
+            sink.push(ScriptStep {
+                round: first_round + rc.round as u64,
+                lid,
+                e,
+            });
+        }
+        out
+    }
+
+    fn is_oblivious(&self) -> bool {
+        self.inner.is_oblivious()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
     }
 }
 
@@ -1334,6 +1579,154 @@ mod tests {
             .script()
             .iter()
             .all(|s| s.round < 100 && s.lid < graph.link_count() && (1..=2).contains(&s.e)));
+    }
+
+    #[test]
+    fn scripted_construction_dedupes_double_corrupted_slots() {
+        let graph = topology::line(3);
+        let step = |round, lid, e| ScriptStep { round, lid, e };
+        let a = ScriptedAdversary::new(
+            &graph,
+            vec![step(4, 1, 2), step(4, 1, 1), step(4, 0, 1), step(2, 1, 2)],
+        );
+        // (4, 1) collapsed to one step (first in sorted order wins).
+        assert_eq!(a.script(), &[step(2, 1, 2), step(4, 0, 1), step(4, 1, 2)]);
+    }
+
+    /// Regression (PR 10): an over-long script used to ignore
+    /// `remaining_budget` and push the engine into dropping corruptions;
+    /// now the adversary draws the budget down itself.
+    #[test]
+    fn scripted_over_long_script_never_exceeds_engine_budget() {
+        let graph = topology::line(3);
+        let script: Vec<ScriptStep> = (0..6)
+            .map(|r| ScriptStep {
+                round: r,
+                lid: 0,
+                e: 1,
+            })
+            .collect();
+
+        // Sequential path.
+        let adv = ScriptedAdversary::new(&graph, script.clone());
+        let mut net = crate::Network::new(graph.clone(), Box::new(adv), 3);
+        let sends = RoundFrame::for_graph(&graph);
+        let mut rx = RoundFrame::for_graph(&graph);
+        for _ in 0..6 {
+            net.step_into(&sends, None, &mut rx);
+        }
+        assert_eq!(net.stats().corruptions, 3);
+        assert_eq!(net.stats().dropped_corruptions, 0, "budget not honored");
+
+        // Batched path: same accounting in one call.
+        let adv = ScriptedAdversary::new(&graph, script);
+        let mut net = crate::Network::new(graph.clone(), Box::new(adv), 3);
+        let batch = FrameBatch::for_graph(&graph, 6);
+        let mut brx = FrameBatch::for_graph(&graph, 6);
+        net.step_rounds_into(&batch, None, &mut brx);
+        assert_eq!(net.stats().corruptions, 3);
+        assert_eq!(net.stats().dropped_corruptions, 0);
+    }
+
+    #[test]
+    fn scripted_random_draws_distinct_slots() {
+        let graph = topology::ring(4);
+        let a = ScriptedAdversary::random(&graph, 3, 20, 9);
+        // Only 3 rounds × 8 links = 24 slots; all 20 steps distinct.
+        let slots: BTreeSet<_> = a.script().iter().map(|s| (s.round, s.lid)).collect();
+        assert_eq!(slots.len(), 20);
+    }
+
+    fn bounds() -> ScriptBounds {
+        ScriptBounds {
+            max_round: 64,
+            links: 8,
+            budget: 10,
+        }
+    }
+
+    fn well_formed(script: &[ScriptStep], b: ScriptBounds) {
+        assert!(script.len() as u64 <= b.budget, "over budget");
+        assert!(script
+            .windows(2)
+            .all(|w| (w[0].round, w[0].lid) < (w[1].round, w[1].lid)));
+        assert!(script
+            .iter()
+            .all(|s| s.round < b.max_round && s.lid < b.links && (1..=2).contains(&s.e)));
+    }
+
+    #[test]
+    fn genome_operators_are_deterministic_and_repaired() {
+        let graph = topology::ring(4);
+        let b = bounds();
+        let a = ScriptedAdversary::random(&graph, b.max_round, 10, 1);
+        let c = ScriptedAdversary::random(&graph, b.max_round, 10, 2);
+        for seed in 0..20 {
+            let m1 = mutate_script(a.script(), b, seed);
+            let m2 = mutate_script(a.script(), b, seed);
+            assert_eq!(m1, m2);
+            well_formed(&m1, b);
+            let x1 = crossover_scripts(a.script(), c.script(), b, seed);
+            let x2 = crossover_scripts(a.script(), c.script(), b, seed);
+            assert_eq!(x1, x2);
+            well_formed(&x1, b);
+        }
+    }
+
+    #[test]
+    fn repair_clamps_into_bounds() {
+        let b = bounds();
+        let wild = vec![
+            ScriptStep {
+                round: 1_000,
+                lid: 99,
+                e: 0,
+            },
+            ScriptStep {
+                round: 5,
+                lid: 3,
+                e: 7,
+            },
+        ];
+        let fixed = repair_script(wild, b);
+        well_formed(&fixed, b);
+        assert_eq!(fixed.len(), 2);
+    }
+
+    #[test]
+    fn recorder_transcribes_applied_corruptions_only() {
+        let graph = topology::line(2);
+        let lid = graph.link_id(dl(0, 1)).unwrap();
+        // Burst of 5 insertions, but the engine budget only admits 3:
+        // the sink must hold exactly the applied prefix.
+        let burst = BurstLink::new(&graph, dl(0, 1), 3, 5);
+        let (rec, sink) = ScriptRecorder::new(&graph, Box::new(burst));
+        let mut net = crate::Network::new(graph.clone(), Box::new(rec), 3);
+        let sends = RoundFrame::for_graph(&graph);
+        let mut rx = RoundFrame::for_graph(&graph);
+        for _ in 0..10 {
+            net.step_into(&sends, None, &mut rx);
+        }
+        assert_eq!(net.stats().corruptions, 3);
+        assert_eq!(net.stats().dropped_corruptions, 2, "burst overshoots");
+        let script = sink.borrow().clone();
+        // Silence + additive 1 = insertion of a 0; e recovered as 1.
+        assert_eq!(
+            script,
+            (3..6)
+                .map(|round| ScriptStep { round, lid, e: 1 })
+                .collect::<Vec<_>>()
+        );
+        // Replaying the sink reproduces the applied corruptions with a
+        // clean budget ledger.
+        let replay = ScriptedAdversary::new(&graph, script);
+        let mut net = crate::Network::new(graph.clone(), Box::new(replay), 3);
+        let mut rx = RoundFrame::for_graph(&graph);
+        for _ in 0..10 {
+            net.step_into(&sends, None, &mut rx);
+        }
+        assert_eq!(net.stats().corruptions, 3);
+        assert_eq!(net.stats().dropped_corruptions, 0);
     }
 
     #[test]

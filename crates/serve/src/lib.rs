@@ -376,7 +376,8 @@ struct Envelope<J: Job> {
 pub struct SubmitOpts {
     /// Queue lane.
     pub priority: Priority,
-    /// Time the request may spend queued, measured from submission. A
+    /// Time the request may spend queued, measured from submission
+    /// (from the *first* attempt under [`Client::submit_retry`]). A
     /// request still undispatched when it expires resolves
     /// [`Outcome::TimedOut`] without executing; once dispatched, a job
     /// always runs to completion. `None` waits indefinitely.
@@ -388,7 +389,8 @@ pub struct SubmitOpts {
 /// Only [`SubmitError::Overloaded`] is retried; [`SubmitError::ShuttingDown`]
 /// is permanent and returned immediately. Each retry sleeps the larger of
 /// the service's `retry_after` hint and the current backoff, then doubles
-/// the backoff up to [`RetryPolicy::max_backoff`].
+/// the backoff up to [`RetryPolicy::max_backoff`]. A `max_backoff` below
+/// `base_backoff` is treated as equal to `base_backoff` (the floor wins).
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Total submission attempts (≥ 1; clamped). `attempts = 1` means no
@@ -445,6 +447,20 @@ impl<J: Job> Client<J> {
     /// Submits a job with explicit [`SubmitOpts`] (lane + optional queue
     /// deadline).
     pub fn submit_with(&self, job: J, opts: SubmitOpts) -> Result<Ticket<J::Out>, SubmitError> {
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
+        self.submit_at(job, opts.priority, deadline)
+    }
+
+    /// Submission against an already-anchored absolute deadline — the
+    /// primitive both [`Client::submit_with`] (which anchors at call
+    /// time) and [`Client::submit_retry`] (which anchors **once** for
+    /// the whole retry sequence) build on.
+    fn submit_at(
+        &self,
+        job: J,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<J::Out>, SubmitError> {
         // Register as in-flight *before* the accepting check (and
         // deregister on every exit): shutdown stores `accepting = false`
         // and then waits for `inflight == 0`, so with both sides SeqCst
@@ -453,7 +469,7 @@ impl<J: Job> Client<J> {
         // while workers are still draining.
         let inflight = &self.shared.counters.inflight;
         inflight.fetch_add(1, Ordering::SeqCst);
-        let res = self.submit_inner(job, opts);
+        let res = self.submit_inner(job, priority, deadline);
         inflight.fetch_sub(1, Ordering::SeqCst);
         res
     }
@@ -463,6 +479,12 @@ impl<J: Job> Client<J> {
     /// backoff and the service's `retry_after` hint) and resubmits, up
     /// to `policy.attempts` total attempts. Requires `J: Clone` because
     /// a rejected submission consumes the job.
+    ///
+    /// [`SubmitOpts::deadline`] is anchored **once**, at the first
+    /// attempt: every resubmission carries the same absolute expiry, and
+    /// a backoff sleep that would overshoot it is skipped — the call
+    /// returns a ticket already resolved [`Outcome::TimedOut`] instead
+    /// of waiting out a rejection it can no longer recover from.
     pub fn submit_retry(
         &self,
         job: J,
@@ -473,13 +495,29 @@ impl<J: Job> Client<J> {
         J: Clone,
     {
         let attempts = policy.attempts.max(1);
+        // Guard the inverted-ceiling misconfiguration: with
+        // `max_backoff < base_backoff`, a bare `min(max_backoff)` would
+        // shrink every retry *below* its configured floor. The floor
+        // wins.
+        let max_backoff = policy.max_backoff.max(policy.base_backoff);
+        let started = Instant::now();
+        let deadline = opts.deadline.map(|d| started + d);
         let mut backoff = policy.base_backoff;
         for attempt in 1..=attempts {
-            match self.submit_with(job.clone(), opts) {
+            match self.submit_at(job.clone(), opts.priority, deadline) {
                 Err(SubmitError::Overloaded { retry_after }) if attempt < attempts => {
                     self.shared.counters.retried.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(backoff.max(retry_after));
-                    backoff = (backoff * 2).min(policy.max_backoff.max(policy.base_backoff));
+                    let pause = backoff.max(retry_after);
+                    if let Some(d) = deadline {
+                        if Instant::now() + pause >= d {
+                            // Sleeping past the deadline cannot succeed:
+                            // a later resubmission would only expire in
+                            // the queue. Resolve TimedOut now.
+                            return Ok(self.timed_out_ticket(started.elapsed()));
+                        }
+                    }
+                    std::thread::sleep(pause);
+                    backoff = (backoff * 2).min(max_backoff);
                 }
                 res => return res,
             }
@@ -487,21 +525,47 @@ impl<J: Job> Client<J> {
         unreachable!("loop returns on the final attempt")
     }
 
-    fn submit_inner(&self, job: J, opts: SubmitOpts) -> Result<Ticket<J::Out>, SubmitError> {
+    /// A ticket pre-resolved [`Outcome::TimedOut`] for a deadlined
+    /// retry sequence abandoned client-side. Counted as one submission
+    /// that timed out, so the lifecycle equation (submitted = served +
+    /// cancelled + rejected + timed_out) stays balanced.
+    fn timed_out_ticket(&self, waited: Duration) -> Ticket<J::Out> {
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        c.timed_out.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        let _ = reply_tx.send(Response {
+            outcome: Outcome::TimedOut,
+            queue_ns: waited.as_nanos() as u64,
+            exec_ns: 0,
+            worker: usize::MAX,
+            cache_hit: false,
+        });
+        Ticket {
+            reply: reply_rx,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn submit_inner(
+        &self,
+        job: J,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<J::Out>, SubmitError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
         let (reply_tx, reply_rx) = bounded(1);
         let cancel = Arc::new(AtomicBool::new(false));
-        let now = Instant::now();
         let env = Envelope {
             job,
             cancel: Arc::clone(&cancel),
             reply: reply_tx,
-            submitted: now,
-            deadline: opts.deadline.map(|d| now + d),
+            submitted: Instant::now(),
+            deadline,
         };
-        let lane = match opts.priority {
+        let lane = match priority {
             Priority::High => &self.high,
             Priority::Normal => &self.normal,
         };
@@ -1354,6 +1418,136 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.retried, 2, "attempts 3 = 1 try + 2 retries");
         assert_eq!(stats.rejected, 3);
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.cancelled + stats.rejected + stats.timed_out
+        );
+    }
+
+    /// Regression (PR 10): `submit_retry` used to re-anchor the relative
+    /// deadline on every attempt and sleep full backoffs without
+    /// checking it, so a deadlined request against a saturated service
+    /// waited out the whole backoff schedule. Now the deadline is
+    /// absolute across attempts and an overshooting sleep resolves
+    /// TimedOut instead.
+    #[test]
+    fn submit_retry_honors_deadline_across_attempts() {
+        let svc: SimService<TestJob> = SimService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            backpressure: Backpressure::Reject {
+                retry_after: Duration::from_millis(1),
+            },
+            ..ServiceConfig::default()
+        });
+        let (gate_tx, gate_rx) = ch::bounded(1);
+        // Saturate: worker occupied, single lane slot full.
+        let blocker = svc
+            .submit(
+                TestJob {
+                    id: 0,
+                    gate: Some(gate_rx),
+                    done: None,
+                },
+                Priority::Normal,
+            )
+            .unwrap();
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        let queued = svc.submit(TestJob::plain(1), Priority::Normal).unwrap();
+        let deadline = Duration::from_millis(40);
+        let t0 = Instant::now();
+        let doomed = svc
+            .client()
+            .submit_retry(
+                TestJob::plain(2),
+                SubmitOpts {
+                    priority: Priority::Normal,
+                    deadline: Some(deadline),
+                },
+                RetryPolicy {
+                    attempts: 1_000,
+                    base_backoff: Duration::from_millis(4),
+                    max_backoff: Duration::from_millis(8),
+                },
+            )
+            .expect("deadline overshoot resolves a ticket, not an error");
+        let waited = t0.elapsed();
+        // With per-attempt re-anchoring (the bug) this retried for the
+        // full 1000-attempt schedule; with one absolute deadline it
+        // gives up within roughly the deadline itself.
+        assert!(
+            waited < deadline + Duration::from_millis(500),
+            "retry loop outlived its deadline: {waited:?}"
+        );
+        let r = doomed.wait().unwrap();
+        assert_eq!(r.outcome, Outcome::TimedOut);
+        assert_eq!(r.exec_ns, 0);
+        gate_tx.send(()).unwrap();
+        for t in [blocker, queued] {
+            assert!(matches!(t.wait().unwrap().outcome, Outcome::Done(_)));
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.timed_out, 1);
+        assert!(stats.retried >= 1, "must have backed off at least once");
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.cancelled + stats.rejected + stats.timed_out
+        );
+    }
+
+    /// Regression (PR 10): an inverted ceiling (`max_backoff <
+    /// base_backoff`) used to shrink every retry's sleep below the
+    /// configured floor via the bare `min`. The floor now wins, and the
+    /// retry sequence still lands.
+    #[test]
+    fn submit_retry_survives_inverted_backoff_ceiling() {
+        let svc: SimService<TestJob> = SimService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            backpressure: Backpressure::Reject {
+                retry_after: Duration::from_micros(100),
+            },
+            ..ServiceConfig::default()
+        });
+        let (gate_tx, gate_rx) = ch::bounded(1);
+        let blocker = svc
+            .submit(
+                TestJob {
+                    id: 0,
+                    gate: Some(gate_rx),
+                    done: None,
+                },
+                Priority::Normal,
+            )
+            .unwrap();
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        let queued = svc.submit(TestJob::plain(1), Priority::Normal).unwrap();
+        let client = svc.client();
+        let retrier = std::thread::spawn(move || {
+            client.submit_retry(
+                TestJob::plain(2),
+                SubmitOpts::default(),
+                RetryPolicy {
+                    attempts: 500,
+                    base_backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(1), // inverted
+                },
+            )
+        });
+        while svc.stats().rejected == 0 {
+            std::thread::yield_now();
+        }
+        gate_tx.send(()).unwrap();
+        let c = retrier.join().unwrap().expect("retry must land");
+        for (t, want) in [(blocker, 0), (queued, 1), (c, 2)] {
+            assert_eq!(t.wait().unwrap().outcome, Outcome::Done(want));
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.served, 3);
         assert_eq!(
             stats.submitted,
             stats.served + stats.cancelled + stats.rejected + stats.timed_out
